@@ -1,0 +1,221 @@
+// Command attack runs the adversary scenarios of the paper's Security
+// Analysis (Section VI) against a live simulated deployment and reports
+// the outcome of each.
+//
+// Usage:
+//
+//	attack [-n 1000] [-density 12.5] [-seed 1]
+//	       [-scenario capture|clone|flood|selective|forge|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline/globalkey"
+	"repro/internal/baseline/leap"
+	"repro/internal/baseline/randomkp"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/node"
+	"repro/internal/viz"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1000, "network size")
+		density  = flag.Float64("density", 12.5, "target mean neighbors per node")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scenario = flag.String("scenario", "all", "capture, clone, flood, selective, forge, or all")
+	)
+	flag.Parse()
+
+	d, err := core.Deploy(core.DeployOptions{N: *n, Density: *density, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("deployed %d nodes at density %.1f; %d clusters\n\n",
+		*n, *density, d.Clusters().NumClusters)
+
+	all := *scenario == "all"
+	if all || *scenario == "capture" {
+		captureScenario(d, *seed)
+	}
+	if all || *scenario == "clone" {
+		cloneScenario(d, *seed)
+	}
+	if all || *scenario == "flood" {
+		floodScenario(d, *seed)
+	}
+	if all || *scenario == "selective" {
+		selectiveScenario(d, *seed)
+	}
+	if all || *scenario == "forge" {
+		forgeScenario(d)
+	}
+}
+
+// captureScenario compares link compromise after node capture across all
+// four schemes.
+func captureScenario(d *core.Deployment, seed uint64) {
+	fmt.Println("== node capture (Sections II, III) ==")
+	ours := adversary.NewProtocolScheme(d)
+	gk := globalkey.New(d.Graph)
+	rk, err := randomkp.New(d.Graph,
+		randomkp.Params{PoolSize: 10000, RingSize: 100, Q: 1}, xrand.New(seed*3))
+	if err != nil {
+		fail(err)
+	}
+	lp := leap.New(d.Graph)
+	rng := xrand.New(seed * 5)
+	fmt.Printf("%-10s %12s %12s %12s %12s %14s\n",
+		"captured", "localized", "global-key", "random-kp", "leap", "localized(far)")
+	for _, x := range []int{1, 5, 10, 25, 50} {
+		captured := rng.Sample(d.Graph.N(), x)
+		fmt.Printf("%-10d %12.4f %12.4f %12.4f %12.4f %14.4f\n", x,
+			ours.Capture(captured).Fraction(),
+			gk.Capture(captured).Fraction(),
+			rk.Capture(captured).Fraction(),
+			lp.Capture(captured).Fraction(),
+			ours.CaptureBeyond(captured, 4).Fraction())
+	}
+	fmt.Println()
+}
+
+// cloneScenario shows replication is geographically confined, with an
+// ASCII map of where a single capture's key material actually works.
+func cloneScenario(d *core.Deployment, seed uint64) {
+	fmt.Println("== node replication / clone placement (Section II) ==")
+	ours := adversary.NewProtocolScheme(d)
+	rng := xrand.New(seed * 7)
+	for _, x := range []int{1, 5, 25} {
+		rep := ours.ClonePlacement(rng.Sample(d.Graph.N(), x))
+		fmt.Printf("captures=%-4d clone usable at %4d/%4d positions (%.1f%%)\n",
+			x, rep.UsablePositions, rep.TotalPositions, 100*rep.Fraction())
+	}
+
+	// Map one capture's clone reach: C = captured node, + = position
+	// where the clone can authenticate, . = safe territory.
+	captured := rng.Sample(d.Graph.N(), 1)
+	revealed := ours.RevealedClusters(captured)
+	fmt.Printf("\nclone reach of capturing node %d (C = capture, + = clone-usable):\n", captured[0])
+	fmt.Print(viz.Heat(d.Graph, func(i int) (float64, bool) { return 0, false },
+		viz.Options{Width: 80, Mark: func(i int) (rune, bool) {
+			if i == captured[0] {
+				return 'C', true
+			}
+			for _, nb := range d.Graph.Neighbors(i) {
+				if s := d.Sensors[nb]; s != nil {
+					if cid, ok := s.Cluster(); ok && revealed[cid] {
+						return '+', true
+					}
+				}
+			}
+			return 0, false
+		}}))
+	fmt.Println()
+}
+
+// floodScenario: HELLO flooding is useless against the deployed protocol
+// (Km is erased) but inflates LEAP's key storage without bound.
+func floodScenario(d *core.Deployment, seed uint64) {
+	fmt.Println("== HELLO flood (Section III attack on LEAP) ==")
+	victim := d.Graph.N() / 2
+	lp := leap.New(d.Graph)
+	fmt.Printf("LEAP victim baseline: %d keys\n", lp.KeysPerNode(victim))
+	for _, f := range []int{100, 1000, 10000} {
+		lp := leap.New(d.Graph)
+		fmt.Printf("LEAP after %5d forged HELLOs: %d keys stored\n", f, lp.HelloFlood(victim, f))
+	}
+
+	// Against our protocol: inject forged HELLOs at the victim's position
+	// post-setup and observe that nothing changes.
+	before := d.Sensors[victim].ClusterKeyCount()
+	cidBefore, _ := d.Sensors[victim].Cluster()
+	var junk crypt.Key
+	junk[5] = 0x42
+	body := (&wire.Hello{HeadID: 999999, ClusterKey: junk}).Marshal()
+	sealed := crypt.Seal(junk, 1, []byte{byte(wire.THello), 0, 0, 0, 0}, body)
+	pkt, _ := (&wire.Frame{Type: wire.THello, Nonce: 1, Payload: sealed}).Marshal()
+	// The adversary transmits from a position adjacent to the victim so
+	// the victim itself hears every forgery.
+	attackPos := victim
+	if nbs := d.Graph.Neighbors(victim); len(nbs) > 0 {
+		attackPos = int(nbs[0])
+	}
+	for k := 0; k < 1000; k++ {
+		d.Eng.Schedule(d.Eng.Now()+time.Duration(k)*time.Millisecond, func() {
+			d.Eng.InjectAt(attackPos, node.ID(999999), pkt)
+		})
+	}
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		fail(err)
+	}
+	after := d.Sensors[victim].ClusterKeyCount()
+	cidAfter, _ := d.Sensors[victim].Cluster()
+	fmt.Printf("localized protocol victim: %d keys before flood, %d after (cluster %d -> %d)\n\n",
+		before, after, cidBefore, cidAfter)
+}
+
+// selectiveScenario: delivery under selective-forwarding droppers.
+func selectiveScenario(d *core.Deployment, seed uint64) {
+	fmt.Println("== selective forwarding (Section VI) ==")
+	rng := xrand.New(seed * 11)
+	nn := d.Graph.N()
+	adversary.CompromiseNodes(d, rng.Sample(nn, nn/10))
+	sent := 0
+	before := len(d.Deliveries())
+	base := d.Eng.Now()
+	for k := 0; k < 50; k++ {
+		src := 1 + rng.Intn(nn-1)
+		if src == d.BSIndex || d.Sensors[src] == nil || d.Sensors[src].Malice.DropData {
+			continue
+		}
+		d.SendReading(src, base+time.Duration(k+1)*5*time.Millisecond, []byte{byte(k)})
+		sent++
+	}
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		fail(err)
+	}
+	got := len(d.Deliveries()) - before
+	fmt.Printf("10%% of nodes drop all relayed traffic: %d/%d readings still delivered (%.1f%%)\n\n",
+		got, sent, 100*float64(got)/float64(max(sent, 1)))
+}
+
+// forgeScenario: forged and replayed traffic is rejected.
+func forgeScenario(d *core.Deployment) {
+	fmt.Println("== forgery & replay (Section IV-C guarantees) ==")
+	before := len(d.Deliveries())
+	var evil crypt.Key
+	evil[0] = 0x99
+	dd := &wire.Data{Tau: int64(d.Eng.Now()), SrcCID: 1, Origin: 3, Seq: 1, Inner: []byte("forged")}
+	sealed := crypt.Seal(evil, 7, []byte{byte(wire.TData), 0, 0, 0, 1}, dd.Marshal())
+	pkt, _ := (&wire.Frame{Type: wire.TData, CID: 1, Nonce: 7, Payload: sealed}).Marshal()
+	attackPos := d.BSIndex
+	if nbs := d.Graph.Neighbors(d.BSIndex); len(nbs) > 0 {
+		attackPos = int(nbs[0])
+	}
+	for k := 0; k < 100; k++ {
+		d.Eng.Schedule(d.Eng.Now()+time.Duration(k)*time.Millisecond, func() {
+			d.Eng.InjectAt(attackPos, node.ID(31337), pkt)
+		})
+	}
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		fail(err)
+	}
+	fmt.Printf("100 forged data packets injected next to the BS: %d accepted\n",
+		len(d.Deliveries())-before)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "attack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command figures regenerates every figure of the paper's evaluation and
+// the security-analysis comparisons, printing each as a text table.
+//
+// Usage:
+//
+//	figures [-n 2500] [-trials 5] [-seed 1]
+//	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
+//	               setup,storage,election,routing,freshness,mac,lifetime,
+//	               setupcost]
+//
+// With no -only flag every experiment runs. Paper-scale settings (the
+// default) take a few minutes; -n 500 -trials 2 gives a quick pass with
+// the same qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 2500, "network size (paper: 2500-3600)")
+		trials = flag.Int("trials", 5, "independent deployments per data point")
+		seed   = flag.Uint64("seed", 1, "root random seed")
+		only   = flag.String("only", "", "comma-separated subset of experiments to run")
+		format = flag.String("format", "text", "output format: text or markdown")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "markdown" {
+		fmt.Fprintf(os.Stderr, "figures: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Seed: *seed, Trials: *trials, N: *n}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type step struct {
+		name string
+		fn   func() (interface{ Table() string }, error)
+	}
+	steps := []step{
+		{"fig1", func() (interface{ Table() string }, error) {
+			return experiments.Figure1(opt, 8, 20)
+		}},
+		{"sweep", func() (interface{ Table() string }, error) {
+			return experiments.DensitySweep(opt, nil)
+		}},
+		{"scale", func() (interface{ Table() string }, error) {
+			scaleOpt := opt
+			return experiments.ScaleInvariance(scaleOpt, []int{1000, 2000, 4000}, []float64{8, 12.5, 20})
+		}},
+		{"resilience", func() (interface{ Table() string }, error) {
+			return experiments.Resilience(opt, nil)
+		}},
+		{"broadcast", func() (interface{ Table() string }, error) {
+			return experiments.BroadcastCost(opt, nil)
+		}},
+		{"flood", func() (interface{ Table() string }, error) {
+			return experiments.HelloFlood(opt, nil)
+		}},
+		{"selective", func() (interface{ Table() string }, error) {
+			selOpt := opt
+			if selOpt.N > 1000 {
+				selOpt.N = 1000 // forwarding experiments are event-heavy
+			}
+			return experiments.SelectiveForwarding(selOpt, nil)
+		}},
+		{"setup", func() (interface{ Table() string }, error) {
+			return experiments.SetupTime(opt, nil)
+		}},
+		{"storage", func() (interface{ Table() string }, error) {
+			stoOpt := opt
+			if stoOpt.Trials > 2 {
+				stoOpt.Trials = 2
+			}
+			return experiments.Storage(stoOpt, nil, 12.5)
+		}},
+		{"election", func() (interface{ Table() string }, error) {
+			elOpt := opt
+			if elOpt.N > 1000 {
+				elOpt.N = 1000
+			}
+			return experiments.ElectionDelay(elOpt, nil, 8)
+		}},
+		{"routing", func() (interface{ Table() string }, error) {
+			rtOpt := opt
+			if rtOpt.N > 1000 {
+				rtOpt.N = 1000
+			}
+			return experiments.RoutingAblation(rtOpt)
+		}},
+		{"freshness", func() (interface{ Table() string }, error) {
+			fwOpt := opt
+			if fwOpt.N > 600 {
+				fwOpt.N = 600
+			}
+			return experiments.FreshWindow(fwOpt, nil)
+		}},
+		{"mac", func() (interface{ Table() string }, error) {
+			macOpt := opt
+			if macOpt.N > 800 {
+				macOpt.N = 800
+			}
+			return experiments.MACAblation(macOpt)
+		}},
+		{"lifetime", func() (interface{ Table() string }, error) {
+			ltOpt := opt
+			if ltOpt.N > 500 {
+				ltOpt.N = 500
+			}
+			return experiments.Lifetime(ltOpt, 2e6, 15, true)
+		}},
+		{"setupcost", func() (interface{ Table() string }, error) {
+			scOpt := opt
+			if scOpt.N > 1000 {
+				scOpt.N = 1000
+			}
+			return experiments.SetupCost(scOpt, nil)
+		}},
+	}
+
+	if *format == "markdown" {
+		fmt.Printf("# Experiment results (n=%d, trials=%d, seed=%d)\n\n", *n, *trials, *seed)
+	}
+	for _, s := range steps {
+		if !run(s.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := s.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Printf("## %s\n\n_%.1fs_\n\n```\n%s```\n\n",
+				s.name, time.Since(start).Seconds(), res.Table())
+		default:
+			fmt.Printf("==== %s (%.1fs) ====\n%s\n", s.name, time.Since(start).Seconds(), res.Table())
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Command wsnsim stands up one simulated sensor network running the
+// paper's protocol, drives a traffic workload through it, and prints a
+// full report: cluster structure, key storage, setup cost, delivery, and
+// energy.
+//
+// Usage:
+//
+//	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0.0]
+//	       [-readings 100] [-fusion] [-refresh hash|rekey|none]
+//	       [-evict 1] [-add 2] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/viz"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 2000, "number of nodes (including the base station)")
+		density  = flag.Float64("density", 12.5, "target mean neighbors per node")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		loss     = flag.Float64("loss", 0, "per-link packet loss probability")
+		readings = flag.Int("readings", 100, "readings to originate from random nodes")
+		fusion   = flag.Bool("fusion", false, "data-fusion mode: disable Step-1 encryption")
+		refresh  = flag.String("refresh", "none", "key refresh after setup: hash, rekey, or none")
+		evict    = flag.Int("evict", 0, "revoke this many random clusters after setup")
+		add      = flag.Int("add", 0, "deploy this many additional nodes after setup")
+		verbose  = flag.Bool("v", false, "print every delivery")
+		traceOn  = flag.Bool("trace", false, "print per-phase traffic accounting by message type")
+		battery  = flag.Float64("battery", 0, "per-node energy budget in µJ (0 = unlimited); the base station is mains-powered")
+		refreshP = flag.Duration("refresh-period", 0, "automatic key-refresh period (0 = off)")
+		showMap  = flag.Bool("map", false, "print an ASCII map of the cluster structure after setup")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.DisableStep1 = *fusion
+	if *refreshP > 0 {
+		cfg.RefreshPeriod = *refreshP
+		cfg.RefreshMode = core.RefreshHash
+	}
+
+	deaths := 0
+	var rec *trace.Recorder
+	var traceHook func(sim.TraceEvent)
+	if *traceOn {
+		var err error
+		rec, err = trace.NewPhased([]string{"key-setup", "operational"},
+			[]time.Duration{cfg.ClusterPhaseEnd + cfg.LinkSpread + 50*time.Millisecond})
+		if err != nil {
+			fail(err)
+		}
+		traceHook = rec.Hook()
+	}
+
+	d, err := core.Deploy(core.DeployOptions{
+		N:           *n,
+		Density:     *density,
+		Seed:        *seed,
+		Config:      cfg,
+		Loss:        *loss,
+		ReserveLate: *add,
+		Battery:     *battery,
+		OnDeath:     func(int, time.Duration) { deaths++ },
+		Trace:       traceHook,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("deployed %d nodes, density target %.1f (realized %.2f), radius %.4f, %s metric\n",
+		*n, *density, d.Graph.MeanDegree(), d.Graph.Radius(), d.Graph.Metric())
+
+	if err := d.RunSetup(); err != nil {
+		fail(err)
+	}
+	st := d.Clusters()
+	fmt.Printf("\n-- key setup --\n")
+	fmt.Printf("clusters: %d (mean size %.2f, head fraction %.3f)\n",
+		st.NumClusters, st.MeanSize, st.HeadFraction)
+	var keySummary stats.Summary
+	for _, k := range d.KeysPerNode(true) {
+		keySummary.Add(float64(k))
+	}
+	fmt.Printf("cluster keys per node: %s\n", keySummary.String())
+	var txSummary stats.Summary
+	for _, c := range d.SetupTxCounts() {
+		txSummary.Add(float64(c))
+	}
+	fmt.Printf("setup messages per node: %s\n", txSummary.String())
+	if err := d.VerifyClusterInvariants(); err != nil {
+		fail(fmt.Errorf("invariant violation: %w", err))
+	}
+	fmt.Printf("cluster invariants: OK\n")
+
+	if *showMap {
+		fmt.Printf("\n-- field map (glyph = cluster, # = base station) --\n")
+		fmt.Print(viz.Clusters(d.Graph, func(i int) (uint32, bool) {
+			if d.Sensors[i] == nil {
+				return 0, false
+			}
+			return d.Sensors[i].Cluster()
+		}, viz.Options{
+			Width: 100,
+			Mark: func(i int) (rune, bool) {
+				if i == d.BSIndex {
+					return '#', true
+				}
+				return 0, false
+			},
+		}))
+	}
+
+	switch *refresh {
+	case "hash":
+		at := d.Eng.Now() + 10*time.Millisecond
+		for i, s := range d.Sensors {
+			if s == nil {
+				continue
+			}
+			s := s
+			d.Eng.Do(at, i, func(ctx node.Context) { s.HashRefresh(ctx) })
+		}
+		d.Eng.Run(at + 50*time.Millisecond)
+		fmt.Printf("\n-- hash refresh applied to all %d nodes --\n", *n)
+	case "rekey":
+		at := d.Eng.Now() + 10*time.Millisecond
+		count := 0
+		for cid := range st.Sizes {
+			head := int(cid)
+			if head >= len(d.Sensors) || d.Sensors[head] == nil {
+				continue
+			}
+			s := d.Sensors[head]
+			d.Eng.Do(at, head, func(ctx node.Context) { s.StartClusterRefresh(ctx) })
+			count++
+		}
+		d.Eng.Run(at + 500*time.Millisecond)
+		fmt.Printf("\n-- re-keying refresh initiated by %d clusterheads --\n", count)
+	case "none":
+	default:
+		fail(fmt.Errorf("unknown -refresh mode %q", *refresh))
+	}
+
+	if *evict > 0 {
+		bsCID, _ := d.BS().Cluster()
+		var cids []uint32
+		for cid := range st.Sizes {
+			if cid != bsCID {
+				cids = append(cids, cid)
+			}
+		}
+		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+		if *evict < len(cids) {
+			cids = cids[:*evict]
+		}
+		bs := d.BS()
+		d.Eng.Do(d.Eng.Now()+10*time.Millisecond, d.BSIndex, func(ctx node.Context) {
+			bs.RevokeClusters(ctx, cids)
+		})
+		d.Eng.Run(d.Eng.Now() + time.Second)
+		evicted := 0
+		for _, s := range d.Sensors {
+			if s != nil && s.Evicted() {
+				evicted++
+			}
+		}
+		fmt.Printf("\n-- revoked %d clusters; %d nodes evicted --\n", len(cids), evicted)
+	}
+
+	if *add > 0 {
+		for k := 0; k < *add; k++ {
+			idx, err := d.AddLateNode(d.Eng.Now() + time.Duration(k+1)*100*time.Millisecond)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("late node booted at position %d\n", idx)
+		}
+		d.Eng.Run(d.Eng.Now() + 5*time.Second)
+		for i := len(d.Sensors) - *add; i < len(d.Sensors); i++ {
+			if s := d.Sensors[i]; s != nil {
+				cid, _ := s.Cluster()
+				fmt.Printf("late node %d: phase %v, cluster %d, %d keys\n",
+					i, s.Phase(), cid, s.ClusterKeyCount())
+			}
+		}
+	}
+
+	if *verbose {
+		d.BS().SetOnDeliver(func(del core.Delivery) {
+			fmt.Printf("  deliver origin=%d seq=%d bytes=%d at=%v encrypted=%v\n",
+				del.Origin, del.Seq, len(del.Data), del.At, del.Encrypted)
+		})
+	}
+	rng := xrand.New(*seed * 31)
+	base := d.Eng.Now()
+	sent := 0
+	for k := 0; k < *readings; k++ {
+		src := 1 + rng.Intn(*n-1)
+		if src == d.BSIndex {
+			continue
+		}
+		if s := d.Sensors[src]; s == nil || s.Evicted() {
+			continue
+		}
+		d.SendReading(src, base+time.Duration(k+1)*5*time.Millisecond, []byte(fmt.Sprintf("r%04d", k)))
+		sent++
+	}
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n-- traffic --\n")
+	fmt.Printf("readings sent: %d, delivered to base station: %d (%.1f%%)\n",
+		sent, len(d.Deliveries()), 100*float64(len(d.Deliveries()))/float64(max(sent, 1)))
+
+	er := d.Energy()
+	fmt.Printf("\n-- energy (whole network) --\n")
+	fmt.Printf("tx: %.1f mJ   rx: %.1f mJ   crypto: %.3f mJ   total: %.1f mJ   (mean %.1f µJ/node)\n",
+		er.TxMicroJ/1000, er.RxMicroJ/1000, er.CryptoMicroJ/1000,
+		er.TotalMicroJ()/1000, er.MeanPerNodeMicroJ)
+	fmt.Printf("virtual time elapsed: %v\n", d.Eng.Now())
+	if *battery > 0 {
+		fmt.Printf("battery deaths: %d/%d nodes\n", deaths, *n)
+	}
+
+	if rec != nil {
+		fmt.Printf("\n-- traffic accounting --\n%s", rec.Report())
+	}
+
+	if *showMap {
+		fmt.Printf("\n-- energy heat map (0 coolest .. 9 hottest, x = dead, # = base station) --\n")
+		fmt.Print(viz.Heat(d.Graph, func(i int) (float64, bool) {
+			if d.Sensors[i] == nil {
+				return 0, false
+			}
+			return d.Eng.Meter(i).Total(), true
+		}, viz.Options{
+			Width: 100,
+			Mark: func(i int) (rune, bool) {
+				if i == d.BSIndex {
+					return '#', true
+				}
+				if d.Sensors[i] != nil && !d.Eng.Alive(i) {
+					return 'x', true
+				}
+				return 0, false
+			},
+		}))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsnsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Tassos Dimitriou and Ioannis Krontiris,
+//	"A Localized, Distributed Protocol for Secure Information Exchange
+//	in Sensor Networks", IPPS 2005.
+//
+// The protocol implementation lives in internal/core; the substrates it
+// runs on (deterministic discrete-event simulator, goroutine runtime,
+// unit-disk topologies, AES/HMAC crypto suite, wire format, energy model)
+// live in sibling internal packages; the schemes it is compared against
+// (global key, random key predistribution, LEAP) live under
+// internal/baseline; and internal/experiments regenerates every figure of
+// the paper's evaluation. See README.md for a tour, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmark harness in bench_test.go exposes one benchmark per paper
+// figure/table; run it with:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,193 @@
+// Package adversary implements the paper's threat model (Sections II and
+// VI): an attacker without the ability to break cryptography who can
+// eavesdrop on the broadcast medium, capture deployed nodes and read their
+// memory (no tamper resistance), replicate captured nodes, and inject
+// arbitrary traffic.
+//
+// It adapts the paper's protocol to the baseline.Scheme interface so the
+// resilience experiments can compare all four schemes over identical
+// topologies, and provides the replication-feasibility analysis behind the
+// paper's claim that "key material from one part of the network cannot be
+// used to disrupt communications to some other part of it."
+package adversary
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+// ProtocolScheme adapts a core.Deployment (after setup) to
+// baseline.Scheme.
+type ProtocolScheme struct {
+	d *core.Deployment
+}
+
+// NewProtocolScheme wraps a deployment that has completed RunSetup.
+func NewProtocolScheme(d *core.Deployment) *ProtocolScheme {
+	return &ProtocolScheme{d: d}
+}
+
+// Name implements baseline.Scheme.
+func (s *ProtocolScheme) Name() string { return "localized" }
+
+// KeysPerNode implements baseline.Scheme: the node's cluster-key count
+// (its node key Ki is excluded on all schemes' counts alike, since every
+// scheme also has a per-node BS key or equivalent).
+func (s *ProtocolScheme) KeysPerNode(u int) int {
+	if sn := s.d.Sensors[u]; sn != nil {
+		return sn.ClusterKeyCount()
+	}
+	return 0
+}
+
+// BroadcastTransmissions implements baseline.Scheme: the headline
+// property — one transmission under the cluster key reaches every
+// neighbor ("each node shares one pairwise key with all of its immediate
+// neighbors, so only one transmission is necessary").
+func (s *ProtocolScheme) BroadcastTransmissions(u int) int { return 1 }
+
+// RevealedClusters returns the set of cluster IDs whose keys the
+// adversary learns by capturing the given nodes — each node's own cluster
+// plus its stored neighbor clusters, exactly what node.KeyStore.Snapshot
+// exposes.
+func (s *ProtocolScheme) RevealedClusters(captured []int) map[uint32]bool {
+	revealed := make(map[uint32]bool)
+	for _, c := range captured {
+		sn := s.d.Sensors[c]
+		if sn == nil {
+			continue
+		}
+		for cid := range sn.KeyStore().Snapshot().Clusters {
+			revealed[cid] = true
+		}
+	}
+	return revealed
+}
+
+// Capture implements baseline.Scheme. A directed link u->v between
+// uncaptured nodes is compromised iff u's cluster key is among the
+// revealed keys (broadcasts from u are sealed under it). Because revealed
+// keys are exactly the captured nodes' own and adjacent clusters, the
+// damage is geometrically confined — the paper's deterministic locality.
+func (s *ProtocolScheme) Capture(captured []int) baseline.CompromiseReport {
+	set := baseline.CaptureSet(captured)
+	revealed := s.RevealedClusters(captured)
+	g := s.d.Graph
+	rep := baseline.CompromiseReport{}
+	for u := 0; u < g.N(); u++ {
+		if set[u] || s.d.Sensors[u] == nil {
+			continue
+		}
+		cid, ok := s.d.Sensors[u].Cluster()
+		if !ok {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if set[int(v)] || s.d.Sensors[v] == nil {
+				continue
+			}
+			rep.TotalLinks++
+			if revealed[cid] {
+				rep.CompromisedLinks++
+			}
+		}
+	}
+	return rep
+}
+
+// CaptureBeyond is Capture restricted to links whose sender is at least
+// minHops away from every captured node. Under the localized protocol the
+// compromised count here is provably zero for minHops >= 4: a revealed
+// key belongs to a cluster with a member adjacent to some captured node x,
+// and every member of that cluster is within two further hops (member ->
+// head -> member), so compromised senders sit within three hops of x.
+func (s *ProtocolScheme) CaptureBeyond(captured []int, minHops int) baseline.CompromiseReport {
+	set := baseline.CaptureSet(captured)
+	dist := baseline.HopsFromSet(s.d.Graph, captured)
+	revealed := s.RevealedClusters(captured)
+	g := s.d.Graph
+	rep := baseline.CompromiseReport{}
+	for u := 0; u < g.N(); u++ {
+		if set[u] || s.d.Sensors[u] == nil {
+			continue
+		}
+		if dist[u] != -1 && dist[u] < minHops {
+			continue
+		}
+		cid, ok := s.d.Sensors[u].Cluster()
+		if !ok {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if set[int(v)] || s.d.Sensors[v] == nil {
+				continue
+			}
+			rep.TotalLinks++
+			if revealed[cid] {
+				rep.CompromisedLinks++
+			}
+		}
+	}
+	return rep
+}
+
+// CloneReport quantifies node replication feasibility (Section II,
+// "Resilience to Node Replication", and Section VI, "Sybil attacks").
+type CloneReport struct {
+	// UsablePositions is the number of radio positions at which a clone
+	// carrying the captured key material could authenticate to at least
+	// one neighbor.
+	UsablePositions int
+	// TotalPositions is the number of candidate positions evaluated
+	// (every uncaptured node's position).
+	TotalPositions int
+}
+
+// Fraction returns UsablePositions / TotalPositions.
+func (r CloneReport) Fraction() float64 {
+	if r.TotalPositions == 0 {
+		return 0
+	}
+	return float64(r.UsablePositions) / float64(r.TotalPositions)
+}
+
+// ClonePlacement evaluates where a clone of the captured nodes could
+// participate: a position works iff some radio neighbor there belongs to
+// a cluster whose key the adversary holds. Under the paper's protocol
+// this is only the captured nodes' own neighborhoods; under a global key
+// it would be everywhere.
+func (s *ProtocolScheme) ClonePlacement(captured []int) CloneReport {
+	set := baseline.CaptureSet(captured)
+	revealed := s.RevealedClusters(captured)
+	g := s.d.Graph
+	rep := CloneReport{}
+	for pos := 0; pos < g.N(); pos++ {
+		if set[pos] {
+			continue
+		}
+		rep.TotalPositions++
+		for _, nb := range g.Neighbors(pos) {
+			sn := s.d.Sensors[nb]
+			if sn == nil || set[int(nb)] {
+				continue
+			}
+			if cid, ok := sn.Cluster(); ok && revealed[cid] {
+				rep.UsablePositions++
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// CompromiseNodes flips the listed (non-BS) nodes to selective-forwarding
+// attackers: they keep authenticating traffic but drop everything they
+// should relay.
+func CompromiseNodes(d *core.Deployment, nodes []int) {
+	for _, i := range nodes {
+		if i == d.BSIndex || d.Sensors[i] == nil {
+			continue
+		}
+		d.Sensors[i].Malice.DropData = true
+	}
+}

@@ -1,0 +1,116 @@
+// Package baseline defines the common evaluation interface for the key
+// management schemes the paper compares against in Sections I-III:
+// a network-wide global key (Basagni et al.'s pebblenets [4]), random key
+// predistribution (Eschenauer-Gligor [7] and the q-composite variant of
+// Chan-Perrig-Song [8]), and LEAP (Zhu-Setia-Jajodia [11]).
+//
+// Every scheme is instantiated over the same unit-disk topology as the
+// paper's protocol and answers the three questions the paper's comparison
+// turns on:
+//
+//   - storage: how many symmetric keys must each node hold?
+//   - broadcast cost: how many transmissions does one encrypted local
+//     broadcast take? (The paper's protocol needs exactly one; pairwise
+//     schemes need one per differently-keyed neighbor.)
+//   - resilience: after the adversary captures a set of nodes and reads
+//     their memory, what fraction of the remaining (directed) links can
+//     it decrypt?
+//
+// Concrete schemes live in the subpackages globalkey, randomkp, and leap;
+// the paper's own protocol is adapted to this interface by
+// internal/adversary.
+package baseline
+
+import "repro/internal/topology"
+
+// Scheme is a key management scheme instantiated over a topology.
+type Scheme interface {
+	// Name identifies the scheme in experiment tables.
+	Name() string
+	// KeysPerNode returns the number of symmetric keys node u stores
+	// after key establishment.
+	KeysPerNode(u int) int
+	// BroadcastTransmissions returns how many encrypted transmissions
+	// node u must make so that every neighbor it shares key material with
+	// can read one broadcast message.
+	BroadcastTransmissions(u int) int
+	// Capture reveals the listed nodes' memory to the adversary and
+	// reports how much of the remaining network's traffic it can now
+	// read.
+	Capture(captured []int) CompromiseReport
+}
+
+// CompromiseReport quantifies the damage after a capture.
+type CompromiseReport struct {
+	// CompromisedLinks counts directed links u->v between NON-captured
+	// nodes whose broadcast traffic from u the adversary can decrypt.
+	CompromisedLinks int
+	// TotalLinks is the number of directed links between non-captured
+	// nodes that carry protected traffic under this scheme.
+	TotalLinks int
+}
+
+// Fraction returns CompromisedLinks / TotalLinks (0 when no links).
+func (r CompromiseReport) Fraction() float64 {
+	if r.TotalLinks == 0 {
+		return 0
+	}
+	return float64(r.CompromisedLinks) / float64(r.TotalLinks)
+}
+
+// DirectedLinks counts the directed links of g excluding any endpoint in
+// the captured set — the denominator shared by all schemes' reports.
+func DirectedLinks(g *topology.Graph, captured map[int]bool) int {
+	total := 0
+	for u := 0; u < g.N(); u++ {
+		if captured[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if !captured[int(v)] {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// CaptureSet converts a capture list to a set.
+func CaptureSet(captured []int) map[int]bool {
+	set := make(map[int]bool, len(captured))
+	for _, c := range captured {
+		set[c] = true
+	}
+	return set
+}
+
+// HopsFromSet returns, for every node, its BFS hop distance to the
+// nearest captured node (-1 if unreachable; 0 for captured nodes). It is
+// the yardstick for the paper's locality claim: under the localized
+// protocol no link whose sender is far from every capture can be
+// compromised, whereas random predistribution leaks pool keys that are in
+// use arbitrarily far away.
+func HopsFromSet(g *topology.Graph, captured []int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, len(captured))
+	for _, c := range captured {
+		if c >= 0 && c < g.N() && dist[c] == -1 {
+			dist[c] = 0
+			queue = append(queue, int32(c))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+func triangleGraph() *topology.Graph {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: 0.8}, {X: 5, Y: 5}}
+	return topology.FromPositions(pos, 10, 1.2, geom.Planar)
+}
+
+func TestDirectedLinks(t *testing.T) {
+	g := triangleGraph()
+	// Triangle has 3 undirected = 6 directed links; node 3 is isolated.
+	if got := DirectedLinks(g, nil); got != 6 {
+		t.Fatalf("DirectedLinks = %d, want 6", got)
+	}
+	// Excluding one triangle vertex leaves one undirected = 2 directed.
+	if got := DirectedLinks(g, map[int]bool{0: true}); got != 2 {
+		t.Fatalf("DirectedLinks minus node 0 = %d, want 2", got)
+	}
+}
+
+func TestCaptureSet(t *testing.T) {
+	set := CaptureSet([]int{3, 7})
+	if !set[3] || !set[7] || set[1] {
+		t.Fatalf("CaptureSet = %v", set)
+	}
+	if len(CaptureSet(nil)) != 0 {
+		t.Fatal("empty capture set not empty")
+	}
+}
+
+func TestCompromiseFraction(t *testing.T) {
+	r := CompromiseReport{CompromisedLinks: 3, TotalLinks: 12}
+	if got := r.Fraction(); got != 0.25 {
+		t.Fatalf("Fraction = %v", got)
+	}
+	if (CompromiseReport{}).Fraction() != 0 {
+		t.Fatal("empty report fraction nonzero")
+	}
+}
+
+func TestHopsFromSet(t *testing.T) {
+	// Line 0-1-2-3-4 plus isolated 5.
+	pos := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 4, Y: 0}, {X: 9, Y: 9},
+	}
+	g := topology.FromPositions(pos, 12, 1.1, geom.Planar)
+	d := HopsFromSet(g, []int{0, 4})
+	want := []int{0, 1, 2, 1, 0, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("HopsFromSet = %v, want %v", d, want)
+		}
+	}
+	// Empty and out-of-range capture sets.
+	d = HopsFromSet(g, nil)
+	for i, v := range d {
+		if v != -1 {
+			t.Fatalf("no captures: node %d dist %d", i, v)
+		}
+	}
+	d = HopsFromSet(g, []int{-3, 99, 2, 2})
+	if d[2] != 0 || d[1] != 1 || d[5] != -1 {
+		t.Fatalf("out-of-range handling: %v", d)
+	}
+}

@@ -1,0 +1,427 @@
+// Package blom implements the pairwise key predistribution of Du, Deng,
+// Han and Varshney ("A pairwise key pre-distribution scheme for wireless
+// sensor networks", CCS 2003 — the paper's reference [10]), which builds
+// on Blom's symmetric-matrix scheme.
+//
+// One key space is a Blom instance over a prime field GF(p): a public
+// (λ+1) x n Vandermonde matrix G and a secret random symmetric
+// (λ+1) x (λ+1) matrix D define A = (D·G)^T; node i stores row A_i, and
+// any two nodes compute the same pairwise key K_ij = A_i · G_j = A_j ·
+// G_i. The scheme is λ-secure: any coalition of at most λ nodes learns
+// nothing about other pairs' keys, but λ+1 captured rows let the
+// adversary solve for D and break the whole space (the attack is
+// implemented in this package's tests, not assumed).
+//
+// Du et al. harden this with ω independent spaces of which each node
+// carries τ: neighbors agree on a shared space to derive their link key,
+// and the adversary must collect λ+1 carriers of the *same* space to
+// break the links that use it — yielding a characteristic
+// threshold-shaped resilience curve, very flat until the capture count
+// approaches λ·ω/τ and collapsing after. The experiments contrast this
+// threshold behavior with the paper's strictly local compromise.
+package blom
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// P is the field modulus: the Mersenne prime 2^31 - 1. Elements fit in
+// uint32; products fit in uint64 before reduction.
+const P uint64 = 1<<31 - 1
+
+// mul returns a*b mod P.
+func mul(a, b uint64) uint64 { return a * b % P }
+
+// add returns a+b mod P.
+func add(a, b uint64) uint64 {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// sub returns a-b mod P.
+func sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// pow returns b^e mod P by square-and-multiply.
+func pow(b, e uint64) uint64 {
+	r := uint64(1)
+	b %= P
+	for e > 0 {
+		if e&1 == 1 {
+			r = mul(r, b)
+		}
+		b = mul(b, b)
+		e >>= 1
+	}
+	return r
+}
+
+// inv returns the multiplicative inverse of a (a != 0) via Fermat.
+func inv(a uint64) uint64 { return pow(a, P-2) }
+
+// Space is one Blom instance: the secret D and the derived private rows.
+type Space struct {
+	lambda int
+	d      [][]uint64 // (λ+1)x(λ+1) symmetric secret
+	rows   [][]uint64 // rows[i] = A_i = D · G_i, one per provisioned node
+	seeds  []uint64   // node i's public column seed g_i
+}
+
+// newSpace draws a random symmetric D and provisions rows for n nodes.
+func newSpace(rng *xrand.RNG, lambda, n int) *Space {
+	dim := lambda + 1
+	d := make([][]uint64, dim)
+	for i := range d {
+		d[i] = make([]uint64, dim)
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			v := rng.Uint64() % P
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	s := &Space{lambda: lambda, d: d, rows: make([][]uint64, n), seeds: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		// Distinct nonzero seeds make G's columns a Vandermonde system,
+		// so any λ+1 of them are linearly independent.
+		s.seeds[i] = uint64(i + 2)
+		s.rows[i] = s.privateRow(i)
+	}
+	return s
+}
+
+// column returns the public Vandermonde column G_i = (1, g, g^2, ...).
+func (s *Space) column(i int) []uint64 {
+	col := make([]uint64, s.lambda+1)
+	v := uint64(1)
+	for k := range col {
+		col[k] = v
+		v = mul(v, s.seeds[i])
+	}
+	return col
+}
+
+// privateRow computes A_i = D · G_i.
+func (s *Space) privateRow(i int) []uint64 {
+	g := s.column(i)
+	row := make([]uint64, s.lambda+1)
+	for r := range row {
+		var acc uint64
+		for c := range g {
+			acc = add(acc, mul(s.d[r][c], g[c]))
+		}
+		row[r] = acc
+	}
+	return row
+}
+
+// Key returns the pairwise key K_ij computed from node i's private row
+// and node j's public column — exactly what node i does on the mote.
+func (s *Space) Key(i, j int) uint64 {
+	g := s.column(j)
+	var acc uint64
+	for k := range g {
+		acc = add(acc, mul(s.rows[i][k], g[k]))
+	}
+	return acc
+}
+
+// Row exposes node i's private row — what physical capture reveals.
+func (s *Space) Row(i int) []uint64 { return s.rows[i] }
+
+// Params configures the multi-space scheme.
+type Params struct {
+	// Lambda is each space's collusion threshold λ.
+	Lambda int
+	// Spaces is ω, the number of independent Blom instances.
+	Spaces int
+	// SpacesPerNode is τ, how many spaces each node carries.
+	SpacesPerNode int
+}
+
+// DefaultParams follows the Du et al. evaluation scale, shrunk to
+// simulation size: ω=30 spaces, τ=4 carried, λ=19.
+func DefaultParams() Params { return Params{Lambda: 19, Spaces: 30, SpacesPerNode: 4} }
+
+// Scheme is a multi-space Blom deployment over a topology.
+type Scheme struct {
+	g      *topology.Graph
+	p      Params
+	spaces []*Space
+	carry  [][]int32 // per node: sorted space indices carried
+}
+
+// New provisions every node with τ randomly chosen spaces and its private
+// row in each.
+func New(g *topology.Graph, p Params, rng *xrand.RNG) (*Scheme, error) {
+	if p.Lambda < 1 || p.Spaces < 1 || p.SpacesPerNode < 1 || p.SpacesPerNode > p.Spaces {
+		return nil, fmt.Errorf("blom: invalid params %+v", p)
+	}
+	s := &Scheme{g: g, p: p, spaces: make([]*Space, p.Spaces), carry: make([][]int32, g.N())}
+	for i := range s.spaces {
+		s.spaces[i] = newSpace(rng.Split(uint64(i)+1), p.Lambda, g.N())
+	}
+	pick := rng.Split(0)
+	for u := 0; u < g.N(); u++ {
+		sel := pick.Sample(p.Spaces, p.SpacesPerNode)
+		carried := make([]int32, len(sel))
+		for k, sp := range sel {
+			carried[k] = int32(sp)
+		}
+		sortInt32(carried)
+		s.carry[u] = carried
+	}
+	return s, nil
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Name implements baseline.Scheme.
+func (s *Scheme) Name() string { return "blom-multispace" }
+
+// Params returns the scheme parameters.
+func (s *Scheme) Params() Params { return s.p }
+
+// KeysPerNode implements baseline.Scheme: τ private rows of λ+1 field
+// elements each. Reported in key-equivalents (one row element ≈ one key's
+// worth of storage), the unit used across schemes.
+func (s *Scheme) KeysPerNode(u int) int { return s.p.SpacesPerNode * (s.p.Lambda + 1) }
+
+// sharedSpace returns the agreed space of u and v (their smallest common
+// space index) and whether one exists.
+func (s *Scheme) sharedSpace(u, v int) (int32, bool) {
+	a, b := s.carry[u], s.carry[v]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return a[i], true
+		}
+	}
+	return 0, false
+}
+
+// LinkSecured reports whether u and v share a key space.
+func (s *Scheme) LinkSecured(u, v int) bool {
+	_, ok := s.sharedSpace(u, v)
+	return ok
+}
+
+// LinkKey returns the pairwise key of neighbors u and v (or false if they
+// share no space). Symmetry K_uv = K_vu is guaranteed by construction and
+// verified in tests.
+func (s *Scheme) LinkKey(u, v int) (uint64, bool) {
+	sp, ok := s.sharedSpace(u, v)
+	if !ok {
+		return 0, false
+	}
+	return s.spaces[sp].Key(u, v), true
+}
+
+// SecuredLinkFraction returns the fraction of topology links with a
+// shared space (Du et al.'s local connectivity).
+func (s *Scheme) SecuredLinkFraction() float64 {
+	total, secured := 0, 0
+	for u := 0; u < s.g.N(); u++ {
+		for _, v := range s.g.Neighbors(u) {
+			if int(v) < u {
+				continue
+			}
+			total++
+			if s.LinkSecured(u, int(v)) {
+				secured++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(secured) / float64(total)
+}
+
+// BroadcastTransmissions implements baseline.Scheme: pairwise keys, so
+// one transmission per secured neighbor.
+func (s *Scheme) BroadcastTransmissions(u int) int {
+	n := 0
+	for _, v := range s.g.Neighbors(u) {
+		if s.LinkSecured(u, int(v)) {
+			n++
+		}
+	}
+	return n
+}
+
+// brokenSpaces returns which spaces have at least λ+1 captured carriers.
+func (s *Scheme) brokenSpaces(captured []int) []bool {
+	count := make([]int, s.p.Spaces)
+	for _, c := range captured {
+		for _, sp := range s.carry[c] {
+			count[sp]++
+		}
+	}
+	broken := make([]bool, s.p.Spaces)
+	for sp, c := range count {
+		broken[sp] = c > s.p.Lambda
+	}
+	return broken
+}
+
+// Capture implements baseline.Scheme: a link between uncaptured nodes is
+// compromised iff its agreed space has been broken (λ+1 of its carriers
+// captured) — the threshold resilience of Du et al.
+func (s *Scheme) Capture(captured []int) baseline.CompromiseReport {
+	return s.captureFiltered(captured, nil)
+}
+
+// CaptureBeyond restricts Capture to links whose sender is at least
+// minHops from every captured node — like random predistribution, a
+// broken space compromises links arbitrarily far from the captures.
+func (s *Scheme) CaptureBeyond(captured []int, minHops int) baseline.CompromiseReport {
+	dist := baseline.HopsFromSet(s.g, captured)
+	return s.captureFiltered(captured, func(u int) bool {
+		return dist[u] == -1 || dist[u] >= minHops
+	})
+}
+
+func (s *Scheme) captureFiltered(captured []int, include func(u int) bool) baseline.CompromiseReport {
+	set := baseline.CaptureSet(captured)
+	broken := s.brokenSpaces(captured)
+	rep := baseline.CompromiseReport{}
+	for u := 0; u < s.g.N(); u++ {
+		if set[u] {
+			continue
+		}
+		if include != nil && !include(u) {
+			continue
+		}
+		for _, v := range s.g.Neighbors(u) {
+			if set[int(v)] {
+				continue
+			}
+			sp, ok := s.sharedSpace(u, int(v))
+			if !ok {
+				continue
+			}
+			rep.TotalLinks++
+			if broken[sp] {
+				rep.CompromisedLinks++
+			}
+		}
+	}
+	return rep
+}
+
+// --- the attack, used by tests to prove the λ-threshold is real ---
+
+// SolveD reconstructs a space's secret matrix D from the private rows of
+// lambda+1 captured carriers, by solving the linear systems row-by-row
+// (A_i = D · G_i with symmetric D; the Vandermonde columns of the
+// captured nodes are linearly independent, so D is determined). It
+// returns false if the rows are insufficient.
+func SolveD(sp *Space, capturedNodes []int) ([][]uint64, bool) {
+	dim := sp.lambda + 1
+	if len(capturedNodes) < dim {
+		return nil, false
+	}
+	capturedNodes = capturedNodes[:dim]
+	// Build M with row k = G_{captured[k]}^T; then for each output row r
+	// of D: M · D_r = b_r where b_r[k] = A_{captured[k]}[r].
+	m := make([][]uint64, dim)
+	for k, nodeIdx := range capturedNodes {
+		m[k] = sp.column(nodeIdx)
+	}
+	d := make([][]uint64, dim)
+	for r := 0; r < dim; r++ {
+		b := make([]uint64, dim)
+		for k, nodeIdx := range capturedNodes {
+			b[k] = sp.rows[nodeIdx][r]
+		}
+		x, ok := solveLinear(m, b)
+		if !ok {
+			return nil, false
+		}
+		d[r] = x
+	}
+	return d, true
+}
+
+// KeyFromD computes K_ij using a (reconstructed) D and the public
+// columns only — what the adversary does after the break.
+func KeyFromD(sp *Space, d [][]uint64, i, j int) uint64 {
+	gi := sp.column(i)
+	gj := sp.column(j)
+	dim := len(d)
+	// K = G_i^T · D · G_j.
+	var acc uint64
+	for r := 0; r < dim; r++ {
+		var inner uint64
+		for c := 0; c < dim; c++ {
+			inner = add(inner, mul(d[r][c], gj[c]))
+		}
+		acc = add(acc, mul(gi[r], inner))
+	}
+	return acc
+}
+
+// solveLinear solves M x = b over GF(P) by Gaussian elimination with
+// partial pivoting; M is consumed as a copy.
+func solveLinear(m [][]uint64, b []uint64) ([]uint64, bool) {
+	n := len(m)
+	a := make([][]uint64, n)
+	for i := range a {
+		a[i] = append(append([]uint64(nil), m[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false // singular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		pinv := inv(a[col][col])
+		for c := col; c <= n; c++ {
+			a[col][c] = mul(a[col][c], pinv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for c := col; c <= n; c++ {
+				a[r][c] = sub(a[r][c], mul(f, a[col][c]))
+			}
+		}
+	}
+	x := make([]uint64, n)
+	for i := range x {
+		x[i] = a[i][n]
+	}
+	return x, true
+}

@@ -1,0 +1,283 @@
+package blom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func testGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(1), topology.Config{N: n, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, P - 1}, {P - 1, P - 1}, {12345, 67890},
+	}
+	for _, c := range cases {
+		if got := add(c.a, c.b); got != (c.a+c.b)%P {
+			t.Fatalf("add(%d,%d) = %d", c.a, c.b, got)
+		}
+		if got := sub(add(c.a, c.b), c.b); got != c.a {
+			t.Fatalf("sub(add(%d,%d),%d) = %d", c.a, c.b, c.b, got)
+		}
+	}
+	// Fermat inverse.
+	for _, a := range []uint64{1, 2, 12345, P - 1} {
+		if got := mul(a, inv(a)); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d", got, a)
+		}
+	}
+	if pow(3, 0) != 1 || pow(3, 1) != 3 || pow(3, 4) != 81 {
+		t.Fatal("pow small cases wrong")
+	}
+}
+
+func TestFieldProperties(t *testing.T) {
+	rng := xrand.New(5)
+	f := func(ar, br, cr uint32) bool {
+		a, b, c := uint64(ar)%P, uint64(br)%P, uint64(cr)%P
+		// Distributivity: a*(b+c) = a*b + a*c.
+		if mul(a, add(b, c)) != add(mul(a, b), mul(a, c)) {
+			return false
+		}
+		// Commutativity.
+		return mul(a, b) == mul(b, a) && add(a, b) == add(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestSpaceKeySymmetry(t *testing.T) {
+	// The defining Blom property: K_ij computed by i equals K_ji computed
+	// by j, for every pair.
+	sp := newSpace(xrand.New(7), 5, 30)
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j++ {
+			if sp.Key(i, j) != sp.Key(j, i) {
+				t.Fatalf("K_%d,%d asymmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestSpaceKeysDistinct(t *testing.T) {
+	sp := newSpace(xrand.New(9), 8, 40)
+	seen := map[uint64][2]int{}
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			k := sp.Key(i, j)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("pairs %v and (%d,%d) share key %d", prev, i, j, k)
+			}
+			seen[k] = [2]int{i, j}
+		}
+	}
+}
+
+func TestLambdaPlusOneBreak(t *testing.T) {
+	// The real attack: λ+1 captured rows reconstruct D and with it every
+	// key in the space, including pairs of uncaptured nodes.
+	const lambda, n = 6, 30
+	sp := newSpace(xrand.New(11), lambda, n)
+	captured := []int{3, 7, 11, 15, 19, 23, 27} // λ+1 = 7 nodes
+	d, ok := SolveD(sp, captured)
+	if !ok {
+		t.Fatal("SolveD failed with λ+1 rows")
+	}
+	// Check the reconstruction against keys of UNCAPTURED pairs.
+	for _, pair := range [][2]int{{0, 1}, {2, 8}, {28, 29}, {4, 26}} {
+		real := sp.Key(pair[0], pair[1])
+		forged := KeyFromD(sp, d, pair[0], pair[1])
+		if real != forged {
+			t.Fatalf("reconstructed key for %v: %d != %d", pair, forged, real)
+		}
+	}
+	// Reconstructed D must equal the secret (symmetric) D.
+	for r := range d {
+		for c := range d[r] {
+			if d[r][c] != sp.d[r][c] {
+				t.Fatalf("D[%d][%d] reconstruction mismatch", r, c)
+			}
+		}
+	}
+}
+
+func TestLambdaRowsInsufficient(t *testing.T) {
+	// With only λ rows SolveD must refuse (underdetermined).
+	sp := newSpace(xrand.New(13), 6, 30)
+	if _, ok := SolveD(sp, []int{1, 2, 3, 4, 5, 6}); ok {
+		t.Fatal("SolveD succeeded with only λ rows")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	m := [][]uint64{{2, 1}, {1, 3}}
+	b := []uint64{5, 10}
+	x, ok := solveLinear(m, b)
+	if !ok || x[0] != 1 || x[1] != 3 {
+		t.Fatalf("solveLinear = %v, %v", x, ok)
+	}
+	// Singular system.
+	if _, ok := solveLinear([][]uint64{{1, 2}, {2, 4}}, []uint64{1, 2}); ok {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGraph(t, 20)
+	bad := []Params{
+		{Lambda: 0, Spaces: 5, SpacesPerNode: 2},
+		{Lambda: 3, Spaces: 0, SpacesPerNode: 2},
+		{Lambda: 3, Spaces: 5, SpacesPerNode: 0},
+		{Lambda: 3, Spaces: 5, SpacesPerNode: 6},
+	}
+	for i, p := range bad {
+		if _, err := New(g, p, xrand.New(1)); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestSchemeLinkKeysAgree(t *testing.T) {
+	g := testGraph(t, 100)
+	s, err := New(g, Params{Lambda: 5, Spaces: 10, SpacesPerNode: 3}, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secured := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			ku, okU := s.LinkKey(u, int(v))
+			kv, okV := s.LinkKey(int(v), u)
+			if okU != okV {
+				t.Fatalf("securability asymmetric for %d-%d", u, v)
+			}
+			if okU {
+				secured++
+				if ku != kv {
+					t.Fatalf("link key asymmetric for %d-%d", u, v)
+				}
+			}
+		}
+	}
+	if secured == 0 {
+		t.Fatal("no secured links")
+	}
+}
+
+func TestStorageConstant(t *testing.T) {
+	g := testGraph(t, 50)
+	p := Params{Lambda: 9, Spaces: 12, SpacesPerNode: 3}
+	s, err := New(g, p, xrand.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 10
+	for u := 0; u < g.N(); u++ {
+		if s.KeysPerNode(u) != want {
+			t.Fatalf("node %d stores %d, want %d", u, s.KeysPerNode(u), want)
+		}
+	}
+	if s.Name() != "blom-multispace" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Params() != p {
+		t.Fatal("Params roundtrip failed")
+	}
+}
+
+func TestThresholdResilience(t *testing.T) {
+	// Below the threshold the scheme is essentially uncompromised; far
+	// above it, it collapses. This is the characteristic Du et al. curve.
+	g, err := topology.Generate(xrand.New(23), topology.Config{N: 400, Density: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Lambda: 9, Spaces: 12, SpacesPerNode: 3}
+	s, err := New(g, p, xrand.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(31)
+	few := s.Capture(rng.Sample(400, 8)) // well under λ+1 per space on average
+	if few.Fraction() > 0.05 {
+		t.Fatalf("sub-threshold capture compromised %v", few.Fraction())
+	}
+	many := s.Capture(rng.Sample(400, 200)) // ~50 carriers per space >> λ
+	if many.Fraction() < 0.9 {
+		t.Fatalf("super-threshold capture compromised only %v", many.Fraction())
+	}
+}
+
+func TestCaptureBeyondLeaksRemotely(t *testing.T) {
+	// Once a space is broken, links far from the captures fall too —
+	// Blom shares random-kp's non-locality, unlike the paper's protocol.
+	g, err := topology.Generate(xrand.New(37), topology.Config{N: 500, Density: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, Params{Lambda: 4, Spaces: 6, SpacesPerNode: 3}, xrand.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := xrand.New(43).Sample(500, 60)
+	rep := s.CaptureBeyond(captured, 4)
+	if rep.CompromisedLinks == 0 {
+		t.Fatal("broken spaces should compromise remote links")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := testGraph(t, 40)
+	p := Params{Lambda: 4, Spaces: 6, SpacesPerNode: 2}
+	a, err := New(g, p, xrand.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, p, xrand.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			ka, oka := a.LinkKey(u, int(v))
+			kb, okb := b.LinkKey(u, int(v))
+			if oka != okb || ka != kb {
+				t.Fatal("same seed produced different schemes")
+			}
+		}
+	}
+}
+
+func BenchmarkSpaceKey(b *testing.B) {
+	sp := newSpace(xrand.New(1), 19, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Key(i%1000, (i+1)%1000)
+	}
+}
+
+func BenchmarkSolveD(b *testing.B) {
+	sp := newSpace(xrand.New(1), 19, 100)
+	captured := make([]int, 20)
+	for i := range captured {
+		captured[i] = i * 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := SolveD(sp, captured); !ok {
+			b.Fatal("solve failed")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package globalkey models the pebblenets approach (Basagni et al. [4]):
+// one symmetric key shared by the whole network.
+//
+// The paper's Section III verdict, which this model reproduces exactly:
+// "Having network wide keys for encrypting information is very good in
+// terms of storage requirements and energy efficiency as no communication
+// is required among nodes to establish additional keys. It suffers,
+// however, from the obvious security disadvantage that compromise of even
+// a single node will reveal the universal key."
+package globalkey
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/topology"
+)
+
+// Scheme is the global-key scheme over a topology.
+type Scheme struct {
+	g *topology.Graph
+}
+
+// New instantiates the scheme; key establishment is free (the key is
+// preloaded), so there is no setup simulation to run.
+func New(g *topology.Graph) *Scheme { return &Scheme{g: g} }
+
+// Name implements baseline.Scheme.
+func (s *Scheme) Name() string { return "global-key" }
+
+// KeysPerNode implements baseline.Scheme: exactly one key everywhere.
+func (s *Scheme) KeysPerNode(u int) int { return 1 }
+
+// BroadcastTransmissions implements baseline.Scheme: one transmission
+// reaches every neighbor, the same optimal cost as the paper's protocol.
+func (s *Scheme) BroadcastTransmissions(u int) int { return 1 }
+
+// SetupMessages returns the per-node communication cost of key
+// establishment: zero, the scheme's one genuine advantage.
+func (s *Scheme) SetupMessages(u int) int { return 0 }
+
+// Capture implements baseline.Scheme: capturing any single node reveals
+// the universal key and with it every link in the network.
+func (s *Scheme) Capture(captured []int) baseline.CompromiseReport {
+	set := baseline.CaptureSet(captured)
+	total := baseline.DirectedLinks(s.g, set)
+	if len(captured) == 0 {
+		return baseline.CompromiseReport{TotalLinks: total}
+	}
+	return baseline.CompromiseReport{CompromisedLinks: total, TotalLinks: total}
+}

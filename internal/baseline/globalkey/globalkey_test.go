@@ -1,0 +1,54 @@
+package globalkey
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(1), topology.Config{N: 200, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestProperties(t *testing.T) {
+	s := New(testGraph(t))
+	if s.Name() != "global-key" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	for _, u := range []int{0, 50, 199} {
+		if s.KeysPerNode(u) != 1 {
+			t.Fatal("global key scheme stores more than one key")
+		}
+		if s.BroadcastTransmissions(u) != 1 {
+			t.Fatal("broadcast should cost one transmission")
+		}
+		if s.SetupMessages(u) != 0 {
+			t.Fatal("setup should be free")
+		}
+	}
+}
+
+func TestSingleCaptureCollapsesNetwork(t *testing.T) {
+	s := New(testGraph(t))
+	rep := s.Capture([]int{42})
+	if rep.TotalLinks == 0 {
+		t.Fatal("no links in test graph")
+	}
+	if rep.Fraction() != 1.0 {
+		t.Fatalf("fraction after one capture = %v, want 1.0", rep.Fraction())
+	}
+}
+
+func TestNoCaptureNoCompromise(t *testing.T) {
+	s := New(testGraph(t))
+	rep := s.Capture(nil)
+	if rep.CompromisedLinks != 0 || rep.TotalLinks == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

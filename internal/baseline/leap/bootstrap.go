@@ -1,0 +1,293 @@
+package leap
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/crypt"
+	"repro/internal/node"
+)
+
+// This file implements LEAP's bootstrap as executable node behaviors on
+// the same runtimes as the paper's protocol, so the two schemes' setup
+// costs are measured on identical simulated radios rather than compared
+// analytically.
+//
+// The modeled protocol (Zhu-Setia-Jajodia, simplified to the parts the
+// comparison needs):
+//
+//  1. Every node is preloaded with the transitory master key KI and
+//     derives its individual key Ku = F(KI, u).
+//  2. Neighbor discovery: u broadcasts HELLO(u) at a random time; each
+//     receiver v answers ACK(v -> u) authenticated under the pairwise key
+//     Kuv = F(Kv, u), which both ends can compute (v knows its own Kv;
+//     u derives Kv = F(KI, v)). One HELLO per node, one ACK per
+//     (neighbor, HELLO) pair.
+//  3. Cluster key distribution: u generates its cluster key Kc_u and
+//     sends it to EACH neighbor individually, encrypted under the
+//     pairwise key — the per-neighbor unicast cost the paper contrasts
+//     with its single cluster broadcast.
+//  4. At Tmin every node erases KI.
+//
+// The Section III attack also runs live here: an adversary broadcasting
+// forged HELLOs during discovery forces victims to compute and store
+// pairwise keys for nonexistent identities.
+
+// Bootstrap message types (LEAP's wire format is private to this package;
+// the simulator carries opaque bytes).
+const (
+	mHello byte = 1
+	mAck   byte = 2
+	mCKey  byte = 3
+)
+
+// BootConfig holds LEAP bootstrap timing.
+type BootConfig struct {
+	// HelloSpread is the window over which HELLOs are randomized.
+	HelloSpread time.Duration
+	// ClusterKeyAt is when cluster key distribution starts.
+	ClusterKeyAt time.Duration
+	// EraseAt is Tmin: when KI is erased.
+	EraseAt time.Duration
+}
+
+// DefaultBootConfig mirrors the main protocol's setup timescale.
+func DefaultBootConfig() BootConfig {
+	return BootConfig{
+		HelloSpread:  200 * time.Millisecond,
+		ClusterKeyAt: 300 * time.Millisecond,
+		EraseAt:      600 * time.Millisecond,
+	}
+}
+
+// LEAP bootstrap timer tags.
+const (
+	tagLeapHello node.Tag = iota + 1
+	tagLeapCKeys
+	tagLeapErase
+)
+
+// BootNode is one LEAP node's bootstrap state machine. It implements
+// node.Behavior.
+type BootNode struct {
+	cfg BootConfig
+	id  node.ID
+
+	ki   crypt.Key // transitory master KI (erased at Tmin)
+	ku   crypt.Key // individual key F(KI, u)
+	myCK crypt.Key // this node's cluster key
+
+	// pairwise maps neighbor -> Kuv. The HELLO flood inflates this map;
+	// that is the attack.
+	pairwise map[node.ID]crypt.Key
+	// acked marks neighbors whose ACK authenticated correctly.
+	acked map[node.ID]bool
+	// clusterKeys maps neighbor -> that neighbor's cluster key.
+	clusterKeys map[node.ID]crypt.Key
+
+	erased bool
+}
+
+// NewBootNode builds a LEAP node sharing the deployment-wide transitory
+// key ki.
+func NewBootNode(cfg BootConfig, id node.ID, ki crypt.Key) *BootNode {
+	return &BootNode{
+		cfg:         cfg,
+		id:          id,
+		ki:          ki,
+		ku:          derive(ki, uint32(id)),
+		myCK:        crypt.DeriveKey(derive(ki, uint32(id)), crypt.LabelCluster, []byte("leap-ck")),
+		pairwise:    make(map[node.ID]crypt.Key),
+		acked:       make(map[node.ID]bool),
+		clusterKeys: make(map[node.ID]crypt.Key),
+	}
+}
+
+// derive computes F(k, id).
+func derive(k crypt.Key, id uint32) crypt.Key {
+	return crypt.DeriveID(k, crypt.LabelNode, id)
+}
+
+// pairwiseKey computes Kuv from v's individual key: Kuv = F(Kv, u).
+// Symmetric by construction: both ends derive from (Kv, u) where v is
+// the HELLO sender and u the responder... in LEAP the convention is that
+// the key is bound to the HELLO sender's identity; we normalize by using
+// the numerically smaller ID's individual key and the larger ID as input,
+// so both directions agree regardless of who spoke first.
+func (b *BootNode) pairwiseKey(peer node.ID) crypt.Key {
+	lo, hi := b.id, peer
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	kLo := derive(b.ki, uint32(lo))
+	return derive(kLo, uint32(hi))
+}
+
+// PairwiseCount returns how many pairwise keys the node stores —
+// inflated without bound by a HELLO flood.
+func (b *BootNode) PairwiseCount() int { return len(b.pairwise) }
+
+// ClusterKeyOf returns the stored cluster key of a neighbor.
+func (b *BootNode) ClusterKeyOf(peer node.ID) (crypt.Key, bool) {
+	k, ok := b.clusterKeys[peer]
+	return k, ok
+}
+
+// MyClusterKey returns this node's own cluster key.
+func (b *BootNode) MyClusterKey() crypt.Key { return b.myCK }
+
+// Pairwise returns the stored pairwise key toward peer.
+func (b *BootNode) Pairwise(peer node.ID) (crypt.Key, bool) {
+	k, ok := b.pairwise[peer]
+	return k, ok
+}
+
+// Acked reports whether peer's ACK verified.
+func (b *BootNode) Acked(peer node.ID) bool { return b.acked[peer] }
+
+// Erased reports whether KI has been destroyed.
+func (b *BootNode) Erased() bool { return b.erased }
+
+// Start implements node.Behavior.
+func (b *BootNode) Start(ctx node.Context) {
+	delay := time.Duration(ctx.Rand().Uint64n(uint64(b.cfg.HelloSpread)))
+	ctx.SetTimer(delay, tagLeapHello)
+	ctx.SetTimer(b.cfg.ClusterKeyAt-ctx.Now(), tagLeapCKeys)
+	ctx.SetTimer(b.cfg.EraseAt-ctx.Now(), tagLeapErase)
+}
+
+// Timer implements node.Behavior.
+func (b *BootNode) Timer(ctx node.Context, tag node.Tag) {
+	switch tag {
+	case tagLeapHello:
+		pkt := make([]byte, 5)
+		pkt[0] = mHello
+		binary.BigEndian.PutUint32(pkt[1:], uint32(b.id))
+		ctx.Broadcast(pkt)
+	case tagLeapCKeys:
+		b.distributeClusterKey(ctx)
+	case tagLeapErase:
+		b.ki.Zero()
+		b.erased = true
+	}
+}
+
+// Receive implements node.Behavior.
+func (b *BootNode) Receive(ctx node.Context, from node.ID, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case mHello:
+		b.onHello(ctx, pkt)
+	case mAck:
+		b.onAck(ctx, pkt)
+	case mCKey:
+		b.onClusterKey(ctx, pkt)
+	}
+}
+
+// onHello computes and stores the pairwise key toward the claimed sender
+// and answers with an authenticated ACK. CRITICALLY — and this is the
+// vulnerability the paper exploits — nothing authenticates the HELLO
+// itself: any claimed identity causes key computation and storage.
+func (b *BootNode) onHello(ctx node.Context, pkt []byte) {
+	if b.erased || len(pkt) != 5 {
+		return
+	}
+	peer := node.ID(binary.BigEndian.Uint32(pkt[1:]))
+	if peer == b.id {
+		return
+	}
+	kuv := b.pairwiseKey(peer)
+	ctx.ChargeMAC(crypt.KeySize * 2) // two PRF applications
+	b.pairwise[peer] = kuv
+
+	// ACK(me -> peer), MAC'd under Kuv.
+	ack := make([]byte, 9, 9+crypt.MACSize)
+	ack[0] = mAck
+	binary.BigEndian.PutUint32(ack[1:], uint32(b.id))
+	binary.BigEndian.PutUint32(ack[5:], uint32(peer))
+	tag := crypt.MAC(kuv, ack[:9])
+	ctx.ChargeMAC(9)
+	ack = append(ack, tag[:]...)
+	ctx.Broadcast(ack)
+}
+
+// onAck verifies the responder's MAC, confirming a live bidirectional
+// neighbor.
+func (b *BootNode) onAck(ctx node.Context, pkt []byte) {
+	if len(pkt) != 9+crypt.MACSize {
+		return
+	}
+	sender := node.ID(binary.BigEndian.Uint32(pkt[1:]))
+	to := node.ID(binary.BigEndian.Uint32(pkt[5:]))
+	if to != b.id {
+		return // overheard ACK for someone else
+	}
+	kuv, ok := b.pairwise[sender]
+	if !ok {
+		if b.erased {
+			return
+		}
+		kuv = b.pairwiseKey(sender)
+		b.pairwise[sender] = kuv
+	}
+	ctx.ChargeMAC(9)
+	if !crypt.VerifyMAC(kuv, pkt[9:], pkt[:9]) {
+		return
+	}
+	b.acked[sender] = true
+}
+
+// distributeClusterKey sends this node's cluster key to every ACKed
+// neighbor INDIVIDUALLY, each sealed under the pairwise key — LEAP's
+// per-neighbor unicast bootstrap cost.
+func (b *BootNode) distributeClusterKey(ctx node.Context) {
+	for peer := range b.acked {
+		kuv := b.pairwise[peer]
+		nonce := uint64(b.id)<<32 | uint64(peer)
+		sealed := crypt.Seal(kuv, nonce, []byte{mCKey}, b.myCK[:])
+		ctx.ChargeCipher(crypt.KeySize)
+		ctx.ChargeMAC(crypt.KeySize + 1)
+		pkt := make([]byte, 9, 9+len(sealed))
+		pkt[0] = mCKey
+		binary.BigEndian.PutUint32(pkt[1:], uint32(b.id))
+		binary.BigEndian.PutUint32(pkt[5:], uint32(peer))
+		pkt = append(pkt, sealed...)
+		ctx.Broadcast(pkt)
+	}
+}
+
+// onClusterKey decrypts a neighbor's cluster key addressed to us.
+func (b *BootNode) onClusterKey(ctx node.Context, pkt []byte) {
+	if len(pkt) < 9 {
+		return
+	}
+	sender := node.ID(binary.BigEndian.Uint32(pkt[1:]))
+	to := node.ID(binary.BigEndian.Uint32(pkt[5:]))
+	if to != b.id {
+		return
+	}
+	kuv, ok := b.pairwise[sender]
+	if !ok {
+		return
+	}
+	nonce := uint64(sender)<<32 | uint64(b.id)
+	ctx.ChargeMAC(len(pkt) - 9 + 1)
+	body, okOpen := crypt.Open(kuv, nonce, []byte{mCKey}, pkt[9:])
+	if !okOpen || len(body) != crypt.KeySize {
+		return
+	}
+	ctx.ChargeCipher(len(body))
+	b.clusterKeys[sender] = crypt.KeyFromBytes(body)
+}
+
+// ForgeHello builds the adversary's flood packet claiming the given
+// identity, for injection during the discovery window.
+func ForgeHello(fakeID uint32) []byte {
+	pkt := make([]byte, 5)
+	pkt[0] = mHello
+	binary.BigEndian.PutUint32(pkt[1:], fakeID)
+	return pkt
+}

@@ -1,0 +1,221 @@
+package leap
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/crypt"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// bootDeployment runs the LEAP bootstrap to completion on a random
+// topology and returns the engine and behaviors.
+func bootDeployment(t *testing.T, n int, density float64, seed uint64) (*sim.Engine, []*BootNode, *topology.Graph) {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(seed), topology.Config{N: n, Density: density})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ki crypt.Key
+	ki[0] = 0x77
+	cfg := DefaultBootConfig()
+	nodes := make([]*BootNode, n)
+	behaviors := make([]node.Behavior, n)
+	for i := range nodes {
+		nodes[i] = NewBootNode(cfg, node.ID(i), ki)
+		behaviors[i] = nodes[i]
+	}
+	eng, err := sim.New(sim.Config{Graph: g, Seed: seed}, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Boot(0)
+	eng.Run(cfg.EraseAt + 200*time.Millisecond)
+	return eng, nodes, g
+}
+
+func TestBootstrapEstablishesPairwiseKeys(t *testing.T) {
+	_, nodes, g := bootDeployment(t, 80, 10, 1)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			ku, okU := nodes[u].Pairwise(node.ID(v))
+			kv, okV := nodes[v].Pairwise(node.ID(u))
+			if !okU || !okV {
+				t.Fatalf("pairwise key missing on link %d-%d", u, v)
+			}
+			// The cryptographic point: both ends computed the SAME key
+			// without ever transmitting it.
+			if !ku.Equal(kv) {
+				t.Fatalf("pairwise keys disagree on link %d-%d", u, v)
+			}
+			if !nodes[u].Acked(node.ID(v)) || !nodes[v].Acked(node.ID(u)) {
+				t.Fatalf("ACK handshake incomplete on link %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestBootstrapDistributesClusterKeys(t *testing.T) {
+	_, nodes, g := bootDeployment(t, 80, 10, 2)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			got, ok := nodes[u].ClusterKeyOf(node.ID(v))
+			if !ok {
+				t.Fatalf("node %d missing cluster key of neighbor %d", u, v)
+			}
+			if !got.Equal(nodes[v].MyClusterKey()) {
+				t.Fatalf("node %d holds wrong cluster key for %d", u, v)
+			}
+		}
+	}
+}
+
+func TestBootstrapErasesKI(t *testing.T) {
+	_, nodes, _ := bootDeployment(t, 40, 8, 3)
+	for i, n := range nodes {
+		if !n.Erased() {
+			t.Fatalf("node %d did not erase KI", i)
+		}
+		if !n.ki.IsZero() {
+			t.Fatalf("node %d KI not zeroized", i)
+		}
+	}
+}
+
+func TestBootstrapMessageCost(t *testing.T) {
+	// LEAP's empirical setup cost on the same radio as the paper's
+	// protocol: 1 HELLO + deg ACKs + deg cluster-key unicasts per node.
+	eng, _, g := bootDeployment(t, 100, 10, 4)
+	totalTx := 0
+	for i := 0; i < g.N(); i++ {
+		totalTx += eng.Meter(i).TxCount()
+	}
+	want := g.N() + 2*2*g.Edges() // n HELLOs + (2 ACK + 2 CKEY) per undirected edge
+	if totalTx != want {
+		t.Fatalf("total transmissions %d, want %d", totalTx, want)
+	}
+	perNode := float64(totalTx) / float64(g.N())
+	// Degree ~10 => ~21 messages per node, versus ~1.15 for the paper's
+	// protocol on the same topology class.
+	if perNode < 15 {
+		t.Fatalf("LEAP setup cost %v msgs/node implausibly low", perNode)
+	}
+}
+
+func TestHelloFloodInflatesVictimLive(t *testing.T) {
+	// The Section III attack, executed on the radio: forged HELLOs during
+	// discovery force the victim to compute and store pairwise keys.
+	g, err := topology.Generate(xrand.New(5), topology.Config{N: 60, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ki crypt.Key
+	ki[0] = 0x55
+	cfg := DefaultBootConfig()
+	nodes := make([]*BootNode, g.N())
+	behaviors := make([]node.Behavior, g.N())
+	for i := range nodes {
+		nodes[i] = NewBootNode(cfg, node.ID(i), ki)
+		behaviors[i] = nodes[i]
+	}
+	eng, err := sim.New(sim.Config{Graph: g, Seed: 5}, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Boot(0)
+	victim := 30
+	// The adversary's radio sits at a position adjacent to the victim
+	// (InjectAt transmits FROM a position, reaching its neighbors).
+	nbs := g.Neighbors(victim)
+	if len(nbs) == 0 {
+		t.Skip("isolated victim")
+	}
+	attackPos := int(nbs[0])
+	const fakes = 500
+	for k := 0; k < fakes; k++ {
+		k := k
+		at := time.Duration(k) * 200 * time.Microsecond // inside discovery
+		eng.Schedule(at, func() {
+			eng.InjectAt(attackPos, node.ID(1_000_000+k), ForgeHello(uint32(1_000_000+k)))
+		})
+	}
+	eng.Run(cfg.EraseAt + 200*time.Millisecond)
+
+	deg := g.Degree(victim)
+	if got := nodes[victim].PairwiseCount(); got < deg+fakes {
+		t.Fatalf("victim stores %d pairwise keys, want >= %d", got, deg+fakes)
+	}
+	// And the victim wasted a transmission ACKing every forgery.
+	if tx := eng.Meter(victim).TxCount(); tx < fakes {
+		t.Fatalf("victim transmitted %d times; flood should force >= %d ACKs", tx, fakes)
+	}
+}
+
+func TestPostEraseHelloIgnored(t *testing.T) {
+	// After Tmin (KI erased) forged HELLOs are ignored — LEAP's own
+	// defense; the paper's attack works because it strikes DURING the
+	// discovery window.
+	eng, nodes, g := bootDeployment(t, 40, 8, 6)
+	victim := 20
+	nbs := g.Neighbors(victim)
+	if len(nbs) == 0 {
+		t.Skip("isolated victim")
+	}
+	attackPos := int(nbs[0])
+	before := nodes[victim].PairwiseCount()
+	eng.Schedule(eng.Now()+time.Millisecond, func() {
+		eng.InjectAt(attackPos, node.ID(999999), ForgeHello(999999))
+	})
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[victim].PairwiseCount() != before {
+		t.Fatal("post-erase HELLO still computed a key")
+	}
+}
+
+func TestForgedAckRejected(t *testing.T) {
+	// An ACK with a bad MAC must not mark the sender as a neighbor.
+	g, err := topology.Generate(xrand.New(7), topology.Config{N: 30, Density: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ki crypt.Key
+	ki[0] = 0x11
+	cfg := DefaultBootConfig()
+	nodes := make([]*BootNode, g.N())
+	behaviors := make([]node.Behavior, g.N())
+	for i := range nodes {
+		nodes[i] = NewBootNode(cfg, node.ID(i), ki)
+		behaviors[i] = nodes[i]
+	}
+	eng, err := sim.New(sim.Config{Graph: g, Seed: 7}, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Boot(0)
+	victim := 10
+	// Forged ACK claiming to be node 5 answering the victim, garbage MAC.
+	ack := make([]byte, 9+crypt.MACSize)
+	ack[0] = mAck
+	ack[1], ack[2], ack[3], ack[4] = 0, 0, 0, 5
+	ack[5], ack[6], ack[7], ack[8] = 0, 0, 0, byte(victim)
+	ack[9] = 0xBA
+	nbs := g.Neighbors(victim)
+	if len(nbs) == 0 {
+		t.Skip("isolated victim")
+	}
+	attackPos := int(nbs[0])
+	eng.Schedule(10*time.Millisecond, func() {
+		eng.InjectAt(attackPos, node.ID(5), ack)
+	})
+	eng.Run(cfg.EraseAt + 100*time.Millisecond)
+	// Node 5 may legitimately have ACKed if adjacent; use a non-adjacent
+	// identity instead for a clean assertion.
+	if !g.Adjacent(victim, 5) && nodes[victim].Acked(5) {
+		t.Fatal("forged ACK accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package leap
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(1), topology.Config{N: 200, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKeyInventoryProportionalToDegree(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	for _, u := range []int{0, 17, 99} {
+		want := 2 + 2*g.Degree(u)
+		if got := s.KeysPerNode(u); got != want {
+			t.Fatalf("node %d stores %d keys, want %d", u, got, want)
+		}
+	}
+	if s.Name() != "leap" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestBootstrapCostProportionalToDegree(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	for _, u := range []int{3, 42} {
+		want := 1 + 2*g.Degree(u)
+		if got := s.SetupMessages(u); got != want {
+			t.Fatalf("node %d setup cost %d, want %d", u, got, want)
+		}
+	}
+	if s.BroadcastTransmissions(5) != 1 {
+		t.Fatal("steady-state LEAP broadcast should cost one transmission")
+	}
+}
+
+func TestCleanCaptureIsLocal(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	rep := s.Capture([]int{10})
+	if rep.TotalLinks == 0 {
+		t.Fatal("empty link count")
+	}
+	// Only links incident to node 10's neighborhood leak; globally that
+	// is a small fraction, and certainly not everything.
+	if rep.Fraction() >= 0.5 {
+		t.Fatalf("clean LEAP capture compromised %v of links", rep.Fraction())
+	}
+	if rep.CompromisedLinks == 0 {
+		t.Fatal("capture should leak the neighborhood's cluster-key traffic")
+	}
+}
+
+func TestHelloFloodInflatesStorage(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	before := s.KeysPerNode(7)
+	got := s.HelloFlood(7, 500)
+	if got != before+500 {
+		t.Fatalf("after flood: %d keys, want %d", got, before+500)
+	}
+}
+
+func TestHelloFloodThenCaptureIsCatastrophic(t *testing.T) {
+	// The paper's attack: flood a node during discovery, capture it
+	// later, and the adversary holds keys usable against everyone.
+	g := testGraph(t)
+	s := New(g)
+	s.HelloFlood(7, 1000)
+	rep := s.Capture([]int{7})
+	if rep.Fraction() != 1.0 {
+		t.Fatalf("flood-victim capture compromised %v, want 1.0", rep.Fraction())
+	}
+	// Capturing a different, unflooded node stays local.
+	rep2 := s.Capture([]int{9})
+	if rep2.Fraction() >= 0.5 {
+		t.Fatalf("unflooded capture compromised %v", rep2.Fraction())
+	}
+}
+
+func TestNoCaptureNoCompromise(t *testing.T) {
+	s := New(testGraph(t))
+	rep := s.Capture(nil)
+	if rep.CompromisedLinks != 0 {
+		t.Fatalf("compromised %d links with zero captures", rep.CompromisedLinks)
+	}
+}

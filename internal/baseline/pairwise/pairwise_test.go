@@ -1,0 +1,59 @@
+package pairwise
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(1), topology.Config{N: 150, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStorageIsInfeasible(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	if s.Name() != "pairwise-unique" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	// n-1 keys per node: the scaling the paper rules out.
+	for _, u := range []int{0, 75, 149} {
+		if got := s.KeysPerNode(u); got != 149 {
+			t.Fatalf("node %d stores %d keys, want 149", u, got)
+		}
+	}
+	if s.SetupMessages(3) != 0 {
+		t.Fatal("pairwise setup should be free")
+	}
+}
+
+func TestBroadcastCostsDegree(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	for _, u := range []int{5, 42} {
+		if got := s.BroadcastTransmissions(u); got != g.Degree(u) {
+			t.Fatalf("node %d broadcast cost %d, want degree %d", u, got, g.Degree(u))
+		}
+	}
+}
+
+func TestPerfectResilience(t *testing.T) {
+	g := testGraph(t)
+	s := New(g)
+	rng := xrand.New(2)
+	for _, k := range []int{1, 10, 100} {
+		rep := s.Capture(rng.Sample(g.N(), k))
+		if rep.CompromisedLinks != 0 {
+			t.Fatalf("capturing %d nodes compromised %d remote links", k, rep.CompromisedLinks)
+		}
+		if rep.TotalLinks == 0 && k < 100 {
+			t.Fatal("no links counted")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package randomkp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/crypt"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func bootEG(t *testing.T, n int, density float64, poolSize, ringSize int, seed uint64) (*sim.Engine, []*BootNode, *topology.Graph) {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(seed), topology.Config{N: n, Density: density})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var master crypt.Key
+	master[0] = 0x42
+	cfg := DefaultBootConfig()
+	rng := xrand.New(seed * 13)
+	nodes := make([]*BootNode, n)
+	behaviors := make([]node.Behavior, n)
+	for i := range nodes {
+		nodes[i] = NewBootNode(cfg, node.ID(i), master, poolSize, ringSize, rng.Split(uint64(i)))
+		behaviors[i] = nodes[i]
+	}
+	eng, err := sim.New(sim.Config{Graph: g, Seed: seed}, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Boot(0)
+	eng.Run(cfg.HelloSpread + 200*time.Millisecond)
+	return eng, nodes, g
+}
+
+func TestEGDiscoveryKeysAgree(t *testing.T) {
+	// Dense rings (m^2 >> P) so nearly every link shares a key.
+	_, nodes, g := bootEG(t, 60, 10, 100, 30, 1)
+	confirmedLinks := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			ku, okU := nodes[u].Confirmed(node.ID(v))
+			kv, okV := nodes[v].Confirmed(node.ID(u))
+			if okU != okV {
+				t.Fatalf("confirmation asymmetric on %d-%d", u, v)
+			}
+			if okU {
+				confirmedLinks++
+				if !ku.Equal(kv) {
+					t.Fatalf("link keys disagree on %d-%d", u, v)
+				}
+			}
+		}
+	}
+	if confirmedLinks == 0 {
+		t.Fatal("no links confirmed")
+	}
+}
+
+func TestEGSecuredFractionMatchesRings(t *testing.T) {
+	// A link confirms iff the rings intersect; cross-check against the
+	// rings directly.
+	_, nodes, g := bootEG(t, 60, 10, 500, 40, 2)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			shared := intersect(nodes[u].ring, nodes[v].ring)
+			_, confirmed := nodes[u].Confirmed(node.ID(v))
+			if (len(shared) > 0) != confirmed {
+				t.Fatalf("link %d-%d: %d shared keys but confirmed=%v", u, v, len(shared), confirmed)
+			}
+		}
+	}
+}
+
+func TestEGMessageAndByteCost(t *testing.T) {
+	// EG's discovery: one big broadcast + one confirm per secured
+	// neighbor. The advertisement alone is 5+4m bytes — versus the
+	// paper's 21-byte HELLO.
+	const ringSize = 50
+	eng, nodes, g := bootEG(t, 80, 10, 1000, ringSize, 3)
+	totalTx := 0
+	for i := 0; i < g.N(); i++ {
+		totalTx += eng.Meter(i).TxCount()
+	}
+	pending := 0
+	confirmed := 0
+	for _, n := range nodes {
+		pending += n.PendingCount()
+		confirmed += n.ConfirmedCount()
+	}
+	want := g.N() + pending // one advert each + one confirm per pending peer
+	if totalTx != want {
+		t.Fatalf("transmissions %d, want %d", totalTx, want)
+	}
+	// On a clean medium every pending link key confirms.
+	if confirmed != pending {
+		t.Fatalf("confirmed %d of %d pending", confirmed, pending)
+	}
+	// Energy dominated by the fat advertisements.
+	var tx0 float64
+	tx0 = eng.Meter(0).Tx()
+	if tx0 <= 0 {
+		t.Fatal("no transmit energy recorded")
+	}
+}
+
+func TestEGAdvertFloodInflatesPendingOnly(t *testing.T) {
+	// The EG cousin of the LEAP HELLO flood: forged advertisements make
+	// victims compute and store PENDING link keys, but without the pool
+	// keys the adversary can never confirm.
+	g, err := topology.Generate(xrand.New(4), topology.Config{N: 50, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var master crypt.Key
+	master[0] = 0x24
+	cfg := DefaultBootConfig()
+	rng := xrand.New(5)
+	nodes := make([]*BootNode, g.N())
+	behaviors := make([]node.Behavior, g.N())
+	for i := range nodes {
+		nodes[i] = NewBootNode(cfg, node.ID(i), master, 200, 30, rng.Split(uint64(i)))
+		behaviors[i] = nodes[i]
+	}
+	eng, err := sim.New(sim.Config{Graph: g, Seed: 4}, behaviors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Boot(0)
+	victim := 25
+	nbs := g.Neighbors(victim)
+	if len(nbs) == 0 {
+		t.Skip("isolated victim")
+	}
+	attackPos := int(nbs[0])
+	// The adversary claims to hold the ENTIRE pool, so every victim
+	// shares keys with it.
+	allIDs := make([]int32, 200)
+	for i := range allIDs {
+		allIDs[i] = int32(i)
+	}
+	const fakes = 300
+	for k := 0; k < fakes; k++ {
+		k := k
+		at := time.Duration(k) * 300 * time.Microsecond
+		eng.Schedule(at, func() {
+			eng.InjectAt(attackPos, node.ID(500000+k), ForgeAdvertisement(uint32(500000+k), allIDs))
+		})
+	}
+	eng.Run(cfg.HelloSpread + 300*time.Millisecond)
+
+	if p := nodes[victim].PendingCount(); p < fakes {
+		t.Fatalf("victim pending table %d, want >= %d", p, fakes)
+	}
+	// None of the forged identities may be confirmed.
+	for k := 0; k < fakes; k++ {
+		if _, ok := nodes[victim].Confirmed(node.ID(500000 + k)); ok {
+			t.Fatal("forged identity confirmed without pool keys")
+		}
+	}
+}
+
+func TestEGForgedConfirmRejected(t *testing.T) {
+	eng, nodes, g := bootEG(t, 40, 8, 100, 20, 6)
+	victim := 20
+	nbs := g.Neighbors(victim)
+	if len(nbs) == 0 {
+		t.Skip("isolated victim")
+	}
+	before := nodes[victim].ConfirmedCount()
+	// A confirm claiming identity 999999 with a garbage MAC.
+	msg := make([]byte, 9+crypt.MACSize)
+	msg[0] = rConfirm
+	msg[4] = 0xFF // sender id junk
+	msg[8] = byte(victim)
+	eng.Schedule(eng.Now()+time.Millisecond, func() {
+		eng.InjectAt(int(nbs[0]), node.ID(0xFF), msg)
+	})
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[victim].ConfirmedCount() != before {
+		t.Fatal("forged confirm accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package randomkp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func testGraph(t *testing.T, n int, density float64, seed uint64) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(seed), topology.Config{N: n, Density: density})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGraph(t, 20, 8, 1)
+	rng := xrand.New(2)
+	bad := []Params{
+		{PoolSize: 0, RingSize: 10},
+		{PoolSize: 10, RingSize: 0},
+		{PoolSize: 10, RingSize: 20},
+	}
+	for i, p := range bad {
+		if _, err := New(g, p, rng); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestRingsAreValid(t *testing.T) {
+	g := testGraph(t, 100, 10, 3)
+	p := Params{PoolSize: 500, RingSize: 30, Q: 1}
+	s, err := New(g, p, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		ring := s.rings[u]
+		if len(ring) != p.RingSize {
+			t.Fatalf("node %d ring size %d", u, len(ring))
+		}
+		for i := 1; i < len(ring); i++ {
+			if ring[i] <= ring[i-1] {
+				t.Fatalf("node %d ring not sorted/unique at %d", u, i)
+			}
+		}
+		if ring[0] < 0 || ring[len(ring)-1] >= int32(p.PoolSize) {
+			t.Fatalf("node %d ring out of pool range", u)
+		}
+		if s.KeysPerNode(u) != p.RingSize {
+			t.Fatal("KeysPerNode != ring size")
+		}
+	}
+}
+
+func TestSharedKeySymmetryAndCorrectness(t *testing.T) {
+	g := testGraph(t, 80, 10, 5)
+	s, err := New(g, Params{PoolSize: 200, RingSize: 40, Q: 1}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			a := s.sharedFor(u, int(v))
+			b := s.sharedFor(int(v), u)
+			if len(a) != len(b) {
+				t.Fatal("shared keys asymmetric")
+			}
+			// Verify against a brute-force intersection.
+			inA := map[int32]bool{}
+			for _, k := range s.rings[u] {
+				inA[k] = true
+			}
+			count := 0
+			for _, k := range s.rings[v] {
+				if inA[k] {
+					count++
+				}
+			}
+			if count != len(a) {
+				t.Fatalf("intersection of %d-%d has %d keys, stored %d", u, v, count, len(a))
+			}
+		}
+	}
+}
+
+func TestConnectivityMatchesTheory(t *testing.T) {
+	// EG theory: p(share >= 1) = 1 - C(P-m, m)/C(P, m). For P=1000, m=50
+	// this is ~1 - prod_{i=0..49} (950-i)/(1000-i) ≈ 0.927.
+	g := testGraph(t, 400, 12, 7)
+	p := Params{PoolSize: 1000, RingSize: 50, Q: 1}
+	s, err := New(g, p, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0
+	for i := 0; i < p.RingSize; i++ {
+		want *= float64(p.PoolSize-p.RingSize-i) / float64(p.PoolSize-i)
+	}
+	want = 1 - want
+	got := s.SecuredLinkFraction()
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("secured fraction %v, theory %v", got, want)
+	}
+}
+
+func TestQCompositeSecuresFewerLinks(t *testing.T) {
+	g := testGraph(t, 300, 12, 9)
+	p1 := Params{PoolSize: 1000, RingSize: 50, Q: 1}
+	p3 := Params{PoolSize: 1000, RingSize: 50, Q: 3}
+	s1, err := New(g, p1, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(g, p3, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.SecuredLinkFraction() >= s1.SecuredLinkFraction() {
+		t.Fatalf("q=3 secured %v >= q=1 secured %v",
+			s3.SecuredLinkFraction(), s1.SecuredLinkFraction())
+	}
+	if s1.Name() != "random-kp" || s3.Name() != "q-composite(q=3)" {
+		t.Fatalf("names: %q %q", s1.Name(), s3.Name())
+	}
+}
+
+func TestBroadcastCostApproachesDegree(t *testing.T) {
+	// With a large pool, neighbors' shared-key sets are almost surely
+	// distinct, so a broadcast costs about one transmission per secured
+	// neighbor — the energy contrast with the paper's scheme.
+	g := testGraph(t, 200, 12, 11)
+	s, err := New(g, Params{PoolSize: 10000, RingSize: 150, Q: 1}, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalTx, totalSecured := 0, 0
+	for u := 0; u < g.N(); u++ {
+		tx := s.BroadcastTransmissions(u)
+		secured := 0
+		for _, v := range g.Neighbors(u) {
+			if s.LinkSecured(u, int(v)) {
+				secured++
+			}
+		}
+		if tx > secured {
+			t.Fatalf("node %d needs %d transmissions for %d secured neighbors", u, tx, secured)
+		}
+		totalTx += tx
+		totalSecured += secured
+	}
+	if totalSecured == 0 {
+		t.Fatal("no secured links")
+	}
+	if ratio := float64(totalTx) / float64(totalSecured); ratio < 0.9 {
+		t.Fatalf("broadcast cost ratio %v; expected near one tx per neighbor", ratio)
+	}
+}
+
+func TestCaptureGrowsGlobally(t *testing.T) {
+	// The defining weakness: capturing nodes compromises links between
+	// UNCAPTURED nodes, and the fraction grows with captures.
+	g := testGraph(t, 300, 12, 13)
+	s, err := New(g, Params{PoolSize: 1000, RingSize: 80, Q: 1}, xrand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(15)
+	prev := -1.0
+	for _, k := range []int{0, 5, 20, 60} {
+		rep := s.Capture(rng.Sample(g.N(), k))
+		frac := rep.Fraction()
+		if frac < prev-0.02 { // allow tiny sampling noise
+			t.Fatalf("compromise fraction decreased: %v after %d captures (prev %v)", frac, k, prev)
+		}
+		prev = frac
+	}
+	// With 60 of 300 nodes captured and these parameters, a substantial
+	// fraction of remote links must be compromised.
+	rep := s.Capture(rng.Sample(g.N(), 60))
+	if rep.Fraction() < 0.2 {
+		t.Fatalf("capture of 20%% of nodes compromised only %v of links", rep.Fraction())
+	}
+}
+
+func TestNoCaptureNoCompromise(t *testing.T) {
+	g := testGraph(t, 100, 10, 17)
+	s, err := New(g, DefaultParams(), xrand.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Capture(nil)
+	if rep.CompromisedLinks != 0 {
+		t.Fatalf("compromised %d links with zero captures", rep.CompromisedLinks)
+	}
+}
+
+func TestDeterministicRings(t *testing.T) {
+	g := testGraph(t, 50, 8, 19)
+	a, err := New(g, DefaultParams(), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, DefaultParams(), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for i := range a.rings[u] {
+			if a.rings[u][i] != b.rings[u][i] {
+				t.Fatal("same seed produced different rings")
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHelloDelayCalibration pins the election-timing calibration: with the
+// default HelloMeanDelay, the clusterhead fraction at density 8 must land
+// near the paper's Figure 8 value (~0.25). If someone retunes the default,
+// this test forces the EXPERIMENTS.md calibration note to be revisited.
+func TestHelloDelayCalibration(t *testing.T) {
+	heads, n := 0, 0
+	for trial := uint64(0); trial < 3; trial++ {
+		d, err := Deploy(DeployOptions{N: 800, Density: 8, Seed: 900 + trial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RunSetup(); err != nil {
+			t.Fatal(err)
+		}
+		heads += d.Clusters().Heads
+		n += 800
+	}
+	frac := float64(heads) / float64(n)
+	if frac < 0.16 || frac > 0.28 {
+		t.Fatalf("head fraction at density 8 = %.3f; calibration target is ~0.21", frac)
+	}
+}
+
+// TestHelloDelayControlsClusterGranularity documents the knob's direction:
+// shorter mean delays produce more simultaneous elections, hence more
+// (and smaller) clusters.
+func TestHelloDelayControlsClusterGranularity(t *testing.T) {
+	headFrac := func(mean time.Duration) float64 {
+		cfg := DefaultConfig()
+		cfg.HelloMeanDelay = mean
+		d, err := Deploy(DeployOptions{N: 600, Density: 8, Seed: 321, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RunSetup(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Clusters().HeadFraction
+	}
+	fast := headFrac(3 * time.Millisecond)
+	slow := headFrac(100 * time.Millisecond)
+	if fast <= slow {
+		t.Fatalf("head fraction should fall with longer delays: 3ms=%.3f 100ms=%.3f", fast, slow)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import "time"
+
+// RefreshMode selects how periodic key refresh rotates cluster keys.
+type RefreshMode int
+
+const (
+	// RefreshHash applies Kc' = F(Kc) locally on every node, with no
+	// radio traffic — the variant the paper ultimately recommends
+	// ("a better way, however, which makes this kind of attack useless,
+	// is to refresh the keys by hashing"). Relies on loosely agreed
+	// epochs, which the shared RefreshPeriod provides.
+	RefreshHash RefreshMode = iota
+	// RefreshRekey has each original clusterhead generate a fresh key
+	// and distribute it under the old one, constrained within clusters.
+	//
+	// CAVEAT (an interaction the paper does not address): re-keyed
+	// cluster keys are no longer derivable from KMC, so Section IV-E
+	// node addition stops working for re-keyed clusters — a late node
+	// can only verify JOIN-RESPs against F(KMC, CID) hash-forwarded by
+	// the epoch, which holds for RefreshHash but not for fresh random
+	// keys. TestRekeyRefreshBreaksLateJoin documents the failure mode;
+	// deployments that need late addition should use RefreshHash.
+	RefreshRekey
+)
+
+// String returns the mode name.
+func (m RefreshMode) String() string {
+	switch m {
+	case RefreshHash:
+		return "hash"
+	case RefreshRekey:
+		return "rekey"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds the protocol's tunable parameters. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// HelloMeanDelay is the mean of the exponential distribution from
+	// which each node draws its clusterhead-announcement delay
+	// (Section IV-B.1). Smaller means faster setup but more singleton
+	// clusters; the paper notes singletons "can be minimized by the right
+	// exponential distribution of the time delays".
+	HelloMeanDelay time.Duration
+
+	// ClusterPhaseEnd (T1) is when the election phase closes and the
+	// link-establishment phase begins. Any node still undecided at T1
+	// becomes a singleton clusterhead without transmitting a HELLO —
+	// nobody is left clusterless.
+	ClusterPhaseEnd time.Duration
+
+	// LinkSpread is the window after T1 over which nodes spread their
+	// LINK-ADVERT broadcasts uniformly, to model desynchronized MACs.
+	LinkSpread time.Duration
+
+	// OperationalAt (T2) is when nodes erase Km and enter the operational
+	// phase, and when the base station floods its first routing beacon.
+	// If zero it defaults to ClusterPhaseEnd + LinkSpread + 50ms.
+	OperationalAt time.Duration
+
+	// DisableStep1 turns off the optional end-to-end encryption of
+	// readings for the base station (Section IV-C Step 1). Enable it for
+	// data-fusion deployments where intermediate nodes must "peak" at the
+	// data (Section II: Intermediate Node Accessibility of Data). The
+	// zero value keeps Step 1 on, the paper's confidentiality default.
+	DisableStep1 bool
+
+	// FreshWindow is the maximum acceptable age |now - τ| of a hop-by-hop
+	// envelope. Each forwarder restamps τ, so the window only needs to
+	// cover one hop's delivery latency plus clock skew.
+	FreshWindow time.Duration
+
+	// FloodForwarding disables the hop-gradient forwarding rule: every
+	// node relays every authenticated, fresh, unseen data message
+	// regardless of direction. Maximally robust and maximally expensive;
+	// the routing-ablation experiment quantifies the gradient's savings.
+	FloodForwarding bool
+
+	// CounterWindow is how far ahead of the last verified value the base
+	// station accepts a source's Step-1 counter (tolerates lost readings
+	// without desynchronizing).
+	CounterWindow uint64
+
+	// DedupCapacity bounds each node's duplicate-suppression cache of
+	// (origin, sequence) pairs.
+	DedupCapacity int
+
+	// MaxChainSkip is how many consecutive missed revocation commands a
+	// node's chain verifier tolerates (Section IV-D).
+	MaxChainSkip int
+
+	// JoinRespDelayMax spreads neighbors' JOIN-RESP replies uniformly over
+	// this window so a joining node does not face a response burst.
+	JoinRespDelayMax time.Duration
+
+	// JoinWindow is how long a late-deployed node collects JOIN-RESP
+	// messages before fixing its cluster membership and erasing KMC.
+	JoinWindow time.Duration
+
+	// BeaconPeriod, if nonzero, re-floods the routing beacon periodically
+	// so late joiners and survivors of topology change acquire gradients.
+	BeaconPeriod time.Duration
+
+	// RefreshPeriod, if nonzero, schedules automatic key refresh every
+	// period after the operational transition — the paper's "sensor
+	// nodes can repeat the key setup phase with a predefined period ...
+	// the refreshing period can be as short as needed to keep the
+	// network safe."
+	RefreshPeriod time.Duration
+	// RefreshMode selects the periodic refresh variant.
+	RefreshMode RefreshMode
+
+	// ChainLength is the number of revocation commands the base station's
+	// hash chain supports.
+	ChainLength int
+}
+
+// DefaultConfig returns the parameters used throughout the experiments.
+// Time constants assume the simulator's ~1ms hop latency; under the live
+// runtime they are real durations and remain comfortable.
+//
+// HelloMeanDelay is the paper's main free parameter ("this possibility
+// can be minimized by the right exponential distribution of the time
+// delays"), and it trades cluster granularity against election
+// collisions: shorter mean delays cause more simultaneous elections,
+// hence more clusterheads and more singleton clusters. The default (50x
+// the ~1ms hop latency) is calibrated so the whole Figure 7/8 shape
+// matches the paper — clusterhead fraction ~0.21 at density 8 falling to
+// ~0.10 at density 20, mean cluster size ~5 rising to ~10 — while
+// preserving Figure 1's trend of singleton clusters becoming rarer as
+// density grows (see EXPERIMENTS.md for the calibration data).
+func DefaultConfig() Config {
+	return Config{
+		HelloMeanDelay:   50 * time.Millisecond,
+		ClusterPhaseEnd:  500 * time.Millisecond,
+		LinkSpread:       100 * time.Millisecond,
+		OperationalAt:    0, // derived
+		DisableStep1:     false,
+		FreshWindow:      250 * time.Millisecond,
+		CounterWindow:    64,
+		DedupCapacity:    1024,
+		MaxChainSkip:     8,
+		JoinRespDelayMax: 50 * time.Millisecond,
+		JoinWindow:       500 * time.Millisecond,
+		BeaconPeriod:     0,
+		ChainLength:      128,
+	}
+}
+
+// withDefaults fills derived and missing fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HelloMeanDelay <= 0 {
+		c.HelloMeanDelay = d.HelloMeanDelay
+	}
+	if c.ClusterPhaseEnd <= 0 {
+		c.ClusterPhaseEnd = d.ClusterPhaseEnd
+	}
+	if c.LinkSpread <= 0 {
+		c.LinkSpread = d.LinkSpread
+	}
+	if c.OperationalAt <= 0 {
+		c.OperationalAt = c.ClusterPhaseEnd + c.LinkSpread + 50*time.Millisecond
+	}
+	if c.FreshWindow <= 0 {
+		c.FreshWindow = d.FreshWindow
+	}
+	if c.CounterWindow == 0 {
+		c.CounterWindow = d.CounterWindow
+	}
+	if c.DedupCapacity <= 0 {
+		c.DedupCapacity = d.DedupCapacity
+	}
+	if c.MaxChainSkip <= 0 {
+		c.MaxChainSkip = d.MaxChainSkip
+	}
+	if c.JoinRespDelayMax <= 0 {
+		c.JoinRespDelayMax = d.JoinRespDelayMax
+	}
+	if c.JoinWindow <= 0 {
+		c.JoinWindow = d.JoinWindow
+	}
+	if c.ChainLength <= 0 {
+		c.ChainLength = d.ChainLength
+	}
+	return c
+}

@@ -1,0 +1,39 @@
+// Package core implements the paper's contribution: the localized,
+// distributed, deterministic key-management and secure-information-exchange
+// protocol of Dimitriou & Krontiris (IPPS 2005).
+//
+// The protocol runs in three phases (Section IV):
+//
+//  1. Initialization — before deployment an Authority loads every node i
+//     with a node key Ki (shared with the base station), a candidate
+//     cluster key Kci = F(KMC, i), the network master key Km, and the
+//     commitment K0 of the base station's revocation hash chain.
+//
+//  2. Cluster key setup — after deployment each node waits an
+//     exponentially distributed random delay; when the delay expires an
+//     undecided node broadcasts an encrypted HELLO declaring itself
+//     clusterhead, and undecided neighbors join the first HELLO they hear.
+//     This partitions the network into disjoint one-hop clusters. In the
+//     link-establishment step every node re-broadcasts its cluster's
+//     (CID, Kc) under Km so border nodes learn neighboring clusters' keys,
+//     making the key graph connected. Finally every node erases Km.
+//
+//  3. Secure message forwarding — a sensed reading is (optionally)
+//     end-to-end protected for the base station under keys derived from Ki
+//     with a shared counter (Step 1), then relayed hop by hop: each
+//     forwarder seals the message under its own cluster key, tags it with
+//     its cluster ID, and makes exactly one broadcast (Step 2). Border
+//     nodes "translate" between clusters using their stored neighbor keys.
+//
+// On top of these the package implements the paper's maintenance
+// machinery: periodic key refresh (both the re-keying and hash-forward
+// variants of Section IV-C), eviction of compromised clusters through
+// one-way-hash-chain-authenticated revocation commands (Section IV-D), and
+// authenticated addition of new nodes via KMC (Section IV-E).
+//
+// All message handling is written as node.Behavior state machines
+// (Sensor, BaseStation) that run identically under the deterministic
+// simulator (internal/sim) and the goroutine runtime (internal/live).
+// The Deployment helper in this package wires a whole network together and
+// is what the experiment harness drives.
+package core

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Example shows the minimal full lifecycle: deploy, run key setup, send a
+// reading, and observe it decrypted at the base station. The printed
+// facts are structural (and hence stable across seeds): setup completes,
+// the cluster invariants hold, and the reading arrives intact.
+func Example() {
+	d, err := core.Deploy(core.DeployOptions{N: 200, Density: 12, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invariants:", d.VerifyClusterInvariants() == nil)
+
+	d.SendReading(123, d.Eng.Now()+10*time.Millisecond, []byte("hello base station"))
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		log.Fatal(err)
+	}
+	for _, del := range d.Deliveries() {
+		fmt.Printf("from node %d: %q (end-to-end encrypted: %v)\n",
+			del.Origin, del.Data, del.Encrypted)
+	}
+	// Output:
+	// invariants: true
+	// from node 123: "hello base station" (end-to-end encrypted: true)
+}

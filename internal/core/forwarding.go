@@ -1,0 +1,252 @@
+package core
+
+import (
+	"repro/internal/crypt"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// This file implements Section IV-C: secure message forwarding. Readings
+// are (optionally) end-to-end protected for the base station (Step 1),
+// then relayed hop by hop under cluster keys (Step 2) along a hop-count
+// gradient established by base-station beacons. The gradient substrate is
+// this implementation's routing choice; the paper is explicitly
+// routing-agnostic ("no matter what routing protocol is followed,
+// intermediate nodes need to verify that the message is not tampered with,
+// replayed or revealed to unauthorized parties, before forwarding it").
+
+// TriggerBeacon floods a new routing-beacon round from the base station.
+// Call through the runtime's Do hook; it is a no-op on non-base-station
+// nodes or before the operational phase.
+func (s *Sensor) TriggerBeacon(ctx node.Context) {
+	if s.bs == nil || s.phase != PhaseOperational || !s.ks.InCluster {
+		return
+	}
+	s.bs.round++
+	s.round = s.bs.round
+	s.hop = 0
+	body := (&wire.Beacon{Round: s.bs.round, Hop: 0}).Marshal()
+	ctx.Broadcast(s.sealFrame(ctx, wire.TBeacon, s.ks.CID, s.ks.ClusterKey, body))
+	if s.cfg.BeaconPeriod > 0 {
+		ctx.SetTimer(s.cfg.BeaconPeriod, tagBeacon)
+	}
+}
+
+// onBeacon adopts and propagates routing gradients: a node takes hop+1
+// from any authenticated beacon that starts a newer round or shortens its
+// current-round distance, and re-floods once per improvement.
+func (s *Sensor) onBeacon(ctx node.Context, f *wire.Frame) {
+	if s.phase != PhaseOperational || !s.ks.InCluster || s.bs != nil {
+		return
+	}
+	body, ok := s.openWithEpochFallback(ctx, f)
+	if !ok {
+		return
+	}
+	b, err := wire.UnmarshalBeacon(body)
+	if err != nil {
+		return
+	}
+	newHop := b.Hop + 1
+	improves := b.Round > s.round || (b.Round == s.round && newHop < s.hop)
+	if !improves {
+		return
+	}
+	s.round = b.Round
+	s.hop = newHop
+	out := (&wire.Beacon{Round: b.Round, Hop: s.hop}).Marshal()
+	ctx.Broadcast(s.sealFrame(ctx, wire.TBeacon, s.ks.CID, s.ks.ClusterKey, out))
+}
+
+// SendReading originates one sensed reading toward the base station. Call
+// through the runtime's Do hook. It returns the per-origin sequence number
+// used, or false if the node cannot send (not operational / clusterless).
+func (s *Sensor) SendReading(ctx node.Context, data []byte) (uint32, bool) {
+	if s.phase != PhaseOperational || !s.ks.InCluster {
+		return 0, false
+	}
+	s.readingSeq++
+	inner := &wire.Inner{Src: s.id}
+	if !s.cfg.DisableStep1 {
+		// Step 1: y1 ← E_Kencr(D), t1 ← MAC_KMAC(y1), keys derived from
+		// Ki, counter shared with the base station for semantic security.
+		s.readingCtr++
+		inner.Counter = s.readingCtr
+		inner.Encrypted = true
+		aad := InnerAAD(s.id)
+		inner.Sealed = crypt.Seal(s.ks.NodeKey, s.readingCtr, aad, data)
+		ctx.ChargeCipher(len(data))
+		ctx.ChargeMAC(len(data) + len(aad))
+	} else {
+		// Data-fusion mode: "c1 ... is simply the data D".
+		inner.Sealed = append([]byte(nil), data...)
+	}
+	s.remember(s.id, s.readingSeq)
+	s.sendData(ctx, inner.Marshal(), s.id, s.readingSeq)
+	return s.readingSeq, true
+}
+
+// InnerAAD is the associated data of a Step-1 envelope: it binds the
+// envelope to its origin so a captured envelope cannot be replayed as
+// another node's reading. Exported as part of the wire contract.
+func InnerAAD(origin node.ID) []byte {
+	return []byte{0xE2, byte(origin >> 24), byte(origin >> 16), byte(origin >> 8), byte(origin)}
+}
+
+// sendData performs Step 2 for this hop: wrap the inner envelope with the
+// sender's cluster key, fresh timestamp, and gradient height, and make the
+// single broadcast.
+func (s *Sensor) sendData(ctx node.Context, innerBytes []byte, origin node.ID, seq uint32) {
+	d := &wire.Data{
+		Tau:    int64(ctx.Now()),
+		SrcCID: s.ks.CID,
+		Origin: origin,
+		Seq:    seq,
+		Hop:    s.hop,
+		Inner:  innerBytes,
+	}
+	ctx.Broadcast(s.sealFrame(ctx, wire.TData, s.ks.CID, s.ks.ClusterKey, d.Marshal()))
+}
+
+// onData verifies, deduplicates, and either terminates (base station) or
+// re-wraps and forwards a data message.
+func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
+	if s.phase != PhaseOperational || !s.ks.InCluster {
+		return
+	}
+	body, ok := s.openWithEpochFallback(ctx, f)
+	if !ok {
+		return // not a neighboring cluster, or forged: drop
+	}
+	d, err := wire.UnmarshalData(body)
+	if err != nil {
+		return
+	}
+	// The CID inside the encryption must match the selector outside it.
+	if d.SrcCID != f.CID {
+		return
+	}
+	// Freshness: τ is restamped at every hop, so a tight window suffices.
+	age := int64(ctx.Now()) - d.Tau
+	if age < 0 || age > int64(s.cfg.FreshWindow) {
+		return
+	}
+	if s.seen(d.Origin, d.Seq) {
+		return
+	}
+	s.remember(d.Origin, d.Seq)
+
+	if s.bs != nil {
+		s.deliverAtBS(ctx, d)
+		return
+	}
+	if s.Malice.DropData {
+		return // selective-forwarding attacker swallows it
+	}
+	// Gradient rule: forward only if the previous hop was farther from
+	// the base station than we are (unless flooding is configured).
+	if !s.cfg.FloodForwarding && (s.hop == HopUnknown || d.Hop <= s.hop) {
+		return
+	}
+	// Data-fusion peek: with Step 1 disabled the reading is visible to
+	// every forwarder holding the cluster key; the application may
+	// discard redundant reports here.
+	if s.Peek != nil {
+		if in, err := wire.UnmarshalInner(d.Inner); err == nil && !in.Encrypted {
+			if !s.Peek(d.Origin, d.Seq, in.Sealed) {
+				return
+			}
+		}
+	}
+	s.sendData(ctx, d.Inner, d.Origin, d.Seq)
+}
+
+// deliverAtBS terminates a reading at the base station: verify the Step-1
+// envelope (counter window, MAC) against the authority's key registry and
+// record the delivery.
+func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
+	in, err := wire.UnmarshalInner(d.Inner)
+	if err != nil {
+		return
+	}
+	var data []byte
+	if in.Encrypted {
+		last := s.bs.counters[in.Src]
+		if in.Counter <= last || in.Counter > last+s.cfg.CounterWindow {
+			return // replayed or too-far-future counter
+		}
+		ki := s.bs.auth.NodeKey(in.Src)
+		aad := InnerAAD(in.Src)
+		ctx.ChargeMAC(len(in.Sealed) + len(aad))
+		pt, ok := crypt.Open(ki, in.Counter, aad, in.Sealed)
+		if !ok {
+			return
+		}
+		ctx.ChargeCipher(len(pt))
+		// Origin must match the key that authenticated the envelope.
+		if in.Src != d.Origin {
+			return
+		}
+		s.bs.counters[in.Src] = in.Counter
+		data = pt
+	} else {
+		if in.Src != d.Origin {
+			return
+		}
+		data = in.Sealed
+	}
+	del := Delivery{
+		Origin:    d.Origin,
+		Seq:       d.Seq,
+		Data:      data,
+		At:        ctx.Now(),
+		Encrypted: in.Encrypted,
+	}
+	s.bs.deliveries = append(s.bs.deliveries, del)
+	if s.bs.OnDeliver != nil {
+		s.bs.OnDeliver(del)
+	}
+}
+
+// openWithEpochFallback opens a cluster-keyed frame with the current key
+// for f.CID, falling back to the one-epoch-old key during a refresh
+// changeover (messages sealed just before the refresh are still in
+// flight).
+func (s *Sensor) openWithEpochFallback(ctx node.Context, f *wire.Frame) ([]byte, bool) {
+	key, known := s.ks.KeyFor(f.CID)
+	if known {
+		if body, ok := s.openFrame(ctx, f, key); ok {
+			return body, true
+		}
+	}
+	if prev, ok := s.prevKeys[f.CID]; ok {
+		if body, ok := s.openFrame(ctx, f, prev); ok {
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// --- duplicate suppression ---
+
+func (s *Sensor) seen(origin node.ID, seq uint32) bool {
+	_, ok := s.dedup[dedupKey{origin, seq}]
+	return ok
+}
+
+// remember records (origin, seq) in a bounded FIFO cache.
+func (s *Sensor) remember(origin node.ID, seq uint32) {
+	k := dedupKey{origin, seq}
+	if _, ok := s.dedup[k]; ok {
+		return
+	}
+	if len(s.dedupFIFO) < s.cfg.DedupCapacity {
+		s.dedupFIFO = append(s.dedupFIFO, k)
+	} else {
+		old := s.dedupFIFO[s.dedupPos]
+		delete(s.dedup, old)
+		s.dedupFIFO[s.dedupPos] = k
+		s.dedupPos = (s.dedupPos + 1) % s.cfg.DedupCapacity
+	}
+	s.dedup[k] = struct{}{}
+}

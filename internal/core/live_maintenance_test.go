@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// TestMaintenanceUnderLiveRuntime exercises hash refresh and revocation
+// on the goroutine runtime — the maintenance counterpart of
+// TestProtocolUnderLiveRuntime. All sensor state is read via each node's
+// own goroutine (the Do hook), so the test is meaningful under -race:
+// this is where concurrency bugs in the maintenance paths would surface.
+func TestMaintenanceUnderLiveRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time phases take ~1s")
+	}
+	const n = 50
+	cfg := DefaultConfig()
+	cfg.HelloMeanDelay = 10 * time.Millisecond
+	cfg.ClusterPhaseEnd = 120 * time.Millisecond
+	cfg.LinkSpread = 60 * time.Millisecond
+	cfg.FreshWindow = time.Second
+
+	graph, err := topology.Generate(xrand.New(77), topology.Config{N: n, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := AuthorityFromSeed(77, cfg.ChainLength)
+	sensors := make([]*Sensor, n)
+	behaviors := make([]node.Behavior, n)
+	for i := 0; i < n; i++ {
+		m := auth.MaterialFor(node.ID(i))
+		if i == 0 {
+			sensors[i] = NewBaseStation(cfg, m, auth)
+		} else {
+			sensors[i] = NewSensor(cfg, m)
+		}
+		behaviors[i] = sensors[i]
+	}
+	net := live.Start(live.Config{Graph: graph, Seed: 77}, behaviors)
+	defer net.Stop()
+
+	// snapshot collects per-node state on each node's own goroutine.
+	type state struct {
+		idx         int
+		operational bool
+		cid         uint32
+		inCluster   bool
+		epoch       uint32
+		holdsVictim bool
+	}
+	snapshot := func(victim uint32) []state {
+		out := make(chan state, n)
+		for i := 0; i < n; i++ {
+			i := i
+			net.Do(i, func(node.Context) {
+				s := sensors[i]
+				cid, ok := s.Cluster()
+				_, holds := s.KeyStore().KeyFor(victim)
+				out <- state{
+					idx:         i,
+					operational: s.Phase() == PhaseOperational,
+					cid:         cid,
+					inCluster:   ok,
+					epoch:       s.Epoch(cid),
+					holdsVictim: holds,
+				}
+			})
+		}
+		states := make([]state, n)
+		for i := 0; i < n; i++ {
+			st := <-out
+			states[st.idx] = st
+		}
+		return states
+	}
+
+	// Wait for setup to complete in real time.
+	deadline := time.Now().Add(5 * time.Second)
+	var states []state
+	for {
+		states = snapshot(0)
+		operational := 0
+		for _, st := range states {
+			if st.operational {
+				operational++
+			}
+		}
+		if operational == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d operational", operational, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// 1. Network-wide hash refresh, concurrently on every node.
+	for i := 0; i < n; i++ {
+		i := i
+		net.Do(i, func(ctx node.Context) { sensors[i].HashRefresh(ctx) })
+	}
+
+	// 2. The base station revokes one non-BS cluster (chosen from the
+	// pre-refresh snapshot; cluster IDs are stable).
+	bsCID := states[0].cid
+	victim := uint32(0)
+	for _, st := range states[1:] {
+		if st.inCluster && st.cid != bsCID {
+			victim = st.cid
+			break
+		}
+	}
+	if victim == 0 {
+		t.Skip("single-cluster network at this seed")
+	}
+	net.Do(0, func(ctx node.Context) {
+		sensors[0].RevokeClusters(ctx, []uint32{victim})
+	})
+	time.Sleep(400 * time.Millisecond) // revocation flood, real time
+
+	after := snapshot(victim)
+	evicted, holding, refreshed := 0, 0, 0
+	for _, st := range after {
+		if st.holdsVictim {
+			holding++
+		}
+		if !st.inCluster {
+			evicted++
+		}
+		if st.inCluster && st.epoch >= 1 {
+			refreshed++
+		}
+	}
+	if holding > 0 {
+		t.Fatalf("%d nodes still hold the revoked cluster key", holding)
+	}
+	if evicted == 0 {
+		t.Fatal("revocation evicted nobody")
+	}
+	if refreshed == 0 {
+		t.Fatal("no node advanced its epoch after HashRefresh")
+	}
+
+	// 3. Survivors still deliver end to end under the rotated keys.
+	delivered := make(chan Delivery, 8)
+	ready := make(chan struct{})
+	net.Do(0, func(node.Context) {
+		sensors[0].SetOnDeliver(func(d Delivery) { delivered <- d })
+		close(ready)
+	})
+	<-ready
+	sent := 0
+	for _, st := range after {
+		if sent >= 3 || st.idx == 0 || !st.inCluster || st.cid == victim {
+			continue
+		}
+		i := st.idx
+		net.Do(i, func(ctx node.Context) { sensors[i].SendReading(ctx, []byte{byte(i)}) })
+		sent++
+	}
+	got := 0
+	timeout := time.After(5 * time.Second)
+	for got < sent {
+		select {
+		case <-delivered:
+			got++
+		case <-timeout:
+			t.Fatalf("delivered %d/%d after refresh+revocation", got, sent)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// TestProtocolUnderLiveRuntime runs the full protocol — setup, beacon,
+// forwarding — with one goroutine per node instead of the deterministic
+// simulator, proving the behaviors are runtime-agnostic. Run with -race.
+func TestProtocolUnderLiveRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time setup phases take ~1s")
+	}
+	const n = 60
+	cfg := DefaultConfig()
+	// Compress the real-time phases to keep the test quick.
+	cfg.HelloMeanDelay = 10 * time.Millisecond
+	cfg.ClusterPhaseEnd = 120 * time.Millisecond
+	cfg.LinkSpread = 60 * time.Millisecond
+	cfg.FreshWindow = time.Second // scheduling jitter is real here
+
+	graph, err := topology.Generate(xrand.New(99), topology.Config{N: n, Density: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := AuthorityFromSeed(99, cfg.ChainLength)
+	sensors := make([]*Sensor, n)
+	behaviors := make([]node.Behavior, n)
+	for i := 0; i < n; i++ {
+		m := auth.MaterialFor(node.ID(i))
+		if i == 0 {
+			sensors[i] = NewBaseStation(cfg, m, auth)
+		} else {
+			sensors[i] = NewSensor(cfg, m)
+		}
+		behaviors[i] = sensors[i]
+	}
+	delivered := make(chan Delivery, 16)
+	sensors[0].SetOnDeliver(func(d Delivery) { delivered <- d })
+
+	net := live.Start(live.Config{Graph: graph, Seed: 99}, behaviors)
+	defer net.Stop()
+
+	// Wait for setup to complete in real time (poll through Do so we
+	// read phases on each node's own goroutine).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := make(chan int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			net.Do(i, func(node.Context) {
+				if sensors[i].Phase() == PhaseOperational {
+					done <- 1
+				} else {
+					done <- 0
+				}
+			})
+		}
+		operational := 0
+		for i := 0; i < n; i++ {
+			operational += <-done
+		}
+		if operational == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d nodes operational before deadline", operational, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Send readings from three nodes; all must reach the base station.
+	for _, src := range []int{11, 25, 47} {
+		src := src
+		net.Do(src, func(ctx node.Context) {
+			if _, ok := sensors[src].SendReading(ctx, []byte{byte(src)}); !ok {
+				t.Errorf("node %d could not send", src)
+			}
+		})
+	}
+	got := map[node.ID]bool{}
+	timeout := time.After(5 * time.Second)
+	for len(got) < 3 {
+		select {
+		case d := <-delivered:
+			got[d.Origin] = true
+			if len(d.Data) != 1 || d.Data[0] != byte(d.Origin) {
+				t.Fatalf("corrupted delivery %+v", d)
+			}
+			if !d.Encrypted {
+				t.Fatal("delivery not end-to-end encrypted")
+			}
+		case <-timeout:
+			t.Fatalf("deliveries: %v", got)
+		}
+	}
+}

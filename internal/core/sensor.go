@@ -1,0 +1,469 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/crypt"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Phase is a sensor's position in the protocol lifecycle.
+type Phase int
+
+// Protocol phases.
+const (
+	// PhaseElection: the node has booted and its HELLO timer is pending —
+	// it will either hear a HELLO and join, or fire and become a head
+	// (Section IV-B.1).
+	PhaseElection Phase = iota
+	// PhaseDecided: cluster membership fixed; waiting to send the
+	// LINK-ADVERT and for the master-key era to end (Section IV-B.2).
+	PhaseDecided
+	// PhaseOperational: Km erased; forwarding, refresh, revocation and
+	// join-response machinery active (Section IV-C onwards).
+	PhaseOperational
+	// PhaseJoining: a late-deployed node collecting JOIN-RESP messages
+	// (Section IV-E).
+	PhaseJoining
+	// PhaseFailed: a late-deployed node that exhausted its join retries.
+	PhaseFailed
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseElection:
+		return "election"
+	case PhaseDecided:
+		return "decided"
+	case PhaseOperational:
+		return "operational"
+	case PhaseJoining:
+		return "joining"
+	case PhaseFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Timer tags.
+const (
+	tagHello node.Tag = iota + 1
+	tagLinkAdvert
+	tagOperational
+	tagJoinResp
+	tagJoinDone
+	tagBeacon
+	tagRefresh
+)
+
+// HopUnknown marks a node that has not yet acquired a routing gradient.
+const HopUnknown uint16 = 0xFFFF
+
+// maxJoinAttempts bounds how many JOIN-REQ rounds a late node tries before
+// giving up.
+const maxJoinAttempts = 5
+
+// Malice holds adversary-controlled switches on a compromised-but-running
+// node. Zero value = honest behavior.
+type Malice struct {
+	// DropData makes the node a selective-forwarding attacker: it accepts
+	// and authenticates traffic but silently refuses to relay it
+	// (Section VI, "Selective forwarding").
+	DropData bool
+}
+
+// Delivery is one reading that reached the base station.
+type Delivery struct {
+	Origin    node.ID
+	Seq       uint32
+	Data      []byte
+	At        time.Duration
+	Encrypted bool // whether Step 1 protected it end-to-end
+}
+
+// bsState is the extra state carried by the base-station node.
+type bsState struct {
+	auth       *Authority
+	nextChain  int
+	counters   map[node.ID]uint64
+	deliveries []Delivery
+	// OnDeliver, if set, observes each delivery as it happens.
+	OnDeliver func(Delivery)
+	round     uint32
+}
+
+type dedupKey struct {
+	origin node.ID
+	seq    uint32
+}
+
+// Sensor is the protocol state machine run by every node, base station
+// included (the base station attaches a bsState). It implements
+// node.Behavior; all fields are owned by the hosting runtime's callback
+// thread.
+type Sensor struct {
+	cfg Config
+	ks  *node.KeyStore
+	id  node.ID
+
+	phase      Phase
+	isHead     bool
+	helloTimer node.TimerID
+
+	// txNonce makes every seal nonce unique per sender: (id<<32 | ctr).
+	txNonce uint32
+
+	// Routing gradient.
+	hop   uint16
+	round uint32
+
+	// Duplicate suppression for forwarded data.
+	dedup     map[dedupKey]struct{}
+	dedupFIFO []dedupKey
+	dedupPos  int
+
+	// Application state.
+	readingSeq uint32
+	readingCtr uint64 // Step-1 counter shared with the base station
+
+	// Per-cluster refresh epochs and one-epoch-old keys (so refresh
+	// messages sealed under the previous key still authenticate during
+	// the changeover).
+	epochs   map[uint32]uint32
+	prevKeys map[uint32]crypt.Key
+
+	pendingJoinResp bool
+	joinAttempts    int
+
+	// Peek, if set and a plaintext (Step-1-disabled) reading passes
+	// through, is consulted before forwarding; returning false discards
+	// the message — the paper's data-fusion "peak at encrypted data and
+	// decide upon forwarding or discarding redundant information".
+	Peek func(origin node.ID, seq uint32, data []byte) bool
+
+	// Malice is the adversary's hook on a compromised node.
+	Malice Malice
+
+	bs *bsState
+}
+
+// NewSensor builds a sensor from its provisioning material.
+func NewSensor(cfg Config, m Material) *Sensor {
+	cfg = cfg.withDefaults()
+	return &Sensor{
+		cfg:      cfg,
+		ks:       keyStoreFor(m, cfg.MaxChainSkip),
+		id:       m.ID,
+		hop:      HopUnknown,
+		dedup:    make(map[dedupKey]struct{}, cfg.DedupCapacity),
+		epochs:   make(map[uint32]uint32),
+		prevKeys: make(map[uint32]crypt.Key),
+	}
+}
+
+// NewBaseStation builds the base-station node: a sensor that additionally
+// holds the authority's key registry, terminates data traffic, floods
+// routing beacons, and issues revocations.
+func NewBaseStation(cfg Config, m Material, auth *Authority) *Sensor {
+	s := NewSensor(cfg, m)
+	s.bs = &bsState{
+		auth:     auth,
+		counters: make(map[node.ID]uint64),
+	}
+	s.hop = 0
+	return s
+}
+
+// --- accessors used by experiments, tests, and tools ---
+
+// ID returns the node's identifier.
+func (s *Sensor) ID() node.ID { return s.id }
+
+// Phase returns the current lifecycle phase.
+func (s *Sensor) Phase() Phase { return s.phase }
+
+// IsHead reports whether this node elected itself clusterhead during
+// setup. After setup "cluster heads turn to normal members"; the flag is
+// kept for the Figure 8 statistic only.
+func (s *Sensor) IsHead() bool { return s.isHead }
+
+// Cluster returns the node's cluster ID and whether it has one.
+func (s *Sensor) Cluster() (uint32, bool) { return s.ks.CID, s.ks.InCluster }
+
+// ClusterKeyCount returns how many cluster keys the node stores (own plus
+// neighbors) — the Figure 6 quantity.
+func (s *Sensor) ClusterKeyCount() int { return s.ks.ClusterKeyCount() }
+
+// NeighborClusters returns the IDs of neighboring clusters whose keys the
+// node holds.
+func (s *Sensor) NeighborClusters() []uint32 { return s.ks.NeighborCIDs() }
+
+// Hop returns the node's routing-gradient height (HopUnknown if none).
+func (s *Sensor) Hop() uint16 { return s.hop }
+
+// Epoch returns the refresh epoch the node tracks for cluster cid.
+func (s *Sensor) Epoch(cid uint32) uint32 { return s.epochs[cid] }
+
+// KeyStore exposes the node's key material to the adversary model (node
+// capture reads memory) and to tests. Honest protocol code never reaches
+// into another node's store.
+func (s *Sensor) KeyStore() *node.KeyStore { return s.ks }
+
+// IsBaseStation reports whether this sensor carries the base-station role.
+func (s *Sensor) IsBaseStation() bool { return s.bs != nil }
+
+// Deliveries returns the readings the base station has accepted. Only
+// meaningful on the base station.
+func (s *Sensor) Deliveries() []Delivery {
+	if s.bs == nil {
+		return nil
+	}
+	return s.bs.deliveries
+}
+
+// SetOnDeliver registers a delivery observer on the base station.
+func (s *Sensor) SetOnDeliver(fn func(Delivery)) {
+	if s.bs != nil {
+		s.bs.OnDeliver = fn
+	}
+}
+
+// --- node.Behavior ---
+
+// Start implements node.Behavior: it arms the setup-phase timers
+// (original nodes) or begins the join procedure (late-deployed nodes).
+func (s *Sensor) Start(ctx node.Context) {
+	if !s.ks.AddMaster.IsZero() {
+		s.startJoin(ctx)
+		return
+	}
+	s.phase = PhaseElection
+	// Draw the clusterhead delay from an exponential distribution
+	// (Section IV-B.1), capped just inside the phase boundary so every
+	// node is decided by T1.
+	delay := time.Duration(ctx.Rand().Exp(float64(s.cfg.HelloMeanDelay)))
+	if maxDelay := s.cfg.ClusterPhaseEnd - time.Millisecond; delay > maxDelay {
+		delay = maxDelay
+	}
+	s.helloTimer = ctx.SetTimer(delay, tagHello)
+	// LINK-ADVERT at T1 plus a uniform spread; Km erasure at T2.
+	linkAt := s.cfg.ClusterPhaseEnd +
+		time.Duration(ctx.Rand().Uint64n(uint64(s.cfg.LinkSpread)))
+	ctx.SetTimer(linkAt-ctx.Now(), tagLinkAdvert)
+	ctx.SetTimer(s.cfg.OperationalAt-ctx.Now(), tagOperational)
+}
+
+// Timer implements node.Behavior.
+func (s *Sensor) Timer(ctx node.Context, tag node.Tag) {
+	switch tag {
+	case tagHello:
+		s.becomeHead(ctx)
+	case tagLinkAdvert:
+		s.sendLinkAdvert(ctx)
+	case tagOperational:
+		s.enterOperational(ctx)
+	case tagJoinResp:
+		s.sendJoinResp(ctx)
+	case tagJoinDone:
+		s.finishJoinWindow(ctx)
+	case tagBeacon:
+		s.TriggerBeacon(ctx)
+	case tagRefresh:
+		s.periodicRefresh(ctx)
+	}
+}
+
+// Receive implements node.Behavior.
+func (s *Sensor) Receive(ctx node.Context, from node.ID, pkt []byte) {
+	f, err := wire.ParseFrame(pkt)
+	if err != nil {
+		return // garbage on the air
+	}
+	switch f.Type {
+	case wire.THello:
+		s.onHello(ctx, f)
+	case wire.TLinkAdvert:
+		s.onLinkAdvert(ctx, f)
+	case wire.TData:
+		s.onData(ctx, f, pkt)
+	case wire.TBeacon:
+		s.onBeacon(ctx, f)
+	case wire.TRevoke:
+		s.onRevoke(ctx, f, pkt)
+	case wire.TJoinReq:
+		s.onJoinReq(ctx, f)
+	case wire.TJoinResp:
+		s.onJoinResp(ctx, f)
+	case wire.TRefresh:
+		s.onRefresh(ctx, f, pkt)
+	}
+}
+
+// --- sealing helpers (all radio crypto goes through these, so energy is
+// charged consistently) ---
+
+// FrameAAD is the associated data bound into every sealed frame: the
+// message type and the cluster-ID key selector. It is exported as part of
+// the wire contract (any compatible implementation must construct it
+// identically).
+func FrameAAD(typ wire.Type, cid uint32) []byte {
+	return []byte{byte(typ), byte(cid >> 24), byte(cid >> 16), byte(cid >> 8), byte(cid)}
+}
+
+func (s *Sensor) nextNonce() uint64 {
+	s.txNonce++
+	return uint64(s.id)<<32 | uint64(s.txNonce)
+}
+
+// sealFrame seals body under key and returns the marshaled frame.
+func (s *Sensor) sealFrame(ctx node.Context, typ wire.Type, cid uint32, key crypt.Key, body []byte) []byte {
+	nonce := s.nextNonce()
+	aad := FrameAAD(typ, cid)
+	sealed := crypt.Seal(key, nonce, aad, body)
+	ctx.ChargeCipher(len(body))
+	ctx.ChargeMAC(len(body) + len(aad))
+	pkt, err := (&wire.Frame{Type: typ, CID: cid, Nonce: nonce, Payload: sealed}).Marshal()
+	if err != nil {
+		// Bodies are tiny and bounded; this cannot happen.
+		panic("core: frame marshal: " + err.Error())
+	}
+	return pkt
+}
+
+// openFrame verifies and decrypts a received frame under key.
+func (s *Sensor) openFrame(ctx node.Context, f *wire.Frame, key crypt.Key) ([]byte, bool) {
+	aad := FrameAAD(f.Type, f.CID)
+	ctx.ChargeMAC(len(f.Payload) + len(aad))
+	body, ok := crypt.Open(key, f.Nonce, aad, f.Payload)
+	if !ok {
+		return nil, false
+	}
+	ctx.ChargeCipher(len(body))
+	return body, true
+}
+
+// --- cluster key setup (Section IV-B) ---
+
+// becomeHead fires when the HELLO timer expires with the node still
+// undecided: it declares itself clusterhead and broadcasts the encrypted
+// HELLO carrying its cluster key.
+func (s *Sensor) becomeHead(ctx node.Context) {
+	if s.ks.InCluster || s.phase != PhaseElection {
+		return
+	}
+	s.isHead = true
+	s.ks.JoinCluster(uint32(s.id), s.ks.CandidateClusterKey)
+	s.epochs[uint32(s.id)] = 0
+	s.phase = PhaseDecided
+	body := (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).Marshal()
+	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, body))
+}
+
+// onHello handles a clusterhead announcement: an undecided node joins the
+// sender's cluster and cancels its own candidacy.
+func (s *Sensor) onHello(ctx node.Context, f *wire.Frame) {
+	if s.phase != PhaseElection || s.ks.InCluster || s.ks.Master.IsZero() {
+		return
+	}
+	body, ok := s.openFrame(ctx, f, s.ks.Master)
+	if !ok {
+		return
+	}
+	hello, err := wire.UnmarshalHello(body)
+	if err != nil {
+		return
+	}
+	ctx.CancelTimer(s.helloTimer)
+	s.ks.JoinCluster(hello.HeadID, hello.ClusterKey)
+	s.epochs[hello.HeadID] = 0
+	s.phase = PhaseDecided
+	// "No transmission is required for that node."
+}
+
+// sendLinkAdvert broadcasts the node's cluster identity and key under Km —
+// the secure-link-establishment step that stitches clusters together.
+func (s *Sensor) sendLinkAdvert(ctx node.Context) {
+	if !s.ks.InCluster || s.ks.Master.IsZero() {
+		return
+	}
+	body := (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).Marshal()
+	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, body))
+}
+
+// onLinkAdvert stores a neighboring cluster's key ("any nodes from
+// neighboring clusters will store the tuple <CID, Kc>").
+func (s *Sensor) onLinkAdvert(ctx node.Context, f *wire.Frame) {
+	if s.ks.Master.IsZero() {
+		return // operational already; Km messages are history
+	}
+	body, ok := s.openFrame(ctx, f, s.ks.Master)
+	if !ok {
+		return
+	}
+	adv, err := wire.UnmarshalLinkAdvert(body)
+	if err != nil {
+		return
+	}
+	if s.ks.InCluster && adv.CID == s.ks.CID {
+		return // "Nodes of the same cluster simply ignore the message"
+	}
+	if !s.ks.HasNeighbor(adv.CID) {
+		s.ks.AddNeighbor(adv.CID, adv.ClusterKey)
+		s.epochs[adv.CID] = 0
+	}
+}
+
+// enterOperational erases Km ("after the completion of the key setup
+// phase, all nodes erase key Km from their memory") and, on the base
+// station, launches the routing beacon.
+func (s *Sensor) enterOperational(ctx node.Context) {
+	s.ks.EraseMaster()
+	s.phase = PhaseOperational
+	if s.bs != nil {
+		s.TriggerBeacon(ctx)
+		if s.cfg.BeaconPeriod > 0 {
+			ctx.SetTimer(s.cfg.BeaconPeriod, tagBeacon)
+		}
+	}
+	s.armRefreshTimer(ctx)
+}
+
+// armRefreshTimer schedules the next refresh at an absolute epoch
+// boundary (OperationalAt + k*RefreshPeriod) rather than a relative
+// delay, so every node — including late joiners whose clocks started
+// mid-epoch — rotates at the same instants. Hash-mode refresh depends on
+// this agreement; the one-epoch prevKeys fallback absorbs the residual
+// skew of in-flight packets.
+func (s *Sensor) armRefreshTimer(ctx node.Context) {
+	if s.cfg.RefreshPeriod <= 0 {
+		return
+	}
+	now := ctx.Now()
+	elapsed := now - s.cfg.OperationalAt
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	k := elapsed/s.cfg.RefreshPeriod + 1
+	next := s.cfg.OperationalAt + k*s.cfg.RefreshPeriod
+	ctx.SetTimer(next-now, tagRefresh)
+}
+
+// periodicRefresh runs the configured automatic key-refresh policy and
+// re-arms the boundary-aligned timer. In hash mode every node rotates
+// independently; in re-key mode only original clusterheads originate,
+// everyone else just keeps the schedule.
+func (s *Sensor) periodicRefresh(ctx node.Context) {
+	if s.phase != PhaseOperational {
+		return
+	}
+	switch s.cfg.RefreshMode {
+	case RefreshHash:
+		s.HashRefresh(ctx)
+	case RefreshRekey:
+		s.StartClusterRefresh(ctx)
+	}
+	s.armRefreshTimer(ctx)
+}

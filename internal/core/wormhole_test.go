@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestWormholeDuringSetupBreaksLocality demonstrates WHY the paper must
+// assume the key-setup window is shorter than an adversary's reaction
+// time (Section VI, "Sinkhole and wormhole attacks ... such an attack can
+// only take place during the key establishment phase"): an adversary who
+// CAN tunnel packets during that window makes a far-away node join a
+// distant cluster, breaking the head-adjacency locality invariant. The
+// test tunnels a HELLO across the field and verifies (a) the wormhole
+// victim really joins the remote cluster — the attack works mechanically
+// — and (b) the invariant checker catches the resulting anomaly, i.e.
+// the damage is structural and detectable, not silent.
+func TestWormholeDuringSetupBreaksLocality(t *testing.T) {
+	var tunneled []byte
+	var tunnelFrom node.ID
+	d, err := Deploy(DeployOptions{
+		N: 120, Density: 10, Seed: 1201,
+		Trace: func(ev sim.TraceEvent) {
+			// The wormhole endpoint records the first HELLO it overhears.
+			if tunneled == nil && len(ev.Pkt) > 0 && wire.Type(ev.Pkt[0]) == wire.THello {
+				tunneled = append([]byte(nil), ev.Pkt...)
+				tunnelFrom = ev.From
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay every overheard HELLO at the diagonally opposite corner of
+	// the field, fast enough to land inside the election window.
+	far := farthestFrom(d, 0)
+	for k := 0; k < 50; k++ {
+		at := time.Duration(k) * 2 * time.Millisecond
+		d.Eng.Schedule(at, func() {
+			if tunneled != nil {
+				d.Eng.InjectAt(far, tunnelFrom, tunneled)
+			}
+		})
+	}
+	if err := d.RunSetup(); err != nil {
+		t.Fatal(err)
+	}
+	if tunneled == nil {
+		t.Skip("no HELLO overheard before the tunnel window")
+	}
+	// Was anyone captured by the tunneled cluster? (The HELLO
+	// authenticates — Km is global — so distant undecided nodes join it.)
+	victims := 0
+	remoteCID := uint32(0)
+	for i, s := range d.Sensors {
+		cid, ok := s.Cluster()
+		if !ok {
+			continue
+		}
+		head := int(cid)
+		if head < d.Graph.N() && i != head && !d.Graph.Adjacent(i, head) {
+			victims++
+			remoteCID = cid
+		}
+	}
+	if victims == 0 {
+		t.Skip("tunnel landed after every far node had decided; timing-dependent")
+	}
+	// The structural damage is detectable: the head-adjacency invariant
+	// fails, which is exactly what the paper's timing assumption exists
+	// to prevent.
+	if err := d.VerifyClusterInvariants(); err == nil {
+		t.Fatalf("wormhole captured %d nodes into cluster %d but invariants still pass",
+			victims, remoteCID)
+	}
+}
+
+// farthestFrom returns the graph index at maximal Euclidean distance from
+// node i's position.
+func farthestFrom(d *Deployment, i int) int {
+	pi := d.Graph.Pos(i)
+	best, bestD := i, -1.0
+	for j := 0; j < d.Graph.N(); j++ {
+		pj := d.Graph.Pos(j)
+		dx, dy := pi.X-pj.X, pi.Y-pj.Y
+		if dd := dx*dx + dy*dy; dd > bestD {
+			best, bestD = j, dd
+		}
+	}
+	return best
+}
+
+// TestWormholeAfterSetupHarmless is the counterpart: once Km is erased,
+// tunneled setup messages are dead — replaying them anywhere does
+// nothing, which is the protocol's actual defense.
+func TestWormholeAfterSetupHarmless(t *testing.T) {
+	var tunneled []byte
+	var tunnelFrom node.ID
+	d, err := Deploy(DeployOptions{
+		N: 120, Density: 10, Seed: 1301,
+		Trace: func(ev sim.TraceEvent) {
+			if tunneled == nil && len(ev.Pkt) > 0 && wire.Type(ev.Pkt[0]) == wire.THello {
+				tunneled = append([]byte(nil), ev.Pkt...)
+				tunnelFrom = ev.From
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		t.Fatal(err)
+	}
+	if tunneled == nil {
+		t.Fatal("no HELLO captured")
+	}
+	if err := d.VerifyClusterInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Tunnel the (authentic! Km-sealed) HELLO everywhere, post-setup.
+	for pos := 0; pos < d.Graph.N(); pos += 7 {
+		pos := pos
+		d.Eng.Schedule(d.Eng.Now()+time.Duration(pos)*time.Millisecond, func() {
+			d.Eng.InjectAt(pos, tunnelFrom, tunneled)
+		})
+	}
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing changed: invariants hold, no cluster membership moved.
+	if err := d.VerifyClusterInvariants(); err != nil {
+		t.Fatalf("post-setup wormhole changed the network: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package crypt
+
+import "fmt"
+
+// Chain is a one-way hash key chain K_0, K_1, ..., K_n with
+// K_{l-1} = F(K_l), as in Section IV-D of the paper:
+//
+//	"during network setup, the base station generates the one-way hash
+//	chain of length n and commits to the first key K0. ... Whenever the
+//	base station has a new revocation command to disseminate to the
+//	nodes, it attaches to the command the next key from the hash chain."
+//
+// The base station holds the whole chain and reveals K_1, K_2, ... in
+// order; nodes hold only the current commitment and verify each revealed
+// key by hashing it back to the commitment (ChainVerifier).
+type Chain struct {
+	keys []Key // keys[l] = K_l, l in [0, n]
+}
+
+// NewChain builds a chain of length n (n reveals available) from the given
+// seed: K_n is derived from the seed and K_{l-1} = F(K_l). It panics if
+// n < 1.
+func NewChain(seed Key, n int) *Chain {
+	if n < 1 {
+		panic("crypt: NewChain with n < 1")
+	}
+	keys := make([]Key, n+1)
+	keys[n] = DeriveKey(seed, LabelChain)
+	for l := n; l > 0; l-- {
+		keys[l-1] = HashForward(keys[l])
+	}
+	return &Chain{keys: keys}
+}
+
+// Len returns the number of reveals the chain supports (n).
+func (c *Chain) Len() int { return len(c.keys) - 1 }
+
+// Commitment returns K_0, the value preloaded into every node during
+// manufacturing.
+func (c *Chain) Commitment() Key { return c.keys[0] }
+
+// Reveal returns K_l for 1 <= l <= Len(). Revealing does not consume
+// anything; the base station tracks which index to use next.
+func (c *Chain) Reveal(l int) (Key, error) {
+	if l < 1 || l >= len(c.keys) {
+		return Key{}, fmt.Errorf("crypt: chain reveal index %d out of range [1,%d]", l, c.Len())
+	}
+	return c.keys[l], nil
+}
+
+// ChainVerifier is the node-side state for authenticating revealed chain
+// keys. It stores the latest verified commitment and accepts a candidate
+// K_l if hashing it at most MaxSkip times reaches the commitment — the
+// paper's check "whether the new commitment Kl generates the previous one
+// through the application of F", generalized to tolerate missed
+// revocation messages.
+type ChainVerifier struct {
+	// Commit is the latest authenticated chain value (initially K_0).
+	Commit Key
+	// MaxSkip bounds how many chain steps a single Accept may advance,
+	// i.e. how many consecutive lost revocation commands a node tolerates.
+	MaxSkip int
+}
+
+// NewChainVerifier returns a verifier anchored at the given commitment.
+// maxSkip < 1 is treated as 1 (strictly sequential reveals only).
+func NewChainVerifier(commitment Key, maxSkip int) *ChainVerifier {
+	if maxSkip < 1 {
+		maxSkip = 1
+	}
+	return &ChainVerifier{Commit: commitment, MaxSkip: maxSkip}
+}
+
+// Accept checks candidate against the stored commitment. On success it
+// returns the number of chain steps advanced (>= 1) and updates the
+// commitment, so each chain value can be accepted at most once (replayed
+// revocation commands fail). On failure the verifier is unchanged.
+func (v *ChainVerifier) Accept(candidate Key) (steps int, ok bool) {
+	h := candidate
+	for s := 1; s <= v.MaxSkip; s++ {
+		h = HashForward(h)
+		if h.Equal(v.Commit) {
+			v.Commit = candidate
+			return s, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,166 @@
+package crypt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChainConstruction(t *testing.T) {
+	c := NewChain(testKey(1), 10)
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Every revealed key must hash to its predecessor.
+	prev := c.Commitment()
+	for l := 1; l <= c.Len(); l++ {
+		k, err := c.Reveal(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !HashForward(k).Equal(prev) {
+			t.Fatalf("F(K_%d) != K_%d", l, l-1)
+		}
+		prev = k
+	}
+}
+
+func TestChainRevealBounds(t *testing.T) {
+	c := NewChain(testKey(2), 5)
+	for _, l := range []int{0, -1, 6, 100} {
+		if _, err := c.Reveal(l); err == nil {
+			t.Errorf("Reveal(%d) succeeded", l)
+		}
+	}
+}
+
+func TestChainPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChain(_, 0) did not panic")
+		}
+	}()
+	NewChain(testKey(1), 0)
+}
+
+func TestChainDeterministic(t *testing.T) {
+	a := NewChain(testKey(3), 8)
+	b := NewChain(testKey(3), 8)
+	if !a.Commitment().Equal(b.Commitment()) {
+		t.Fatal("same seed produced different chains")
+	}
+	c := NewChain(testKey(4), 8)
+	if a.Commitment().Equal(c.Commitment()) {
+		t.Fatal("different seeds produced identical chains")
+	}
+}
+
+func TestVerifierSequentialAccept(t *testing.T) {
+	c := NewChain(testKey(5), 20)
+	v := NewChainVerifier(c.Commitment(), 1)
+	for l := 1; l <= c.Len(); l++ {
+		k, _ := c.Reveal(l)
+		steps, ok := v.Accept(k)
+		if !ok || steps != 1 {
+			t.Fatalf("reveal %d: steps=%d ok=%v", l, steps, ok)
+		}
+	}
+}
+
+func TestVerifierRejectsReplay(t *testing.T) {
+	c := NewChain(testKey(6), 5)
+	v := NewChainVerifier(c.Commitment(), 5)
+	k1, _ := c.Reveal(1)
+	if _, ok := v.Accept(k1); !ok {
+		t.Fatal("first accept failed")
+	}
+	// Replaying K_1 (or re-presenting the commitment) must fail: the
+	// commitment has advanced and hashing forward can never return to it.
+	if _, ok := v.Accept(k1); ok {
+		t.Fatal("replayed chain key accepted")
+	}
+	if _, ok := v.Accept(c.Commitment()); ok {
+		t.Fatal("stale commitment accepted")
+	}
+}
+
+func TestVerifierSkipsWithinLimit(t *testing.T) {
+	c := NewChain(testKey(7), 10)
+	v := NewChainVerifier(c.Commitment(), 3)
+	k3, _ := c.Reveal(3) // skip K_1 and K_2
+	steps, ok := v.Accept(k3)
+	if !ok || steps != 3 {
+		t.Fatalf("skip accept: steps=%d ok=%v", steps, ok)
+	}
+	k4, _ := c.Reveal(4)
+	if steps, ok = v.Accept(k4); !ok || steps != 1 {
+		t.Fatalf("follow-up accept: steps=%d ok=%v", steps, ok)
+	}
+}
+
+func TestVerifierRejectsBeyondSkip(t *testing.T) {
+	c := NewChain(testKey(8), 10)
+	v := NewChainVerifier(c.Commitment(), 2)
+	k3, _ := c.Reveal(3)
+	if _, ok := v.Accept(k3); ok {
+		t.Fatal("accepted a 3-step jump with MaxSkip=2")
+	}
+	// The failed attempt must not corrupt the verifier.
+	k1, _ := c.Reveal(1)
+	if _, ok := v.Accept(k1); !ok {
+		t.Fatal("verifier state corrupted by rejected key")
+	}
+}
+
+func TestVerifierRejectsGarbage(t *testing.T) {
+	c := NewChain(testKey(9), 10)
+	v := NewChainVerifier(c.Commitment(), 10)
+	f := func(raw [KeySize]byte) bool {
+		k := Key(raw)
+		// A random key is on the chain with negligible probability; treat
+		// any accept as failure.
+		_, ok := v.Accept(k)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierCorruptedKeyFails(t *testing.T) {
+	c := NewChain(testKey(10), 10)
+	v := NewChainVerifier(c.Commitment(), 1)
+	k1, _ := c.Reveal(1)
+	for i := 0; i < KeySize; i++ {
+		bad := k1
+		bad[i] ^= 0x80
+		if _, ok := v.Accept(bad); ok {
+			t.Fatalf("corrupted chain key (byte %d) accepted", i)
+		}
+	}
+}
+
+func TestVerifierMinSkipClamped(t *testing.T) {
+	v := NewChainVerifier(testKey(1), 0)
+	if v.MaxSkip != 1 {
+		t.Fatalf("MaxSkip = %d, want clamped to 1", v.MaxSkip)
+	}
+}
+
+func BenchmarkChainGenerate1000(b *testing.B) {
+	seed := testKey(1)
+	for i := 0; i < b.N; i++ {
+		NewChain(seed, 1000)
+	}
+}
+
+func BenchmarkVerifierAccept(b *testing.B) {
+	c := NewChain(testKey(1), 2)
+	k1, _ := c.Reveal(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := NewChainVerifier(c.Commitment(), 1)
+		if _, ok := v.Accept(k1); !ok {
+			b.Fatal("accept failed")
+		}
+	}
+}

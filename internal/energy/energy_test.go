@@ -1,0 +1,95 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeterCharges(t *testing.T) {
+	model := Model{
+		TxFixed: 10, TxPerByte: 2,
+		RxFixed: 5, RxPerByte: 1,
+		CipherPerByte: 0.5, MACPerByte: 0.25,
+	}
+	var m Meter
+	m.ChargeTx(model, 20)    // 10 + 40 = 50
+	m.ChargeRx(model, 10)    // 5 + 10 = 15
+	m.ChargeCipher(model, 8) // 4
+	m.ChargeMAC(model, 8)    // 2
+	if m.Tx() != 50 || m.Rx() != 15 || m.Crypto() != 6 {
+		t.Fatalf("charges: tx=%v rx=%v crypto=%v", m.Tx(), m.Rx(), m.Crypto())
+	}
+	if m.Total() != 71 {
+		t.Fatalf("Total = %v", m.Total())
+	}
+	if m.TxCount() != 1 || m.RxCount() != 1 {
+		t.Fatalf("counts: %d %d", m.TxCount(), m.RxCount())
+	}
+}
+
+func TestMeterAdd(t *testing.T) {
+	model := DefaultModel()
+	var a, b Meter
+	a.ChargeTx(model, 10)
+	b.ChargeRx(model, 10)
+	b.ChargeTx(model, 5)
+	a.Add(&b)
+	if a.TxCount() != 2 || a.RxCount() != 1 {
+		t.Fatalf("merged counts: tx=%d rx=%d", a.TxCount(), a.RxCount())
+	}
+	if a.Total() <= 0 {
+		t.Fatal("merged total not positive")
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	var m Meter
+	m.ChargeTx(DefaultModel(), 10)
+	if s := m.String(); !strings.Contains(s, "tx=") || !strings.Contains(s, "total=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	m := DefaultModel()
+	// The whole premise of the paper: radio bytes dwarf crypto bytes.
+	if m.TxPerByte <= 100*m.CipherPerByte {
+		t.Fatalf("transmit (%v µJ/B) should be >=2 orders over cipher (%v µJ/B)",
+			m.TxPerByte, m.CipherPerByte)
+	}
+	if m.TxPerByte <= m.RxPerByte {
+		t.Fatal("transmit should cost more than receive")
+	}
+}
+
+func TestBudgetLifecycle(t *testing.T) {
+	b := NewBudget(100)
+	if !b.Alive() {
+		t.Fatal("fresh budget dead")
+	}
+	if !b.Spend(60) {
+		t.Fatal("died with 40 µJ left")
+	}
+	if b.Remaining() != 40 {
+		t.Fatalf("Remaining = %v", b.Remaining())
+	}
+	if b.Spend(50) {
+		t.Fatal("survived overdraw")
+	}
+	if b.Alive() {
+		t.Fatal("alive after exhaustion")
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	if !math.IsInf(b.Remaining(), 1) {
+		t.Fatalf("unlimited budget remaining = %v", b.Remaining())
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Spend(1e9) {
+			t.Fatal("unlimited budget exhausted")
+		}
+	}
+}

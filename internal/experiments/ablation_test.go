@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElectionDelayAblation(t *testing.T) {
+	o := Options{Seed: 11, Trials: 1, N: 500}
+	res, err := ElectionDelay(o, []int{5, 100}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s5, _ := res.SingletonFrac.At(5)
+	s100, _ := res.SingletonFrac.At(100)
+	if s5 <= s100 {
+		t.Fatalf("shorter delay should give more singletons: %v vs %v", s5, s100)
+	}
+	h5, _ := res.HeadFrac.At(5)
+	h100, _ := res.HeadFrac.At(100)
+	if h5 <= h100 {
+		t.Fatalf("shorter delay should give more heads: %v vs %v", h5, h100)
+	}
+	m5, _ := res.MeanSize.At(5)
+	m100, _ := res.MeanSize.At(100)
+	if m5 >= m100 {
+		t.Fatalf("shorter delay should give smaller clusters: %v vs %v", m5, m100)
+	}
+	if !strings.Contains(res.Table(), "singleton-frac") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestRoutingAblation(t *testing.T) {
+	o := Options{Seed: 13, Trials: 1, N: 400}
+	res, err := RoutingAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryGradient < 0.95 || res.DeliveryFlood < 0.95 {
+		t.Fatalf("deliveries: gradient %v flood %v", res.DeliveryGradient, res.DeliveryFlood)
+	}
+	// The whole point of the gradient: flooding costs several times more
+	// transmissions per delivered reading.
+	if res.TxPerReadingFlood < 2*res.TxPerReadingGradient {
+		t.Fatalf("flooding tx/reading %v not clearly above gradient %v",
+			res.TxPerReadingFlood, res.TxPerReadingGradient)
+	}
+	if !strings.Contains(res.Table(), "gradient") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestFreshWindowAblation(t *testing.T) {
+	o := Options{Seed: 17, Trials: 1, N: 300}
+	res, err := FreshWindow(o, []int{1, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _ := res.Delivery.At(1)
+	loose, _ := res.Delivery.At(250)
+	// A 1ms window is below the per-hop latency (~1-1.2ms), so legitimate
+	// traffic dies; 250ms delivers everything.
+	if loose < 0.95 {
+		t.Fatalf("loose window delivery %v", loose)
+	}
+	if tight >= loose {
+		t.Fatalf("tight window (%v) should hurt delivery vs loose (%v)", tight, loose)
+	}
+	if !strings.Contains(res.Table(), "window") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestMACAblation(t *testing.T) {
+	o := Options{Seed: 19, Trials: 1, N: 400}
+	res, err := MACAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := res.Row("collision-free")
+	storm := res.Row("no-backoff")
+	backoff := res.Row("csma-backoff")
+	if free.Delivery < 0.95 {
+		t.Fatalf("collision-free delivery %v", free.Delivery)
+	}
+	if storm.CollisionsPerNode <= 0 || backoff.CollisionsPerNode < 0 {
+		t.Fatal("collision model recorded no collisions")
+	}
+	// Without backoff, forwarders transmit within one airtime of each
+	// other: broadcast storms destroy most traffic.
+	if storm.Delivery >= free.Delivery {
+		t.Fatalf("storm should hurt delivery: %v vs %v", storm.Delivery, free.Delivery)
+	}
+	// Spreading transmissions beyond the airtime (the job a CSMA MAC
+	// does) restores most of the delivery.
+	if backoff.Delivery < 0.7 {
+		t.Fatalf("backoff delivery %v", backoff.Delivery)
+	}
+	if backoff.Delivery <= storm.Delivery {
+		t.Fatalf("backoff (%v) should beat storm (%v)", backoff.Delivery, storm.Delivery)
+	}
+	// Collision-destroyed HELLOs make more nodes self-elect: clustering
+	// fragments, so nodes border MORE clusters under the storm medium.
+	if storm.KeysPerNode <= free.KeysPerNode {
+		t.Fatalf("expected fragmentation to raise keys/node: %v vs %v",
+			storm.KeysPerNode, free.KeysPerNode)
+	}
+	if !strings.Contains(res.Table(), "csma-backoff") {
+		t.Fatal("table malformed")
+	}
+}

@@ -1,0 +1,317 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section V, Figures 1 and 6-9) and the security-analysis comparisons of
+// Sections II/III/VI, over the simulator in internal/sim.
+//
+// Each experiment is a pure function of an Options value (seed included),
+// returns a structured result, and can render itself as the text table the
+// benchmark harness and cmd/figures print. EXPERIMENTS.md records the
+// paper's reported values next to ours.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// PaperDensities is the density axis used throughout the paper's Section V
+// figures: average neighbors per node from 8 to 20.
+var PaperDensities = []float64{8, 10, 12.5, 15, 17.5, 20}
+
+// Options parameterizes an experiment run.
+type Options struct {
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Trials is the number of independent deployments averaged per point.
+	Trials int
+	// N is the network size (the paper deploys 2500-3600 nodes for the
+	// clustering figures and 2000 for the message-count figure).
+	N int
+}
+
+// withDefaults fills unset fields with paper-scale values.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	if o.N <= 0 {
+		o.N = 2500
+	}
+	return o
+}
+
+// deployTrial stands up one network and runs key setup; the trial index
+// perturbs the seed so trials are independent but reproducible.
+func deployTrial(o Options, density float64, trial int) (*core.Deployment, error) {
+	seed := o.Seed*1_000_003 + uint64(trial)*7919 + uint64(density*100)
+	d, err := core.Deploy(core.DeployOptions{
+		N:       o.N,
+		Density: density,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.RunSetup(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SweepResult carries the four per-density curves that Figures 6-9 plot,
+// measured on the same deployments.
+type SweepResult struct {
+	// KeysPerNode is Figure 6: average cluster keys stored per node.
+	KeysPerNode *stats.Series
+	// NodesPerCluster is Figure 7: average cluster size.
+	NodesPerCluster *stats.Series
+	// HeadFraction is Figure 8: clusterheads / network size.
+	HeadFraction *stats.Series
+	// MsgsPerNode is Figure 9: key-setup transmissions per node.
+	MsgsPerNode *stats.Series
+	// N is the network size the sweep ran at.
+	N int
+}
+
+// DensitySweep runs the paper's Section V parameter sweep: for each
+// density it deploys o.Trials networks, runs the key-setup phase, and
+// records the Figure 6/7/8/9 statistics.
+func DensitySweep(o Options, densities []float64) (*SweepResult, error) {
+	o = o.withDefaults()
+	if len(densities) == 0 {
+		densities = PaperDensities
+	}
+	res := &SweepResult{
+		KeysPerNode:     stats.NewSeries("keys/node"),
+		NodesPerCluster: stats.NewSeries("nodes/cluster"),
+		HeadFraction:    stats.NewSeries("heads/n"),
+		MsgsPerNode:     stats.NewSeries("msgs/node"),
+		N:               o.N,
+	}
+	for _, density := range densities {
+		for trial := 0; trial < o.Trials; trial++ {
+			d, err := deployTrial(o, density, trial)
+			if err != nil {
+				return nil, fmt.Errorf("density %v trial %d: %w", density, trial, err)
+			}
+			keys := d.KeysPerNode(true)
+			var keySum int
+			for _, k := range keys {
+				keySum += k
+			}
+			res.KeysPerNode.Observe(density, float64(keySum)/float64(len(keys)))
+
+			st := d.Clusters()
+			res.NodesPerCluster.Observe(density, st.MeanSize)
+			res.HeadFraction.Observe(density, st.HeadFraction)
+
+			tx := d.SetupTxCounts()
+			var txSum int
+			for _, c := range tx {
+				txSum += c
+			}
+			res.MsgsPerNode.Observe(density, float64(txSum)/float64(len(tx)))
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep as one aligned table over the density axis.
+func (r *SweepResult) Table() string {
+	header := fmt.Sprintf("Density sweep, n=%d (Figures 6, 7, 8, 9)\n", r.N)
+	return header + stats.Table("density",
+		r.KeysPerNode, r.NodesPerCluster, r.HeadFraction, r.MsgsPerNode)
+}
+
+// Figure1Result is the cluster-size distribution of Figure 1.
+type Figure1Result struct {
+	// Fractions maps each density to the fraction of clusters having a
+	// given member count (index = cluster size; index 0 unused).
+	Fractions map[float64][]float64
+	N         int
+}
+
+// Figure1 measures the distribution of nodes to clusters for the two
+// densities the paper plots (8 and 20): "for smaller densities a larger
+// percentage of nodes forms clusters of size one. However, the
+// probability of this event decreases as the density becomes larger."
+func Figure1(o Options, densities ...float64) (*Figure1Result, error) {
+	o = o.withDefaults()
+	if len(densities) == 0 {
+		densities = []float64{8, 20}
+	}
+	res := &Figure1Result{Fractions: make(map[float64][]float64), N: o.N}
+	for _, density := range densities {
+		var h stats.Hist
+		for trial := 0; trial < o.Trials; trial++ {
+			d, err := deployTrial(o, density, trial)
+			if err != nil {
+				return nil, err
+			}
+			for _, size := range d.Clusters().Sizes {
+				h.Add(size)
+			}
+		}
+		res.Fractions[density] = h.Fractions()
+	}
+	return res, nil
+}
+
+// Table renders the distribution in the shape of the paper's bar chart.
+func (r *Figure1Result) Table() string {
+	out := fmt.Sprintf("Figure 1: distribution of nodes to clusters, n=%d\n", r.N)
+	maxSize := 0
+	var densities []float64
+	for d, fr := range r.Fractions {
+		densities = append(densities, d)
+		if len(fr)-1 > maxSize {
+			maxSize = len(fr) - 1
+		}
+	}
+	sortFloats(densities)
+	out += "cluster size"
+	for _, d := range densities {
+		out += fmt.Sprintf(" %14s", fmt.Sprintf("density=%g", d))
+	}
+	out += "\n"
+	for size := 1; size <= maxSize; size++ {
+		out += fmt.Sprintf("%-12d", size)
+		for _, d := range densities {
+			fr := r.Fractions[d]
+			v := 0.0
+			if size < len(fr) {
+				v = fr[size]
+			}
+			out += fmt.Sprintf(" %14.4f", v)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ScaleInvarianceResult compares the keys-per-node curve across network
+// sizes.
+type ScaleInvarianceResult struct {
+	// Curves maps network size to its keys-per-node series.
+	Curves map[int]*stats.Series
+	// MaxDiff is the largest cross-size difference of per-density means.
+	MaxDiff float64
+}
+
+// ScaleInvariance reproduces the Section V claim that the protocol
+// "behaves the same way in a network with 2000 or 20000 nodes": it runs
+// the keys-per-node measurement at several sizes and reports how far the
+// curves deviate.
+func ScaleInvariance(o Options, sizes []int, densities []float64) (*ScaleInvarianceResult, error) {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{1000, 2000, 4000}
+	}
+	if len(densities) == 0 {
+		densities = []float64{8, 12.5, 20}
+	}
+	res := &ScaleInvarianceResult{Curves: make(map[int]*stats.Series)}
+	for _, n := range sizes {
+		opt := o
+		opt.N = n
+		sweep, err := DensitySweep(opt, densities)
+		if err != nil {
+			return nil, err
+		}
+		sweep.KeysPerNode.Name = fmt.Sprintf("n=%d", n)
+		res.Curves[n] = sweep.KeysPerNode
+	}
+	// Pairwise max deviation.
+	var prev *stats.Series
+	for _, n := range sizes {
+		cur := res.Curves[n]
+		if prev != nil {
+			if diff, _ := stats.MaxAbsDiff(prev, cur); diff > res.MaxDiff {
+				res.MaxDiff = diff
+			}
+		}
+		prev = cur
+	}
+	return res, nil
+}
+
+// Table renders the per-size curves side by side.
+func (r *ScaleInvarianceResult) Table() string {
+	var series []*stats.Series
+	var sizes []int
+	for n := range r.Curves {
+		sizes = append(sizes, n)
+	}
+	sortInts(sizes)
+	for _, n := range sizes {
+		series = append(series, r.Curves[n])
+	}
+	return "Scale invariance: avg cluster keys per node by network size\n" +
+		stats.Table("density", series...) +
+		fmt.Sprintf("max cross-size deviation: %.4f keys\n", r.MaxDiff)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// SetupTimeResult quantifies the duration of the vulnerable master-key
+// window (Section IV-B's assumption that setup completes before a node
+// can be physically compromised).
+type SetupTimeResult struct {
+	// KeySetupWindow is the configured Km lifetime (boot to erasure).
+	KeySetupWindow time.Duration
+	// MeanMsgsPerNode is the per-node transmission count within it.
+	MeanMsgsPerNode float64
+	// Densities echoes the sweep axis.
+	Series *stats.Series
+}
+
+// SetupTime measures the master-key exposure window and the traffic it
+// takes — the evidence behind "the overall time needed to establish the
+// keys is a little more than transmission of one message plus the time to
+// decrypt the material sent during this phase."
+func SetupTime(o Options, densities []float64) (*SetupTimeResult, error) {
+	o = o.withDefaults()
+	if len(densities) == 0 {
+		densities = PaperDensities
+	}
+	sweep, err := DensitySweep(o, densities)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	var sum float64
+	pts := sweep.MsgsPerNode.Sorted()
+	for _, p := range pts {
+		sum += p.Y
+	}
+	return &SetupTimeResult{
+		KeySetupWindow:  cfg.ClusterPhaseEnd + cfg.LinkSpread + 50*time.Millisecond,
+		MeanMsgsPerNode: sum / float64(len(pts)),
+		Series:          sweep.MsgsPerNode,
+	}, nil
+}
+
+// Table renders the setup-window summary.
+func (r *SetupTimeResult) Table() string {
+	return fmt.Sprintf("Key-setup window (Km lifetime): %v\nMean setup messages per node: %.3f\n%s",
+		r.KeySetupWindow, r.MeanMsgsPerNode, stats.Table("density", r.Series))
+}

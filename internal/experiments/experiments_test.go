@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast returns options small enough for unit tests while preserving the
+// qualitative shapes; paper-scale runs happen in the benchmark harness.
+func fast() Options { return Options{Seed: 7, Trials: 2, N: 400} }
+
+func TestDensitySweepShapes(t *testing.T) {
+	res, err := DensitySweep(fast(), []float64{8, 12.5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k8, _ := res.KeysPerNode.At(8)
+	k20, _ := res.KeysPerNode.At(20)
+	if !(k8 > 1 && k20 > k8 && k20 < 10) {
+		t.Fatalf("Figure 6 shape violated: keys(8)=%v keys(20)=%v", k8, k20)
+	}
+	c8, _ := res.NodesPerCluster.At(8)
+	c20, _ := res.NodesPerCluster.At(20)
+	if !(c8 > 1.5 && c20 > c8) {
+		t.Fatalf("Figure 7 shape violated: size(8)=%v size(20)=%v", c8, c20)
+	}
+	h8, _ := res.HeadFraction.At(8)
+	h20, _ := res.HeadFraction.At(20)
+	if !(h8 > h20 && h8 < 0.6 && h20 > 0.02) {
+		t.Fatalf("Figure 8 shape violated: heads(8)=%v heads(20)=%v", h8, h20)
+	}
+	m8, _ := res.MsgsPerNode.At(8)
+	m20, _ := res.MsgsPerNode.At(20)
+	if !(m8 > 1.0 && m8 < 1.6 && m20 < m8) {
+		t.Fatalf("Figure 9 shape violated: msgs(8)=%v msgs(20)=%v", m8, m20)
+	}
+	// heads/n and msgs/node are coupled: msgs = 1 + heads fraction.
+	if diff := m8 - (1 + h8); diff > 0.01 || diff < -0.01 {
+		t.Fatalf("msgs(8)=%v != 1+heads(8)=%v", m8, 1+h8)
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "keys/node") || !strings.Contains(tbl, "density") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestFigure1SingletonTrend(t *testing.T) {
+	res, err := Figure1(fast(), 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8 := res.Fractions[8]
+	f20 := res.Fractions[20]
+	if len(f8) < 2 || len(f20) < 2 {
+		t.Fatal("missing distributions")
+	}
+	// The paper's observation: singleton clusters are noticeably more
+	// common at density 8 than at density 20.
+	if !(f8[1] > f20[1]) {
+		t.Fatalf("singleton fractions: d8=%v d20=%v", f8[1], f20[1])
+	}
+	if f8[1] < 0.1 || f8[1] > 0.7 {
+		t.Fatalf("singleton fraction at d=8 is %v; paper shows ~0.35-0.40", f8[1])
+	}
+	// Distributions sum to 1.
+	for _, fr := range [][]float64{f8, f20} {
+		sum := 0.0
+		for _, v := range fr {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("distribution sums to %v", sum)
+		}
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "density=8") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	res, err := ScaleInvariance(Options{Seed: 9, Trials: 2}, []int{300, 900}, []float64{10, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("curves: %d", len(res.Curves))
+	}
+	// Tripling the network must leave keys-per-node within statistical
+	// noise (the paper: "the curves matched exactly, modulo some small
+	// statistical deviation").
+	if res.MaxDiff > 0.6 {
+		t.Fatalf("curves deviate by %v keys across sizes", res.MaxDiff)
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "n=300") || !strings.Contains(tbl, "n=900") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestResilienceOrdering(t *testing.T) {
+	o := fast()
+	o.Trials = 1
+	res, err := Resilience(o, []int{1, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, s := range res.Full {
+		byName[s.Name] = i
+	}
+	gk := res.Full[byName["global-key"]]
+	ours := res.Full[byName["localized"]]
+	// Global key: total collapse from the first capture.
+	for _, x := range []float64{1, 10, 40} {
+		if v, ok := gk.At(x); !ok || v != 1.0 {
+			t.Fatalf("global key at x=%v: %v", x, v)
+		}
+		if v, _ := ours.At(x); v >= 1.0 {
+			t.Fatalf("localized at x=%v fully compromised", x)
+		}
+	}
+	// Locality probe: zero remote compromise for us at every x.
+	for _, s := range res.Remote {
+		if s.Name != "localized(far)" {
+			continue
+		}
+		for i := 0; i < s.Len(); i++ {
+			if _, y, _ := s.Point(i); y != 0 {
+				t.Fatalf("localized remote compromise nonzero: %v", y)
+			}
+		}
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "Locality probe") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestBroadcastCostContrast(t *testing.T) {
+	o := fast()
+	o.Trials = 1
+	res, err := BroadcastCost(o, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]int{}
+	for i, s := range res.Series {
+		series[s.Name] = i
+	}
+	ours := res.Series[series["localized"]]
+	rk := res.Series[series["random-kp"]]
+	for _, x := range []float64{10, 20} {
+		vOurs, _ := ours.At(x)
+		vRK, _ := rk.At(x)
+		if vOurs != 1.0 {
+			t.Fatalf("localized broadcast cost %v at density %v", vOurs, x)
+		}
+		// Random KP must pay several transmissions per broadcast, and
+		// more at higher density.
+		if vRK < 3 {
+			t.Fatalf("random-kp broadcast cost %v at density %v", vRK, x)
+		}
+	}
+	rk10, _ := rk.At(10)
+	rk20, _ := rk.At(20)
+	if rk20 <= rk10 {
+		t.Fatalf("random-kp cost should grow with density: %v -> %v", rk10, rk20)
+	}
+}
+
+func TestHelloFloodContrast(t *testing.T) {
+	o := fast()
+	res, err := HelloFlood(o, []int{0, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := res.VictimKeys.At(0)
+	v1000, _ := res.VictimKeys.At(1000)
+	if v1000 < v0+1000 {
+		t.Fatalf("flood did not inflate LEAP storage: %v -> %v", v0, v1000)
+	}
+	if res.LocalizedKeys > 10 {
+		t.Fatalf("localized protocol stores %d keys", res.LocalizedKeys)
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "flood-immune") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestSelectiveForwardingDegradesGracefully(t *testing.T) {
+	o := Options{Seed: 21, Trials: 1, N: 250}
+	res, err := SelectiveForwarding(o, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := res.DeliveryRatio.At(0)
+	attacked, _ := res.DeliveryRatio.At(0.2)
+	if clean < 0.95 {
+		t.Fatalf("clean delivery ratio %v", clean)
+	}
+	if attacked < 0.5 {
+		t.Fatalf("delivery under 20%% droppers collapsed to %v", attacked)
+	}
+}
+
+func TestSetupTime(t *testing.T) {
+	o := fast()
+	o.Trials = 1
+	res, err := SetupTime(o, []float64{10, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeySetupWindow <= 0 {
+		t.Fatal("empty setup window")
+	}
+	if res.MeanMsgsPerNode < 1.0 || res.MeanMsgsPerNode > 1.5 {
+		t.Fatalf("mean setup messages %v", res.MeanMsgsPerNode)
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "Km lifetime") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+// TestScaleInvariance20000 checks the paper's literal sentence: "our
+// protocol behaves the same way in a network with 2000 or 20000 nodes."
+func TestScaleInvariance20000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20000-node deployment takes a few seconds")
+	}
+	o := Options{Seed: 31, Trials: 1}
+	res, err := ScaleInvariance(o, []int{2000, 20000}, []float64{12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2000, _ := res.Curves[2000].At(12.5)
+	k20000, _ := res.Curves[20000].At(12.5)
+	if k2000 < 2 || k2000 > 6 {
+		t.Fatalf("keys/node at 2000 = %v", k2000)
+	}
+	if diff := k20000 - k2000; diff > 0.3 || diff < -0.3 {
+		t.Fatalf("keys/node differ across a 10x size jump: %v vs %v", k2000, k20000)
+	}
+}

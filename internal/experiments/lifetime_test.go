@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLifetimeDecaysGracefully(t *testing.T) {
+	o := Options{Seed: 23, Trials: 1, N: 300}
+	res, err := Lifetime(o, 2e6, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := res.DeliveryByRound.At(1)
+	if first < 0.99 {
+		t.Fatalf("round-1 delivery %v", first)
+	}
+	if res.FirstDeath == 0 {
+		t.Fatal("no battery death on a 2J budget over 15 network-wide rounds")
+	}
+	if res.RoundsToFirstDeath < 1 {
+		t.Fatalf("first death before any round: %v", res.FirstDeath)
+	}
+	// Delivery must decay as relays die (the energy hole), but not be a
+	// cliff at the first death.
+	afterDeath, ok := res.DeliveryByRound.At(float64(res.RoundsToFirstDeath + 1))
+	if ok && afterDeath < 0.3 {
+		t.Fatalf("delivery cliff right after first death: %v", afterDeath)
+	}
+	last, _ := res.DeliveryByRound.At(15)
+	if last >= first {
+		t.Fatalf("delivery did not decay: %v -> %v", first, last)
+	}
+	if res.DeadAtEnd <= 0 || res.DeadAtEnd > 0.8 {
+		t.Fatalf("dead fraction %v", res.DeadAtEnd)
+	}
+	// Section IV-E machinery under degradation: replacements deployed
+	// and (mostly) joined.
+	if res.ReplacementsDeployed == 0 {
+		t.Fatal("no replacements deployed")
+	}
+	if res.ReplacementsJoined < res.ReplacementsDeployed/2 {
+		t.Fatalf("only %d/%d replacements joined",
+			res.ReplacementsJoined, res.ReplacementsDeployed)
+	}
+	if res.ReplacementsDelivered == 0 {
+		t.Fatal("no replacement delivered a reading")
+	}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "first battery death") || !strings.Contains(tbl, "replacements:") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestLifetimeUnlimitedStable(t *testing.T) {
+	// A short sanity run with a huge battery: nothing dies, delivery
+	// stays at 1.
+	o := Options{Seed: 29, Trials: 1, N: 200}
+	res, err := Lifetime(o, 1e12, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDeath != 0 || res.DeadAtEnd != 0 {
+		t.Fatalf("deaths on an effectively infinite battery: %v / %v",
+			res.FirstDeath, res.DeadAtEnd)
+	}
+	for round := 1; round <= 4; round++ {
+		if v, ok := res.DeliveryByRound.At(float64(round)); !ok || v < 0.99 {
+			t.Fatalf("round %d delivery %v", round, v)
+		}
+	}
+	if res.ReplacementsDeployed != 0 {
+		t.Fatal("replacements deployed despite withReplacements=false")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStorageScaling(t *testing.T) {
+	o := Options{Seed: 3, Trials: 1}
+	res, err := Storage(o, []int{300, 900}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, s := range res.Curves {
+		byName[s.Name] = i
+	}
+	at := func(name string, x float64) float64 {
+		v, ok := res.Curves[byName[name]].At(x)
+		if !ok {
+			t.Fatalf("missing point %s@%v", name, x)
+		}
+		return v
+	}
+	// Pairwise-unique grows linearly with n (the paper's infeasibility
+	// argument); the localized protocol stays flat.
+	if at("pairwise-unique", 900) != 899 || at("pairwise-unique", 300) != 299 {
+		t.Fatalf("pairwise storage: %v, %v", at("pairwise-unique", 300), at("pairwise-unique", 900))
+	}
+	oursSmall, oursLarge := at("localized", 300), at("localized", 900)
+	if oursLarge > oursSmall+1 || oursLarge < oursSmall-1 {
+		t.Fatalf("localized storage not size-independent: %v vs %v", oursSmall, oursLarge)
+	}
+	if oursLarge > 10 {
+		t.Fatalf("localized stores %v keys", oursLarge)
+	}
+	// Global key is exactly one everywhere.
+	if at("global-key", 300) != 1 || at("global-key", 900) != 1 {
+		t.Fatal("global-key storage wrong")
+	}
+	// Blom and random-kp are flat too (size-independent parameters).
+	if diff := at("blom-multispace", 900) - at("blom-multispace", 300); diff != 0 {
+		t.Fatalf("blom storage varies with n by %v", diff)
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "pairwise-unique") || !strings.Contains(tbl, "localized") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestResilienceIncludesAllSchemes(t *testing.T) {
+	o := Options{Seed: 5, Trials: 1, N: 300}
+	res, err := Resilience(o, []int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"localized": false, "global-key": false, "random-kp": false,
+		"q-composite(q=2)": false, "blom-multispace": false, "leap": false,
+		"pairwise-unique": false,
+	}
+	for _, s := range res.Full {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("resilience missing scheme %s", name)
+		}
+	}
+	// Pairwise must show zero compromise; blom below threshold near zero.
+	for _, s := range res.Full {
+		v, _ := s.At(20)
+		switch s.Name {
+		case "pairwise-unique":
+			if v != 0 {
+				t.Fatalf("pairwise compromised %v", v)
+			}
+		case "blom-multispace":
+			if v > 0.05 {
+				t.Fatalf("sub-threshold blom compromised %v", v)
+			}
+		}
+	}
+}
+
+func TestSetupCostEmpirical(t *testing.T) {
+	o := Options{Seed: 41, Trials: 1, N: 300}
+	res, err := SetupCost(o, []float64{8, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, density := range []float64{8, 15} {
+		ours, _ := res.Localized.At(density)
+		lp, _ := res.LEAP.At(density)
+		if ours < 1.0 || ours > 1.5 {
+			t.Fatalf("localized setup cost %v msgs/node at density %v", ours, density)
+		}
+		// LEAP pays ~1 + 2*degree messages per node; at density 8 that is
+		// ~17, at 15 it is ~31 — an order of magnitude over ours.
+		if lp < 2*density {
+			t.Fatalf("LEAP setup cost %v msgs/node at density %v", lp, density)
+		}
+		eOurs, _ := res.EnergyLocalized.At(density)
+		eLEAP, _ := res.EnergyLEAP.At(density)
+		if eLEAP <= eOurs {
+			t.Fatalf("LEAP energy %v not above localized %v", eLEAP, eOurs)
+		}
+	}
+	// The gap must widen with density (LEAP scales with degree; ours
+	// does not).
+	o8, _ := res.Localized.At(8)
+	o15, _ := res.Localized.At(15)
+	l8, _ := res.LEAP.At(8)
+	l15, _ := res.LEAP.At(15)
+	if (l15 - o15) <= (l8 - o8) {
+		t.Fatalf("cost gap did not widen: d8 gap %v, d15 gap %v", l8-o8, l15-o15)
+	}
+	if !strings.Contains(res.Table(), "leap msgs") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestSetupCostIncludesRandomKP(t *testing.T) {
+	o := Options{Seed: 43, Trials: 1, N: 250}
+	res, err := SetupCost(o, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, ok := res.RandomKP.At(10)
+	if !ok {
+		t.Fatal("random-kp series missing")
+	}
+	ours, _ := res.Localized.At(10)
+	// EG: 1 advertisement + ~p*degree confirms per node; with P=10000,
+	// m=100, p~0.63, degree ~10 → ~7 msgs/node.
+	if rk < 3 || rk > 15 {
+		t.Fatalf("EG setup cost %v msgs/node", rk)
+	}
+	if rk <= ours {
+		t.Fatalf("EG (%v) not above localized (%v)", rk, ours)
+	}
+	// EG's advertisement is 4B per ring entry: its per-node energy must
+	// exceed ours by a wide margin despite the modest message count.
+	eOurs, _ := res.EnergyLocalized.At(10)
+	eRK, _ := res.EnergyRandomKP.At(10)
+	if eRK < 2*eOurs {
+		t.Fatalf("EG energy %v not well above localized %v", eRK, eOurs)
+	}
+}

@@ -1,0 +1,53 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"repro/internal/fusion"
+)
+
+// ExampleDedup shows duplicate suppression — thirty sensors reporting the
+// same event produce one upstream report per forwarding path.
+func ExampleDedup() {
+	d := fusion.NewDedup(64)
+	fmt.Println(d.Forward(1, 1, []byte("fire at sector 7")))
+	fmt.Println(d.Forward(2, 1, []byte("fire at sector 7"))) // same event, other sensor
+	fmt.Println(d.Forward(3, 1, []byte("all quiet")))
+	// Output:
+	// true
+	// false
+	// true
+}
+
+// ExampleChain composes policies: duplicates are dropped first, then a
+// per-source budget throttles chatty sensors.
+func ExampleChain() {
+	policy := fusion.Chain{
+		fusion.NewDedup(64),
+		&fusion.RateLimiter{Budget: 2},
+	}
+	for seq := uint32(1); seq <= 4; seq++ {
+		payload := fusion.EncodeValue(float64(seq))
+		fmt.Println(policy.Forward(7, seq, payload))
+	}
+	// Output:
+	// true
+	// true
+	// false
+	// false
+}
+
+// ExampleMaxTracker shows in-network maximum aggregation: only new maxima
+// travel toward the base station.
+func ExampleMaxTracker() {
+	m := &fusion.MaxTracker{}
+	for _, v := range []float64{10, 7, 12, 12, 30} {
+		fmt.Println(v, m.Forward(1, 0, fusion.EncodeValue(v)))
+	}
+	// Output:
+	// 10 true
+	// 7 false
+	// 12 true
+	// 12 false
+	// 30 true
+}

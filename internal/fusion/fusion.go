@@ -1,0 +1,180 @@
+// Package fusion provides in-network aggregation policies for the
+// protocol's data-fusion mode. When Step-1 encryption is disabled,
+// intermediate nodes can "peak at encrypted data using their cluster key
+// and decide upon forwarding or discarding redundant information"
+// (Section II); this package supplies the deciding logic as composable
+// Suppressor policies pluggable into core.Sensor.Peek.
+//
+// The policies implement the standard in-network processing repertoire
+// the paper motivates through directed diffusion [5]: duplicate
+// suppression, change-delta filtering, extremum tracking, and per-source
+// rate limiting.
+package fusion
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/node"
+)
+
+// Suppressor decides whether a reading passing through a forwarder should
+// continue toward the base station. Implementations are per-node state
+// machines (one instance per forwarder) and are not safe for concurrent
+// use — matching the single-threaded behavior contract.
+type Suppressor interface {
+	// Forward inspects one passing reading and reports whether to relay
+	// it.
+	Forward(origin node.ID, seq uint32, data []byte) bool
+}
+
+// Hook adapts a Suppressor to the core.Sensor.Peek signature.
+func Hook(s Suppressor) func(origin node.ID, seq uint32, data []byte) bool {
+	return s.Forward
+}
+
+// Chain combines suppressors; a reading is forwarded only if every policy
+// agrees. Policies later in the chain are not consulted after a veto, so
+// order cheap filters first.
+type Chain []Suppressor
+
+// Forward implements Suppressor.
+func (c Chain) Forward(origin node.ID, seq uint32, data []byte) bool {
+	for _, s := range c {
+		if !s.Forward(origin, seq, data) {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeValue packs a numeric sensor reading into the 8-byte wire payload
+// the numeric policies expect.
+func EncodeValue(v float64) []byte {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, math.Float64bits(v))
+	return buf
+}
+
+// DecodeValue unpacks EncodeValue's payload; ok is false if the payload
+// is not numeric.
+func DecodeValue(data []byte) (v float64, ok bool) {
+	if len(data) != 8 {
+		return 0, false
+	}
+	v = math.Float64frombits(binary.BigEndian.Uint64(data))
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Dedup suppresses payloads identical to one seen recently, bounded by an
+// LRU of the given capacity. It is the aggregation the paper's
+// "discarding redundant information" sentence describes: thirty sensors
+// reporting the same event produce one upstream report per path.
+type Dedup struct {
+	capacity int
+	seen     map[string]struct{}
+	fifo     []string
+	pos      int
+}
+
+// NewDedup returns a duplicate filter remembering up to capacity distinct
+// payloads (minimum 1).
+func NewDedup(capacity int) *Dedup {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Dedup{capacity: capacity, seen: make(map[string]struct{}, capacity)}
+}
+
+// Forward implements Suppressor.
+func (d *Dedup) Forward(_ node.ID, _ uint32, data []byte) bool {
+	key := string(data)
+	if _, dup := d.seen[key]; dup {
+		return false
+	}
+	if len(d.fifo) < d.capacity {
+		d.fifo = append(d.fifo, key)
+	} else {
+		delete(d.seen, d.fifo[d.pos])
+		d.fifo[d.pos] = key
+		d.pos = (d.pos + 1) % d.capacity
+	}
+	d.seen[key] = struct{}{}
+	return true
+}
+
+// DeltaFilter forwards numeric readings only when they differ from the
+// last forwarded value by at least Epsilon — the classic report-on-change
+// policy. Non-numeric payloads pass through untouched.
+type DeltaFilter struct {
+	// Epsilon is the minimum absolute change worth reporting.
+	Epsilon float64
+
+	last    float64
+	haveOne bool
+}
+
+// Forward implements Suppressor.
+func (f *DeltaFilter) Forward(_ node.ID, _ uint32, data []byte) bool {
+	v, ok := DecodeValue(data)
+	if !ok {
+		return true
+	}
+	if f.haveOne && math.Abs(v-f.last) < f.Epsilon {
+		return false
+	}
+	f.last = v
+	f.haveOne = true
+	return true
+}
+
+// MaxTracker forwards a numeric reading only if it exceeds every value
+// seen so far — in-network maximum aggregation (the base station receives
+// a monotone series ending at the field's maximum). Non-numeric payloads
+// pass through.
+type MaxTracker struct {
+	best    float64
+	haveOne bool
+}
+
+// Forward implements Suppressor.
+func (m *MaxTracker) Forward(_ node.ID, _ uint32, data []byte) bool {
+	v, ok := DecodeValue(data)
+	if !ok {
+		return true
+	}
+	if m.haveOne && v <= m.best {
+		return false
+	}
+	m.best = v
+	m.haveOne = true
+	return true
+}
+
+// RateLimiter forwards at most Budget readings per origin, then suppresses
+// that origin until Reset is called (e.g. by an epoch timer) — a crude but
+// effective defense against a babbling sensor.
+type RateLimiter struct {
+	// Budget is the per-origin forward allowance per epoch.
+	Budget int
+
+	counts map[node.ID]int
+}
+
+// Forward implements Suppressor.
+func (r *RateLimiter) Forward(origin node.ID, _ uint32, _ []byte) bool {
+	if r.counts == nil {
+		r.counts = make(map[node.ID]int)
+	}
+	if r.counts[origin] >= r.Budget {
+		return false
+	}
+	r.counts[origin]++
+	return true
+}
+
+// Reset starts a new rate-limiting epoch.
+func (r *RateLimiter) Reset() { r.counts = nil }

@@ -1,0 +1,184 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestEncodeDecodeValue(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		got, ok := DecodeValue(EncodeValue(v))
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeValue([]byte("short")); ok {
+		t.Fatal("short payload decoded")
+	}
+	if _, ok := DecodeValue(EncodeValue(math.NaN())); ok {
+		t.Fatal("NaN decoded as numeric")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	d := NewDedup(2)
+	if !d.Forward(1, 1, []byte("a")) {
+		t.Fatal("first a suppressed")
+	}
+	if d.Forward(2, 1, []byte("a")) {
+		t.Fatal("duplicate a forwarded")
+	}
+	if !d.Forward(1, 2, []byte("b")) || !d.Forward(1, 3, []byte("c")) {
+		t.Fatal("fresh payloads suppressed")
+	}
+	// Capacity 2: "a" has been evicted by now and flows again.
+	if !d.Forward(1, 4, []byte("a")) {
+		t.Fatal("evicted payload still suppressed")
+	}
+}
+
+func TestDedupMinCapacity(t *testing.T) {
+	d := NewDedup(0) // clamped to 1
+	if !d.Forward(1, 1, []byte("x")) || d.Forward(1, 2, []byte("x")) {
+		t.Fatal("capacity-1 dedup broken")
+	}
+	if !d.Forward(1, 3, []byte("y")) || !d.Forward(1, 4, []byte("x")) {
+		t.Fatal("capacity-1 eviction broken")
+	}
+}
+
+func TestDeltaFilter(t *testing.T) {
+	f := &DeltaFilter{Epsilon: 0.5}
+	if !f.Forward(1, 1, EncodeValue(20.0)) {
+		t.Fatal("first value suppressed")
+	}
+	if f.Forward(1, 2, EncodeValue(20.3)) {
+		t.Fatal("sub-epsilon change forwarded")
+	}
+	if !f.Forward(1, 3, EncodeValue(20.6)) {
+		t.Fatal("super-epsilon change suppressed")
+	}
+	// Reference point moved to 20.6.
+	if f.Forward(1, 4, EncodeValue(20.4)) {
+		t.Fatal("change relative to stale reference")
+	}
+	if !f.Forward(1, 5, []byte("non-numeric")) {
+		t.Fatal("non-numeric payload suppressed")
+	}
+}
+
+func TestMaxTracker(t *testing.T) {
+	m := &MaxTracker{}
+	seq := []struct {
+		v    float64
+		want bool
+	}{{10, true}, {5, false}, {10, false}, {11, true}, {11, false}, {30, true}}
+	for i, c := range seq {
+		if got := m.Forward(1, uint32(i), EncodeValue(c.v)); got != c.want {
+			t.Fatalf("step %d (v=%v): forward=%v, want %v", i, c.v, got, c.want)
+		}
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	r := &RateLimiter{Budget: 2}
+	for i := 0; i < 2; i++ {
+		if !r.Forward(7, uint32(i), nil) {
+			t.Fatalf("within-budget forward %d suppressed", i)
+		}
+	}
+	if r.Forward(7, 2, nil) {
+		t.Fatal("over-budget forward allowed")
+	}
+	if !r.Forward(8, 0, nil) {
+		t.Fatal("different origin throttled")
+	}
+	r.Reset()
+	if !r.Forward(7, 3, nil) {
+		t.Fatal("budget not restored by Reset")
+	}
+}
+
+func TestChainVetoAndOrder(t *testing.T) {
+	d := NewDedup(8)
+	rl := &RateLimiter{Budget: 1}
+	c := Chain{d, rl}
+	if !c.Forward(1, 1, []byte("a")) {
+		t.Fatal("chain suppressed a fresh reading")
+	}
+	// Origin 2's duplicate is vetoed by dedup BEFORE the rate limiter
+	// sees it, so origin 2's budget must remain unspent.
+	if c.Forward(2, 2, []byte("a")) {
+		t.Fatal("chain forwarded a duplicate")
+	}
+	if !c.Forward(2, 3, []byte("b")) {
+		t.Fatal("rate limiter was charged by a vetoed reading")
+	}
+}
+
+// TestFusionEndToEnd runs the MaxTracker policy inside a real network:
+// readings rise and fall; the base station receives a strictly increasing
+// series.
+func TestFusionEndToEnd(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.DisableStep1 = true
+	d, err := core.Deploy(core.DeployOptions{N: 80, Density: 12, Seed: 303, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.Sensors {
+		if i == d.BSIndex {
+			continue
+		}
+		s.Peek = Hook(&MaxTracker{})
+	}
+	// One distant source reports a rising-falling-rising series.
+	src := -1
+	for i := range d.Sensors {
+		if i != d.BSIndex && !d.Graph.Adjacent(i, d.BSIndex) {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("all nodes adjacent to BS")
+	}
+	values := []float64{5, 9, 3, 9, 12, 6, 20}
+	base := d.Eng.Now()
+	for k, v := range values {
+		d.SendReading(src, base+time.Duration(k+1)*50*time.Millisecond, EncodeValue(v))
+	}
+	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for _, del := range d.Deliveries() {
+		v, ok := DecodeValue(del.Data)
+		if !ok {
+			t.Fatalf("non-numeric delivery %q", del.Data)
+		}
+		got = append(got, v)
+	}
+	if len(got) == 0 || len(got) >= len(values) {
+		t.Fatalf("deliveries %v: suppression absent or total", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("series not strictly increasing: %v", got)
+		}
+	}
+	if got[len(got)-1] != 20 {
+		t.Fatalf("maximum 20 never arrived: %v", got)
+	}
+}

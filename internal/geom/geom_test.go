@@ -1,0 +1,233 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := Dist(p, q); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+	if got := Dist2(p, q); got != 25 {
+		t.Fatalf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestTorusDistWraps(t *testing.T) {
+	const side = 10.0
+	p := Point{0.5, 0.5}
+	q := Point{9.5, 9.5}
+	// Wrapping distance is sqrt(1^2+1^2), not sqrt(9^2+9^2).
+	want := math.Sqrt(2)
+	if got := TorusDist(p, q, side); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TorusDist = %v, want %v", got, want)
+	}
+}
+
+func TestTorusDistSymmetric(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(ax, ay, bx, by uint16) bool {
+		const side = 100.0
+		p := Point{float64(ax) / 656.0, float64(ay) / 656.0}
+		q := Point{float64(bx) / 656.0, float64(by) / 656.0}
+		d1 := TorusDist(p, q, side)
+		d2 := TorusDist(q, p, side)
+		return math.Abs(d1-d2) < 1e-9 && d1 <= side*math.Sqrt2/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestTorusDistNeverExceedsPlanar(t *testing.T) {
+	rng := xrand.New(2)
+	const side = 50.0
+	for i := 0; i < 1000; i++ {
+		p := Point{rng.Float64() * side, rng.Float64() * side}
+		q := Point{rng.Float64() * side, rng.Float64() * side}
+		if TorusDist(p, q, side) > Dist(p, q)+1e-9 {
+			t.Fatalf("torus distance exceeds planar for %v %v", p, q)
+		}
+	}
+}
+
+func TestUniformPointsInBounds(t *testing.T) {
+	rng := xrand.New(3)
+	const side = 42.0
+	pts := UniformPoints(rng, 5000, side)
+	if len(pts) != 5000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= side || p.Y < 0 || p.Y >= side {
+			t.Fatalf("point out of bounds: %v", p)
+		}
+	}
+}
+
+func TestUniformPointsCoverage(t *testing.T) {
+	// Each quadrant should receive roughly a quarter of the points.
+	rng := xrand.New(4)
+	const side, n = 10.0, 40000
+	pts := UniformPoints(rng, n, side)
+	var q [4]int
+	for _, p := range pts {
+		idx := 0
+		if p.X >= side/2 {
+			idx |= 1
+		}
+		if p.Y >= side/2 {
+			idx |= 2
+		}
+		q[idx]++
+	}
+	for i, c := range q {
+		if math.Abs(float64(c)-n/4) > 5*math.Sqrt(n/4) {
+			t.Fatalf("quadrant %d count %d far from %d", i, c, n/4)
+		}
+	}
+}
+
+// bruteWithin is the O(n) reference implementation for grid queries.
+func bruteWithin(pts []Point, p Point, radius, side float64, metric Metric, exclude int32) []int32 {
+	var out []int32
+	r2 := radius * radius
+	for i, q := range pts {
+		if int32(i) == exclude {
+			continue
+		}
+		var d2 float64
+		if metric == Torus {
+			d2 = TorusDist2(p, q, side)
+		} else {
+			d2 = Dist2(p, q)
+		}
+		if d2 <= r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sorted(xs []int32) []int32 {
+	out := append([]int32(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(5)
+	const side = 20.0
+	for _, metric := range []Metric{Planar, Torus} {
+		for _, radius := range []float64{0.5, 1.3, 3.0, 7.0} {
+			pts := UniformPoints(rng, 400, side)
+			g := NewGrid(pts, side, radius, metric)
+			for trial := 0; trial < 50; trial++ {
+				i := int32(rng.Intn(len(pts)))
+				got := sorted(g.Within(nil, pts[i], radius, i))
+				want := sorted(bruteWithin(pts, pts[i], radius, side, metric, i))
+				if !equalIDs(got, want) {
+					t.Fatalf("metric=%v radius=%v node=%d: grid %v != brute %v",
+						metric, radius, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGridSmallerQueryRadius(t *testing.T) {
+	// Querying with a radius below maxRadius must still be exact.
+	rng := xrand.New(6)
+	const side = 15.0
+	pts := UniformPoints(rng, 300, side)
+	g := NewGrid(pts, side, 4.0, Torus)
+	for trial := 0; trial < 30; trial++ {
+		i := int32(rng.Intn(len(pts)))
+		got := sorted(g.Within(nil, pts[i], 2.5, i))
+		want := sorted(bruteWithin(pts, pts[i], 2.5, side, Torus, i))
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: grid %v != brute %v", trial, got, want)
+		}
+	}
+}
+
+func TestGridExclude(t *testing.T) {
+	pts := []Point{{1, 1}, {1.1, 1}, {5, 5}}
+	g := NewGrid(pts, 10, 1, Planar)
+	got := g.Within(nil, pts[0], 1, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Within with exclude: got %v, want [1]", got)
+	}
+	all := g.Within(nil, pts[0], 1, -1)
+	if len(all) != 2 {
+		t.Fatalf("Within without exclude: got %v, want self+neighbor", all)
+	}
+}
+
+func TestGridTinyTorus(t *testing.T) {
+	// Radius close to side forces the single-bucket path on a torus.
+	pts := []Point{{0.1, 0.1}, {9.9, 9.9}, {5, 5}}
+	g := NewGrid(pts, 10, 6, Torus)
+	got := sorted(g.Within(nil, pts[0], 1.0, 0))
+	// Node 1 wraps to distance sqrt(0.08) ~ 0.28 from node 0.
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("tiny torus query: got %v, want [1]", got)
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero side":   func() { NewGrid(nil, 0, 1, Planar) },
+		"zero radius": func() { NewGrid(nil, 1, 0, Planar) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Planar.String() != "planar" || Torus.String() != "torus" {
+		t.Fatal("Metric.String mismatch")
+	}
+	if Metric(99).String() != "unknown" {
+		t.Fatal("unknown metric should stringify as unknown")
+	}
+}
+
+func BenchmarkGridWithin(b *testing.B) {
+	rng := xrand.New(7)
+	const side = 100.0
+	pts := UniformPoints(rng, 10000, side)
+	g := NewGrid(pts, side, 2.0, Torus)
+	buf := make([]int32, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(buf[:0], pts[i%len(pts)], 2.0, int32(i%len(pts)))
+	}
+}

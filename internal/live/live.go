@@ -1,0 +1,354 @@
+// Package live runs node behaviors as one goroutine per node with channel
+// radios — the concurrent counterpart of internal/sim.
+//
+// The protocol state machines in internal/core are written once against
+// node.Context; the deterministic simulator hosts them for experiments,
+// and this runtime hosts them for the examples, exercising the same code
+// under real scheduling nondeterminism (and under `go test -race`). Each
+// node's callbacks (Start / Receive / Timer) run only on that node's
+// goroutine, so behaviors need no locking, exactly as with the simulator.
+//
+// Broadcast delivery is a non-blocking send into each neighbor's buffered
+// inbox; a full inbox drops the packet, modeling radio buffer overflow.
+// Timers use a per-node deadline heap driven by a single time.Timer.
+package live
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Graph is the communication topology; node i hosts behaviors[i].
+	Graph *topology.Graph
+	// Seed drives per-node random streams.
+	Seed uint64
+	// InboxSize is each node's receive buffer capacity (default 256).
+	InboxSize int
+	// Loss is the independent per-link per-packet loss probability.
+	Loss float64
+	// Energy is the cost model; zero value means DefaultModel.
+	Energy energy.Model
+}
+
+type packet struct {
+	from node.ID
+	data []byte
+}
+
+// Network hosts the nodes. Create with Start, stop with Stop.
+type Network struct {
+	cfg   Config
+	hosts []*lhost
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	done  atomic.Bool
+
+	lossMu  sync.Mutex
+	lossRNG *xrand.RNG
+}
+
+// lhost is one node's goroutine-side state. All fields except inbox,
+// alive, and dropped are owned by the node's own goroutine.
+type lhost struct {
+	net      *Network
+	id       node.ID
+	idx      int
+	behavior node.Behavior
+	inbox    chan packet
+	cmds     chan func(node.Context)
+	alive    atomic.Bool
+	dropped  atomic.Int64 // inbox-overflow packets
+
+	rng     *xrand.RNG
+	meter   energy.Meter
+	meterMu sync.Mutex // meter is read by Meter() while the node runs
+
+	timers  timerHeap
+	nextTID node.TimerID
+	clock   *time.Timer
+	start   time.Time
+}
+
+type liveTimer struct {
+	deadline  time.Time
+	tag       node.Tag
+	id        node.TimerID
+	cancelled bool
+}
+
+type timerHeap []*liveTimer
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*liveTimer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Start boots a network: every non-nil behavior gets a goroutine and its
+// Start callback runs before any delivery to it.
+func Start(cfg Config, behaviors []node.Behavior) *Network {
+	if cfg.Graph == nil || len(behaviors) != cfg.Graph.N() {
+		panic("live: behaviors must match Config.Graph")
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 256
+	}
+	if (cfg.Energy == energy.Model{}) {
+		cfg.Energy = energy.DefaultModel()
+	}
+	root := xrand.New(cfg.Seed)
+	n := &Network{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		lossRNG: root.Split(0),
+	}
+	n.hosts = make([]*lhost, len(behaviors))
+	now := time.Now()
+	for i, b := range behaviors {
+		h := &lhost{
+			net:      n,
+			id:       node.ID(i),
+			idx:      i,
+			behavior: b,
+			inbox:    make(chan packet, cfg.InboxSize),
+			cmds:     make(chan func(node.Context), 16),
+			rng:      root.Split(1 + uint64(i)),
+			start:    now,
+		}
+		h.alive.Store(b != nil)
+		n.hosts[i] = h
+	}
+	for _, h := range n.hosts {
+		if h.behavior == nil {
+			continue
+		}
+		n.wg.Add(1)
+		go h.run()
+	}
+	return n
+}
+
+// Stop shuts every node down and waits for their goroutines. It is
+// idempotent. After Stop returns, meters and behaviors may be inspected
+// without synchronization.
+func (n *Network) Stop() {
+	if n.done.CompareAndSwap(false, true) {
+		close(n.stop)
+	}
+	n.wg.Wait()
+}
+
+// N returns the number of hosted nodes.
+func (n *Network) N() int { return len(n.hosts) }
+
+// Alive reports whether node i is operating.
+func (n *Network) Alive(i int) bool { return n.hosts[i].alive.Load() }
+
+// Kill removes node i from the network (no further deliveries).
+func (n *Network) Kill(i int) { n.hosts[i].alive.Store(false) }
+
+// Dropped returns the number of packets node i lost to inbox overflow.
+func (n *Network) Dropped(i int) int64 { return n.hosts[i].dropped.Load() }
+
+// Behavior returns the behavior hosted at node i. Inspect its state only
+// after Stop.
+func (n *Network) Behavior(i int) node.Behavior { return n.hosts[i].behavior }
+
+// MeterSnapshot returns a copy of node i's energy meter, safe to call
+// while the network runs.
+func (n *Network) MeterSnapshot(i int) energy.Meter {
+	h := n.hosts[i]
+	h.meterMu.Lock()
+	defer h.meterMu.Unlock()
+	return h.meter
+}
+
+// Do runs fn on node i's goroutine with that node's Context — the hook for
+// application-level actions (send a reading, trigger a refresh). It blocks
+// until the command is queued; the command itself runs asynchronously.
+func (n *Network) Do(i int, fn func(node.Context)) {
+	select {
+	case n.hosts[i].cmds <- fn:
+	case <-n.stop:
+	}
+}
+
+// Inject broadcasts pkt from the radio position of graph node at with a
+// forged link-layer sender, for adversary scenarios.
+func (n *Network) Inject(at int, fakeFrom node.ID, pkt []byte) {
+	n.deliver(at, fakeFrom, pkt)
+}
+
+func (n *Network) deliver(idx int, from node.ID, pkt []byte) {
+	for _, nb := range n.cfg.Graph.Neighbors(idx) {
+		rcv := n.hosts[nb]
+		if !rcv.alive.Load() || rcv.behavior == nil {
+			continue
+		}
+		if n.cfg.Loss > 0 {
+			n.lossMu.Lock()
+			lost := n.lossRNG.Bool(n.cfg.Loss)
+			n.lossMu.Unlock()
+			if lost {
+				continue
+			}
+		}
+		copied := append([]byte(nil), pkt...)
+		select {
+		case rcv.inbox <- packet{from: from, data: copied}:
+		default:
+			rcv.dropped.Add(1)
+		}
+	}
+}
+
+// run is the node's event loop.
+func (h *lhost) run() {
+	defer h.net.wg.Done()
+	h.clock = time.NewTimer(time.Hour)
+	if !h.clock.Stop() {
+		<-h.clock.C
+	}
+	defer h.clock.Stop()
+
+	h.behavior.Start(h)
+	for {
+		h.rearmClock()
+		select {
+		case <-h.net.stop:
+			return
+		case p := <-h.inbox:
+			if !h.alive.Load() {
+				return
+			}
+			h.meterMu.Lock()
+			h.meter.ChargeRx(h.net.cfg.Energy, len(p.data))
+			h.meterMu.Unlock()
+			h.behavior.Receive(h, p.from, p.data)
+		case fn := <-h.cmds:
+			if !h.alive.Load() {
+				return
+			}
+			fn(h)
+		case now := <-h.clock.C:
+			if !h.alive.Load() {
+				return
+			}
+			h.fireDue(now)
+		}
+	}
+}
+
+// rearmClock sets the shared timer to the earliest pending deadline,
+// discarding cancelled timers at the top of the heap.
+func (h *lhost) rearmClock() {
+	for h.timers.Len() > 0 && h.timers[0].cancelled {
+		heap.Pop(&h.timers)
+	}
+	if h.timers.Len() == 0 {
+		return
+	}
+	d := time.Until(h.timers[0].deadline)
+	if d < 0 {
+		d = 0
+	}
+	if !h.clock.Stop() {
+		select {
+		case <-h.clock.C:
+		default:
+		}
+	}
+	h.clock.Reset(d)
+}
+
+// fireDue runs every timer whose deadline has passed.
+func (h *lhost) fireDue(now time.Time) {
+	for h.timers.Len() > 0 {
+		top := h.timers[0]
+		if top.cancelled {
+			heap.Pop(&h.timers)
+			continue
+		}
+		if top.deadline.After(now) {
+			return
+		}
+		heap.Pop(&h.timers)
+		h.behavior.Timer(h, top.tag)
+		if !h.alive.Load() {
+			return
+		}
+	}
+}
+
+// --- node.Context implementation (called only from the node goroutine) ---
+
+// ID implements node.Context.
+func (h *lhost) ID() node.ID { return h.id }
+
+// Now implements node.Context: time since the network started.
+func (h *lhost) Now() time.Duration { return time.Since(h.start) }
+
+// Broadcast implements node.Context.
+func (h *lhost) Broadcast(pkt []byte) {
+	if !h.alive.Load() {
+		return
+	}
+	h.meterMu.Lock()
+	h.meter.ChargeTx(h.net.cfg.Energy, len(pkt))
+	h.meterMu.Unlock()
+	h.net.deliver(h.idx, h.id, pkt)
+}
+
+// SetTimer implements node.Context.
+func (h *lhost) SetTimer(d time.Duration, tag node.Tag) node.TimerID {
+	h.nextTID++
+	t := &liveTimer{deadline: time.Now().Add(d), tag: tag, id: h.nextTID}
+	heap.Push(&h.timers, t)
+	return t.id
+}
+
+// CancelTimer implements node.Context.
+func (h *lhost) CancelTimer(id node.TimerID) {
+	for _, t := range h.timers {
+		if t.id == id {
+			t.cancelled = true
+			return
+		}
+	}
+}
+
+// Rand implements node.Context.
+func (h *lhost) Rand() *xrand.RNG { return h.rng }
+
+// ChargeCipher implements node.Context.
+func (h *lhost) ChargeCipher(n int) {
+	h.meterMu.Lock()
+	h.meter.ChargeCipher(h.net.cfg.Energy, n)
+	h.meterMu.Unlock()
+}
+
+// ChargeMAC implements node.Context.
+func (h *lhost) ChargeMAC(n int) {
+	h.meterMu.Lock()
+	h.meter.ChargeMAC(h.net.cfg.Energy, n)
+	h.meterMu.Unlock()
+}
+
+// Die implements node.Context.
+func (h *lhost) Die() { h.alive.Store(false) }

@@ -1,0 +1,303 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/topology"
+)
+
+// counter is a behavior that counts events atomically so tests can inspect
+// it while the network runs.
+type counter struct {
+	started  atomic.Int64
+	received atomic.Int64
+	timers   atomic.Int64
+	lastFrom atomic.Uint32
+
+	onStart   func(node.Context)
+	onReceive func(node.Context, node.ID, []byte)
+	onTimer   func(node.Context, node.Tag)
+}
+
+func (c *counter) Start(ctx node.Context) {
+	c.started.Add(1)
+	if c.onStart != nil {
+		c.onStart(ctx)
+	}
+}
+
+func (c *counter) Receive(ctx node.Context, from node.ID, pkt []byte) {
+	c.received.Add(1)
+	c.lastFrom.Store(from)
+	if c.onReceive != nil {
+		c.onReceive(ctx, from, pkt)
+	}
+}
+
+func (c *counter) Timer(ctx node.Context, tag node.Tag) {
+	c.timers.Add(1)
+	if c.onTimer != nil {
+		c.onTimer(ctx, tag)
+	}
+}
+
+func lineGraph(n int) *topology.Graph {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i), Y: 0}
+	}
+	return topology.FromPositions(pos, float64(n+1), 1.1, geom.Planar)
+}
+
+// waitFor polls cond until true or the deadline elapses.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+func TestStartAndBroadcast(t *testing.T) {
+	g := lineGraph(3)
+	cs := []*counter{{}, {}, {}}
+	cs[0].onStart = func(ctx node.Context) { ctx.Broadcast([]byte("hello")) }
+	net := Start(Config{Graph: g, Seed: 1}, []node.Behavior{cs[0], cs[1], cs[2]})
+	defer net.Stop()
+	waitFor(t, time.Second, func() bool { return cs[1].received.Load() == 1 })
+	if cs[2].received.Load() != 0 {
+		t.Fatal("broadcast leaked beyond radio range")
+	}
+	if cs[1].lastFrom.Load() != 0 {
+		t.Fatalf("sender ID = %d", cs[1].lastFrom.Load())
+	}
+}
+
+func TestMultiHopRelay(t *testing.T) {
+	const n = 6
+	g := lineGraph(n)
+	cs := make([]*counter, n)
+	behaviors := make([]node.Behavior, n)
+	for i := range cs {
+		cs[i] = &counter{}
+		if i > 0 && i < n-1 {
+			cs[i].onReceive = func(ctx node.Context, _ node.ID, pkt []byte) {
+				if ctx.(*lhost).meter.TxCount() == 0 { // relay once
+					ctx.Broadcast(pkt)
+				}
+			}
+		}
+		behaviors[i] = cs[i]
+	}
+	cs[0].onStart = func(ctx node.Context) { ctx.Broadcast([]byte("relay")) }
+	net := Start(Config{Graph: g, Seed: 2}, behaviors)
+	defer net.Stop()
+	waitFor(t, 2*time.Second, func() bool { return cs[n-1].received.Load() >= 1 })
+}
+
+func TestTimers(t *testing.T) {
+	g := lineGraph(1)
+	c := &counter{}
+	fired := make(chan node.Tag, 4)
+	c.onStart = func(ctx node.Context) {
+		ctx.SetTimer(30*time.Millisecond, 3)
+		ctx.SetTimer(5*time.Millisecond, 1)
+		tid := ctx.SetTimer(10*time.Millisecond, 2)
+		ctx.CancelTimer(tid)
+	}
+	c.onTimer = func(_ node.Context, tag node.Tag) { fired <- tag }
+	net := Start(Config{Graph: g, Seed: 3}, []node.Behavior{c})
+	defer net.Stop()
+
+	var got []node.Tag
+	deadline := time.After(2 * time.Second)
+	for len(got) < 2 {
+		select {
+		case tag := <-fired:
+			got = append(got, tag)
+		case <-deadline:
+			t.Fatalf("timers fired so far: %v", got)
+		}
+	}
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("timer order = %v, want [1 3]", got)
+	}
+	select {
+	case tag := <-fired:
+		t.Fatalf("cancelled timer fired: %v", tag)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestKillStopsDelivery(t *testing.T) {
+	g := lineGraph(2)
+	src := &counter{}
+	dst := &counter{}
+	net := Start(Config{Graph: g, Seed: 4}, []node.Behavior{src, dst})
+	defer net.Stop()
+	net.Kill(1)
+	net.Inject(0, node.ID(0), []byte("x"))
+	time.Sleep(50 * time.Millisecond)
+	if dst.received.Load() != 0 {
+		t.Fatal("killed node received a packet")
+	}
+	if net.Alive(1) {
+		t.Fatal("killed node reported alive")
+	}
+}
+
+func TestInjectReachesNeighbors(t *testing.T) {
+	g := lineGraph(3)
+	cs := []*counter{{}, {}, {}}
+	net := Start(Config{Graph: g, Seed: 5}, []node.Behavior{cs[0], cs[1], cs[2]})
+	defer net.Stop()
+	net.Inject(1, node.ID(999), []byte("evil"))
+	waitFor(t, time.Second, func() bool {
+		return cs[0].received.Load() == 1 && cs[2].received.Load() == 1
+	})
+	if cs[0].lastFrom.Load() != 999 {
+		t.Fatalf("forged sender = %d", cs[0].lastFrom.Load())
+	}
+	if cs[1].received.Load() != 0 {
+		t.Fatal("injection delivered at its own position")
+	}
+}
+
+func TestMeterSnapshotConcurrent(t *testing.T) {
+	g := lineGraph(2)
+	busy := &counter{}
+	busy.onStart = func(ctx node.Context) {
+		ctx.SetTimer(time.Millisecond, 0)
+	}
+	busy.onTimer = func(ctx node.Context, _ node.Tag) {
+		ctx.Broadcast([]byte("spam"))
+		ctx.ChargeCipher(16)
+		ctx.ChargeMAC(16)
+		ctx.SetTimer(time.Millisecond, 0)
+	}
+	net := Start(Config{Graph: g, Seed: 6}, []node.Behavior{busy, &counter{}})
+	defer net.Stop()
+	// Hammer snapshots while the node charges; run under -race to verify.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		_ = net.MeterSnapshot(0)
+	}
+	m := net.MeterSnapshot(0)
+	if m.TxCount() == 0 || m.Crypto() == 0 {
+		t.Fatalf("meter did not accumulate: %v", &m)
+	}
+}
+
+func TestInboxOverflowDrops(t *testing.T) {
+	g := lineGraph(2)
+	// Receiver that blocks forever in Start, so its inbox fills.
+	blocker := &counter{}
+	release := make(chan struct{})
+	blocker.onStart = func(node.Context) { <-release }
+	net := Start(Config{Graph: g, Seed: 7, InboxSize: 4}, []node.Behavior{&counter{}, blocker})
+	for i := 0; i < 50; i++ {
+		net.Inject(0, node.ID(0), []byte("flood"))
+	}
+	if net.Dropped(1) < 40 {
+		t.Fatalf("dropped = %d, want >= 40", net.Dropped(1))
+	}
+	close(release)
+	net.Stop()
+}
+
+func TestStopIdempotent(t *testing.T) {
+	g := lineGraph(1)
+	net := Start(Config{Graph: g, Seed: 8}, []node.Behavior{&counter{}})
+	net.Stop()
+	net.Stop() // must not panic or deadlock
+}
+
+func TestNilBehaviorSkipped(t *testing.T) {
+	g := lineGraph(2)
+	c := &counter{}
+	net := Start(Config{Graph: g, Seed: 9}, []node.Behavior{c, nil})
+	defer net.Stop()
+	if net.Alive(1) {
+		t.Fatal("nil-behavior node alive")
+	}
+	net.Inject(0, node.ID(0), []byte("x")) // must not panic delivering to nil
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched behaviors accepted")
+		}
+	}()
+	Start(Config{Graph: lineGraph(2)}, make([]node.Behavior, 3))
+}
+
+func TestDieMidCallback(t *testing.T) {
+	g := lineGraph(2)
+	seen := atomic.Int64{}
+	dier := &counter{}
+	dier.onReceive = func(ctx node.Context, _ node.ID, _ []byte) {
+		seen.Add(1)
+		ctx.Die()
+	}
+	net := Start(Config{Graph: g, Seed: 10}, []node.Behavior{&counter{}, dier})
+	defer net.Stop()
+	net.Inject(0, node.ID(0), []byte("one"))
+	waitFor(t, time.Second, func() bool { return seen.Load() == 1 })
+	net.Inject(0, node.ID(0), []byte("two"))
+	time.Sleep(50 * time.Millisecond)
+	if seen.Load() != 1 {
+		t.Fatal("node processed a packet after Die")
+	}
+}
+
+func TestLossDropsPackets(t *testing.T) {
+	g := lineGraph(2)
+	rcv := &counter{}
+	net := Start(Config{Graph: g, Seed: 11, Loss: 0.5}, []node.Behavior{&counter{}, rcv})
+	defer net.Stop()
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		net.Inject(0, node.ID(0), []byte("x"))
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		got := rcv.received.Load()
+		return got > sent/4 && got < sent*3/4
+	})
+}
+
+func TestZeroLossDeliversAll(t *testing.T) {
+	g := lineGraph(2)
+	rcv := &counter{}
+	net := Start(Config{Graph: g, Seed: 12}, []node.Behavior{&counter{}, rcv})
+	defer net.Stop()
+	for i := 0; i < 100; i++ {
+		net.Inject(0, node.ID(0), []byte("y"))
+	}
+	waitFor(t, 2*time.Second, func() bool { return rcv.received.Load() == 100 })
+}
+
+func TestDoAfterStopDoesNotBlock(t *testing.T) {
+	g := lineGraph(2)
+	net := Start(Config{Graph: g, Seed: 13}, []node.Behavior{&counter{}, &counter{}})
+	net.Stop()
+	done := make(chan struct{})
+	go func() {
+		net.Do(0, func(node.Context) {}) // must return, not deadlock
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do blocked after Stop")
+	}
+}

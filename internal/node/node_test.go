@@ -1,0 +1,291 @@
+package node
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/crypt"
+	"repro/internal/xrand"
+)
+
+func k(b byte) crypt.Key {
+	var key crypt.Key
+	for i := range key {
+		key[i] = b + byte(i)
+	}
+	return key
+}
+
+func newStore() *KeyStore {
+	return NewKeyStore(k(1), k(2), k(3), k(4), 2)
+}
+
+func TestKeyStoreInitialState(t *testing.T) {
+	s := newStore()
+	if s.InCluster {
+		t.Fatal("fresh store already in a cluster")
+	}
+	if s.ClusterKeyCount() != 0 {
+		t.Fatalf("ClusterKeyCount = %d", s.ClusterKeyCount())
+	}
+	if s.Master.IsZero() {
+		t.Fatal("master key missing")
+	}
+	if s.Chain == nil {
+		t.Fatal("chain verifier missing")
+	}
+}
+
+func TestJoinAndLookup(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	if !s.InCluster || s.CID != 13 {
+		t.Fatal("join not recorded")
+	}
+	got, ok := s.KeyFor(13)
+	if !ok || !got.Equal(k(10)) {
+		t.Fatal("own cluster key lookup failed")
+	}
+	if _, ok := s.KeyFor(99); ok {
+		t.Fatal("unknown CID resolved")
+	}
+	if s.ClusterKeyCount() != 1 {
+		t.Fatalf("ClusterKeyCount = %d", s.ClusterKeyCount())
+	}
+}
+
+func TestNeighborKeys(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	s.AddNeighbor(9, k(11))
+	s.AddNeighbor(19, k(12))
+	s.AddNeighbor(13, k(99)) // own cluster: must be ignored
+	if s.ClusterKeyCount() != 3 {
+		t.Fatalf("ClusterKeyCount = %d, want 3", s.ClusterKeyCount())
+	}
+	if got, _ := s.KeyFor(13); !got.Equal(k(10)) {
+		t.Fatal("own key overwritten by AddNeighbor")
+	}
+	if got, ok := s.KeyFor(9); !ok || !got.Equal(k(11)) {
+		t.Fatal("neighbor key lookup failed")
+	}
+	if !s.HasNeighbor(19) || s.HasNeighbor(13) || s.HasNeighbor(5) {
+		t.Fatal("HasNeighbor wrong")
+	}
+	cids := s.NeighborCIDs()
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	if len(cids) != 2 || cids[0] != 9 || cids[1] != 19 {
+		t.Fatalf("NeighborCIDs = %v", cids)
+	}
+}
+
+func TestJoinClusterRemovesNeighborEntry(t *testing.T) {
+	// A node that learned a cluster's key as a neighbor and then joins it
+	// (late-addition path) must not double-count that key.
+	s := newStore()
+	s.AddNeighbor(7, k(20))
+	s.JoinCluster(7, k(20))
+	if s.ClusterKeyCount() != 1 {
+		t.Fatalf("ClusterKeyCount = %d, want 1", s.ClusterKeyCount())
+	}
+}
+
+func TestDropCluster(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	s.AddNeighbor(9, k(11))
+	if !s.DropCluster(9) {
+		t.Fatal("DropCluster(9) reported nothing deleted")
+	}
+	if _, ok := s.KeyFor(9); ok {
+		t.Fatal("dropped neighbor key still resolves")
+	}
+	if s.DropCluster(9) {
+		t.Fatal("double drop reported deletion")
+	}
+	if !s.DropCluster(13) {
+		t.Fatal("DropCluster(own) reported nothing deleted")
+	}
+	if s.InCluster {
+		t.Fatal("still in cluster after own-cluster revocation")
+	}
+	if s.ClusterKeyCount() != 0 {
+		t.Fatalf("ClusterKeyCount = %d", s.ClusterKeyCount())
+	}
+}
+
+func TestReplaceKey(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	s.AddNeighbor(9, k(11))
+	if !s.ReplaceKey(13, k(30)) {
+		t.Fatal("ReplaceKey(own) failed")
+	}
+	if got, _ := s.KeyFor(13); !got.Equal(k(30)) {
+		t.Fatal("own key not replaced")
+	}
+	if !s.ReplaceKey(9, k(31)) {
+		t.Fatal("ReplaceKey(neighbor) failed")
+	}
+	if s.ReplaceKey(42, k(32)) {
+		t.Fatal("ReplaceKey(unknown) succeeded")
+	}
+}
+
+func TestHashForwardAll(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	s.AddNeighbor(9, k(11))
+	s.HashForwardAll()
+	wantOwn := crypt.HashForward(k(10))
+	wantNb := crypt.HashForward(k(11))
+	if got, _ := s.KeyFor(13); !got.Equal(wantOwn) {
+		t.Fatal("own key not hashed forward")
+	}
+	if got, _ := s.KeyFor(9); !got.Equal(wantNb) {
+		t.Fatal("neighbor key not hashed forward")
+	}
+	// Refreshing twice must compose.
+	s.HashForwardAll()
+	if got, _ := s.KeyFor(13); !got.Equal(crypt.HashForward(wantOwn)) {
+		t.Fatal("second refresh wrong")
+	}
+}
+
+func TestEraseMaster(t *testing.T) {
+	s := newStore()
+	if !s.EraseMaster() {
+		t.Fatal("EraseMaster reported nothing erased")
+	}
+	if !s.Master.IsZero() {
+		t.Fatal("master not zeroized")
+	}
+	if s.EraseMaster() {
+		t.Fatal("double erase reported success")
+	}
+}
+
+func TestEraseAddMaster(t *testing.T) {
+	s := newStore()
+	if s.EraseAddMaster() {
+		t.Fatal("erasing absent KMC reported success")
+	}
+	s.AddMaster = k(40)
+	if !s.EraseAddMaster() {
+		t.Fatal("EraseAddMaster failed")
+	}
+	if !s.AddMaster.IsZero() {
+		t.Fatal("KMC not zeroized")
+	}
+}
+
+func TestSnapshotReflectsCaptureSemantics(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	s.AddNeighbor(9, k(11))
+	s.EraseMaster()
+	cm := s.Snapshot()
+	if !cm.Master.IsZero() {
+		t.Fatal("capture of post-setup node revealed Km")
+	}
+	if !cm.NodeKey.Equal(k(1)) {
+		t.Fatal("capture missing node key")
+	}
+	if len(cm.Clusters) != 2 {
+		t.Fatalf("capture revealed %d cluster keys, want 2", len(cm.Clusters))
+	}
+	if !cm.Clusters[13].Equal(k(10)) || !cm.Clusters[9].Equal(k(11)) {
+		t.Fatal("capture cluster keys wrong")
+	}
+	if !cm.InCluster || cm.CID != 13 {
+		t.Fatal("capture cluster membership wrong")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	s := newStore()
+	s.JoinCluster(13, k(10))
+	cm := s.Snapshot()
+	s.DropCluster(13)
+	if !cm.Clusters[13].Equal(k(10)) {
+		t.Fatal("snapshot mutated by later store changes")
+	}
+}
+
+// TestKeyStoreRandomOps is the property test for the key store: any
+// sequence of joins, neighbor additions, drops, replacements, and
+// refreshes must preserve (a) KeyFor/HasNeighbor consistency, (b) the
+// own-cluster-not-in-neighbors invariant, and (c) an exact match with a
+// naive map-based model.
+func TestKeyStoreRandomOps(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 50; trial++ {
+		s := newStore()
+		model := map[uint32]crypt.Key{} // cid -> key, own cluster included
+		ownCID := uint32(0)
+		hasOwn := false
+
+		for op := 0; op < 200; op++ {
+			cid := uint32(rng.Intn(8)) // small ID space forces collisions
+			key := k(byte(rng.Intn(200)))
+			switch rng.Intn(5) {
+			case 0: // join
+				if !hasOwn {
+					s.JoinCluster(cid, key)
+					model[cid] = key
+					ownCID, hasOwn = cid, true
+				}
+			case 1: // add neighbor (no-op for the own cluster, overwrite
+				// otherwise)
+				s.AddNeighbor(cid, key)
+				if !(hasOwn && cid == ownCID) {
+					model[cid] = key
+				}
+			case 2: // drop
+				dropped := s.DropCluster(cid)
+				_, existed := model[cid]
+				if dropped != existed {
+					t.Fatalf("trial %d op %d: drop(%d) = %v, model existed %v",
+						trial, op, cid, dropped, existed)
+				}
+				delete(model, cid)
+				if hasOwn && cid == ownCID {
+					hasOwn = false
+				}
+			case 3: // replace
+				replaced := s.ReplaceKey(cid, key)
+				_, existed := model[cid]
+				if replaced != existed {
+					t.Fatalf("trial %d op %d: replace(%d) = %v, model %v",
+						trial, op, cid, replaced, existed)
+				}
+				if existed {
+					model[cid] = key
+				}
+			case 4: // hash refresh
+				s.HashForwardAll()
+				for c, mk := range model {
+					model[c] = crypt.HashForward(mk)
+				}
+			}
+			// Model equivalence.
+			if s.ClusterKeyCount() != len(model) {
+				t.Fatalf("trial %d op %d: count %d, model %d",
+					trial, op, s.ClusterKeyCount(), len(model))
+			}
+			for c, mk := range model {
+				got, ok := s.KeyFor(c)
+				if !ok || !got.Equal(mk) {
+					t.Fatalf("trial %d op %d: KeyFor(%d) mismatch", trial, op, c)
+				}
+			}
+			// Own cluster never appears in the neighbor set.
+			if hasOwn && s.HasNeighbor(ownCID) {
+				t.Fatalf("trial %d op %d: own cluster in neighbor set", trial, op)
+			}
+			if s.InCluster != hasOwn || (hasOwn && s.CID != ownCID) {
+				t.Fatalf("trial %d op %d: membership state diverged", trial, op)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/topology"
+)
+
+// starGraph builds a hub node 0 with k spokes, all mutually in range of
+// the hub only... actually spokes are clustered tightly so everyone hears
+// everyone: a single collision domain.
+func cliqueGraph(k int) *topology.Graph {
+	pos := make([]geom.Point, k)
+	for i := range pos {
+		pos[i] = geom.Point{X: 5 + 0.01*float64(i), Y: 5}
+	}
+	return topology.FromPositions(pos, 10, 1.0, geom.Planar)
+}
+
+func TestSimultaneousSendersCollide(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	s1 := &echo{}
+	s2 := &echo{}
+	eng := newEngine(t, g, []node.Behavior{rcv, s1, s2},
+		Config{Collisions: true, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	// Both senders transmit a 100-byte packet at the same instant: their
+	// arrivals at node 0 overlap well within the 3.2ms airtime.
+	pkt := make([]byte, 100)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 0 {
+		t.Fatalf("receiver got %d packets through a collision", len(rcv.received))
+	}
+	if eng.Collisions(0) < 2 {
+		t.Fatalf("collision count at receiver = %d, want >= 2", eng.Collisions(0))
+	}
+}
+
+func TestSpacedSendersDoNotCollide(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	s1 := &echo{}
+	s2 := &echo{}
+	eng := newEngine(t, g, []node.Behavior{rcv, s1, s2},
+		Config{Collisions: true, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	pkt := make([]byte, 100) // 3.2ms airtime
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(20*time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 2 {
+		t.Fatalf("receiver got %d packets, want 2", len(rcv.received))
+	}
+	if eng.Collisions(0) != 0 {
+		t.Fatalf("spurious collisions: %d", eng.Collisions(0))
+	}
+}
+
+func TestTripleOverlapAllLost(t *testing.T) {
+	g := cliqueGraph(4)
+	rcv := &echo{}
+	behaviors := []node.Behavior{rcv, &echo{}, &echo{}, &echo{}}
+	eng := newEngine(t, g, behaviors,
+		Config{Collisions: true, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	pkt := make([]byte, 200) // 6.4ms airtime
+	for s := 1; s <= 3; s++ {
+		s := s
+		eng.Schedule(time.Duration(s)*time.Millisecond, func() { eng.hosts[s].Broadcast(pkt) })
+	}
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 0 {
+		t.Fatalf("receiver got %d packets through a triple collision", len(rcv.received))
+	}
+}
+
+func TestCollisionModelOffByDefault(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	eng := newEngine(t, g, []node.Behavior{rcv, &echo{}, &echo{}}, Config{Jitter: 1})
+	eng.Boot(0)
+	pkt := make([]byte, 100)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 2 {
+		t.Fatalf("collision-free medium delivered %d, want 2", len(rcv.received))
+	}
+}
+
+func TestCollisionEnergyOnlyForCleanReceptions(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	eng := newEngine(t, g, []node.Behavior{rcv, &echo{}, &echo{}},
+		Config{Collisions: true, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	pkt := make([]byte, 100)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Meter(0).RxCount() != 0 {
+		t.Fatalf("rx energy charged for %d corrupted packets", eng.Meter(0).RxCount())
+	}
+}
+
+func TestBatteryDepletion(t *testing.T) {
+	g := cliqueGraph(2)
+	sender := &echo{}
+	rcv := &echo{}
+	var deaths []int
+	eng := newEngine(t, g, []node.Behavior{sender, rcv}, Config{
+		Battery: 500, // µJ: a handful of packets
+		OnDeath: func(i int, _ time.Duration) { deaths = append(deaths, i) },
+	})
+	eng.Boot(0)
+	for k := 0; k < 50; k++ {
+		k := k
+		eng.Schedule(time.Duration(k)*time.Millisecond, func() {
+			eng.hosts[0].Broadcast(make([]byte, 30))
+		})
+	}
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Alive(0) {
+		t.Fatal("sender survived 50 transmissions on a 500µJ battery")
+	}
+	if len(deaths) == 0 || deaths[0] != 0 && deaths[0] != 1 {
+		t.Fatalf("deaths = %v", deaths)
+	}
+	// Transmissions after death must not happen: tx count bounded by
+	// budget / per-packet cost (~300µJ each), so far below 50.
+	if eng.Meter(0).TxCount() >= 50 {
+		t.Fatalf("dead node kept transmitting: %d", eng.Meter(0).TxCount())
+	}
+}
+
+func TestUnlimitedBatteryByDefault(t *testing.T) {
+	g := cliqueGraph(2)
+	eng := newEngine(t, g, []node.Behavior{&echo{}, &echo{}}, Config{})
+	eng.Boot(0)
+	for k := 0; k < 200; k++ {
+		k := k
+		eng.Schedule(time.Duration(k)*time.Millisecond, func() {
+			eng.hosts[0].Broadcast(make([]byte, 100))
+		})
+	}
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Alive(0) {
+		t.Fatal("node died with unlimited battery")
+	}
+}

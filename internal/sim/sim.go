@@ -1,0 +1,491 @@
+// Package sim is a deterministic discrete-event simulator for broadcast
+// sensor networks — the replacement for the paper's SensorSimII testbed.
+//
+// The engine owns a virtual clock and a binary-heap event queue; node
+// behaviors (internal/node.Behavior) run sequentially as their messages and
+// timers fire, so a run is a pure function of the configuration seed.
+// Event-time ties are broken by insertion sequence, which makes runs
+// bit-reproducible across machines.
+//
+// The radio model is a broadcast medium over a unit-disk topology: one
+// transmission reaches every graph neighbor after a propagation delay plus
+// bounded random jitter, with optional independent per-link loss. Energy is
+// charged per packet and per byte through internal/energy. This captures
+// everything the paper's figures measure (message counts, key counts,
+// cluster structure) without modeling PHY/MAC detail the paper does not
+// report.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Graph is the communication topology. Node i of the graph hosts
+	// behavior i.
+	Graph *topology.Graph
+	// Seed drives all randomness (medium jitter/loss and every node's
+	// private stream).
+	Seed uint64
+	// PropDelay is the fixed per-hop delivery latency. Defaults to 1ms —
+	// the scale only matters relative to protocol timeouts.
+	PropDelay time.Duration
+	// Jitter is the maximum additional uniform random delivery delay,
+	// modeling MAC contention. Defaults to 200µs.
+	Jitter time.Duration
+	// Loss is the independent per-link per-packet loss probability.
+	Loss float64
+	// Collisions enables the half-duplex collision model: a packet
+	// occupies the receiver's radio for its airtime, and any packet
+	// arriving while another reception is in progress corrupts both.
+	// This models a slotless, CSMA-free MAC — the pessimistic end; real
+	// sensor MACs sit between this and the default collision-free medium.
+	Collisions bool
+	// AirtimePerByte is how long one payload byte occupies the channel
+	// (used only when Collisions is set). Defaults to 32µs/byte, the
+	// 250 kbit/s of an 802.15.4 radio.
+	AirtimePerByte time.Duration
+	// Energy is the cost model; zero value means DefaultModel.
+	Energy energy.Model
+	// Battery, if positive, is each node's energy budget in µJ. A node
+	// whose cumulative consumption exceeds it dies — the depletion
+	// process that motivates the paper's node-addition mechanism
+	// ("sensors usually have limited lifetime and usually die of energy
+	// depletion", Section IV-E). Zero means unlimited.
+	Battery float64
+	// OnDeath, if non-nil, is called when a node's battery is exhausted.
+	OnDeath func(i int, at time.Duration)
+	// Trace, if non-nil, observes every packet delivery attempt.
+	Trace func(ev TraceEvent)
+}
+
+// TraceEvent describes one packet delivery attempt for debugging and the
+// message-accounting experiments.
+type TraceEvent struct {
+	At   time.Duration
+	From node.ID
+	To   node.ID
+	Size int
+	Lost bool
+	// Pkt is the raw packet. It aliases the sender's buffer and is only
+	// valid for the duration of the trace callback; hooks that need it
+	// later must copy.
+	Pkt []byte
+}
+
+// Engine is the discrete-event simulator. It is not safe for concurrent
+// use; the goroutine runtime lives in internal/live.
+type Engine struct {
+	cfg    Config
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	hosts  []*host
+	medium *xrand.RNG
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// host adapts one behavior to the engine and implements node.Context.
+type host struct {
+	eng      *Engine
+	id       node.ID
+	idx      int
+	behavior node.Behavior
+	rng      *xrand.RNG
+	meter    energy.Meter
+	alive    bool
+	started  bool
+	timers   map[node.TimerID]*timerState
+	nextTID  node.TimerID
+
+	// Collision-model state: the reception currently occupying the
+	// radio, and how many packets collisions have destroyed here.
+	rxCurrent  *reception
+	collisions int
+
+	// immortal exempts the node from battery death (mains-powered base
+	// stations).
+	immortal bool
+}
+
+// reception is one in-progress packet arrival under the collision model.
+type reception struct {
+	endsAt  time.Duration
+	corrupt bool
+}
+
+type timerState struct {
+	cancelled bool
+}
+
+// New builds an engine hosting one behavior per graph node. behaviors[i]
+// runs at graph node i with ID node.ID(i). Behaviors may be nil for nodes
+// that exist in the topology but are never booted (reserved positions for
+// late deployment).
+func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: Config.Graph is required")
+	}
+	if len(behaviors) != cfg.Graph.N() {
+		return nil, fmt.Errorf("sim: %d behaviors for %d graph nodes", len(behaviors), cfg.Graph.N())
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = time.Millisecond
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 200 * time.Microsecond
+	}
+	if cfg.AirtimePerByte == 0 {
+		cfg.AirtimePerByte = 32 * time.Microsecond // 250 kbit/s
+	}
+	if (cfg.Energy == energy.Model{}) {
+		cfg.Energy = energy.DefaultModel()
+	}
+	root := xrand.New(cfg.Seed)
+	eng := &Engine{
+		cfg:    cfg,
+		medium: root.Split(0),
+	}
+	eng.hosts = make([]*host, len(behaviors))
+	for i, b := range behaviors {
+		eng.hosts[i] = &host{
+			eng:      eng,
+			id:       node.ID(i),
+			idx:      i,
+			behavior: b,
+			rng:      root.Split(1 + uint64(i)),
+			alive:    b != nil,
+			timers:   make(map[node.TimerID]*timerState),
+		}
+	}
+	return eng, nil
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn at the given absolute virtual time (or immediately next
+// if t is in the past). External actors — experiment scripts, the
+// adversary — use this to interleave with protocol events.
+func (e *Engine) Schedule(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.push(t, fn)
+}
+
+func (e *Engine) push(at time.Duration, fn func()) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Boot schedules behavior Start callbacks at time t for every alive,
+// not-yet-started node. Call once after New (t=0 for the initial
+// deployment); late-deployed nodes are booted individually with BootNode.
+func (e *Engine) Boot(t time.Duration) {
+	for i := range e.hosts {
+		h := e.hosts[i]
+		if h.alive && !h.started {
+			e.bootHost(h, t)
+		}
+	}
+}
+
+// BootNode installs (or replaces) the behavior at graph node i and
+// schedules its Start at time t. It is how late-deployed sensors
+// (Section IV-E) enter the network: the position was reserved in the
+// topology, the radio comes alive at t.
+func (e *Engine) BootNode(i int, b node.Behavior, t time.Duration) {
+	h := e.hosts[i]
+	h.behavior = b
+	h.alive = true
+	h.started = false
+	e.bootHost(h, t)
+}
+
+func (e *Engine) bootHost(h *host, t time.Duration) {
+	h.started = true
+	e.push(t, func() {
+		if h.alive {
+			h.behavior.Start(h)
+		}
+	})
+}
+
+// Run processes events in time order until the queue is empty or the
+// virtual clock would exceed until. It returns the number of events
+// processed.
+func (e *Engine) Run(until time.Duration) int {
+	processed := 0
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		processed++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return processed
+}
+
+// RunUntilIdle drains every pending event regardless of time and returns
+// the number processed. maxEvents guards against livelock (<=0 means no
+// limit); exceeding it returns an error.
+func (e *Engine) RunUntilIdle(maxEvents int) (int, error) {
+	processed := 0
+	for e.queue.Len() > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		next.fn()
+		processed++
+		if maxEvents > 0 && processed > maxEvents {
+			return processed, fmt.Errorf("sim: exceeded %d events; protocol not quiescing", maxEvents)
+		}
+	}
+	return processed, nil
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// N returns the number of hosted nodes.
+func (e *Engine) N() int { return len(e.hosts) }
+
+// Meter returns node i's energy meter (valid even after death).
+func (e *Engine) Meter(i int) *energy.Meter { return &e.hosts[i].meter }
+
+// Alive reports whether node i is operating.
+func (e *Engine) Alive(i int) bool { return e.hosts[i].alive }
+
+// Behavior returns the behavior hosted at node i (nil if none).
+func (e *Engine) Behavior(i int) node.Behavior { return e.hosts[i].behavior }
+
+// Kill removes node i from the network immediately: no further callbacks,
+// no forwarding — the simulator's model of destruction or battery death.
+func (e *Engine) Kill(i int) { e.hosts[i].alive = false }
+
+// Collisions returns how many packets the collision model destroyed at
+// node i (zero when the model is disabled).
+func (e *Engine) Collisions(i int) int { return e.hosts[i].collisions }
+
+// Graph returns the underlying topology.
+func (e *Engine) Graph() *topology.Graph { return e.cfg.Graph }
+
+// Do schedules fn to run at virtual time t with node i's Context, on the
+// engine's event loop — the hook through which experiment scripts trigger
+// application-level actions (send a reading, start a refresh, issue a
+// revocation) without breaking the single-threaded behavior contract.
+// fn is not invoked if the node is dead at t.
+func (e *Engine) Do(t time.Duration, i int, fn func(node.Context)) {
+	h := e.hosts[i]
+	e.Schedule(t, func() {
+		if h.alive {
+			fn(h)
+		}
+	})
+}
+
+// InjectAt broadcasts pkt from the radio position of graph node at,
+// claiming link-layer sender fakeFrom. This is the adversary's transmitter:
+// it spends no defender energy and reaches exactly the nodes a real radio
+// at that position would reach.
+func (e *Engine) InjectAt(at int, fakeFrom node.ID, pkt []byte) {
+	e.deliverFrom(at, fakeFrom, pkt, false)
+}
+
+// broadcast carries a host transmission onto the medium.
+func (e *Engine) broadcast(h *host, pkt []byte) {
+	h.meter.ChargeTx(e.cfg.Energy, len(pkt))
+	// The transmission itself completes even if it drains the battery;
+	// the node is dead afterwards.
+	e.deliverFrom(h.idx, h.id, pkt, true)
+	e.checkBattery(h)
+}
+
+// SetImmortal exempts node i from battery death — the mains-powered base
+// station in lifetime experiments.
+func (e *Engine) SetImmortal(i int) { e.hosts[i].immortal = true }
+
+// checkBattery kills the host if its cumulative consumption exceeds the
+// configured budget.
+func (e *Engine) checkBattery(h *host) {
+	if e.cfg.Battery <= 0 || !h.alive || h.immortal {
+		return
+	}
+	if h.meter.Total() > e.cfg.Battery {
+		h.alive = false
+		if e.cfg.OnDeath != nil {
+			e.cfg.OnDeath(h.idx, e.now)
+		}
+	}
+}
+
+func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
+	for _, nb := range e.cfg.Graph.Neighbors(idx) {
+		rcv := e.hosts[nb]
+		lost := e.cfg.Loss > 0 && e.medium.Bool(e.cfg.Loss)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{At: e.now, From: from, To: rcv.id, Size: len(pkt), Lost: lost, Pkt: pkt})
+		}
+		if lost {
+			continue
+		}
+		// Each receiver gets a private copy, so neither the sender's later
+		// reuse of its buffer nor another receiver's in-place mutation can
+		// corrupt a delivery — the same isolation a real radio provides.
+		copied := append([]byte(nil), pkt...)
+		delay := e.cfg.PropDelay
+		if e.cfg.Jitter > 0 {
+			delay += time.Duration(e.medium.Uint64n(uint64(e.cfg.Jitter)))
+		}
+		if e.cfg.Collisions {
+			e.scheduleCollidableRx(rcv, from, copied, e.now+delay)
+			continue
+		}
+		e.push(e.now+delay, func() {
+			if !rcv.alive {
+				return
+			}
+			rcv.meter.ChargeRx(e.cfg.Energy, len(copied))
+			rcv.behavior.Receive(rcv, from, copied)
+			e.checkBattery(rcv)
+		})
+	}
+}
+
+// scheduleCollidableRx implements the half-duplex collision model: the
+// packet occupies rcv's radio from arrival until arrival+airtime; if it
+// overlaps another reception, both are corrupted and neither is
+// delivered. Receive energy is charged only for packets that decode —
+// corrupted receptions are dropped before the full-packet receive cost.
+func (e *Engine) scheduleCollidableRx(rcv *host, from node.ID, pkt []byte, arrival time.Duration) {
+	airtime := e.cfg.AirtimePerByte * time.Duration(len(pkt))
+	if airtime <= 0 {
+		airtime = time.Microsecond
+	}
+	rx := &reception{endsAt: arrival + airtime}
+	e.push(arrival, func() {
+		if !rcv.alive {
+			return
+		}
+		if cur := rcv.rxCurrent; cur != nil && e.now < cur.endsAt {
+			// Overlap: the in-progress reception and this one are both
+			// destroyed.
+			if !cur.corrupt {
+				cur.corrupt = true
+				rcv.collisions++
+			}
+			rx.corrupt = true
+			rcv.collisions++
+			if rx.endsAt > cur.endsAt {
+				rcv.rxCurrent = rx // radio stays jammed until the longer one ends
+			}
+			return
+		}
+		rcv.rxCurrent = rx
+	})
+	e.push(arrival+airtime, func() {
+		if !rcv.alive || rx.corrupt {
+			return
+		}
+		rcv.meter.ChargeRx(e.cfg.Energy, len(pkt))
+		rcv.behavior.Receive(rcv, from, pkt)
+		e.checkBattery(rcv)
+	})
+}
+
+// --- node.Context implementation ---
+
+// ID implements node.Context.
+func (h *host) ID() node.ID { return h.id }
+
+// Now implements node.Context.
+func (h *host) Now() time.Duration { return h.eng.now }
+
+// Broadcast implements node.Context.
+func (h *host) Broadcast(pkt []byte) {
+	if !h.alive {
+		return
+	}
+	h.eng.broadcast(h, pkt)
+}
+
+// SetTimer implements node.Context.
+func (h *host) SetTimer(d time.Duration, tag node.Tag) node.TimerID {
+	h.nextTID++
+	tid := h.nextTID
+	st := &timerState{}
+	h.timers[tid] = st
+	h.eng.push(h.eng.now+d, func() {
+		delete(h.timers, tid)
+		if st.cancelled || !h.alive {
+			return
+		}
+		h.behavior.Timer(h, tag)
+	})
+	return tid
+}
+
+// CancelTimer implements node.Context.
+func (h *host) CancelTimer(id node.TimerID) {
+	if st, ok := h.timers[id]; ok {
+		st.cancelled = true
+		delete(h.timers, id)
+	}
+}
+
+// Rand implements node.Context.
+func (h *host) Rand() *xrand.RNG { return h.rng }
+
+// ChargeCipher implements node.Context.
+func (h *host) ChargeCipher(n int) {
+	h.meter.ChargeCipher(h.eng.cfg.Energy, n)
+	h.eng.checkBattery(h)
+}
+
+// ChargeMAC implements node.Context.
+func (h *host) ChargeMAC(n int) {
+	h.meter.ChargeMAC(h.eng.cfg.Energy, n)
+	h.eng.checkBattery(h)
+}
+
+// Die implements node.Context.
+func (h *host) Die() { h.alive = false }

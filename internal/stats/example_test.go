@@ -1,0 +1,37 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleSeries shows how experiment curves accumulate repeated trials
+// per x value and render as the tables the benchmark harness prints.
+func ExampleSeries() {
+	keys := stats.NewSeries("keys/node")
+	for _, trial := range []float64{2.8, 3.0, 2.9} {
+		keys.Observe(8, trial)
+	}
+	keys.Observe(20, 4.3)
+
+	y, _ := keys.At(8)
+	fmt.Printf("density 8: %.2f keys over %d points\n", y, keys.Len())
+	fmt.Print(stats.Table("density", keys))
+	// Output:
+	// density 8: 2.90 keys over 2 points
+	// density                 keys/node
+	// 8                          2.9000
+	// 20                         4.3000
+}
+
+// ExampleHist shows the cluster-size histogram behind Figure 1.
+func ExampleHist() {
+	var h stats.Hist
+	for _, size := range []int{1, 1, 1, 2, 2, 3} {
+		h.Add(size)
+	}
+	fmt.Printf("singleton fraction: %.2f, mean size: %.2f\n", h.Fraction(1), h.Mean())
+	// Output:
+	// singleton fraction: 0.50, mean size: 1.67
+}

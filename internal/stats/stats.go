@@ -1,0 +1,295 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: summary statistics with confidence intervals,
+// integer-valued histograms (for the paper's Figure 1 cluster-size
+// distribution), and (x, y, error) series accumulated over repeated trials
+// (for Figures 6-9).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates scalar observations and reports moments. The zero
+// value is ready to use.
+type Summary struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sum2 += x * x
+}
+
+// AddN records the same observation k times.
+func (s *Summary) AddN(x float64, k int) {
+	for i := 0; i < k; i++ {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Var returns the unbiased sample variance (0 if fewer than two samples).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sum2 - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		// Guard against catastrophic cancellation on near-constant data.
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval of the mean (1.96 * stderr). It is the error bar the experiment
+// tables report.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String formats the summary as "mean ± ci (n=...)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// Hist is a histogram over small non-negative integer values (e.g. cluster
+// sizes or keys-per-node counts). The zero value is ready to use.
+type Hist struct {
+	counts []int
+	total  int
+}
+
+// Add records one observation of integer value v (v < 0 panics).
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		panic("stats: Hist.Add with negative value")
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Hist) Total() int { return h.total }
+
+// Count returns the number of observations with value v.
+func (h *Hist) Count(v int) int {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// MaxValue returns the largest value observed (-1 if empty).
+func (h *Hist) MaxValue() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Fraction returns the fraction of observations equal to v.
+func (h *Hist) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// Fractions returns the normalized histogram as a slice indexed by value,
+// covering [0, MaxValue()].
+func (h *Hist) Fractions() []float64 {
+	maxV := h.MaxValue()
+	if maxV < 0 {
+		return nil
+	}
+	out := make([]float64, maxV+1)
+	for v := range out {
+		out[v] = h.Fraction(v)
+	}
+	return out
+}
+
+// Mean returns the mean observed value.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Merge adds all observations from other into h.
+func (h *Hist) Merge(other *Hist) {
+	for v, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		for len(h.counts) <= v {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[v] += c
+		h.total += c
+	}
+}
+
+// Series is a sequence of (x, mean y, y error-bar) points built from one
+// Summary per x value, in insertion order. It is the representation of a
+// figure curve.
+type Series struct {
+	Name string
+	xs   []float64
+	ys   []*Summary
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Observe records one trial's y observation at the given x, creating the x
+// point if it does not exist yet.
+func (s *Series) Observe(x, y float64) {
+	for i, xv := range s.xs {
+		if xv == x {
+			s.ys[i].Add(y)
+			return
+		}
+	}
+	s.xs = append(s.xs, x)
+	sum := &Summary{}
+	sum.Add(y)
+	s.ys = append(s.ys, sum)
+}
+
+// Len returns the number of x points.
+func (s *Series) Len() int { return len(s.xs) }
+
+// Point returns the i-th (x, mean, ci95) triple in insertion order.
+func (s *Series) Point(i int) (x, mean, ci float64) {
+	return s.xs[i], s.ys[i].Mean(), s.ys[i].CI95()
+}
+
+// At returns the mean y at the given x and whether the point exists.
+func (s *Series) At(x float64) (float64, bool) {
+	for i, xv := range s.xs {
+		if xv == x {
+			return s.ys[i].Mean(), true
+		}
+	}
+	return 0, false
+}
+
+// Sorted returns a copy of the series points ordered by x.
+func (s *Series) Sorted() []PointXY {
+	pts := make([]PointXY, len(s.xs))
+	for i := range s.xs {
+		pts[i] = PointXY{X: s.xs[i], Y: s.ys[i].Mean(), CI: s.ys[i].CI95()}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	return pts
+}
+
+// PointXY is one rendered series point.
+type PointXY struct {
+	X, Y, CI float64
+}
+
+// Table renders one or more series sharing an x axis as an aligned text
+// table, the way the benchmark harness prints figure data.
+func Table(xLabel string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	b.WriteByte('\n')
+
+	// Collect the union of x values across series, sorted.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.xs {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(&b, " %20s", fmt.Sprintf("%.4f", y))
+			} else {
+				fmt.Fprintf(&b, " %20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxAbsDiff returns the largest absolute difference between two series'
+// means over the x values they share, and the number of shared points. It
+// is the scale-invariance check: the paper claims the keys-per-node curves
+// for different network sizes "matched exactly (modulo some small
+// statistical deviation)".
+func MaxAbsDiff(a, b *Series) (maxDiff float64, shared int) {
+	for i, x := range a.xs {
+		if yb, ok := b.At(x); ok {
+			d := math.Abs(a.ys[i].Mean() - yb)
+			if d > maxDiff {
+				maxDiff = d
+			}
+			shared++
+		}
+	}
+	return maxDiff, shared
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatal("zero Summary not zero-valued")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; sample variance is 4*8/7.
+	if got, want := s.Var(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryCI95(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2)) // mean .5, sd ~.5025
+	}
+	want := 1.96 * s.StdDev() / 10
+	if got := s.CI95(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryConstantData(t *testing.T) {
+	var s Summary
+	for i := 0; i < 1000; i++ {
+		s.Add(3.14159)
+	}
+	if v := s.Var(); v < 0 || v > 1e-9 {
+		t.Fatalf("constant data variance = %v", v)
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(2.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(2.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Fatal("AddN differs from repeated Add")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(2)
+	if got := s.String(); !strings.Contains(got, "n=2") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.MaxValue() != -1 || h.Total() != 0 {
+		t.Fatal("zero Hist not empty")
+	}
+	for _, v := range []int{1, 1, 2, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(3) != 3 || h.Count(0) != 0 || h.Count(99) != 0 || h.Count(-1) != 0 {
+		t.Fatal("Count mismatch")
+	}
+	if h.MaxValue() != 3 {
+		t.Fatalf("MaxValue = %d", h.MaxValue())
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/6.0) > 1e-12 {
+		t.Fatalf("Fraction(1) = %v", got)
+	}
+	if got, want := h.Mean(), (1+1+2+3+3+3)/6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	fr := h.Fractions()
+	if len(fr) != 4 {
+		t.Fatalf("Fractions length %d", len(fr))
+	}
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Fractions sum to %v", sum)
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var h Hist
+	h.Add(-1)
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(5)
+	a.Merge(&b)
+	if a.Total() != 4 || a.Count(2) != 2 || a.Count(5) != 1 {
+		t.Fatalf("merge result: total=%d counts=%v %v", a.Total(), a.Count(2), a.Count(5))
+	}
+}
+
+func TestHistFractionsSumToOne(t *testing.T) {
+	f := func(vals []uint8) bool {
+		var h Hist
+		for _, v := range vals {
+			h.Add(int(v % 32))
+		}
+		if len(vals) == 0 {
+			return h.Fractions() == nil
+		}
+		var sum float64
+		for _, fr := range h.Fractions() {
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("keys")
+	s.Observe(8, 2.0)
+	s.Observe(8, 4.0)
+	s.Observe(10, 5.0)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if y, ok := s.At(8); !ok || y != 3.0 {
+		t.Fatalf("At(8) = %v,%v", y, ok)
+	}
+	if _, ok := s.At(99); ok {
+		t.Fatal("At(99) should not exist")
+	}
+	x, mean, _ := s.Point(1)
+	if x != 10 || mean != 5 {
+		t.Fatalf("Point(1) = %v,%v", x, mean)
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	s := NewSeries("x")
+	s.Observe(20, 1)
+	s.Observe(8, 2)
+	s.Observe(15, 3)
+	pts := s.Sorted()
+	if len(pts) != 3 || pts[0].X != 8 || pts[1].X != 15 || pts[2].X != 20 {
+		t.Fatalf("Sorted = %+v", pts)
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := NewSeries("a")
+	a.Observe(1, 10)
+	a.Observe(2, 20)
+	b := NewSeries("b")
+	b.Observe(2, 200)
+	out := Table("density", a, b)
+	if !strings.Contains(out, "density") || !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("Table header missing: %q", out)
+	}
+	// x=1 has no b point, so a "-" placeholder must appear.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("Table missing placeholder: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Table has %d lines, want 3:\n%s", len(lines), out)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewSeries("a")
+	b := NewSeries("b")
+	a.Observe(1, 1.0)
+	a.Observe(2, 2.0)
+	a.Observe(3, 3.0)
+	b.Observe(1, 1.1)
+	b.Observe(2, 2.5)
+	d, shared := MaxAbsDiff(a, b)
+	if shared != 2 {
+		t.Fatalf("shared = %d", shared)
+	}
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+}

@@ -1,0 +1,255 @@
+// Package topology builds and analyzes the random geometric (unit-disk)
+// graphs on which the protocol runs.
+//
+// The paper's experiments deploy "several thousands of nodes (2500 to 3600)
+// in a random topology" and sweep the network *density* — the average number
+// of neighbors per node — between 8 and 20 by choosing the communication
+// range. This package provides exactly that: uniform deployment, the
+// density-to-radius solver, unit-disk adjacency built through a spatial grid
+// (O(n) at constant density), and the graph algorithms the experiments and
+// the routing substrate need (BFS hop counts, connected components, degree
+// statistics).
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Graph is an immutable unit-disk communication graph over deployed nodes.
+// Node IDs are the indices 0..N()-1.
+type Graph struct {
+	pos    []geom.Point
+	side   float64
+	radius float64
+	metric geom.Metric
+	adj    [][]int32
+	edges  int
+}
+
+// Config describes a deployment to generate.
+type Config struct {
+	// N is the number of nodes (must be > 0).
+	N int
+	// Side is the side length of the square deployment region. If zero, a
+	// unit square is used.
+	Side float64
+	// Density is the target mean number of neighbors per node. Exactly one
+	// of Density or Radius must be set.
+	Density float64
+	// Radius is an explicit communication radius; used when Density is 0.
+	Radius float64
+	// Metric selects planar or toroidal distance. Experiments use Torus so
+	// the realized density matches the target without boundary effects.
+	Metric geom.Metric
+}
+
+// RadiusForDensity returns the communication radius that yields the given
+// mean degree for n nodes uniformly deployed on a side x side torus: each
+// disk of radius r contains on average (n-1) * pi r^2 / side^2 other nodes.
+// On a planar square the realized density is slightly lower near the
+// boundary; experiments therefore use the torus metric.
+func RadiusForDensity(n int, side, density float64) float64 {
+	if n < 2 || side <= 0 || density <= 0 {
+		panic("topology: RadiusForDensity needs n >= 2, side > 0, density > 0")
+	}
+	return side * math.Sqrt(density/(math.Pi*float64(n-1)))
+}
+
+// Generate deploys cfg.N nodes uniformly at random (driven by rng) and
+// connects all pairs within the communication radius.
+func Generate(rng *xrand.RNG, cfg Config) (*Graph, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("topology: N must be positive, got %d", cfg.N)
+	}
+	side := cfg.Side
+	if side == 0 {
+		side = 1
+	}
+	if side < 0 {
+		return nil, fmt.Errorf("topology: negative side %v", side)
+	}
+	radius := cfg.Radius
+	switch {
+	case cfg.Density > 0 && cfg.Radius > 0:
+		return nil, fmt.Errorf("topology: set exactly one of Density and Radius")
+	case cfg.Density > 0:
+		radius = RadiusForDensity(cfg.N, side, cfg.Density)
+	case cfg.Radius > 0:
+		// keep as given
+	default:
+		return nil, fmt.Errorf("topology: one of Density or Radius must be positive")
+	}
+	pos := geom.UniformPoints(rng, cfg.N, side)
+	return FromPositions(pos, side, radius, cfg.Metric), nil
+}
+
+// FromPositions builds the unit-disk graph over explicit positions. It is
+// the entry point for tests and for scenarios that place nodes manually
+// (e.g. reproducing the paper's Figure 2 example topology).
+func FromPositions(pos []geom.Point, side, radius float64, metric geom.Metric) *Graph {
+	grid := geom.NewGrid(pos, side, radius, metric)
+	adj := make([][]int32, len(pos))
+	edges := 0
+	for i := range pos {
+		adj[i] = grid.Within(nil, pos[i], radius, int32(i))
+		edges += len(adj[i])
+	}
+	return &Graph{
+		pos:    pos,
+		side:   side,
+		radius: radius,
+		metric: metric,
+		adj:    adj,
+		edges:  edges / 2,
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.pos) }
+
+// Edges returns the number of undirected edges (secure links to establish).
+func (g *Graph) Edges() int { return g.edges }
+
+// Radius returns the communication radius.
+func (g *Graph) Radius() float64 { return g.radius }
+
+// Side returns the deployment square's side length.
+func (g *Graph) Side() float64 { return g.side }
+
+// Metric returns the distance metric the graph was built with.
+func (g *Graph) Metric() geom.Metric { return g.metric }
+
+// Pos returns node i's position.
+func (g *Graph) Pos(i int) geom.Point { return g.pos[i] }
+
+// Neighbors returns node i's neighbor list. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Neighbors(i int) []int32 { return g.adj[i] }
+
+// Degree returns the number of neighbors of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Adjacent reports whether u and v are within communication range.
+func (g *Graph) Adjacent(u, v int) bool {
+	// Neighbor lists are short (the density), so a linear scan wins over
+	// any auxiliary structure.
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MeanDegree returns the realized mean degree (network density).
+func (g *Graph) MeanDegree() float64 {
+	if len(g.pos) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.pos))
+}
+
+// HopCounts returns the BFS hop distance from src to every node; nodes
+// unreachable from src get -1. This is the idealized version of the
+// base-station beacon flood the routing substrate performs in-protocol.
+func (g *Graph) HopCounts(src int) []int {
+	dist := make([]int, len(g.pos))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, len(g.pos))
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Components returns a component label per node and the component count.
+func (g *Graph) Components() (label []int, count int) {
+	label = make([]int, len(g.pos))
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	for start := range g.pos {
+		if label[start] != -1 {
+			continue
+		}
+		label[start] = count
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if label[v] == -1 {
+					label[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// Connected reports whether the graph has a single connected component.
+// The paper's setup phase assumes the communication graph becomes connected;
+// at the densities it studies (8-20) random geometric graphs of thousands of
+// nodes are connected with overwhelming probability.
+func (g *Graph) Connected() bool {
+	if len(g.pos) == 0 {
+		return true
+	}
+	_, count := g.Components()
+	return count == 1
+}
+
+// GiantComponent returns the node IDs of the largest connected component.
+func (g *Graph) GiantComponent() []int {
+	label, count := g.Components()
+	sizes := make([]int, count)
+	for _, l := range label {
+		sizes[l]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]int, 0, sizes[best])
+	for i, l := range label {
+		if l == best {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DegreeHist returns the node-degree histogram counts indexed by degree.
+func (g *Graph) DegreeHist() []int {
+	maxDeg := 0
+	for i := range g.pos {
+		if d := len(g.adj[i]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h := make([]int, maxDeg+1)
+	for i := range g.pos {
+		h[len(g.adj[i])]++
+	}
+	return h
+}

@@ -1,0 +1,307 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func TestRadiusForDensity(t *testing.T) {
+	// With radius r on a torus, expected degree = (n-1)*pi*r^2/side^2.
+	n, side, d := 2000, 1.0, 12.5
+	r := RadiusForDensity(n, side, d)
+	got := float64(n-1) * math.Pi * r * r / (side * side)
+	if math.Abs(got-d) > 1e-9 {
+		t.Fatalf("implied density %v, want %v", got, d)
+	}
+}
+
+func TestRadiusForDensityPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RadiusForDensity(1, 1, 8) },
+		func() { RadiusForDensity(100, 0, 8) },
+		func() { RadiusForDensity(100, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGenerateRealizedDensityTorus(t *testing.T) {
+	// On a torus the realized mean degree should closely match the target.
+	rng := xrand.New(100)
+	for _, d := range []float64{8, 12.5, 20} {
+		g, err := Generate(rng.Split(uint64(d*10)), Config{N: 3000, Density: d, Metric: geom.Torus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.MeanDegree()
+		if math.Abs(got-d)/d > 0.05 {
+			t.Fatalf("density %v: realized %v (off by >5%%)", d, got)
+		}
+	}
+}
+
+func TestGeneratePlanarLowerDensity(t *testing.T) {
+	// Boundary truncation must make the planar realized density strictly
+	// lower than the toroidal one for the same radius.
+	rng := xrand.New(101)
+	gp, err := Generate(rng.Split(1), Config{N: 2000, Density: 15, Metric: geom.Planar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := Generate(rng.Split(1), Config{N: 2000, Density: 15, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.MeanDegree() >= gt.MeanDegree() {
+		t.Fatalf("planar density %v not below torus %v", gp.MeanDegree(), gt.MeanDegree())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := xrand.New(1)
+	cases := []Config{
+		{N: 0, Density: 8},
+		{N: 10},                          // neither density nor radius
+		{N: 10, Density: 8, Radius: 0.5}, // both
+		{N: 10, Density: 8, Side: -1},    // negative side
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(rng, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	rng := xrand.New(102)
+	g, err := Generate(rng, Config{N: 500, Density: 10, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.Adjacent(int(v), u) {
+				t.Fatalf("asymmetric adjacency %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestAdjacencyMatchesDistance(t *testing.T) {
+	rng := xrand.New(103)
+	g, err := Generate(rng, Config{N: 300, Density: 10, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := g.Radius() * g.Radius()
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			within := geom.TorusDist2(g.Pos(u), g.Pos(v), g.Side()) <= r2
+			if within != g.Adjacent(u, v) {
+				t.Fatalf("adjacency of %d-%d inconsistent with distance", u, v)
+			}
+		}
+	}
+}
+
+func TestEdgesCount(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 1.0, Y: 0}, {X: 5, Y: 5}}
+	g := FromPositions(pos, 10, 0.6, geom.Planar)
+	// edges: 0-1, 1-2.
+	if g.Edges() != 2 {
+		t.Fatalf("Edges = %d, want 2", g.Edges())
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees: %d %d", g.Degree(1), g.Degree(3))
+	}
+	if got := g.MeanDegree(); got != 1.0 {
+		t.Fatalf("MeanDegree = %v, want 1.0", got)
+	}
+}
+
+func TestHopCounts(t *testing.T) {
+	// Line graph 0-1-2-3, isolated 4.
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 8, Y: 8}}
+	g := FromPositions(pos, 10, 1.1, geom.Planar)
+	d := g.HopCounts(0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("HopCounts = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 5}, {X: 5, Y: 6}, {X: 9, Y: 0}}
+	g := FromPositions(pos, 20, 1.1, geom.Planar)
+	label, count := g.Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[0] == label[2] || label[4] == label[0] || label[4] == label[2] {
+		t.Fatalf("labels = %v", label)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	giant := g.GiantComponent()
+	if len(giant) != 2 {
+		t.Fatalf("giant component %v", giant)
+	}
+}
+
+func TestConnectedAtPaperDensities(t *testing.T) {
+	// At density 8+ a 2000-node RGG on a torus should be connected (whp).
+	rng := xrand.New(104)
+	g, err := Generate(rng, Config{N: 2000, Density: 8, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Skip("rare disconnection at density 8; seed-dependent")
+	}
+	if len(g.GiantComponent()) != g.N() {
+		t.Fatal("giant component should cover the connected graph")
+	}
+}
+
+func TestDegreeHist(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	g := FromPositions(pos, 10, 1.1, geom.Planar)
+	h := g.DegreeHist()
+	// Node degrees: 1, 2, 1.
+	if len(h) != 3 || h[1] != 2 || h[2] != 1 {
+		t.Fatalf("DegreeHist = %v", h)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromPositions(nil, 1, 0.5, geom.Planar)
+	if g.N() != 0 || g.Edges() != 0 || g.MeanDegree() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Generate(xrand.New(7), Config{N: 200, Density: 10, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(xrand.New(7), Config{N: 200, Density: 10, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Edges() != b.Edges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.Edges(), b.Edges())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Pos(i) != b.Pos(i) {
+			t.Fatalf("node %d at different positions", i)
+		}
+	}
+}
+
+func BenchmarkGenerate2000(b *testing.B) {
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(rng.Split(uint64(i)), Config{N: 2000, Density: 12.5, Metric: geom.Torus}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHopCountsBFSProperty(t *testing.T) {
+	// BFS invariant: adjacent nodes' hop counts differ by at most one,
+	// and every non-source reachable node has a neighbor one hop closer.
+	rng := xrand.New(200)
+	for trial := 0; trial < 10; trial++ {
+		g, err := Generate(rng.Split(uint64(trial)), Config{N: 150, Density: 6 + rng.Float64()*10, Metric: geom.Torus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.Intn(g.N())
+		d := g.HopCounts(src)
+		for u := 0; u < g.N(); u++ {
+			if d[u] == -1 {
+				for _, v := range g.Neighbors(u) {
+					if d[v] != -1 {
+						t.Fatalf("unreachable node %d adjacent to reachable %d", u, v)
+					}
+				}
+				continue
+			}
+			hasCloser := u == src
+			for _, v := range g.Neighbors(u) {
+				if d[v] == -1 {
+					t.Fatalf("reachable node %d adjacent to unreachable %d", u, v)
+				}
+				diff := d[u] - d[v]
+				if diff < -1 || diff > 1 {
+					t.Fatalf("hop counts of neighbors %d,%d differ by %d", u, v, diff)
+				}
+				if d[v] == d[u]-1 {
+					hasCloser = true
+				}
+			}
+			if !hasCloser {
+				t.Fatalf("node %d has no neighbor one hop closer to source", u)
+			}
+		}
+	}
+}
+
+func TestComponentsPartition(t *testing.T) {
+	// Components form a partition: same label iff connected via edges.
+	rng := xrand.New(300)
+	g, err := Generate(rng, Config{N: 200, Density: 3, Metric: geom.Torus}) // sparse: many components
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, count := g.Components()
+	if count < 2 {
+		t.Skip("graph connected at this seed; partition test needs fragments")
+	}
+	for u := 0; u < g.N(); u++ {
+		if label[u] < 0 || label[u] >= count {
+			t.Fatalf("label out of range: %d", label[u])
+		}
+		for _, v := range g.Neighbors(u) {
+			if label[v] != label[u] {
+				t.Fatalf("edge %d-%d crosses components", u, v)
+			}
+		}
+	}
+	// Each component's members are mutually reachable: check via BFS from
+	// one representative per component.
+	rep := make([]int, count)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for u := 0; u < g.N(); u++ {
+		if rep[label[u]] == -1 {
+			rep[label[u]] = u
+		}
+	}
+	for c, r := range rep {
+		d := g.HopCounts(r)
+		for u := 0; u < g.N(); u++ {
+			if (label[u] == c) != (d[u] != -1) {
+				t.Fatalf("component %d: reachability disagrees with label at node %d", c, u)
+			}
+		}
+	}
+}

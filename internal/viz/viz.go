@@ -1,0 +1,178 @@
+// Package viz renders deployments as ASCII maps: each node appears at its
+// field position as a glyph derived from its cluster, so the spatial
+// cluster structure — the thing the whole protocol is about — is visible
+// directly in a terminal. Used by cmd/wsnsim's -map flag and handy in
+// tests when a topology assertion fails.
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// glyphs is the cluster alphabet; cluster IDs map into it cyclically.
+// Collisions between distant clusters are acceptable — the map conveys
+// local structure.
+const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// Options controls rendering.
+type Options struct {
+	// Width is the map width in characters (default 72). Height follows
+	// from the deployment's aspect ratio, halved because terminal cells
+	// are roughly twice as tall as wide.
+	Width int
+	// Mark, if set, overrides the glyph for specific nodes (return false
+	// to use the default). Use it to highlight the base station, the
+	// source of a traced message, captured nodes, and so on.
+	Mark func(i int) (rune, bool)
+	// Empty is the glyph for cells with no node (default '.').
+	Empty rune
+}
+
+// Clusters renders the deployment with one glyph per node chosen by its
+// cluster assignment; assign returns the cluster ID of node i and whether
+// it has one (clusterless nodes render as '?').
+func Clusters(g *topology.Graph, assign func(i int) (uint32, bool), opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Empty == 0 {
+		opt.Empty = '.'
+	}
+	w := opt.Width
+	h := w / 2
+	if h < 1 {
+		h = 1
+	}
+	grid := make([][]rune, h)
+	for y := range grid {
+		grid[y] = make([]rune, w)
+		for x := range grid[y] {
+			grid[y][x] = opt.Empty
+		}
+	}
+	side := g.Side()
+	for i := 0; i < g.N(); i++ {
+		p := g.Pos(i)
+		x := int(p.X / side * float64(w))
+		y := int(p.Y / side * float64(h))
+		if x >= w {
+			x = w - 1
+		}
+		if y >= h {
+			y = h - 1
+		}
+		var glyph rune
+		if opt.Mark != nil {
+			if r, ok := opt.Mark(i); ok {
+				grid[y][x] = r
+				continue
+			}
+		}
+		if cid, ok := assign(i); ok {
+			glyph = rune(glyphs[int(cid)%len(glyphs)])
+		} else {
+			glyph = '?'
+		}
+		// Marked glyphs take precedence over cluster glyphs placed later
+		// in the same cell; cluster glyphs overwrite each other freely.
+		if !isMarked(grid[y][x], opt) {
+			grid[y][x] = glyph
+		}
+	}
+	var b strings.Builder
+	for y := range grid {
+		b.WriteString(string(grid[y]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// isMarked reports whether r was placed by the Mark override (heuristic:
+// anything not in the cluster alphabet, not '?', and not the empty glyph).
+func isMarked(r rune, opt Options) bool {
+	if r == opt.Empty || r == '?' {
+		return false
+	}
+	return !strings.ContainsRune(glyphs, r)
+}
+
+// Heat renders a scalar per-node quantity (energy spent, keys stored,
+// traffic relayed) as digits 0-9, scaled so 9 is the observed maximum.
+// Applied to energy meters after a lifetime run it makes the energy hole
+// around the base station directly visible. Cells holding several nodes
+// show the hottest one; value may return ok=false for nodes to skip.
+func Heat(g *topology.Graph, value func(i int) (float64, bool), opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Empty == 0 {
+		opt.Empty = '.'
+	}
+	w := opt.Width
+	h := w / 2
+	if h < 1 {
+		h = 1
+	}
+	// First pass: the scale.
+	var maxV float64
+	for i := 0; i < g.N(); i++ {
+		if v, ok := value(i); ok && v > maxV {
+			maxV = v
+		}
+	}
+	grid := make([][]rune, h)
+	hot := make([][]float64, h)
+	for y := range grid {
+		grid[y] = make([]rune, w)
+		hot[y] = make([]float64, w)
+		for x := range grid[y] {
+			grid[y][x] = opt.Empty
+			hot[y][x] = -1
+		}
+	}
+	side := g.Side()
+	for i := 0; i < g.N(); i++ {
+		p := g.Pos(i)
+		x := int(p.X / side * float64(w))
+		y := int(p.Y / side * float64(h))
+		if x >= w {
+			x = w - 1
+		}
+		if y >= h {
+			y = h - 1
+		}
+		// Marks render even for nodes the value function skips (dead
+		// nodes, positions without sensors).
+		if opt.Mark != nil {
+			if r, mk := opt.Mark(i); mk {
+				grid[y][x] = r
+				hot[y][x] = maxV + 1 // marks always win
+				continue
+			}
+		}
+		v, ok := value(i)
+		if !ok {
+			continue
+		}
+		if v <= hot[y][x] {
+			continue
+		}
+		hot[y][x] = v
+		level := 0
+		if maxV > 0 {
+			level = int(v / maxV * 9.999)
+		}
+		if level > 9 {
+			level = 9
+		}
+		grid[y][x] = rune('0' + level)
+	}
+	var b strings.Builder
+	for y := range grid {
+		b.WriteString(string(grid[y]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+func grid4() *topology.Graph {
+	pos := []geom.Point{
+		{X: 0.1, Y: 0.1}, // top-left
+		{X: 0.9, Y: 0.1}, // top-right
+		{X: 0.1, Y: 0.9}, // bottom-left
+		{X: 0.9, Y: 0.9}, // bottom-right
+	}
+	return topology.FromPositions(pos, 1.0, 0.3, geom.Planar)
+}
+
+func TestClustersLayout(t *testing.T) {
+	g := grid4()
+	assign := func(i int) (uint32, bool) { return uint32(i % 2), true }
+	out := Clusters(g, assign, Options{Width: 20})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("height = %d, want 10", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 20 {
+			t.Fatalf("line %d width %d", i, len(l))
+		}
+	}
+	// Corners carry cluster glyphs a (cluster 0) and b (cluster 1).
+	if lines[1][2] != 'a' {
+		t.Fatalf("top-left glyph %q", lines[1][2])
+	}
+	if lines[1][18] != 'b' {
+		t.Fatalf("top-right glyph %q", lines[1][18])
+	}
+	if lines[9][2] != 'a' || lines[9][18] != 'b' {
+		t.Fatalf("bottom glyphs %q %q", lines[9][2], lines[9][18])
+	}
+	// Everything else is the empty glyph.
+	count := strings.Count(out, ".")
+	if count != 20*10-4 {
+		t.Fatalf("empty cells = %d", count)
+	}
+}
+
+func TestMarkOverride(t *testing.T) {
+	g := grid4()
+	assign := func(i int) (uint32, bool) { return 0, true }
+	out := Clusters(g, assign, Options{
+		Width: 20,
+		Mark: func(i int) (rune, bool) {
+			if i == 0 {
+				return '#', true
+			}
+			return 0, false
+		},
+	})
+	if !strings.Contains(out, "#") {
+		t.Fatal("mark glyph missing")
+	}
+	if strings.Count(out, "a") != 3 {
+		t.Fatalf("expected 3 default glyphs, got %d", strings.Count(out, "a"))
+	}
+}
+
+func TestClusterlessRendersQuestionMark(t *testing.T) {
+	g := grid4()
+	assign := func(i int) (uint32, bool) { return 0, i != 2 }
+	out := Clusters(g, assign, Options{Width: 20})
+	if !strings.Contains(out, "?") {
+		t.Fatal("clusterless node not rendered as ?")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g := grid4()
+	out := Clusters(g, func(int) (uint32, bool) { return 0, true }, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 36 || len(lines[0]) != 72 {
+		t.Fatalf("default dimensions %dx%d", len(lines[0]), len(lines))
+	}
+}
+
+func TestGlyphCycling(t *testing.T) {
+	// Cluster IDs far apart must still map into the printable alphabet.
+	g := grid4()
+	assign := func(i int) (uint32, bool) { return uint32(i) * 1000003, true }
+	out := Clusters(g, assign, Options{Width: 20})
+	for _, r := range out {
+		if r == '\n' || r == '.' {
+			continue
+		}
+		if !strings.ContainsRune(glyphs, r) {
+			t.Fatalf("unexpected glyph %q", r)
+		}
+	}
+}
+
+func TestHeatScaling(t *testing.T) {
+	g := grid4()
+	values := []float64{0, 50, 100, 25}
+	out := Heat(g, func(i int) (float64, bool) { return values[i], true }, Options{Width: 20})
+	// Max (100) renders as 9; zero as 0; half as 4; quarter as 2.
+	for _, want := range []string{"9", "0", "4", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heat map missing level %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatSkipsAndMarks(t *testing.T) {
+	g := grid4()
+	out := Heat(g, func(i int) (float64, bool) {
+		if i == 3 {
+			return 0, false // dead node: skip
+		}
+		return float64(i), true
+	}, Options{Width: 20, Mark: func(i int) (rune, bool) {
+		if i == 0 {
+			return '#', true
+		}
+		return 0, false
+	}})
+	if !strings.Contains(out, "#") {
+		t.Fatal("mark missing in heat map")
+	}
+	// Node 3's cell stays empty.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[9][18] != '.' {
+		t.Fatalf("skipped node rendered: %q", lines[9][18])
+	}
+}
+
+func TestHeatAllZero(t *testing.T) {
+	g := grid4()
+	out := Heat(g, func(i int) (float64, bool) { return 0, true }, Options{Width: 20})
+	if strings.Count(out, "0") != 4 {
+		t.Fatalf("all-zero heat map wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,302 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypt"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	f := func(typ byte, cid uint32, nonce uint64, payload []byte) bool {
+		ty := Type(typ%8) + 1
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		in := &Frame{Type: ty, CID: cid, Nonce: nonce, Payload: payload}
+		pkt, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := ParseFrame(pkt)
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.CID == in.CID && out.Nonce == in.Nonce &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	if _, err := ParseFrame(nil); err != ErrTruncated {
+		t.Fatalf("nil packet: %v", err)
+	}
+	if _, err := ParseFrame(make([]byte, frameHeader-1)); err != ErrTruncated {
+		t.Fatalf("short packet: %v", err)
+	}
+	// Unknown type.
+	pkt, err := (&Frame{Type: THello, Payload: []byte("x")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt[0] = 0
+	if _, err := ParseFrame(pkt); err != ErrBadType {
+		t.Fatalf("type 0: %v", err)
+	}
+	pkt[0] = 200
+	if _, err := ParseFrame(pkt); err != ErrBadType {
+		t.Fatalf("type 200: %v", err)
+	}
+	// Declared payload longer than packet.
+	pkt[0] = byte(THello)
+	pkt[13], pkt[14] = 0xff, 0xff
+	if _, err := ParseFrame(pkt); err != ErrTruncated {
+		t.Fatalf("overlong declared payload: %v", err)
+	}
+}
+
+func TestMarshalRejectsHugePayload(t *testing.T) {
+	f := &Frame{Type: TData, Payload: make([]byte, MaxPayload+1)}
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	names := map[Type]string{
+		THello: "HELLO", TLinkAdvert: "LINK-ADVERT", TData: "DATA",
+		TBeacon: "BEACON", TRevoke: "REVOKE", TJoinReq: "JOIN-REQ",
+		TJoinResp: "JOIN-RESP", TRefresh: "REFRESH",
+	}
+	for ty, want := range names {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := Type(99).String(); got != "TYPE(99)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+}
+
+func key16(b byte) crypt.Key {
+	var k crypt.Key
+	for i := range k {
+		k[i] = b ^ byte(i*3)
+	}
+	return k
+}
+
+func TestHelloRoundtrip(t *testing.T) {
+	in := &Hello{HeadID: 1234, ClusterKey: key16(7)}
+	out, err := UnmarshalHello(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestLinkAdvertRoundtrip(t *testing.T) {
+	in := &LinkAdvert{CID: 999, ClusterKey: key16(9)}
+	out, err := UnmarshalLinkAdvert(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestInnerRoundtrip(t *testing.T) {
+	f := func(src uint32, ctr uint64, enc bool, sealed []byte) bool {
+		if len(sealed) > 1024 {
+			sealed = sealed[:1024]
+		}
+		in := &Inner{Src: src, Counter: ctr, Encrypted: enc, Sealed: sealed}
+		out, err := UnmarshalInner(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Src == in.Src && out.Counter == in.Counter &&
+			out.Encrypted == in.Encrypted && bytes.Equal(out.Sealed, in.Sealed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInnerRejectsBadFlag(t *testing.T) {
+	in := &Inner{Src: 1, Counter: 2, Encrypted: true, Sealed: []byte("abc")}
+	b := in.Marshal()
+	b[12] = 2 // the Encrypted flag byte
+	if _, err := UnmarshalInner(b); err == nil {
+		t.Fatal("bad flag byte accepted")
+	}
+}
+
+func TestDataRoundtrip(t *testing.T) {
+	f := func(tau int64, cid, origin, seq uint32, hop uint16, inner []byte) bool {
+		if len(inner) > 1024 {
+			inner = inner[:1024]
+		}
+		in := &Data{Tau: tau, SrcCID: cid, Origin: origin, Seq: seq, Hop: hop, Inner: inner}
+		out, err := UnmarshalData(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Tau == in.Tau && out.SrcCID == in.SrcCID && out.Origin == in.Origin &&
+			out.Seq == in.Seq && out.Hop == in.Hop && bytes.Equal(out.Inner, in.Inner)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeaconRoundtrip(t *testing.T) {
+	in := &Beacon{Round: 3, Hop: 17}
+	out, err := UnmarshalBeacon(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestRevokeRoundtrip(t *testing.T) {
+	cases := []*Revoke{
+		{Index: 1, ChainKey: key16(3), CIDs: nil},
+		{Index: 2, ChainKey: key16(4), CIDs: []uint32{10}},
+		{Index: 77, ChainKey: key16(5), CIDs: []uint32{1, 2, 3, 4, 5, 1 << 30}},
+	}
+	for _, in := range cases {
+		out, err := UnmarshalRevoke(in.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Index != in.Index || !out.ChainKey.Equal(in.ChainKey) {
+			t.Fatalf("roundtrip header: %+v != %+v", out, in)
+		}
+		if len(out.CIDs) != len(in.CIDs) {
+			t.Fatalf("CIDs length %d != %d", len(out.CIDs), len(in.CIDs))
+		}
+		for i := range in.CIDs {
+			if out.CIDs[i] != in.CIDs[i] {
+				t.Fatalf("CIDs %v != %v", out.CIDs, in.CIDs)
+			}
+		}
+	}
+}
+
+func TestJoinReqRoundtrip(t *testing.T) {
+	in := &JoinReq{NodeID: 424242}
+	out, err := UnmarshalJoinReq(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestJoinRespRoundtrip(t *testing.T) {
+	in := &JoinResp{CID: 13}
+	for i := range in.Tag {
+		in.Tag[i] = byte(i * 7)
+	}
+	out, err := UnmarshalJoinResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestRefreshRoundtrip(t *testing.T) {
+	in := &Refresh{CID: 5, Epoch: 9, NewKey: key16(11)}
+	out, err := UnmarshalRefresh(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+// Every Unmarshal must reject truncation at any byte boundary and reject
+// trailing garbage. Drive all codecs through one table.
+func TestUnmarshalRejectsTruncationAndTrailing(t *testing.T) {
+	full := map[string][]byte{
+		"hello":      (&Hello{HeadID: 1, ClusterKey: key16(1)}).Marshal(),
+		"linkadvert": (&LinkAdvert{CID: 2, ClusterKey: key16(2)}).Marshal(),
+		"inner":      (&Inner{Src: 3, Counter: 4, Encrypted: true, Sealed: []byte("abcd")}).Marshal(),
+		"data":       (&Data{Tau: 5, SrcCID: 6, Origin: 7, Seq: 8, Hop: 9, Inner: []byte("efgh")}).Marshal(),
+		"beacon":     (&Beacon{Round: 1, Hop: 2}).Marshal(),
+		"revoke":     (&Revoke{Index: 1, ChainKey: key16(3), CIDs: []uint32{4, 5}}).Marshal(),
+		"joinreq":    (&JoinReq{NodeID: 6}).Marshal(),
+		"joinresp":   (&JoinResp{CID: 7}).Marshal(),
+		"refresh":    (&Refresh{CID: 8, Epoch: 9, NewKey: key16(4)}).Marshal(),
+	}
+	decode := map[string]func([]byte) error{
+		"hello":      func(b []byte) error { _, err := UnmarshalHello(b); return err },
+		"linkadvert": func(b []byte) error { _, err := UnmarshalLinkAdvert(b); return err },
+		"inner":      func(b []byte) error { _, err := UnmarshalInner(b); return err },
+		"data":       func(b []byte) error { _, err := UnmarshalData(b); return err },
+		"beacon":     func(b []byte) error { _, err := UnmarshalBeacon(b); return err },
+		"revoke":     func(b []byte) error { _, err := UnmarshalRevoke(b); return err },
+		"joinreq":    func(b []byte) error { _, err := UnmarshalJoinReq(b); return err },
+		"joinresp":   func(b []byte) error { _, err := UnmarshalJoinResp(b); return err },
+		"refresh":    func(b []byte) error { _, err := UnmarshalRefresh(b); return err },
+	}
+	for name, buf := range full {
+		dec := decode[name]
+		if err := dec(buf); err != nil {
+			t.Fatalf("%s: full decode failed: %v", name, err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if err := dec(buf[:cut]); err == nil {
+				t.Errorf("%s: truncation to %d bytes accepted", name, cut)
+			}
+		}
+		if err := dec(append(append([]byte(nil), buf...), 0xAA)); err == nil {
+			t.Errorf("%s: trailing byte accepted", name)
+		}
+	}
+}
+
+func TestDecodedBytesDoNotAliasInput(t *testing.T) {
+	in := &Data{Inner: []byte("sensor")}
+	buf := in.Marshal()
+	out, err := UnmarshalData(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF // scribble over the radio buffer
+	if !bytes.Equal(out.Inner, []byte("sensor")) {
+		t.Fatal("decoded Inner aliases the input buffer")
+	}
+}
+
+func BenchmarkDataMarshal(b *testing.B) {
+	m := &Data{Tau: 1, SrcCID: 2, Origin: 3, Seq: 4, Hop: 5, Inner: make([]byte, 48)}
+	for i := 0; i < b.N; i++ {
+		m.Marshal()
+	}
+}
+
+func BenchmarkDataUnmarshal(b *testing.B) {
+	buf := (&Data{Tau: 1, SrcCID: 2, Origin: 3, Seq: 4, Hop: 5, Inner: make([]byte, 48)}).Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalData(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
