@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The deterministic runner's contract includes being race-detector-clean
+# at any worker count; the equivalence harness pins Workers=4 so this
+# exercises real goroutine interleaving even on a single-CPU machine.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: build vet fmt test

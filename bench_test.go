@@ -359,3 +359,44 @@ func BenchmarkSetupDuration(b *testing.B) {
 	b.ReportMetric(window/float64(b.N), "km-window-sec")
 	b.ReportMetric(msgs/float64(b.N), "setup-msgs/node")
 }
+
+// benchSweepWorkers is the serial/parallel pair's shared body: a
+// multi-point, multi-trial density sweep (3 densities x 4 trials) with
+// the worker pool pinned as given.
+func benchSweepWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{Seed: uint64(i) + 1, Trials: 4, N: 500, Workers: workers}
+		if _, err := experiments.DensitySweep(o, []float64{8, 12.5, 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDensitySweepSerial runs the figure sweep with the -workers=1
+// escape hatch: every trial on the calling goroutine, exactly the old
+// code path.
+func BenchmarkDensitySweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkDensitySweepParallel runs the identical sweep with one worker
+// per CPU. Output is bit-identical to the serial variant (the experiments
+// package's equivalence tests prove it); at GOMAXPROCS > 1 wall-clock
+// drops by roughly the core count, since trials are embarrassingly
+// parallel and the merge is negligible.
+func BenchmarkDensitySweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }
+
+// benchResilienceWorkers is the trial-level fan-out pair: the capture
+// sweep parallelizes across whole trials rather than (point, trial)
+// cells.
+func benchResilienceWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{Seed: uint64(i) + 1, Trials: 4, N: 500, Workers: workers}
+		if _, err := experiments.Resilience(o, []int{10, 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResilienceSerial / BenchmarkResilienceParallel compare the
+// security sweep's wall-clock at workers=1 vs one worker per CPU.
+func BenchmarkResilienceSerial(b *testing.B)   { benchResilienceWorkers(b, 1) }
+func BenchmarkResilienceParallel(b *testing.B) { benchResilienceWorkers(b, 0) }

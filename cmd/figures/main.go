@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	figures [-n 2500] [-trials 5] [-seed 1]
+//	figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
 //	               setupcost]
 //
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
-// the same qualitative shapes.
+// the same qualitative shapes. -workers=0 (the default) runs trials on
+// one worker per CPU; -workers=1 forces the serial path. Output is
+// bit-identical at every worker count (see docs/DETERMINISM.md).
 package main
 
 import (
@@ -25,11 +27,12 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 2500, "network size (paper: 2500-3600)")
-		trials = flag.Int("trials", 5, "independent deployments per data point")
-		seed   = flag.Uint64("seed", 1, "root random seed")
-		only   = flag.String("only", "", "comma-separated subset of experiments to run")
-		format = flag.String("format", "text", "output format: text or markdown")
+		n       = flag.Int("n", 2500, "network size (paper: 2500-3600)")
+		trials  = flag.Int("trials", 5, "independent deployments per data point")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		workers = flag.Int("workers", 0, "concurrent trials (0 = one per CPU, 1 = serial)")
+		only    = flag.String("only", "", "comma-separated subset of experiments to run")
+		format  = flag.String("format", "text", "output format: text or markdown")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "markdown" {
@@ -37,7 +40,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{Seed: *seed, Trials: *trials, N: *n}
+	opt := experiments.Options{Seed: *seed, Trials: *trials, N: *n, Workers: *workers}
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	// capped clamps one family's options to its registered scale caps.
+	capped := func(family string) experiments.Options {
+		return experiments.CapsFor(family).Apply(opt)
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -71,63 +82,31 @@ func main() {
 			return experiments.HelloFlood(opt, nil)
 		}},
 		{"selective", func() (interface{ Table() string }, error) {
-			selOpt := opt
-			if selOpt.N > 1000 {
-				selOpt.N = 1000 // forwarding experiments are event-heavy
-			}
-			return experiments.SelectiveForwarding(selOpt, nil)
+			return experiments.SelectiveForwarding(capped("selective"), nil)
 		}},
 		{"setup", func() (interface{ Table() string }, error) {
 			return experiments.SetupTime(opt, nil)
 		}},
 		{"storage", func() (interface{ Table() string }, error) {
-			stoOpt := opt
-			if stoOpt.Trials > 2 {
-				stoOpt.Trials = 2
-			}
-			return experiments.Storage(stoOpt, nil, 12.5)
+			return experiments.Storage(capped("storage"), nil, 12.5)
 		}},
 		{"election", func() (interface{ Table() string }, error) {
-			elOpt := opt
-			if elOpt.N > 1000 {
-				elOpt.N = 1000
-			}
-			return experiments.ElectionDelay(elOpt, nil, 8)
+			return experiments.ElectionDelay(capped("election"), nil, 8)
 		}},
 		{"routing", func() (interface{ Table() string }, error) {
-			rtOpt := opt
-			if rtOpt.N > 1000 {
-				rtOpt.N = 1000
-			}
-			return experiments.RoutingAblation(rtOpt)
+			return experiments.RoutingAblation(capped("routing"))
 		}},
 		{"freshness", func() (interface{ Table() string }, error) {
-			fwOpt := opt
-			if fwOpt.N > 600 {
-				fwOpt.N = 600
-			}
-			return experiments.FreshWindow(fwOpt, nil)
+			return experiments.FreshWindow(capped("freshness"), nil)
 		}},
 		{"mac", func() (interface{ Table() string }, error) {
-			macOpt := opt
-			if macOpt.N > 800 {
-				macOpt.N = 800
-			}
-			return experiments.MACAblation(macOpt)
+			return experiments.MACAblation(capped("mac"))
 		}},
 		{"lifetime", func() (interface{ Table() string }, error) {
-			ltOpt := opt
-			if ltOpt.N > 500 {
-				ltOpt.N = 500
-			}
-			return experiments.Lifetime(ltOpt, 2e6, 15, true)
+			return experiments.Lifetime(capped("lifetime"), 2e6, 15, true)
 		}},
 		{"setupcost", func() (interface{ Table() string }, error) {
-			scOpt := opt
-			if scOpt.N > 1000 {
-				scOpt.N = 1000
-			}
-			return experiments.SetupCost(scOpt, nil)
+			return experiments.SetupCost(capped("setupcost"), nil)
 		}},
 	}
 

@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/wire"
+	"repro/internal/xrand"
 )
 
 // This file holds the ablation studies for the design choices DESIGN.md
@@ -42,21 +44,24 @@ func ElectionDelay(o Options, meansMS []int, density float64) (*ElectionDelayRes
 		MeanSize:      stats.NewSeries("nodes/cluster"),
 		Density:       density,
 	}
-	for _, mean := range meansMS {
-		cfg := core.DefaultConfig()
-		cfg.HelloMeanDelay = time.Duration(mean) * time.Millisecond
-		// Keep the phase boundary at ~10x the mean so the cap is inert.
-		cfg.ClusterPhaseEnd = 10 * cfg.HelloMeanDelay
-		for trial := 0; trial < o.Trials; trial++ {
+	type electionObs struct {
+		singles, heads, size float64
+	}
+	obs, err := runner.Grid(o.Workers, len(meansMS), o.Trials,
+		func(point, trial int) (electionObs, error) {
+			cfg := core.DefaultConfig()
+			cfg.HelloMeanDelay = time.Duration(meansMS[point]) * time.Millisecond
+			// Keep the phase boundary at ~10x the mean so the cap is inert.
+			cfg.ClusterPhaseEnd = 10 * cfg.HelloMeanDelay
 			d, err := core.Deploy(core.DeployOptions{
 				N: o.N, Density: density, Config: cfg,
-				Seed: o.Seed*1_000_003 + uint64(trial)*7919 + uint64(mean),
+				Seed: xrand.TrialSeed(o.Seed, point, trial),
 			})
 			if err != nil {
-				return nil, err
+				return electionObs{}, err
 			}
 			if err := d.RunSetup(); err != nil {
-				return nil, err
+				return electionObs{}, err
 			}
 			st := d.Clusters()
 			singles := 0
@@ -65,10 +70,21 @@ func ElectionDelay(o Options, meansMS []int, density float64) (*ElectionDelayRes
 					singles++
 				}
 			}
-			x := float64(mean)
-			res.SingletonFrac.Observe(x, float64(singles)/float64(st.NumClusters))
-			res.HeadFrac.Observe(x, st.HeadFraction)
-			res.MeanSize.Observe(x, st.MeanSize)
+			return electionObs{
+				singles: float64(singles) / float64(st.NumClusters),
+				heads:   st.HeadFraction,
+				size:    st.MeanSize,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for point, mean := range meansMS {
+		x := float64(mean)
+		for _, ob := range obs[point] {
+			res.SingletonFrac.Observe(x, ob.singles)
+			res.HeadFrac.Observe(x, ob.heads)
+			res.MeanSize.Observe(x, ob.size)
 		}
 	}
 	return res, nil
@@ -97,18 +113,24 @@ type RoutingAblationResult struct {
 func RoutingAblation(o Options) (*RoutingAblationResult, error) {
 	o = o.withDefaults()
 	res := &RoutingAblationResult{N: o.N}
-	for _, flood := range []bool{false, true} {
+	// Both arms share o.Seed on purpose: the comparison holds the topology
+	// fixed and varies only the forwarding rule.
+	policies := []bool{false, true}
+	type routingObs struct {
+		ratio, perReading float64
+	}
+	obs, err := runner.Map(o.Workers, len(policies), func(pi int) (routingObs, error) {
 		cfg := core.DefaultConfig()
-		cfg.FloodForwarding = flood
+		cfg.FloodForwarding = policies[pi]
 		rec := trace.New()
 		d, err := core.Deploy(core.DeployOptions{
 			N: o.N, Density: 12.5, Seed: o.Seed, Config: cfg, Trace: rec.Hook(),
 		})
 		if err != nil {
-			return nil, err
+			return routingObs{}, err
 		}
 		if err := d.RunSetup(); err != nil {
-			return nil, err
+			return routingObs{}, err
 		}
 		dataTxBefore := rec.Total()[wire.TData].Transmissions
 		sent := 0
@@ -121,21 +143,21 @@ func RoutingAblation(o Options) (*RoutingAblationResult, error) {
 			sent++
 		}
 		if _, err := d.Eng.RunUntilIdle(0); err != nil {
-			return nil, err
+			return routingObs{}, err
 		}
 		delivered := len(d.Deliveries())
 		dataTx := rec.Total()[wire.TData].Transmissions - dataTxBefore
-		ratio := float64(delivered) / float64(sent)
-		perReading := 0.0
+		ob := routingObs{ratio: float64(delivered) / float64(sent)}
 		if delivered > 0 {
-			perReading = float64(dataTx) / float64(delivered)
+			ob.perReading = float64(dataTx) / float64(delivered)
 		}
-		if flood {
-			res.DeliveryFlood, res.TxPerReadingFlood = ratio, perReading
-		} else {
-			res.DeliveryGradient, res.TxPerReadingGradient = ratio, perReading
-		}
+		return ob, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.DeliveryGradient, res.TxPerReadingGradient = obs[0].ratio, obs[0].perReading
+	res.DeliveryFlood, res.TxPerReadingFlood = obs[1].ratio, obs[1].perReading
 	return res, nil
 }
 
@@ -166,19 +188,19 @@ func FreshWindow(o Options, windowsMS []int) (*FreshWindowResult, error) {
 		windowsMS = []int{1, 2, 5, 50, 250}
 	}
 	res := &FreshWindowResult{Delivery: stats.NewSeries("delivery"), N: o.N}
-	for _, w := range windowsMS {
-		cfg := core.DefaultConfig()
-		cfg.FreshWindow = time.Duration(w) * time.Millisecond
-		for trial := 0; trial < o.Trials; trial++ {
+	obs, err := runner.Grid(o.Workers, len(windowsMS), o.Trials,
+		func(point, trial int) (float64, error) {
+			cfg := core.DefaultConfig()
+			cfg.FreshWindow = time.Duration(windowsMS[point]) * time.Millisecond
 			d, err := core.Deploy(core.DeployOptions{
 				N: o.N, Density: 12.5, Config: cfg,
-				Seed: o.Seed*31 + uint64(trial)*7 + uint64(w),
+				Seed: xrand.TrialSeed(o.Seed, point, trial),
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if err := d.RunSetup(); err != nil {
-				return nil, err
+				return 0, err
 			}
 			sent := 0
 			base := d.Eng.Now()
@@ -190,9 +212,16 @@ func FreshWindow(o Options, windowsMS []int) (*FreshWindowResult, error) {
 				sent++
 			}
 			if _, err := d.Eng.RunUntilIdle(0); err != nil {
-				return nil, err
+				return 0, err
 			}
-			res.Delivery.Observe(float64(w), float64(len(d.Deliveries()))/float64(sent))
+			return float64(len(d.Deliveries())) / float64(sent), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for point, w := range windowsMS {
+		for _, ratio := range obs[point] {
+			res.Delivery.Observe(float64(w), ratio)
 		}
 	}
 	return res, nil
@@ -249,16 +278,19 @@ func MACAblation(o Options) (*MACAblationResult, error) {
 		{"no-backoff", true, 0},                       // 0.2ms default jitter << airtime: broadcast storms
 		{"csma-backoff", true, 20 * time.Millisecond}, // spread beyond airtime: collisions rare
 	}
-	for _, c := range configs {
+	// All three media share o.Seed on purpose: the comparison holds the
+	// topology fixed and varies only the collision model.
+	rows, err := runner.Map(o.Workers, len(configs), func(ci int) (MACRow, error) {
+		c := configs[ci]
 		d, err := core.Deploy(core.DeployOptions{
 			N: o.N, Density: 12.5, Seed: o.Seed,
 			Collisions: c.collisions, Jitter: c.jitter,
 		})
 		if err != nil {
-			return nil, err
+			return MACRow{}, err
 		}
 		if err := d.RunSetup(); err != nil {
-			return nil, err
+			return MACRow{}, err
 		}
 		keys := d.KeysPerNode(true)
 		sum := 0
@@ -277,7 +309,7 @@ func MACAblation(o Options) (*MACAblationResult, error) {
 			sent++
 		}
 		if _, err := d.Eng.RunUntilIdle(0); err != nil {
-			return nil, err
+			return MACRow{}, err
 		}
 		row.Delivery = float64(len(d.Deliveries())) / float64(sent)
 		total := 0
@@ -285,8 +317,12 @@ func MACAblation(o Options) (*MACAblationResult, error) {
 			total += d.Eng.Collisions(i)
 		}
 		row.CollisionsPerNode = float64(total) / float64(d.Eng.N())
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -9,11 +9,15 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/xrand"
 )
 
 // PaperDensities is the density axis used throughout the paper's Section V
@@ -29,6 +33,11 @@ type Options struct {
 	// N is the network size (the paper deploys 2500-3600 nodes for the
 	// clustering figures and 2000 for the message-count figure).
 	N int
+	// Workers bounds how many trials run concurrently: 0 uses one worker
+	// per CPU (GOMAXPROCS), 1 forces the serial path, and any other
+	// positive value sizes the pool explicitly. Output is bit-identical
+	// at every setting; see docs/DETERMINISM.md.
+	Workers int
 }
 
 // withDefaults fills unset fields with paper-scale values.
@@ -45,14 +54,82 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// deployTrial stands up one network and runs key setup; the trial index
-// perturbs the seed so trials are independent but reproducible.
-func deployTrial(o Options, density float64, trial int) (*core.Deployment, error) {
-	seed := o.Seed*1_000_003 + uint64(trial)*7919 + uint64(density*100)
+// Validate rejects option values the experiments cannot run with. Zero
+// fields are fine (withDefaults fills them); only actively contradictory
+// settings — negative counts — are errors. Command-line front ends call
+// this once, right after flag parsing, instead of scattering checks.
+func (o Options) Validate() error {
+	if o.Trials < 0 {
+		return fmt.Errorf("experiments: negative Trials %d", o.Trials)
+	}
+	if o.N < 0 {
+		return fmt.Errorf("experiments: negative N %d", o.N)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: negative Workers %d", o.Workers)
+	}
+	return nil
+}
+
+// Caps bounds an Options value for experiment families that are too
+// event-heavy (or too memory-heavy) to run at the full figure scale.
+type Caps struct {
+	// MaxN caps the network size (0 = uncapped).
+	MaxN int
+	// MaxTrials caps the per-point trial count (0 = uncapped).
+	MaxTrials int
+}
+
+// Apply returns o clamped to the caps.
+func (c Caps) Apply(o Options) Options {
+	if c.MaxN > 0 && o.N > c.MaxN {
+		o.N = c.MaxN
+	}
+	if c.MaxTrials > 0 && o.Trials > c.MaxTrials {
+		o.Trials = c.MaxTrials
+	}
+	return o
+}
+
+// familyCaps names the per-family scale caps cmd/figures applies when the
+// user asks for paper-scale settings: data-plane experiments simulate
+// every relayed packet, so they run at reduced n; the storage sweep
+// instantiates every baseline scheme per trial, so it runs fewer trials.
+// Families absent from the map run uncapped.
+var familyCaps = map[string]Caps{
+	"selective": {MaxN: 1000},
+	"storage":   {MaxTrials: 2},
+	"election":  {MaxN: 1000},
+	"routing":   {MaxN: 1000},
+	"freshness": {MaxN: 600},
+	"mac":       {MaxN: 800},
+	"lifetime":  {MaxN: 500},
+	"setupcost": {MaxN: 1000},
+}
+
+// CapsFor returns the scale caps for the named experiment family (the
+// names cmd/figures' -only flag uses). Unknown names get zero caps.
+func CapsFor(family string) Caps { return familyCaps[family] }
+
+// Auxiliary stream salts, XORed into the base seed before TrialSeed so
+// that randomness consumed outside the deployment itself (baseline-scheme
+// key pools, capture sampling, dropper selection, bootstrap protocol
+// runs) never shares a stream with the deployment or with each other.
+const (
+	saltScheme = 0x5c4e3e01
+	saltDrop   = 0x5c4e3e02
+	saltBoot   = 0x5c4e3e03
+)
+
+// deployTrial stands up one network and runs key setup. The seed is a
+// pure function of (base seed, point index, trial index), so a trial's
+// outcome is independent of execution order — this is what lets the
+// runner fan trials out over workers without changing any result.
+func deployTrial(o Options, density float64, point, trial int) (*core.Deployment, error) {
 	d, err := core.Deploy(core.DeployOptions{
 		N:       o.N,
 		Density: density,
-		Seed:    seed,
+		Seed:    xrand.TrialSeed(o.Seed, point, trial),
 	})
 	if err != nil {
 		return nil, err
@@ -86,6 +163,38 @@ func DensitySweep(o Options, densities []float64) (*SweepResult, error) {
 	if len(densities) == 0 {
 		densities = PaperDensities
 	}
+	// Each trial reduces its deployment to these four scalars; the merge
+	// below replays them into the series in serial (point-major) order.
+	type sweepObs struct {
+		keys, size, heads, msgs float64
+	}
+	obs, err := runner.Grid(o.Workers, len(densities), o.Trials,
+		func(point, trial int) (sweepObs, error) {
+			d, err := deployTrial(o, densities[point], point, trial)
+			if err != nil {
+				return sweepObs{}, fmt.Errorf("density %v trial %d: %w", densities[point], trial, err)
+			}
+			keys := d.KeysPerNode(true)
+			var keySum int
+			for _, k := range keys {
+				keySum += k
+			}
+			st := d.Clusters()
+			tx := d.SetupTxCounts()
+			var txSum int
+			for _, c := range tx {
+				txSum += c
+			}
+			return sweepObs{
+				keys:  float64(keySum) / float64(len(keys)),
+				size:  st.MeanSize,
+				heads: st.HeadFraction,
+				msgs:  float64(txSum) / float64(len(tx)),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &SweepResult{
 		KeysPerNode:     stats.NewSeries("keys/node"),
 		NodesPerCluster: stats.NewSeries("nodes/cluster"),
@@ -93,29 +202,12 @@ func DensitySweep(o Options, densities []float64) (*SweepResult, error) {
 		MsgsPerNode:     stats.NewSeries("msgs/node"),
 		N:               o.N,
 	}
-	for _, density := range densities {
-		for trial := 0; trial < o.Trials; trial++ {
-			d, err := deployTrial(o, density, trial)
-			if err != nil {
-				return nil, fmt.Errorf("density %v trial %d: %w", density, trial, err)
-			}
-			keys := d.KeysPerNode(true)
-			var keySum int
-			for _, k := range keys {
-				keySum += k
-			}
-			res.KeysPerNode.Observe(density, float64(keySum)/float64(len(keys)))
-
-			st := d.Clusters()
-			res.NodesPerCluster.Observe(density, st.MeanSize)
-			res.HeadFraction.Observe(density, st.HeadFraction)
-
-			tx := d.SetupTxCounts()
-			var txSum int
-			for _, c := range tx {
-				txSum += c
-			}
-			res.MsgsPerNode.Observe(density, float64(txSum)/float64(len(tx)))
+	for point, density := range densities {
+		for _, ob := range obs[point] {
+			res.KeysPerNode.Observe(density, ob.keys)
+			res.NodesPerCluster.Observe(density, ob.size)
+			res.HeadFraction.Observe(density, ob.heads)
+			res.MsgsPerNode.Observe(density, ob.msgs)
 		}
 	}
 	return res, nil
@@ -145,21 +237,57 @@ func Figure1(o Options, densities ...float64) (*Figure1Result, error) {
 	if len(densities) == 0 {
 		densities = []float64{8, 20}
 	}
-	res := &Figure1Result{Fractions: make(map[float64][]float64), N: o.N}
-	for _, density := range densities {
-		var h stats.Hist
-		for trial := 0; trial < o.Trials; trial++ {
-			d, err := deployTrial(o, density, trial)
+	// Jobs return raw per-cluster sizes; histogram counts are insensitive
+	// to the (map-iteration) order they arrive in.
+	sizes, err := runner.Grid(o.Workers, len(densities), o.Trials,
+		func(point, trial int) ([]int, error) {
+			d, err := deployTrial(o, densities[point], point, trial)
 			if err != nil {
 				return nil, err
 			}
+			var out []int
 			for _, size := range d.Clusters().Sizes {
+				out = append(out, size)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{Fractions: make(map[float64][]float64), N: o.N}
+	for point, density := range densities {
+		var h stats.Hist
+		for _, trialSizes := range sizes[point] {
+			for _, size := range trialSizes {
 				h.Add(size)
 			}
 		}
 		res.Fractions[density] = h.Fractions()
 	}
 	return res, nil
+}
+
+// MarshalJSON serializes the distribution with its density axis sorted
+// (JSON cannot key objects by float64). The equivalence tests compare
+// these bytes across worker counts.
+func (r *Figure1Result) MarshalJSON() ([]byte, error) {
+	type entry struct {
+		Density   float64   `json:"density"`
+		Fractions []float64 `json:"fractions"`
+	}
+	densities := make([]float64, 0, len(r.Fractions))
+	for d := range r.Fractions {
+		densities = append(densities, d)
+	}
+	sort.Float64s(densities)
+	entries := make([]entry, len(densities))
+	for i, d := range densities {
+		entries[i] = entry{d, r.Fractions[d]}
+	}
+	return json.Marshal(struct {
+		Entries []entry `json:"entries"`
+		N       int     `json:"n"`
+	}{entries, r.N})
 }
 
 // Table renders the distribution in the shape of the paper's bar chart.

@@ -95,111 +95,6 @@ func TestScaleInvariance(t *testing.T) {
 	}
 }
 
-func TestResilienceOrdering(t *testing.T) {
-	o := fast()
-	o.Trials = 1
-	res, err := Resilience(o, []int{1, 10, 40})
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := map[string]int{}
-	for i, s := range res.Full {
-		byName[s.Name] = i
-	}
-	gk := res.Full[byName["global-key"]]
-	ours := res.Full[byName["localized"]]
-	// Global key: total collapse from the first capture.
-	for _, x := range []float64{1, 10, 40} {
-		if v, ok := gk.At(x); !ok || v != 1.0 {
-			t.Fatalf("global key at x=%v: %v", x, v)
-		}
-		if v, _ := ours.At(x); v >= 1.0 {
-			t.Fatalf("localized at x=%v fully compromised", x)
-		}
-	}
-	// Locality probe: zero remote compromise for us at every x.
-	for _, s := range res.Remote {
-		if s.Name != "localized(far)" {
-			continue
-		}
-		for i := 0; i < s.Len(); i++ {
-			if _, y, _ := s.Point(i); y != 0 {
-				t.Fatalf("localized remote compromise nonzero: %v", y)
-			}
-		}
-	}
-	if tbl := res.Table(); !strings.Contains(tbl, "Locality probe") {
-		t.Fatalf("table malformed:\n%s", tbl)
-	}
-}
-
-func TestBroadcastCostContrast(t *testing.T) {
-	o := fast()
-	o.Trials = 1
-	res, err := BroadcastCost(o, []float64{10, 20})
-	if err != nil {
-		t.Fatal(err)
-	}
-	series := map[string]int{}
-	for i, s := range res.Series {
-		series[s.Name] = i
-	}
-	ours := res.Series[series["localized"]]
-	rk := res.Series[series["random-kp"]]
-	for _, x := range []float64{10, 20} {
-		vOurs, _ := ours.At(x)
-		vRK, _ := rk.At(x)
-		if vOurs != 1.0 {
-			t.Fatalf("localized broadcast cost %v at density %v", vOurs, x)
-		}
-		// Random KP must pay several transmissions per broadcast, and
-		// more at higher density.
-		if vRK < 3 {
-			t.Fatalf("random-kp broadcast cost %v at density %v", vRK, x)
-		}
-	}
-	rk10, _ := rk.At(10)
-	rk20, _ := rk.At(20)
-	if rk20 <= rk10 {
-		t.Fatalf("random-kp cost should grow with density: %v -> %v", rk10, rk20)
-	}
-}
-
-func TestHelloFloodContrast(t *testing.T) {
-	o := fast()
-	res, err := HelloFlood(o, []int{0, 100, 1000})
-	if err != nil {
-		t.Fatal(err)
-	}
-	v0, _ := res.VictimKeys.At(0)
-	v1000, _ := res.VictimKeys.At(1000)
-	if v1000 < v0+1000 {
-		t.Fatalf("flood did not inflate LEAP storage: %v -> %v", v0, v1000)
-	}
-	if res.LocalizedKeys > 10 {
-		t.Fatalf("localized protocol stores %d keys", res.LocalizedKeys)
-	}
-	if tbl := res.Table(); !strings.Contains(tbl, "flood-immune") {
-		t.Fatalf("table malformed:\n%s", tbl)
-	}
-}
-
-func TestSelectiveForwardingDegradesGracefully(t *testing.T) {
-	o := Options{Seed: 21, Trials: 1, N: 250}
-	res, err := SelectiveForwarding(o, []float64{0, 0.2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	clean, _ := res.DeliveryRatio.At(0)
-	attacked, _ := res.DeliveryRatio.At(0.2)
-	if clean < 0.95 {
-		t.Fatalf("clean delivery ratio %v", clean)
-	}
-	if attacked < 0.5 {
-		t.Fatalf("delivery under 20%% droppers collapsed to %v", attacked)
-	}
-}
-
 func TestSetupTime(t *testing.T) {
 	o := fast()
 	o.Trials = 1

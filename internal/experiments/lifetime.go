@@ -38,6 +38,12 @@ type LifetimeResult struct {
 // hole); delivery decays as the network thins. After 60% of the rounds,
 // late-provisioned replacement nodes are deployed to demonstrate the
 // paper's refresh-by-addition story.
+//
+// Unlike the sweep experiments, Lifetime is one continuous simulation —
+// every round depends on the battery state the previous rounds left
+// behind — so there is no trial fan-out and Options.Workers has no
+// effect. It is still fully deterministic: the same Options produce the
+// same result byte for byte (the equivalence harness checks this).
 func Lifetime(o Options, battery float64, rounds int, withReplacements bool) (*LifetimeResult, error) {
 	o = o.withDefaults()
 	if battery <= 0 {

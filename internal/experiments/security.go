@@ -10,6 +10,7 @@ import (
 	"repro/internal/baseline/leap"
 	"repro/internal/baseline/pairwise"
 	"repro/internal/baseline/randomkp"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -33,24 +34,32 @@ func Resilience(o Options, captureCounts []int) (*ResilienceResult, error) {
 		captureCounts = []int{1, 5, 10, 25, 50, 100}
 	}
 	res := &ResilienceResult{N: o.N}
+	fullNames := []string{"localized", "global-key", "random-kp", "q-composite(q=2)",
+		"blom-multispace", "leap", "pairwise-unique"}
+	remoteNames := []string{"localized(far)", "random-kp(far)", "blom(far)"}
 	full := map[string]*stats.Series{}
 	remote := map[string]*stats.Series{}
-	for _, name := range []string{"localized", "global-key", "random-kp", "q-composite(q=2)",
-		"blom-multispace", "leap", "pairwise-unique"} {
+	for _, name := range fullNames {
 		full[name] = stats.NewSeries(name)
 	}
-	for _, name := range []string{"localized(far)", "random-kp(far)", "blom(far)"} {
+	for _, name := range remoteNames {
 		remote[name] = stats.NewSeries(name)
 	}
 
-	for trial := 0; trial < o.Trials; trial++ {
-		d, err := deployTrial(o, 12.5, trial)
+	// One trial's compromise fractions at every capture count, in the
+	// fullNames/remoteNames column order.
+	type captureObs struct {
+		x            int
+		full, remote []float64
+	}
+	trials, err := runner.Map(o.Workers, o.Trials, func(trial int) ([]captureObs, error) {
+		d, err := deployTrial(o, 12.5, 0, trial)
 		if err != nil {
 			return nil, err
 		}
 		ours := adversary.NewProtocolScheme(d)
 		gk := globalkey.New(d.Graph)
-		rngKP := xrand.New(o.Seed*31 + uint64(trial))
+		rngKP := xrand.New(xrand.TrialSeed(o.Seed^saltScheme, 0, trial))
 		rk, err := randomkp.New(d.Graph, randomkp.Params{PoolSize: 10000, RingSize: 100, Q: 1}, rngKP.Split(1))
 		if err != nil {
 			return nil, err
@@ -67,21 +76,43 @@ func Resilience(o Options, captureCounts []int) (*ResilienceResult, error) {
 		pw := pairwise.New(d.Graph)
 
 		capRNG := rngKP.Split(3)
+		var obs []captureObs
 		for _, x := range captureCounts {
 			if x >= o.N {
 				continue
 			}
 			captured := capRNG.Sample(o.N, x)
-			full["localized"].Observe(float64(x), ours.Capture(captured).Fraction())
-			full["global-key"].Observe(float64(x), gk.Capture(captured).Fraction())
-			full["random-kp"].Observe(float64(x), rk.Capture(captured).Fraction())
-			full["q-composite(q=2)"].Observe(float64(x), qc.Capture(captured).Fraction())
-			full["blom-multispace"].Observe(float64(x), bl.Capture(captured).Fraction())
-			full["leap"].Observe(float64(x), lp.Capture(captured).Fraction())
-			full["pairwise-unique"].Observe(float64(x), pw.Capture(captured).Fraction())
-			remote["localized(far)"].Observe(float64(x), ours.CaptureBeyond(captured, 4).Fraction())
-			remote["random-kp(far)"].Observe(float64(x), rk.CaptureBeyond(captured, 4).Fraction())
-			remote["blom(far)"].Observe(float64(x), bl.CaptureBeyond(captured, 4).Fraction())
+			obs = append(obs, captureObs{
+				x: x,
+				full: []float64{
+					ours.Capture(captured).Fraction(),
+					gk.Capture(captured).Fraction(),
+					rk.Capture(captured).Fraction(),
+					qc.Capture(captured).Fraction(),
+					bl.Capture(captured).Fraction(),
+					lp.Capture(captured).Fraction(),
+					pw.Capture(captured).Fraction(),
+				},
+				remote: []float64{
+					ours.CaptureBeyond(captured, 4).Fraction(),
+					rk.CaptureBeyond(captured, 4).Fraction(),
+					bl.CaptureBeyond(captured, 4).Fraction(),
+				},
+			})
+		}
+		return obs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, obs := range trials {
+		for _, ob := range obs {
+			for i, name := range fullNames {
+				full[name].Observe(float64(ob.x), ob.full[i])
+			}
+			for i, name := range remoteNames {
+				remote[name].Observe(float64(ob.x), ob.remote[i])
+			}
 		}
 	}
 	res.Full = []*stats.Series{full["localized"], full["global-key"], full["random-kp"],
@@ -119,17 +150,20 @@ func BroadcastCost(o Options, densities []float64) (*BroadcastCostResult, error)
 	gk := stats.NewSeries("global-key")
 	rk := stats.NewSeries("random-kp")
 	lp := stats.NewSeries("leap")
-	for _, density := range densities {
-		for trial := 0; trial < o.Trials; trial++ {
-			d, err := deployTrial(o, density, trial)
+	type bcObs struct {
+		ours, gk, rk, lp float64
+	}
+	obs, err := runner.Grid(o.Workers, len(densities), o.Trials,
+		func(point, trial int) (bcObs, error) {
+			d, err := deployTrial(o, densities[point], point, trial)
 			if err != nil {
-				return nil, err
+				return bcObs{}, err
 			}
 			scheme := adversary.NewProtocolScheme(d)
 			rkp, err := randomkp.New(d.Graph, randomkp.Params{PoolSize: 10000, RingSize: 100, Q: 1},
-				xrand.New(o.Seed*77+uint64(trial)))
+				xrand.New(xrand.TrialSeed(o.Seed^saltScheme, point, trial)))
 			if err != nil {
-				return nil, err
+				return bcObs{}, err
 			}
 			gks := globalkey.New(d.Graph)
 			lps := leap.New(d.Graph)
@@ -141,10 +175,17 @@ func BroadcastCost(o Options, densities []float64) (*BroadcastCostResult, error)
 				sRK += float64(rkp.BroadcastTransmissions(u))
 				sLP += float64(lps.BroadcastTransmissions(u))
 			}
-			ours.Observe(density, sOurs/float64(n))
-			gk.Observe(density, sGK/float64(n))
-			rk.Observe(density, sRK/float64(n))
-			lp.Observe(density, sLP/float64(n))
+			return bcObs{sOurs / float64(n), sGK / float64(n), sRK / float64(n), sLP / float64(n)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for point, density := range densities {
+		for _, ob := range obs[point] {
+			ours.Observe(density, ob.ours)
+			gk.Observe(density, ob.gk)
+			rk.Observe(density, ob.rk)
+			lp.Observe(density, ob.lp)
 		}
 	}
 	return &BroadcastCostResult{Series: []*stats.Series{ours, gk, rk, lp}, N: o.N}, nil
@@ -177,7 +218,7 @@ func HelloFlood(o Options, fakeCounts []int) (*HelloFloodResult, error) {
 	if len(fakeCounts) == 0 {
 		fakeCounts = []int{0, 10, 100, 1000, 10000}
 	}
-	d, err := deployTrial(o, 12.5, 0)
+	d, err := deployTrial(o, 12.5, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -223,13 +264,14 @@ func SelectiveForwarding(o Options, dropFractions []float64) (*SelectiveForwardi
 		DeliveryRatio: stats.NewSeries("delivery ratio"),
 		N:             o.N,
 	}
-	for _, frac := range dropFractions {
-		for trial := 0; trial < o.Trials; trial++ {
-			d, err := deployTrial(o, 12.5, trial)
+	obs, err := runner.Grid(o.Workers, len(dropFractions), o.Trials,
+		func(point, trial int) (float64, error) {
+			frac := dropFractions[point]
+			d, err := deployTrial(o, 12.5, point, trial)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			rng := xrand.New(o.Seed*131 + uint64(trial) + uint64(frac*1000))
+			rng := xrand.New(xrand.TrialSeed(o.Seed^saltDrop, point, trial))
 			k := int(frac * float64(o.N))
 			adversary.CompromiseNodes(d, rng.Sample(o.N, k))
 			// Sample sources among honest nodes and count deliveries.
@@ -243,10 +285,16 @@ func SelectiveForwarding(o Options, dropFractions []float64) (*SelectiveForwardi
 				sent++
 			}
 			if _, err := d.Eng.RunUntilIdle(20_000_000); err != nil {
-				return nil, err
+				return 0, err
 			}
-			got := len(d.Deliveries())
-			res.DeliveryRatio.Observe(frac, float64(got)/float64(sent))
+			return float64(len(d.Deliveries())) / float64(sent), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for point, frac := range dropFractions {
+		for _, ratio := range obs[point] {
+			res.DeliveryRatio.Observe(frac, ratio)
 		}
 	}
 	return res, nil

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResilienceOrdering(t *testing.T) {
+	o := fast()
+	o.Trials = 1
+	res, err := Resilience(o, []int{1, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, s := range res.Full {
+		byName[s.Name] = i
+	}
+	gk := res.Full[byName["global-key"]]
+	ours := res.Full[byName["localized"]]
+	// Global key: total collapse from the first capture.
+	for _, x := range []float64{1, 10, 40} {
+		if v, ok := gk.At(x); !ok || v != 1.0 {
+			t.Fatalf("global key at x=%v: %v", x, v)
+		}
+		if v, _ := ours.At(x); v >= 1.0 {
+			t.Fatalf("localized at x=%v fully compromised", x)
+		}
+	}
+	// Locality probe: zero remote compromise for us at every x.
+	for _, s := range res.Remote {
+		if s.Name != "localized(far)" {
+			continue
+		}
+		for i := 0; i < s.Len(); i++ {
+			if _, y, _ := s.Point(i); y != 0 {
+				t.Fatalf("localized remote compromise nonzero: %v", y)
+			}
+		}
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "Locality probe") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestResilienceMonotoneInCaptures(t *testing.T) {
+	o := fast()
+	o.Trials = 1
+	res, err := Resilience(o, []int{5, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More captures can only reveal more key material: every scheme's
+	// compromised-link fraction is non-decreasing in the capture count.
+	for _, s := range res.Full {
+		lo, okLo := s.At(5)
+		hi, okHi := s.At(80)
+		if !okLo || !okHi {
+			t.Fatalf("%s: missing capture points", s.Name)
+		}
+		if hi < lo {
+			t.Fatalf("%s: compromise shrank with more captures: %v -> %v", s.Name, lo, hi)
+		}
+	}
+}
+
+func TestResilienceSkipsCaptureCountsBeyondN(t *testing.T) {
+	o := Options{Seed: 5, Trials: 1, N: 120}
+	// 120 >= N must be skipped, not panic Sample(n, k>n).
+	res, err := Resilience(o, []int{10, 120, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Full {
+		if _, ok := s.At(10); !ok {
+			t.Fatalf("%s: missing the in-range capture count", s.Name)
+		}
+		for _, x := range []float64{120, 500} {
+			if _, ok := s.At(x); ok {
+				t.Fatalf("%s: capture count %v >= N should have been skipped", s.Name, x)
+			}
+		}
+	}
+}
+
+func TestBroadcastCostContrast(t *testing.T) {
+	o := fast()
+	o.Trials = 1
+	res, err := BroadcastCost(o, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]int{}
+	for i, s := range res.Series {
+		series[s.Name] = i
+	}
+	ours := res.Series[series["localized"]]
+	rk := res.Series[series["random-kp"]]
+	for _, x := range []float64{10, 20} {
+		vOurs, _ := ours.At(x)
+		vRK, _ := rk.At(x)
+		if vOurs != 1.0 {
+			t.Fatalf("localized broadcast cost %v at density %v", vOurs, x)
+		}
+		// Random KP must pay several transmissions per broadcast, and
+		// more at higher density.
+		if vRK < 3 {
+			t.Fatalf("random-kp broadcast cost %v at density %v", vRK, x)
+		}
+	}
+	rk10, _ := rk.At(10)
+	rk20, _ := rk.At(20)
+	if rk20 <= rk10 {
+		t.Fatalf("random-kp cost should grow with density: %v -> %v", rk10, rk20)
+	}
+}
+
+func TestBroadcastCostTable(t *testing.T) {
+	o := Options{Seed: 2, Trials: 1, N: 250}
+	res, err := BroadcastCost(o, []float64{12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Table()
+	for _, want := range []string{"localized", "global-key", "random-kp", "leap", "density"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestHelloFloodContrast(t *testing.T) {
+	o := fast()
+	res, err := HelloFlood(o, []int{0, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := res.VictimKeys.At(0)
+	v1000, _ := res.VictimKeys.At(1000)
+	if v1000 < v0+1000 {
+		t.Fatalf("flood did not inflate LEAP storage: %v -> %v", v0, v1000)
+	}
+	if res.LocalizedKeys > 10 {
+		t.Fatalf("localized protocol stores %d keys", res.LocalizedKeys)
+	}
+	if tbl := res.Table(); !strings.Contains(tbl, "flood-immune") {
+		t.Fatalf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestSelectiveForwardingDegradesGracefully(t *testing.T) {
+	o := Options{Seed: 21, Trials: 1, N: 250}
+	res, err := SelectiveForwarding(o, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := res.DeliveryRatio.At(0)
+	attacked, _ := res.DeliveryRatio.At(0.2)
+	if clean < 0.95 {
+		t.Fatalf("clean delivery ratio %v", clean)
+	}
+	if attacked < 0.5 {
+		t.Fatalf("delivery under 20%% droppers collapsed to %v", attacked)
+	}
+}

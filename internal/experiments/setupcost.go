@@ -9,6 +9,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -52,29 +53,32 @@ func SetupCost(o Options, densities []float64) (*SetupCostResult, error) {
 		EnergyRandomKP:  stats.NewSeries("random-kp µJ"),
 		N:               o.N,
 	}
-	for _, density := range densities {
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := o.Seed*1009 + uint64(trial)*31 + uint64(density*10)
+	type costObs struct {
+		tx, uj, leapTx, leapUJ, egTx, egUJ float64
+	}
+	obs, err := runner.Grid(o.Workers, len(densities), o.Trials,
+		func(point, trial int) (costObs, error) {
+			density := densities[point]
+			seed := xrand.TrialSeed(o.Seed^saltBoot, point, trial)
 
 			// Ours: the usual deployment, counting setup transmissions.
-			d, err := deployTrial(o, density, trial)
+			d, err := deployTrial(o, density, point, trial)
 			if err != nil {
-				return nil, err
+				return costObs{}, err
 			}
+			var ob costObs
 			tx := 0
-			var uj float64
 			for i, c := range d.SetupTxCounts() {
 				tx += c
-				uj += d.Eng.Meter(i).Total()
+				ob.uj += d.Eng.Meter(i).Total()
 			}
-			res.Localized.Observe(density, float64(tx)/float64(o.N))
-			res.EnergyLocalized.Observe(density, uj/float64(o.N))
+			ob.tx = float64(tx)
 
 			// LEAP: its bootstrap behaviors on a fresh same-class topology
 			// (torus metric, like every experiment deployment).
 			g, err := topology.Generate(xrand.New(seed), topology.Config{N: o.N, Density: density, Metric: geom.Torus})
 			if err != nil {
-				return nil, err
+				return costObs{}, err
 			}
 			var ki crypt.Key
 			for b := range ki {
@@ -87,18 +91,16 @@ func SetupCost(o Options, densities []float64) (*SetupCostResult, error) {
 			}
 			eng, err := sim.New(sim.Config{Graph: g, Seed: seed}, behaviors)
 			if err != nil {
-				return nil, err
+				return costObs{}, err
 			}
 			eng.Boot(0)
 			eng.Run(cfg.EraseAt + 200*time.Millisecond)
 			leapTx := 0
-			var leapUJ float64
 			for i := 0; i < o.N; i++ {
 				leapTx += eng.Meter(i).TxCount()
-				leapUJ += eng.Meter(i).Total()
+				ob.leapUJ += eng.Meter(i).Total()
 			}
-			res.LEAP.Observe(density, float64(leapTx)/float64(o.N))
-			res.EnergyLEAP.Observe(density, leapUJ/float64(o.N))
+			ob.leapTx = float64(leapTx)
 
 			// Eschenauer-Gligor discovery with the classic parameters
 			// (P=10000, m=100): one fat advertisement plus one confirm
@@ -115,18 +117,29 @@ func SetupCost(o Options, densities []float64) (*SetupCostResult, error) {
 			}
 			egEng, err := sim.New(sim.Config{Graph: g, Seed: seed * 19}, egNodes)
 			if err != nil {
-				return nil, err
+				return costObs{}, err
 			}
 			egEng.Boot(0)
 			egEng.Run(egCfg.ConfirmAt + 200*time.Millisecond)
 			egTx := 0
-			var egUJ float64
 			for i := 0; i < o.N; i++ {
 				egTx += egEng.Meter(i).TxCount()
-				egUJ += egEng.Meter(i).Total()
+				ob.egUJ += egEng.Meter(i).Total()
 			}
-			res.RandomKP.Observe(density, float64(egTx)/float64(o.N))
-			res.EnergyRandomKP.Observe(density, egUJ/float64(o.N))
+			ob.egTx = float64(egTx)
+			return ob, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for point, density := range densities {
+		for _, ob := range obs[point] {
+			res.Localized.Observe(density, ob.tx/float64(o.N))
+			res.EnergyLocalized.Observe(density, ob.uj/float64(o.N))
+			res.LEAP.Observe(density, ob.leapTx/float64(o.N))
+			res.EnergyLEAP.Observe(density, ob.leapUJ/float64(o.N))
+			res.RandomKP.Observe(density, ob.egTx/float64(o.N))
+			res.EnergyRandomKP.Observe(density, ob.egUJ/float64(o.N))
 		}
 	}
 	return res, nil

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetupCostLocalizedIsCheapest(t *testing.T) {
+	o := Options{Seed: 13, Trials: 1, N: 300}
+	res, err := SetupCost(o, []float64{12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, ok := res.Localized.At(12.5)
+	if !ok {
+		t.Fatal("missing localized point")
+	}
+	lp, _ := res.LEAP.At(12.5)
+	eg, _ := res.RandomKP.At(12.5)
+	// The paper's Figure 9 regime: barely more than one transmission per
+	// node for the localized protocol.
+	if ours < 1.0 || ours > 1.6 {
+		t.Fatalf("localized setup messages per node: %v", ours)
+	}
+	// Section III's "more expensive bootstrapping phase", measured: LEAP's
+	// pairwise handshakes cost strictly more messages than one cluster
+	// advertisement, and EG discovery does too.
+	if lp <= ours {
+		t.Fatalf("LEAP bootstrap (%v msgs/node) not costlier than localized (%v)", lp, ours)
+	}
+	if eg <= ours {
+		t.Fatalf("random-kp bootstrap (%v msgs/node) not costlier than localized (%v)", eg, ours)
+	}
+}
+
+func TestSetupCostEnergyTracksFatPackets(t *testing.T) {
+	o := Options{Seed: 13, Trials: 1, N: 300}
+	res, err := SetupCost(o, []float64{12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oursUJ, ok := res.EnergyLocalized.At(12.5)
+	if !ok || oursUJ <= 0 {
+		t.Fatalf("localized setup energy: %v (ok=%v)", oursUJ, ok)
+	}
+	egUJ, _ := res.EnergyRandomKP.At(12.5)
+	// EG's advertisement carries 4 bytes per ring entry (m=100): even with
+	// few messages, its radio energy must dwarf the localized protocol's
+	// single compact HELLO.
+	if egUJ <= oursUJ {
+		t.Fatalf("random-kp energy (%v µJ) not above localized (%v µJ) despite fat advertisements",
+			egUJ, oursUJ)
+	}
+}
+
+func TestSetupCostDensityAxisAndTable(t *testing.T) {
+	o := Options{Seed: 3, Trials: 2, N: 250}
+	res, err := SetupCost(o, []float64{8, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []struct {
+		name string
+		at   func(float64) (float64, bool)
+	}{
+		{"localized", res.Localized.At},
+		{"leap", res.LEAP.At},
+		{"random-kp", res.RandomKP.At},
+	} {
+		for _, x := range []float64{8, 15} {
+			if v, ok := s.at(x); !ok || v <= 0 {
+				t.Fatalf("%s missing or non-positive at density %v: %v", s.name, x, v)
+			}
+		}
+	}
+	tbl := res.Table()
+	for _, want := range []string{"localized msgs", "leap msgs", "random-kp msgs", "µJ"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if res.N != 250 {
+		t.Fatalf("result N = %d", res.N)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/baseline/pairwise"
 	"repro/internal/baseline/randomkp"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -60,29 +61,45 @@ func Storage(o Options, sizes []int, density float64) (*StorageResult, error) {
 		density = 12.5
 	}
 	curves := map[string]*stats.Series{}
-	for _, n := range sizes {
-		opt := o
-		opt.N = n
-		for trial := 0; trial < o.Trials; trial++ {
-			d, err := deployTrial(opt, density, trial)
+	// One trial's mean keys-per-node for every scheme, in allSchemes order.
+	type schemeObs struct {
+		name string
+		keys float64
+	}
+	obs, err := runner.Grid(o.Workers, len(sizes), o.Trials,
+		func(point, trial int) ([]schemeObs, error) {
+			opt := o
+			opt.N = sizes[point]
+			d, err := deployTrial(opt, density, point, trial)
 			if err != nil {
 				return nil, err
 			}
-			schemes, err := allSchemes(d, o.Seed*97+uint64(trial))
+			schemes, err := allSchemes(d, xrand.TrialSeed(o.Seed^saltScheme, point, trial))
 			if err != nil {
 				return nil, err
 			}
-			for _, s := range schemes {
+			out := make([]schemeObs, len(schemes))
+			for i, s := range schemes {
 				sum := 0
 				for u := 0; u < d.Graph.N(); u++ {
 					sum += s.KeysPerNode(u)
 				}
-				series, ok := curves[s.Name()]
+				out[i] = schemeObs{s.Name(), float64(sum) / float64(d.Graph.N())}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for point, n := range sizes {
+		for _, trialObs := range obs[point] {
+			for _, ob := range trialObs {
+				series, ok := curves[ob.name]
 				if !ok {
-					series = stats.NewSeries(s.Name())
-					curves[s.Name()] = series
+					series = stats.NewSeries(ob.name)
+					curves[ob.name] = series
 				}
-				series.Observe(float64(n), float64(sum)/float64(d.Graph.N()))
+				series.Observe(float64(n), ob.keys)
 			}
 		}
 	}

@@ -1,0 +1,111 @@
+// Package runner executes independent simulation trials on a bounded
+// worker pool while keeping results deterministic.
+//
+// Every experiment in this repository averages Options.Trials independent
+// deployments per data point. Each trial is a pure function of its derived
+// seed (see xrand.TrialSeed), so trials are embarrassingly parallel: the
+// runner fans them out over a fixed number of goroutines and hands the
+// results back in index order. Because the merge step consumes results in
+// exactly the order the serial loops would have produced them, the final
+// output is bit-identical to a serial run regardless of worker count or
+// goroutine scheduling.
+//
+// The simulation engine itself (internal/sim) is single-threaded per run;
+// parallelism lives strictly at the trial granularity, one engine per
+// worker at a time.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option to a concrete pool size: values
+// greater than zero are used as given; zero or negative means one worker
+// per available CPU (GOMAXPROCS). The result is always at least 1.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return p
+	}
+	return 1
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers concurrent
+// goroutines and returns the n results in index order.
+//
+// workers is resolved through Workers; a resolved count of 1 runs every
+// call serially in the calling goroutine, short-circuiting on the first
+// error exactly like a plain loop — that is the -workers=1 escape hatch.
+// With more than one worker, indices are claimed from an atomic counter;
+// if any calls fail, Map still waits for all workers and then returns the
+// error of the lowest failing index, so the reported error does not
+// depend on scheduling.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Grid runs fn(point, trial) for every cell of a points x trials grid on
+// the Map pool and returns results indexed [point][trial]. Cells are
+// flattened trial-major (cell = point*trials + trial), matching the
+// nesting order of the serial experiment loops, so consuming the result
+// with two nested loops reproduces the serial observation order exactly.
+func Grid[T any](workers, points, trials int, fn func(point, trial int) (T, error)) ([][]T, error) {
+	if points <= 0 || trials <= 0 {
+		return nil, nil
+	}
+	flat, err := Map(workers, points*trials, func(i int) (T, error) {
+		return fn(i/trials, i%trials)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, points)
+	for p := 0; p < points; p++ {
+		out[p] = flat[p*trials : (p+1)*trials : (p+1)*trials]
+	}
+	return out, nil
+}

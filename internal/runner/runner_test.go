@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want < 1 {
+		want = 1
+	}
+	for _, n := range []int{0, -5} {
+		if got := Workers(n); got != want {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS=%d", n, got, want)
+		}
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	want := []error{errors.New("e3"), errors.New("e7")}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, want[0]
+			case 7:
+				return 0, want[1]
+			}
+			return i, nil
+		})
+		if !errors.Is(err, want[0]) {
+			t.Fatalf("workers=%d: got %v, want error of lowest failing index", workers, err)
+		}
+	}
+}
+
+func TestMapSerialShortCircuits(t *testing.T) {
+	calls := 0
+	_, err := Map(1, 10, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, fmt.Errorf("stop")
+		}
+		return i, nil
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("serial path ran %d calls (err=%v); want short-circuit after 3", calls, err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(workers, 64, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, cap is %d", p, workers)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Grid(workers, 3, 5, func(point, trial int) (string, error) {
+			return fmt.Sprintf("%d/%d", point, trial), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 3 {
+			t.Fatalf("points: %d", len(out))
+		}
+		for p := range out {
+			if len(out[p]) != 5 {
+				t.Fatalf("trials at point %d: %d", p, len(out[p]))
+			}
+			for tr := range out[p] {
+				if want := fmt.Sprintf("%d/%d", p, tr); out[p][tr] != want {
+					t.Fatalf("out[%d][%d] = %q", p, tr, out[p][tr])
+				}
+			}
+		}
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	if out, err := Grid(4, 0, 5, func(p, tr int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("zero points: %v, %v", out, err)
+	}
+	if out, err := Grid(4, 5, 0, func(p, tr int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("zero trials: %v, %v", out, err)
+	}
+}

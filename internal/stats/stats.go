@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -89,6 +90,22 @@ func (s *Summary) CI95() float64 {
 // String formats the summary as "mean ± ci (n=...)".
 func (s *Summary) String() string {
 	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// MarshalJSON serializes the summary's complete internal state — the
+// observation count and the exact running sums. encoding/json formats
+// float64 with the shortest round-trippable representation, so two
+// summaries marshal to the same bytes iff their accumulated state is
+// bit-identical; the experiment equivalence tests rely on this to prove
+// the parallel trial runner reproduces serial output exactly.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N    int     `json:"n"`
+		Sum  float64 `json:"sum"`
+		Sum2 float64 `json:"sum2"`
+		Min  float64 `json:"min"`
+		Max  float64 `json:"max"`
+	}{s.n, s.sum, s.sum2, s.min, s.max})
 }
 
 // Hist is a histogram over small non-negative integer values (e.g. cluster
@@ -237,6 +254,26 @@ func (s *Series) Sorted() []PointXY {
 // PointXY is one rendered series point.
 type PointXY struct {
 	X, Y, CI float64
+}
+
+// MarshalJSON serializes the series name and every x point with its full
+// Summary state, in insertion order. Insertion order is part of the
+// serialized identity on purpose: the deterministic trial runner promises
+// byte-identical output to a serial run, which includes observing points
+// in the same order.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	type point struct {
+		X float64  `json:"x"`
+		Y *Summary `json:"y"`
+	}
+	pts := make([]point, len(s.xs))
+	for i := range s.xs {
+		pts[i] = point{s.xs[i], s.ys[i]}
+	}
+	return json.Marshal(struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	}{s.Name, pts})
 }
 
 // Table renders one or more series sharing an x axis as an aligned text

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -214,5 +215,54 @@ func TestMaxAbsDiff(t *testing.T) {
 	}
 	if math.Abs(d-0.5) > 1e-12 {
 		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+}
+
+func TestSummaryJSONRoundTripsState(t *testing.T) {
+	var a, b Summary
+	for _, v := range []float64{1.5, -2.25, 0.1} {
+		a.Add(v)
+		b.Add(v)
+	}
+	ja, err := json.Marshal(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(&b)
+	if string(ja) != string(jb) {
+		t.Fatalf("identical summaries marshal differently:\n%s\n%s", ja, jb)
+	}
+	b.Add(0.1)
+	jb, _ = json.Marshal(&b)
+	if string(ja) == string(jb) {
+		t.Fatal("diverged summaries marshal identically")
+	}
+	// 0.1 accumulates rounding: sum order must be visible in the bytes.
+	var c Summary
+	for _, v := range []float64{0.1, -2.25, 1.5} {
+		c.Add(v)
+	}
+	if jc, _ := json.Marshal(&c); string(jc) == string(ja) {
+		t.Skip("reordered float sums happened to agree bitwise on this input")
+	}
+}
+
+func TestSeriesJSONEncodesInsertionOrder(t *testing.T) {
+	a := NewSeries("s")
+	a.Observe(1, 2)
+	a.Observe(3, 4)
+	b := NewSeries("s")
+	b.Observe(3, 4)
+	b.Observe(1, 2)
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(b)
+	if string(ja) == string(jb) {
+		t.Fatal("series with different insertion orders marshal identically")
+	}
+	if want := `"name":"s"`; !strings.Contains(string(ja), want) {
+		t.Fatalf("missing %s in %s", want, ja)
 	}
 }

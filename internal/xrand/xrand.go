@@ -66,6 +66,23 @@ func (r *RNG) Split(label uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
+// TrialSeed derives the root seed for one experiment trial as a pure
+// function of (base seed, point index, trial index). Every experiment
+// family derives its per-deployment seeds through this function, which is
+// what makes trials independent of execution order: a trial's randomness
+// depends only on these three integers, never on how many trials ran
+// before it or on which worker picked it up. Each input is absorbed
+// through a full SplitMix64 round with a distinct odd multiplier, so
+// neighboring points, trials, and base seeds yield unrelated streams.
+func TrialSeed(base uint64, point, trial int) uint64 {
+	sm := base
+	s := splitMix64(&sm)
+	sm = s ^ (uint64(point)+1)*0xd1342543de82ef95
+	s = splitMix64(&sm)
+	sm = s ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+	return splitMix64(&sm)
+}
+
 // Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
