@@ -6,7 +6,7 @@
 //	figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
-//	               setupcost]
+//	               setupcost,chaos]
 //
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
@@ -24,6 +24,14 @@ import (
 
 	"repro/internal/experiments"
 )
+
+// chaosTables joins the two chaos-family sweeps into one printable step.
+type chaosTables struct {
+	crash *experiments.CrashChurnResult
+	burst *experiments.BurstLossResult
+}
+
+func (c chaosTables) Table() string { return c.crash.Table() + "\n" + c.burst.Table() }
 
 func main() {
 	var (
@@ -107,6 +115,18 @@ func main() {
 		}},
 		{"setupcost", func() (interface{ Table() string }, error) {
 			return experiments.SetupCost(capped("setupcost"), nil)
+		}},
+		{"chaos", func() (interface{ Table() string }, error) {
+			o := capped("chaos")
+			crash, err := experiments.CrashChurn(o, nil)
+			if err != nil {
+				return nil, err
+			}
+			burst, err := experiments.BurstLoss(o, nil)
+			if err != nil {
+				return nil, err
+			}
+			return chaosTables{crash, burst}, nil
 		}},
 	}
 

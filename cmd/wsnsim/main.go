@@ -7,7 +7,16 @@
 //
 //	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0.0]
 //	       [-readings 100] [-fusion] [-refresh hash|rekey|none]
-//	       [-evict 1] [-add 2] [-v]
+//	       [-refresh-period 0] [-evict 1] [-add 2] [-battery 0]
+//	       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+//
+// -faults loads a deterministic fault plan (crashes, reboots, loss
+// bursts, partitions, jitter scaling; see docs/FAULTS.md for the line
+// format). The plan draws from its own seeded stream, so the same
+// -seed and -faults file reproduce the identical run, and removing the
+// plan never changes the fault-free behavior. -heal enables the
+// protocol's self-healing knobs (clusterhead keep-alives with local
+// repair elections, bounded data retransmissions), which default to off.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,6 +52,8 @@ func main() {
 		battery  = flag.Float64("battery", 0, "per-node energy budget in µJ (0 = unlimited); the base station is mains-powered")
 		refreshP = flag.Duration("refresh-period", 0, "automatic key-refresh period (0 = off)")
 		showMap  = flag.Bool("map", false, "print an ASCII map of the cluster structure after setup")
+		faultsF  = flag.String("faults", "", "fault-plan file (see docs/FAULTS.md); empty = no faults")
+		heal     = flag.Bool("heal", false, "enable self-healing: keep-alive repair elections and data retransmissions")
 	)
 	flag.Parse()
 
@@ -51,8 +63,29 @@ func main() {
 		cfg.RefreshPeriod = *refreshP
 		cfg.RefreshMode = core.RefreshHash
 	}
+	if *heal {
+		cfg.KeepAlivePeriod = 100 * time.Millisecond
+		cfg.SetupRetries = 2
+		cfg.DataRetries = 2
+	}
+
+	var plan *faults.Plan
+	if *faultsF != "" {
+		text, err := os.ReadFile(*faultsF)
+		if err != nil {
+			fail(err)
+		}
+		plan, err = faults.ParsePlan(string(text))
+		if err != nil {
+			fail(err)
+		}
+		if err := plan.Validate(*n); err != nil {
+			fail(err)
+		}
+	}
 
 	deaths := 0
+	crashes := 0
 	var rec *trace.Recorder
 	var traceHook func(sim.TraceEvent)
 	if *traceOn {
@@ -75,6 +108,8 @@ func main() {
 		Battery:     *battery,
 		OnDeath:     func(int, time.Duration) { deaths++ },
 		Trace:       traceHook,
+		Faults:      plan,
+		OnCrash:     func(int, time.Duration) { crashes++ },
 	})
 	if err != nil {
 		fail(err)
@@ -103,6 +138,16 @@ func main() {
 		fail(fmt.Errorf("invariant violation: %w", err))
 	}
 	fmt.Printf("cluster invariants: OK\n")
+
+	repairs := 0
+	if *heal {
+		for i, s := range d.Sensors {
+			if s == nil || i == d.BSIndex {
+				continue
+			}
+			s.OnRepaired = func(uint32, node.ID, time.Duration) { repairs++ }
+		}
+	}
 
 	if *showMap {
 		fmt.Printf("\n-- field map (glyph = cluster, # = base station) --\n")
@@ -217,7 +262,11 @@ func main() {
 		d.SendReading(src, base+time.Duration(k+1)*5*time.Millisecond, []byte(fmt.Sprintf("r%04d", k)))
 		sent++
 	}
-	if _, err := d.Eng.RunUntilIdle(0); err != nil {
+	if *heal {
+		// Keep-alive timers re-arm forever, so the engine never idles;
+		// run a fixed horizon past the workload instead.
+		d.Eng.Run(base + time.Duration(*readings+1)*5*time.Millisecond + 5*time.Second)
+	} else if _, err := d.Eng.RunUntilIdle(0); err != nil {
 		fail(err)
 	}
 	fmt.Printf("\n-- traffic --\n")
@@ -232,6 +281,10 @@ func main() {
 	fmt.Printf("virtual time elapsed: %v\n", d.Eng.Now())
 	if *battery > 0 {
 		fmt.Printf("battery deaths: %d/%d nodes\n", deaths, *n)
+	}
+	if plan != nil || *heal {
+		fmt.Printf("\n-- faults --\n")
+		fmt.Printf("plan-scheduled crashes: %d, local repair elections: %d\n", crashes, repairs)
 	}
 
 	if rec != nil {

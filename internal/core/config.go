@@ -117,6 +117,46 @@ type Config struct {
 	// ChainLength is the number of revocation commands the base station's
 	// hash chain supports.
 	ChainLength int
+
+	// --- robustness / self-healing knobs. All default to zero (off), so
+	// a config that doesn't set them runs the exact baseline protocol:
+	// no extra timers, no extra broadcasts, no extra random draws. ---
+
+	// KeepAlivePeriod, if nonzero, makes the current clusterhead
+	// broadcast an authenticated KEEPALIVE every period and members
+	// monitor it. After KeepAliveMisses consecutive silent periods a
+	// member starts a local repair election under the current cluster
+	// key — no Km needed, honoring the paper's "within clusters"
+	// constraint on post-setup reorganization.
+	KeepAlivePeriod time.Duration
+	// KeepAliveMisses is how many silent keep-alive periods a member
+	// tolerates before starting a repair election. Defaults to 3 when
+	// KeepAlivePeriod is set.
+	KeepAliveMisses int
+	// RepairMeanDelay is the mean of the exponential candidacy delay in
+	// repair elections, mirroring the setup election's randomized HELLO
+	// delays. Defaults to 50ms when KeepAlivePeriod is set.
+	RepairMeanDelay time.Duration
+
+	// SetupRetries, if nonzero, bounds retransmissions with exponential
+	// backoff for the lossy setup-phase broadcasts: HELLO while the
+	// election window is open, LINK-ADVERT while Km is still held, and
+	// an exponentially growing window for late-join attempts.
+	SetupRetries int
+	// SetupRetryBase is the first setup retry's backoff; each further
+	// retry doubles it, plus a uniform jitter of up to one base so
+	// simultaneous senders don't retry in lockstep. Defaults to 30ms.
+	SetupRetryBase time.Duration
+
+	// DataRetries, if nonzero, enables ack-gated forwarding: a sender
+	// keeps a transmitted reading pending until it overhears a
+	// lower-hop relay of the same (origin, seq) — or the base station's
+	// hop-0 delivery echo — and retransmits with exponential backoff up
+	// to this many times before giving up and raising the node's
+	// degraded flag.
+	DataRetries int
+	// DataRetryBase is the first data retry's backoff. Defaults to 40ms.
+	DataRetryBase time.Duration
 }
 
 // DefaultConfig returns the parameters used throughout the experiments.
@@ -186,6 +226,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ChainLength <= 0 {
 		c.ChainLength = d.ChainLength
+	}
+	if c.KeepAlivePeriod > 0 {
+		if c.KeepAliveMisses <= 0 {
+			c.KeepAliveMisses = 3
+		}
+		if c.RepairMeanDelay <= 0 {
+			c.RepairMeanDelay = 50 * time.Millisecond
+		}
+	}
+	if c.SetupRetries > 0 && c.SetupRetryBase <= 0 {
+		c.SetupRetryBase = 30 * time.Millisecond
+	}
+	if c.DataRetries > 0 && c.DataRetryBase <= 0 {
+		c.DataRetryBase = 40 * time.Millisecond
 	}
 	return c
 }

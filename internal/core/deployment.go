@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/node"
 	"repro/internal/sim"
@@ -49,6 +50,12 @@ type DeployOptions struct {
 	ReserveLate int
 	// Trace, if set, observes every radio delivery.
 	Trace func(sim.TraceEvent)
+	// Faults, if set, is a deterministic fault-injection plan (crashes,
+	// reboots, loss bursts, partitions, jitter scaling) the engine
+	// executes during the run. See internal/faults.
+	Faults *faults.Plan
+	// OnCrash observes plan-scheduled crashes.
+	OnCrash func(i int, at time.Duration)
 }
 
 // Deployment is a fully wired simulated network running the protocol.
@@ -109,6 +116,8 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		Battery:    opt.Battery,
 		OnDeath:    opt.OnDeath,
 		Trace:      opt.Trace,
+		Faults:     opt.Faults,
+		OnCrash:    opt.OnCrash,
 	}, behaviors)
 	if err != nil {
 		return nil, err

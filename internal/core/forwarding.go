@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sort"
+	"time"
+
 	"repro/internal/crypt"
 	"repro/internal/node"
 	"repro/internal/wire"
@@ -82,7 +85,9 @@ func (s *Sensor) SendReading(ctx node.Context, data []byte) (uint32, bool) {
 		inner.Sealed = append([]byte(nil), data...)
 	}
 	s.remember(s.id, s.readingSeq)
-	s.sendData(ctx, inner.Marshal(), s.id, s.readingSeq)
+	innerBytes := inner.Marshal()
+	s.sendData(ctx, innerBytes, s.id, s.readingSeq)
+	s.trackPending(ctx, innerBytes, s.id, s.readingSeq)
 	return s.readingSeq, true
 }
 
@@ -131,6 +136,18 @@ func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
 	if age < 0 || age > int64(s.cfg.FreshWindow) {
 		return
 	}
+	// Implicit acknowledgement: overhearing our own pending (origin, seq)
+	// relayed by a strictly-lower-hop node — or echoed by the base station
+	// at hop 0 — means the message progressed toward the sink. This must
+	// run before duplicate suppression, because the sender remembered the
+	// pair when it transmitted.
+	if len(s.pendingAcks) > 0 && d.Hop < s.hop {
+		k := dedupKey{d.Origin, d.Seq}
+		if _, ok := s.pendingAcks[k]; ok {
+			delete(s.pendingAcks, k)
+			s.degraded = false
+		}
+	}
 	if s.seen(d.Origin, d.Seq) {
 		return
 	}
@@ -159,6 +176,7 @@ func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
 		}
 	}
 	s.sendData(ctx, d.Inner, d.Origin, d.Seq)
+	s.trackPending(ctx, d.Inner, d.Origin, d.Seq)
 }
 
 // deliverAtBS terminates a reading at the base station: verify the Step-1
@@ -205,6 +223,90 @@ func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
 	s.bs.deliveries = append(s.bs.deliveries, del)
 	if s.bs.OnDeliver != nil {
 		s.bs.OnDeliver(del)
+	}
+	if s.cfg.DataRetries > 0 {
+		// Echo the accepted delivery at hop 0. Hop-1 forwarders never
+		// overhear a downstream relay (there is none), so without this
+		// they would retry deliveries that already landed; the gradient
+		// rule (Hop 0 <= anyone's hop) keeps the echo from propagating.
+		s.sendData(ctx, d.Inner, d.Origin, d.Seq)
+	}
+}
+
+// --- ack-gated forwarding retries (Config.DataRetries > 0) ---
+
+// pendingSend is one transmitted reading awaiting its implicit ack.
+type pendingSend struct {
+	inner    []byte
+	attempts int
+	nextAt   time.Duration
+}
+
+// trackPending registers a transmission for ack-gated retry. No-op on the
+// base station (its deliveries terminate there) and when the feature is
+// off — in particular, no random draw happens on the default path.
+func (s *Sensor) trackPending(ctx node.Context, inner []byte, origin node.ID, seq uint32) {
+	if s.cfg.DataRetries <= 0 || s.bs != nil {
+		return
+	}
+	k := dedupKey{origin, seq}
+	if _, ok := s.pendingAcks[k]; ok {
+		return
+	}
+	if s.pendingAcks == nil {
+		s.pendingAcks = make(map[dedupKey]*pendingSend)
+	}
+	d := s.dataBackoff(ctx, 0)
+	s.pendingAcks[k] = &pendingSend{
+		inner:  append([]byte(nil), inner...),
+		nextAt: ctx.Now() + d,
+	}
+	ctx.SetTimer(d, tagDataRetry)
+}
+
+// dataBackoff is DataRetryBase << attempt plus a uniform jitter of up to
+// one base.
+func (s *Sensor) dataBackoff(ctx node.Context, attempt int) time.Duration {
+	base := s.cfg.DataRetryBase
+	return base<<attempt + time.Duration(ctx.Rand().Uint64n(uint64(base)))
+}
+
+// dataRetryTick retransmits every due pending send, exhausting each
+// entry's budget before giving up and raising the degraded flag. Entries
+// are scanned in sorted key order so map iteration order never leaks into
+// random draws or broadcast order.
+func (s *Sensor) dataRetryTick(ctx node.Context) {
+	if s.phase != PhaseOperational || !s.ks.InCluster || len(s.pendingAcks) == 0 {
+		return
+	}
+	now := ctx.Now()
+	keys := make([]dedupKey, 0, len(s.pendingAcks))
+	for k := range s.pendingAcks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		p := s.pendingAcks[k]
+		if p.nextAt > now {
+			continue
+		}
+		if p.attempts >= s.cfg.DataRetries {
+			// Budget exhausted with no ack: give up on this reading and
+			// flag degraded operation (cleared by the next ack heard).
+			delete(s.pendingAcks, k)
+			s.degraded = true
+			continue
+		}
+		p.attempts++
+		s.sendData(ctx, p.inner, k.origin, k.seq)
+		d := s.dataBackoff(ctx, p.attempts)
+		p.nextAt = now + d
+		ctx.SetTimer(d, tagDataRetry)
 	}
 }
 

@@ -46,10 +46,11 @@ func (s *Sensor) HashRefresh(ctx node.Context) {
 // own cluster: it generates a fresh cluster key and broadcasts it sealed
 // under the old one. Per the paper's hardening, the refresh is constrained
 // "within clusters, i.e. not allow new clusters to be created", so only
-// the original clusterhead (the node whose ID equals the CID) initiates.
-// It reports whether a refresh was initiated.
+// the cluster's current head initiates — the original clusterhead (the
+// node whose ID equals the CID), or its locally re-elected successor
+// after a repair. It reports whether a refresh was initiated.
 func (s *Sensor) StartClusterRefresh(ctx node.Context) bool {
-	if s.phase != PhaseOperational || !s.ks.InCluster || uint32(s.id) != s.ks.CID {
+	if s.phase != PhaseOperational || !s.ks.InCluster || s.headID != s.id {
 		return false
 	}
 	// "The new cluster key, created by a secure key generation algorithm
@@ -187,7 +188,18 @@ func (s *Sensor) startJoin(ctx node.Context) {
 		return
 	}
 	ctx.Broadcast(pkt)
-	ctx.SetTimer(s.cfg.JoinWindow, tagJoinDone)
+	window := s.cfg.JoinWindow
+	if s.cfg.SetupRetries > 0 && s.joinAttempts > 1 {
+		// Exponential backoff across attempts: each retry doubles the
+		// collection window (capped at 8x) so a joiner in a lossy patch
+		// gives responses more air time instead of hammering requests.
+		shift := s.joinAttempts - 1
+		if shift > 3 {
+			shift = 3
+		}
+		window <<= shift
+	}
+	ctx.SetTimer(window, tagJoinDone)
 }
 
 // onJoinReq schedules an authenticated response to a newcomer: "Nodes
@@ -299,6 +311,9 @@ func (s *Sensor) onJoinResp(ctx node.Context, f *wire.Frame) {
 	}
 	if !s.ks.InCluster {
 		s.ks.JoinCluster(resp.CID, key)
+		// The original head's ID is the CID by construction; a repair
+		// election will correct this view if that head is gone.
+		s.headID = node.ID(resp.CID)
 	} else {
 		s.ks.AddNeighbor(resp.CID, key)
 	}
@@ -319,6 +334,8 @@ func (s *Sensor) finishJoinWindow(ctx node.Context) {
 		// the next boundary's timer.
 		s.catchUpEpochs(ctx.Now())
 		s.armRefreshTimer(ctx)
+		s.lastKeepAlive = ctx.Now()
+		s.armKeepAlive(ctx)
 		return
 	}
 	if s.joinAttempts >= maxJoinAttempts {

@@ -57,6 +57,11 @@ const (
 	tagJoinDone
 	tagBeacon
 	tagRefresh
+	tagKeepAlive
+	tagRepairElect
+	tagHelloRetry
+	tagLinkRetry
+	tagDataRetry
 )
 
 // HopUnknown marks a node that has not yet acquired a routing gradient.
@@ -138,6 +143,28 @@ type Sensor struct {
 	pendingJoinResp bool
 	joinAttempts    int
 
+	// Cluster-repair state (active when cfg.KeepAlivePeriod > 0).
+	// headID tracks who this node currently believes heads its cluster;
+	// it is maintained from setup on so repair can take over seamlessly.
+	headID        node.ID
+	lastKeepAlive time.Duration
+	repairing     bool
+	repairTimer   node.TimerID
+	repaired      bool
+	kaLoop        bool // a keep-alive tick is armed (one chain per node)
+
+	// Bounded setup retransmissions (active when cfg.SetupRetries > 0).
+	helloRetries int
+	linkRetries  int
+
+	// Ack-gated forwarding (active when cfg.DataRetries > 0).
+	pendingAcks map[dedupKey]*pendingSend
+	degraded    bool
+
+	// OnRepaired, if set, observes this node winning a repair election
+	// (taking over headship of cid at the given time).
+	OnRepaired func(cid uint32, newHead node.ID, at time.Duration)
+
 	// Peek, if set and a plaintext (Step-1-disabled) reading passes
 	// through, is consulted before forwarding; returning false discards
 	// the message — the paper's data-fusion "peak at encrypted data and
@@ -203,6 +230,20 @@ func (s *Sensor) NeighborClusters() []uint32 { return s.ks.NeighborCIDs() }
 
 // Hop returns the node's routing-gradient height (HopUnknown if none).
 func (s *Sensor) Hop() uint16 { return s.hop }
+
+// Head returns the node this sensor currently believes heads its cluster:
+// the original clusterhead from setup, or a locally re-elected successor
+// after a repair. Meaningful only while the node is in a cluster.
+func (s *Sensor) Head() node.ID { return s.headID }
+
+// Repaired reports whether this node won a repair election and took over
+// headship of its cluster after the original head went silent.
+func (s *Sensor) Repaired() bool { return s.repaired }
+
+// Degraded reports whether the node exhausted its data retries without
+// overhearing an acknowledgement since the last acked transmission. Only
+// meaningful when Config.DataRetries > 0.
+func (s *Sensor) Degraded() bool { return s.degraded }
 
 // Epoch returns the refresh epoch the node tracks for cluster cid.
 func (s *Sensor) Epoch(cid uint32) uint32 { return s.epochs[cid] }
@@ -273,6 +314,16 @@ func (s *Sensor) Timer(ctx node.Context, tag node.Tag) {
 		s.TriggerBeacon(ctx)
 	case tagRefresh:
 		s.periodicRefresh(ctx)
+	case tagKeepAlive:
+		s.keepAliveTick(ctx)
+	case tagRepairElect:
+		s.claimHeadship(ctx)
+	case tagHelloRetry:
+		s.helloRetry(ctx)
+	case tagLinkRetry:
+		s.linkRetry(ctx)
+	case tagDataRetry:
+		s.dataRetryTick(ctx)
 	}
 }
 
@@ -299,6 +350,10 @@ func (s *Sensor) Receive(ctx node.Context, from node.ID, pkt []byte) {
 		s.onJoinResp(ctx, f)
 	case wire.TRefresh:
 		s.onRefresh(ctx, f, pkt)
+	case wire.TKeepAlive:
+		s.onKeepAlive(ctx, f)
+	case wire.TRepair:
+		s.onRepair(ctx, f)
 	}
 }
 
@@ -357,9 +412,11 @@ func (s *Sensor) becomeHead(ctx node.Context) {
 	s.isHead = true
 	s.ks.JoinCluster(uint32(s.id), s.ks.CandidateClusterKey)
 	s.epochs[uint32(s.id)] = 0
+	s.headID = s.id
 	s.phase = PhaseDecided
 	body := (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, body))
+	s.armHelloRetry(ctx)
 }
 
 // onHello handles a clusterhead announcement: an undecided node joins the
@@ -379,6 +436,7 @@ func (s *Sensor) onHello(ctx node.Context, f *wire.Frame) {
 	ctx.CancelTimer(s.helloTimer)
 	s.ks.JoinCluster(hello.HeadID, hello.ClusterKey)
 	s.epochs[hello.HeadID] = 0
+	s.headID = node.ID(hello.HeadID)
 	s.phase = PhaseDecided
 	// "No transmission is required for that node."
 }
@@ -391,6 +449,7 @@ func (s *Sensor) sendLinkAdvert(ctx node.Context) {
 	}
 	body := (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, body))
+	s.armLinkRetry(ctx)
 }
 
 // onLinkAdvert stores a neighboring cluster's key ("any nodes from
@@ -429,6 +488,8 @@ func (s *Sensor) enterOperational(ctx node.Context) {
 		}
 	}
 	s.armRefreshTimer(ctx)
+	s.lastKeepAlive = ctx.Now()
+	s.armKeepAlive(ctx)
 }
 
 // armRefreshTimer schedules the next refresh at an absolute epoch

@@ -67,6 +67,12 @@ func equivFamilies() []family {
 		{"Lifetime", func(o Options) (any, error) {
 			return Lifetime(o, 2e6, 6, true)
 		}},
+		{"CrashChurn", func(o Options) (any, error) {
+			return CrashChurn(o, []float64{0, 0.2})
+		}},
+		{"BurstLoss", func(o Options) (any, error) {
+			return BurstLoss(o, []float64{0, 0.6})
+		}},
 	}
 }
 
@@ -106,6 +112,41 @@ func TestParallelSerialEquivalence(t *testing.T) {
 				if !bytes.Equal(js, jp) {
 					t.Fatalf("seed %d: parallel output differs from serial\nserial:   %s\nparallel: %s",
 						seed, js, jp)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosEquivalenceAcrossWorkerCounts pins the fault-injection
+// determinism contract at three pool sizes: the chaos family — whose
+// trials consume injector streams, crash nodes, and run repair elections
+// — must marshal to the same bytes at workers 1, 4, and GOMAXPROCS
+// (Workers=0).
+func TestChaosEquivalenceAcrossWorkerCounts(t *testing.T) {
+	runs := []struct {
+		name string
+		run  func(o Options) (any, error)
+	}{
+		{"CrashChurn", func(o Options) (any, error) { return CrashChurn(o, []float64{0.1, 0.25}) }},
+		{"BurstLoss", func(o Options) (any, error) { return BurstLoss(o, []float64{0.3, 0.9}) }},
+	}
+	for _, fam := range runs {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			var ref []byte
+			for _, workers := range []int{1, 4, 0} {
+				o := Options{Seed: 29, Trials: 2, N: 220, Workers: workers}
+				res, err := fam.run(o)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				j := mustJSON(t, res)
+				if ref == nil {
+					ref = j
+				} else if !bytes.Equal(ref, j) {
+					t.Fatalf("workers=%d output differs from workers=1\nref: %s\ngot: %s", workers, ref, j)
 				}
 			}
 		})

@@ -105,6 +105,7 @@ var familyCaps = map[string]Caps{
 	"mac":       {MaxN: 800},
 	"lifetime":  {MaxN: 500},
 	"setupcost": {MaxN: 1000},
+	"chaos":     {MaxN: 500, MaxTrials: 3},
 }
 
 // CapsFor returns the scale caps for the named experiment family (the

@@ -1,0 +1,470 @@
+// Package faults defines deterministic, scripted fault injection for the
+// simulated sensor network: a Plan is a list of scheduled fault events —
+// node crashes and reboots, bursty loss through a Gilbert–Elliott
+// two-state channel, per-region loss-rate ramps, temporary partitions,
+// and clock-jitter scaling — that internal/sim consumes through engine
+// hooks.
+//
+// Determinism contract: every random draw an active plan makes comes from
+// an xrand stream split off the engine's root seed, and the per-event
+// Gilbert–Elliott chains advance only on packet arrivals, whose order the
+// single-threaded engine fixes. The same (seed, plan) pair therefore
+// produces byte-identical runs at any trial-runner worker count — fault
+// plans obey exactly the conventions docs/DETERMINISM.md establishes for
+// -workers.
+//
+// The plan text format (see docs/FAULTS.md) is one event per line:
+//
+//	crash     t=500ms node=17
+//	reboot    t=2s    node=17
+//	burst     t=1s until=3s nodes=0-49 pgb=0.05 pbg=0.25 lossb=0.9 lossg=0.01
+//	ramp      t=1s until=3s nodes=* from=0 to=0.6
+//	partition t=1s until=2s nodes=0-24
+//	jitter    t=1s until=2s factor=4
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Kind enumerates fault event types.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindCrash silences a node at At: its radio closes, pending timers
+	// die, and no callbacks run until a matching KindReboot.
+	KindCrash Kind = iota
+	// KindReboot revives a previously crashed node at At. Behaviors that
+	// implement node.Rebooter get their Reboot callback (warm restart with
+	// key material intact); others are Started fresh.
+	KindReboot
+	// KindBurst runs a Gilbert–Elliott two-state loss channel at every
+	// receiver in Nodes during [At, Until): in the Good state packets drop
+	// with probability LossGood, in the Bad state with LossBad; the chain
+	// moves Good→Bad with probability PGB and Bad→Good with PBG per
+	// arrival. This is the standard model for the bursty, correlated loss
+	// real radios exhibit, which independent per-link loss cannot express.
+	KindBurst
+	// KindRamp linearly ramps an independent per-packet loss probability
+	// from From (at At) to To (at Until) for receivers in Nodes.
+	KindRamp
+	// KindPartition drops every packet crossing the boundary between
+	// Nodes and the rest of the network during [At, Until).
+	KindPartition
+	// KindJitterScale multiplies the medium's delivery jitter by Factor
+	// during [At, Until), modeling congestion-induced MAC delays.
+	KindJitterScale
+)
+
+// String returns the kind's plan-file keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindReboot:
+		return "reboot"
+	case KindBurst:
+		return "burst"
+	case KindRamp:
+		return "ramp"
+	case KindPartition:
+		return "partition"
+	case KindJitterScale:
+		return "jitter"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+	// At is when the fault begins (virtual time).
+	At time.Duration
+	// Until ends windowed faults (burst, ramp, partition, jitter);
+	// ignored for crash and reboot.
+	Until time.Duration
+	// Node is the crash/reboot target.
+	Node int
+	// Nodes scopes windowed faults; empty means the whole network.
+	Nodes []int
+	// PGB, PBG are the Gilbert–Elliott Good→Bad and Bad→Good transition
+	// probabilities per packet arrival.
+	PGB, PBG float64
+	// LossGood, LossBad are the drop probabilities in each channel state.
+	LossGood, LossBad float64
+	// From, To are the ramp's endpoint loss probabilities.
+	From, To float64
+	// Factor is the jitter multiplier.
+	Factor float64
+}
+
+// windowed reports whether the event occupies a time window.
+func (e *Event) windowed() bool {
+	switch e.Kind {
+	case KindBurst, KindRamp, KindPartition, KindJitterScale:
+		return true
+	}
+	return false
+}
+
+// active reports whether a windowed event covers virtual time now.
+func (e *Event) active(now time.Duration) bool {
+	return now >= e.At && now < e.Until
+}
+
+// Plan is a complete fault schedule. The zero value is an empty plan.
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks event fields for internal consistency and that every
+// node reference fits a network of n nodes (pass n <= 0 to skip the
+// range check, e.g. when the topology size is not yet known).
+func (p *Plan) Validate(n int) error {
+	inRange := func(i int) bool { return n <= 0 || (i >= 0 && i < n) }
+	crashed := map[int]int{} // node -> crash count minus reboot count, in time order
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for k := range evs {
+		e := &evs[k]
+		if e.At < 0 {
+			return fmt.Errorf("faults: %s event at negative time %v", e.Kind, e.At)
+		}
+		if e.windowed() && e.Until <= e.At {
+			return fmt.Errorf("faults: %s window [%v, %v) is empty", e.Kind, e.At, e.Until)
+		}
+		for _, i := range e.Nodes {
+			if !inRange(i) {
+				return fmt.Errorf("faults: %s event references node %d outside [0,%d)", e.Kind, i, n)
+			}
+		}
+		switch e.Kind {
+		case KindCrash, KindReboot:
+			if !inRange(e.Node) {
+				return fmt.Errorf("faults: %s event references node %d outside [0,%d)", e.Kind, e.Node, n)
+			}
+			if e.Kind == KindCrash {
+				crashed[e.Node]++
+			} else {
+				crashed[e.Node]--
+				if crashed[e.Node] < 0 {
+					return fmt.Errorf("faults: reboot of node %d at %v precedes any crash", e.Node, e.At)
+				}
+			}
+		case KindBurst:
+			for _, pr := range []struct {
+				name string
+				v    float64
+			}{{"pgb", e.PGB}, {"pbg", e.PBG}, {"lossg", e.LossGood}, {"lossb", e.LossBad}} {
+				if pr.v < 0 || pr.v > 1 {
+					return fmt.Errorf("faults: burst %s=%v outside [0,1]", pr.name, pr.v)
+				}
+			}
+		case KindRamp:
+			if e.From < 0 || e.From > 1 || e.To < 0 || e.To > 1 {
+				return fmt.Errorf("faults: ramp endpoints (%v, %v) outside [0,1]", e.From, e.To)
+			}
+		case KindJitterScale:
+			if e.Factor <= 0 {
+				return fmt.Errorf("faults: jitter factor %v must be positive", e.Factor)
+			}
+		case KindPartition:
+			if len(e.Nodes) == 0 {
+				return fmt.Errorf("faults: partition at %v needs a node group", e.At)
+			}
+		default:
+			return fmt.Errorf("faults: unknown event kind %d", int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// geChain is one event's Gilbert–Elliott state at one receiver.
+type geChain struct {
+	bad bool
+	rng *xrand.RNG
+}
+
+// Injector is a Plan bound to an RNG stream and ready to drive an engine.
+// It is not safe for concurrent use; each simulation engine owns one.
+type Injector struct {
+	plan *Plan
+	rng  *xrand.RNG
+	// inGroup[k] is the membership set of windowed event k (nil = all).
+	inGroup []map[int]bool
+	// chains[k] holds event k's per-receiver Gilbert–Elliott chains
+	// (burst events only), created lazily but seeded by (event, receiver)
+	// alone so laziness cannot perturb determinism.
+	chains []map[int]*geChain
+	// ramps holds per-(event, receiver) RNG streams for ramp draws.
+	ramps []map[int]*xrand.RNG
+}
+
+// NewInjector binds plan to a random stream. The stream must be split off
+// the engine's root seed so (seed, plan) fully determines every draw.
+func NewInjector(plan *Plan, rng *xrand.RNG) *Injector {
+	inj := &Injector{
+		plan:    plan,
+		rng:     rng,
+		inGroup: make([]map[int]bool, len(plan.Events)),
+		chains:  make([]map[int]*geChain, len(plan.Events)),
+		ramps:   make([]map[int]*xrand.RNG, len(plan.Events)),
+	}
+	for k := range plan.Events {
+		e := &plan.Events[k]
+		if len(e.Nodes) > 0 {
+			set := make(map[int]bool, len(e.Nodes))
+			for _, i := range e.Nodes {
+				set[i] = true
+			}
+			inj.inGroup[k] = set
+		}
+		switch e.Kind {
+		case KindBurst:
+			inj.chains[k] = make(map[int]*geChain)
+		case KindRamp:
+			inj.ramps[k] = make(map[int]*xrand.RNG)
+		}
+	}
+	return inj
+}
+
+// CrashRebootEvents returns the plan's crash and reboot events in
+// schedule order; the engine turns them into queue entries at Boot.
+func (in *Injector) CrashRebootEvents() []Event {
+	var out []Event
+	for _, e := range in.plan.Events {
+		if e.Kind == KindCrash || e.Kind == KindReboot {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// covers reports whether windowed event k applies to receiver node i.
+func (in *Injector) covers(k, i int) bool {
+	g := in.inGroup[k]
+	return g == nil || g[i]
+}
+
+// streamFor derives the deterministic per-(event, receiver) stream label.
+func (in *Injector) streamFor(event, recv int) *xrand.RNG {
+	return in.rng.Split(uint64(event)<<32 | uint64(uint32(recv)))
+}
+
+// Drop decides whether the medium destroys a packet sent from graph node
+// `from` to receiver `to` at virtual time now. It is consulted once per
+// (transmission, receiver) pair, before the independent Config.Loss draw
+// and before the collision model — a faulted packet never occupies the
+// receiver's radio, exactly like Config.Loss losses.
+func (in *Injector) Drop(now time.Duration, from, to int) bool {
+	drop := false
+	for k := range in.plan.Events {
+		e := &in.plan.Events[k]
+		if !e.windowed() || !e.active(now) {
+			continue
+		}
+		switch e.Kind {
+		case KindPartition:
+			// Boundary-crossing traffic dies in both directions.
+			if in.inGroup[k][from] != in.inGroup[k][to] {
+				drop = true
+			}
+		case KindBurst:
+			if !in.covers(k, to) {
+				continue
+			}
+			ch := in.chains[k][to]
+			if ch == nil {
+				ch = &geChain{rng: in.streamFor(k, to)}
+				in.chains[k][to] = ch
+			}
+			// One loss draw, one transition draw, per arrival — fixed
+			// order so the chain consumes a fixed number of variates.
+			loss := e.LossGood
+			flip := e.PGB
+			if ch.bad {
+				loss = e.LossBad
+				flip = e.PBG
+			}
+			if ch.rng.Bool(loss) {
+				drop = true
+			}
+			if ch.rng.Bool(flip) {
+				ch.bad = !ch.bad
+			}
+		case KindRamp:
+			if !in.covers(k, to) {
+				continue
+			}
+			rng := in.ramps[k][to]
+			if rng == nil {
+				rng = in.streamFor(k, to)
+				in.ramps[k][to] = rng
+			}
+			frac := float64(now-e.At) / float64(e.Until-e.At)
+			if rng.Bool(e.From + (e.To-e.From)*frac) {
+				drop = true
+			}
+		}
+		// Keep evaluating even after a drop decision: every active
+		// chain must advance on every arrival, or the presence of one
+		// event would change another's draw sequence.
+	}
+	return drop
+}
+
+// JitterScale returns the factor by which the medium's delivery jitter is
+// multiplied at virtual time now (1 when no jitter event is active;
+// overlapping windows compound).
+func (in *Injector) JitterScale(now time.Duration) float64 {
+	scale := 1.0
+	for k := range in.plan.Events {
+		e := &in.plan.Events[k]
+		if e.Kind == KindJitterScale && e.active(now) {
+			scale *= e.Factor
+		}
+	}
+	return scale
+}
+
+// --- plan text format ---
+
+// ParsePlan reads the plan text format: one event per line, `kind` first,
+// then space-separated key=value fields. Blank lines and #-comments are
+// skipped. See the package comment for the grammar and docs/FAULTS.md for
+// the full reference.
+func ParsePlan(text string) (*Plan, error) {
+	p := &Plan{}
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		ev, err := parseEvent(fields[0], fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("faults: line %d: %w", lineno+1, err)
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseEvent(kind string, kvs []string) (Event, error) {
+	var e Event
+	switch kind {
+	case "crash":
+		e.Kind = KindCrash
+	case "reboot":
+		e.Kind = KindReboot
+	case "burst":
+		e.Kind = KindBurst
+		// Reasonable defaults: rare entry to a deep bad state.
+		e.PGB, e.PBG, e.LossGood, e.LossBad = 0.05, 0.25, 0, 0.9
+	case "ramp":
+		e.Kind = KindRamp
+	case "partition":
+		e.Kind = KindPartition
+	case "jitter":
+		e.Kind = KindJitterScale
+		e.Factor = 1
+	default:
+		return e, fmt.Errorf("unknown event kind %q", kind)
+	}
+	e.Node = -1
+	for _, kv := range kvs {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return e, fmt.Errorf("field %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "t":
+			e.At, err = time.ParseDuration(val)
+		case "until":
+			e.Until, err = time.ParseDuration(val)
+		case "node":
+			e.Node, err = strconv.Atoi(val)
+		case "nodes":
+			e.Nodes, err = parseNodeSet(val)
+		case "pgb":
+			e.PGB, err = parseProb(val)
+		case "pbg":
+			e.PBG, err = parseProb(val)
+		case "lossg":
+			e.LossGood, err = parseProb(val)
+		case "lossb":
+			e.LossBad, err = parseProb(val)
+		case "from":
+			e.From, err = parseProb(val)
+		case "to":
+			e.To, err = parseProb(val)
+		case "factor":
+			e.Factor, err = strconv.ParseFloat(val, 64)
+		default:
+			return e, fmt.Errorf("unknown field %q for %s", key, kind)
+		}
+		if err != nil {
+			return e, fmt.Errorf("field %q: %w", kv, err)
+		}
+	}
+	if (e.Kind == KindCrash || e.Kind == KindReboot) && e.Node < 0 {
+		return e, fmt.Errorf("%s needs node=", kind)
+	}
+	return e, nil
+}
+
+func parseProb(val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", v)
+	}
+	return v, nil
+}
+
+// parseNodeSet reads "*" (all nodes), a single index, or comma-separated
+// indices and inclusive lo-hi ranges: "3", "0-24", "1,5,10-12".
+func parseNodeSet(val string) ([]int, error) {
+	if val == "*" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(val, ",") {
+		lo, hi, isRange := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, fmt.Errorf("node set %q: %w", val, err)
+		}
+		if !isRange {
+			out = append(out, a)
+			continue
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, fmt.Errorf("node set %q: %w", val, err)
+		}
+		if b < a {
+			return nil, fmt.Errorf("node range %q is descending", part)
+		}
+		for i := a; i <= b; i++ {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

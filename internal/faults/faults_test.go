@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func TestParsePlanFullGrammar(t *testing.T) {
+	text := `
+# a comment
+crash     t=500ms node=17
+
+reboot    t=2s    node=17
+burst     t=1s until=3s nodes=0-2,5 pgb=0.1 pbg=0.5 lossg=0.01 lossb=0.8
+ramp      t=1s until=3s nodes=* from=0 to=0.6
+partition t=1s until=2s nodes=0-4
+jitter    t=1s until=2s factor=4
+`
+	p, err := ParsePlan(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(p.Events))
+	}
+	c := p.Events[0]
+	if c.Kind != KindCrash || c.At != 500*time.Millisecond || c.Node != 17 {
+		t.Fatalf("crash event: %+v", c)
+	}
+	b := p.Events[2]
+	if b.Kind != KindBurst || b.PGB != 0.1 || b.PBG != 0.5 || b.LossGood != 0.01 || b.LossBad != 0.8 {
+		t.Fatalf("burst event: %+v", b)
+	}
+	want := []int{0, 1, 2, 5}
+	if len(b.Nodes) != len(want) {
+		t.Fatalf("burst nodes: %v", b.Nodes)
+	}
+	for i := range want {
+		if b.Nodes[i] != want[i] {
+			t.Fatalf("burst nodes: %v, want %v", b.Nodes, want)
+		}
+	}
+	r := p.Events[3]
+	if r.Nodes != nil {
+		t.Fatalf("nodes=* should scope to all (nil), got %v", r.Nodes)
+	}
+	if r.From != 0 || r.To != 0.6 {
+		t.Fatalf("ramp endpoints: %+v", r)
+	}
+	j := p.Events[5]
+	if j.Kind != KindJitterScale || j.Factor != 4 {
+		t.Fatalf("jitter event: %+v", j)
+	}
+}
+
+func TestParsePlanBurstDefaults(t *testing.T) {
+	p, err := ParsePlan("burst t=0s until=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Events[0]
+	if b.PGB != 0.05 || b.PBG != 0.25 || b.LossGood != 0 || b.LossBad != 0.9 {
+		t.Fatalf("burst defaults: %+v", b)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"unknown kind", "explode t=1s"},
+		{"missing node", "crash t=1s"},
+		{"bad field", "crash t=1s node=1 color=red"},
+		{"not kv", "crash t=1s node"},
+		{"bad prob", "burst t=0s until=1s lossb=1.5"},
+		{"descending range", "partition t=0s until=1s nodes=5-2"},
+		{"empty window", "burst t=2s until=1s"},
+		{"reboot before crash", "reboot t=1s node=3"},
+		{"negative prob", "ramp t=0s until=1s from=-0.1 to=1"},
+		{"bad duration", "crash t=yesterday node=1"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan(c.text); err == nil {
+			t.Errorf("%s: ParsePlan(%q) succeeded, want error", c.name, c.text)
+		}
+	}
+}
+
+func TestValidateNodeRange(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: KindCrash, At: time.Second, Node: 10}}}
+	if err := p.Validate(10); err == nil {
+		t.Fatal("crash of node 10 in a 10-node network validated")
+	}
+	if err := p.Validate(11); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(0); err != nil {
+		t.Fatal("n<=0 must skip the range check:", err)
+	}
+	p = &Plan{Events: []Event{{Kind: KindBurst, At: 0, Until: time.Second, Nodes: []int{3, 99}}}}
+	if err := p.Validate(10); err == nil {
+		t.Fatal("burst referencing node 99 in a 10-node network validated")
+	}
+}
+
+func TestValidateCrashRebootOrdering(t *testing.T) {
+	// Reboot ordered before its crash (by time, regardless of slice order).
+	p := &Plan{Events: []Event{
+		{Kind: KindCrash, At: 2 * time.Second, Node: 1},
+		{Kind: KindReboot, At: 1 * time.Second, Node: 1},
+	}}
+	if err := p.Validate(5); err == nil {
+		t.Fatal("reboot preceding crash validated")
+	}
+	p = &Plan{Events: []Event{
+		{Kind: KindReboot, At: 2 * time.Second, Node: 1},
+		{Kind: KindCrash, At: 1 * time.Second, Node: 1},
+	}}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := func() *Plan {
+		p, err := ParsePlan("burst t=0s until=10s nodes=* pgb=0.3 pbg=0.3 lossg=0.1 lossb=0.9\n" +
+			"ramp t=0s until=10s nodes=* from=0.1 to=0.9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	drops := func() []bool {
+		in := NewInjector(plan(), xrand.New(7).Split(1))
+		var out []bool
+		for k := 0; k < 500; k++ {
+			now := time.Duration(k) * 10 * time.Millisecond
+			out = append(out, in.Drop(now, k%3, (k+1)%3))
+		}
+		return out
+	}
+	a, b := drops(), drops()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop sequence diverged at %d", i)
+		}
+	}
+	some := false
+	for _, d := range a {
+		if d {
+			some = true
+		}
+	}
+	if !some {
+		t.Fatal("no drops at all under a 10%%-90%% loss plan")
+	}
+}
+
+func TestGilbertElliottEntersGoodStateFirst(t *testing.T) {
+	// LossGood=0, LossBad=1, PGB=1: the first arrival is drawn in the
+	// Good state (never dropped), then the chain flips to Bad and every
+	// later arrival dies.
+	p := &Plan{Events: []Event{{
+		Kind: KindBurst, At: 0, Until: time.Hour,
+		PGB: 1, PBG: 0, LossGood: 0, LossBad: 1,
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	if in.Drop(time.Millisecond, 0, 1) {
+		t.Fatal("first arrival dropped while the chain was Good")
+	}
+	for k := 0; k < 10; k++ {
+		if !in.Drop(time.Duration(2+k)*time.Millisecond, 0, 1) {
+			t.Fatalf("arrival %d survived the Bad state", k)
+		}
+	}
+	// A different receiver has its own chain, still in Good.
+	if in.Drop(time.Second, 0, 2) {
+		t.Fatal("receiver 2's chain shared receiver 1's state")
+	}
+}
+
+func TestRampEndpoints(t *testing.T) {
+	p := &Plan{Events: []Event{{
+		Kind: KindRamp, At: 0, Until: time.Second, From: 0, To: 1,
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	if in.Drop(0, 0, 1) {
+		t.Fatal("drop at ramp start with From=0")
+	}
+	if !in.Drop(999*time.Millisecond, 0, 1) {
+		t.Fatal("no drop at ramp end with To=1")
+	}
+	if in.Drop(2*time.Second, 0, 1) {
+		t.Fatal("drop after the ramp window closed")
+	}
+}
+
+func TestPartitionDropsBothDirections(t *testing.T) {
+	p := &Plan{Events: []Event{{
+		Kind: KindPartition, At: 0, Until: time.Second, Nodes: []int{0, 1},
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	if !in.Drop(time.Millisecond, 0, 2) {
+		t.Fatal("group->outside crossed")
+	}
+	if !in.Drop(time.Millisecond, 2, 0) {
+		t.Fatal("outside->group crossed")
+	}
+	if in.Drop(time.Millisecond, 0, 1) {
+		t.Fatal("intra-group traffic dropped")
+	}
+	if in.Drop(time.Millisecond, 2, 3) {
+		t.Fatal("outside traffic dropped")
+	}
+	if in.Drop(2*time.Second, 0, 2) {
+		t.Fatal("partition outlived its window")
+	}
+}
+
+func TestJitterScaleCompounds(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindJitterScale, At: 0, Until: time.Second, Factor: 2},
+		{Kind: KindJitterScale, At: 0, Until: 500 * time.Millisecond, Factor: 3},
+	}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	if got := in.JitterScale(100 * time.Millisecond); got != 6 {
+		t.Fatalf("overlapping windows scale %v, want 6", got)
+	}
+	if got := in.JitterScale(700 * time.Millisecond); got != 2 {
+		t.Fatalf("single window scale %v, want 2", got)
+	}
+	if got := in.JitterScale(2 * time.Second); got != 1 {
+		t.Fatalf("no active window scale %v, want 1", got)
+	}
+}
+
+func TestCrashRebootEventsSorted(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KindReboot, At: 3 * time.Second, Node: 1},
+		{Kind: KindBurst, At: 0, Until: time.Second},
+		{Kind: KindCrash, At: 1 * time.Second, Node: 1},
+		{Kind: KindCrash, At: 2 * time.Second, Node: 4},
+	}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	evs := in.CrashRebootEvents()
+	if len(evs) != 3 {
+		t.Fatalf("got %d crash/reboot events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order: %v after %v", evs[i].At, evs[i-1].At)
+		}
+	}
+	if evs[0].Kind != KindCrash || evs[0].Node != 1 {
+		t.Fatalf("first event: %+v", evs[0])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindCrash, KindReboot, KindBurst, KindRamp, KindPartition, KindJitterScale} {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no keyword", int(k))
+		}
+	}
+}

@@ -66,7 +66,8 @@ type lhost struct {
 	inbox    chan packet
 	cmds     chan func(node.Context)
 	alive    atomic.Bool
-	dropped  atomic.Int64 // inbox-overflow packets
+	crashed  chan struct{} // closed by Crash/Kill to wake the goroutine
+	dropped  atomic.Int64  // inbox-overflow packets
 
 	rng     *xrand.RNG
 	meter   energy.Meter
@@ -128,6 +129,7 @@ func Start(cfg Config, behaviors []node.Behavior) *Network {
 			behavior: b,
 			inbox:    make(chan packet, cfg.InboxSize),
 			cmds:     make(chan func(node.Context), 16),
+			crashed:  make(chan struct{}),
 			rng:      root.Split(1 + uint64(i)),
 			start:    now,
 		}
@@ -160,8 +162,19 @@ func (n *Network) N() int { return len(n.hosts) }
 // Alive reports whether node i is operating.
 func (n *Network) Alive(i int) bool { return n.hosts[i].alive.Load() }
 
-// Kill removes node i from the network (no further deliveries).
-func (n *Network) Kill(i int) { n.hosts[i].alive.Store(false) }
+// Crash fail-stops node i the way a fault plan does in the simulator:
+// its radio channel closes (no further deliveries in either direction),
+// its goroutine exits promptly, and every pending timer dies with it.
+func (n *Network) Crash(i int) {
+	h := n.hosts[i]
+	if h.alive.CompareAndSwap(true, false) {
+		close(h.crashed)
+	}
+}
+
+// Kill removes node i from the network (no further deliveries). It is
+// the same fail-stop operation as Crash.
+func (n *Network) Kill(i int) { n.Crash(i) }
 
 // Dropped returns the number of packets node i lost to inbox overflow.
 func (n *Network) Dropped(i int) int64 { return n.hosts[i].dropped.Load() }
@@ -232,6 +245,8 @@ func (h *lhost) run() {
 		h.rearmClock()
 		select {
 		case <-h.net.stop:
+			return
+		case <-h.crashed:
 			return
 		case p := <-h.inbox:
 			if !h.alive.Load() {

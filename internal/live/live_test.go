@@ -154,6 +154,36 @@ func TestKillStopsDelivery(t *testing.T) {
 	}
 }
 
+func TestCrashClosesRadioAndStopsTimers(t *testing.T) {
+	g := lineGraph(2)
+	busy := &counter{}
+	busy.onStart = func(ctx node.Context) { ctx.SetTimer(5*time.Millisecond, 0) }
+	busy.onTimer = func(ctx node.Context, _ node.Tag) { ctx.SetTimer(5*time.Millisecond, 0) }
+	net := Start(Config{Graph: g, Seed: 14}, []node.Behavior{&counter{}, busy})
+	defer net.Stop()
+	waitFor(t, time.Second, func() bool { return busy.timers.Load() > 0 })
+
+	net.Crash(1)
+	if net.Alive(1) {
+		t.Fatal("crashed node reported alive")
+	}
+	// A timer already dequeued at crash time may still fire once; after
+	// that the chain must be dead.
+	time.Sleep(30 * time.Millisecond)
+	count := busy.timers.Load()
+	time.Sleep(60 * time.Millisecond)
+	if got := busy.timers.Load(); got != count {
+		t.Fatalf("timers kept firing after crash: %d -> %d", count, got)
+	}
+	received := busy.received.Load()
+	net.Inject(0, node.ID(0), []byte("x"))
+	time.Sleep(50 * time.Millisecond)
+	if busy.received.Load() != received {
+		t.Fatal("crashed node received a packet")
+	}
+	net.Crash(1) // idempotent: a second crash must not panic
+}
+
 func TestInjectReachesNeighbors(t *testing.T) {
 	g := lineGraph(3)
 	cs := []*counter{{}, {}, {}}

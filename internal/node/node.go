@@ -76,6 +76,15 @@ type Behavior interface {
 	Timer(ctx Context, tag Tag)
 }
 
+// Rebooter is implemented by behaviors that support a warm restart after
+// a crash: key material in stable storage survived, but every pending
+// timer and in-flight exchange did not. Runtimes call Reboot instead of
+// Start when reviving a crashed node whose behavior implements it; the
+// behavior must re-arm whatever timers its current phase needs.
+type Rebooter interface {
+	Reboot(ctx Context)
+}
+
 // KeyStore holds one sensor node's key material, mirroring the paper's
 // Section IV-A inventory: the node key Ki, the candidate cluster key Kci,
 // the master key Km (erased after setup), the optional addition master KMC

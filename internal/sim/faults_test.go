@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/node"
+)
+
+// rebootable is a test behavior implementing node.Rebooter: it records
+// boots, reboots, timer fires, and receptions.
+type rebootable struct {
+	echo
+	reboots int
+}
+
+func (r *rebootable) Reboot(ctx node.Context) { r.reboots++ }
+
+func TestCrashClosesRadioAndKillsTimers(t *testing.T) {
+	g := lineGraph(3)
+	victim := &rebootable{}
+	sender := &echo{}
+	eng := newEngine(t, g, []node.Behavior{sender, victim, &echo{}}, Config{})
+	eng.Boot(0)
+	// The victim arms a timer before the crash; it must never fire.
+	eng.Do(time.Millisecond, 1, func(ctx node.Context) {
+		ctx.SetTimer(50*time.Millisecond, 7)
+	})
+	eng.Schedule(2*time.Millisecond, func() { eng.Crash(1) })
+	eng.Schedule(10*time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("while down")) })
+	eng.Run(100 * time.Millisecond)
+	if len(victim.timers) != 0 {
+		t.Fatalf("pre-crash timer fired on crashed node: %v", victim.timers)
+	}
+	if len(victim.received) != 0 {
+		t.Fatalf("crashed node received %d packets", len(victim.received))
+	}
+	if eng.Alive(1) {
+		t.Fatal("victim alive after Crash")
+	}
+}
+
+func TestRebootCallsRebooterNotStart(t *testing.T) {
+	g := lineGraph(3)
+	victim := &rebootable{}
+	sender := &echo{}
+	eng := newEngine(t, g, []node.Behavior{sender, victim, &echo{}}, Config{})
+	eng.Boot(0)
+	eng.Schedule(2*time.Millisecond, func() { eng.Crash(1) })
+	eng.Schedule(10*time.Millisecond, func() { eng.Reboot(1) })
+	eng.Schedule(20*time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("after reboot")) })
+	eng.Run(100 * time.Millisecond)
+	if victim.started != 1 {
+		t.Fatalf("Start ran %d times; a warm reboot must not re-run it", victim.started)
+	}
+	if victim.reboots != 1 {
+		t.Fatalf("Reboot ran %d times, want 1", victim.reboots)
+	}
+	if len(victim.received) != 1 {
+		t.Fatalf("rebooted node received %d packets, want 1", len(victim.received))
+	}
+}
+
+func TestRebootFallsBackToStart(t *testing.T) {
+	g := lineGraph(2)
+	victim := &echo{} // does not implement node.Rebooter
+	eng := newEngine(t, g, []node.Behavior{&echo{}, victim}, Config{})
+	eng.Boot(0)
+	eng.Schedule(2*time.Millisecond, func() { eng.Crash(1) })
+	eng.Schedule(10*time.Millisecond, func() { eng.Reboot(1) })
+	eng.Run(100 * time.Millisecond)
+	if victim.started != 2 {
+		t.Fatalf("Start ran %d times, want 2 (boot + cold reboot)", victim.started)
+	}
+}
+
+func TestPlanScheduledCrashAndReboot(t *testing.T) {
+	g := lineGraph(3)
+	victim := &rebootable{}
+	sender := &echo{}
+	var crashes []int
+	plan := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindCrash, At: 5 * time.Millisecond, Node: 1},
+		{Kind: faults.KindReboot, At: 30 * time.Millisecond, Node: 1},
+	}}
+	eng := newEngine(t, g, []node.Behavior{sender, victim, &echo{}}, Config{
+		Faults:  plan,
+		OnCrash: func(i int, _ time.Duration) { crashes = append(crashes, i) },
+	})
+	eng.Boot(0)
+	eng.Schedule(10*time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("down")) })
+	eng.Schedule(50*time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("up")) })
+	eng.Run(100 * time.Millisecond)
+	if len(crashes) != 1 || crashes[0] != 1 {
+		t.Fatalf("OnCrash saw %v", crashes)
+	}
+	if victim.reboots != 1 {
+		t.Fatalf("reboots = %d, want 1", victim.reboots)
+	}
+	if len(victim.received) != 1 || string(victim.packets[0]) != "up" {
+		t.Fatalf("victim received %d packets (want only the post-reboot one)", len(victim.received))
+	}
+}
+
+func TestBurstDropsAtTargetReceiver(t *testing.T) {
+	g := lineGraph(2)
+	rcv := &echo{}
+	// LossGood=1 drops every arrival from the first packet on.
+	plan := &faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindBurst, At: 0, Until: time.Second,
+		Nodes: []int{1}, LossGood: 1, LossBad: 1,
+	}}}
+	eng := newEngine(t, g, []node.Behavior{&echo{}, rcv}, Config{Faults: plan})
+	eng.Boot(0)
+	for k := 0; k < 5; k++ {
+		k := k
+		eng.Schedule(time.Duration(k+1)*time.Millisecond, func() {
+			eng.hosts[0].Broadcast([]byte("x"))
+		})
+	}
+	eng.Run(2 * time.Second)
+	if len(rcv.received) != 0 {
+		t.Fatalf("receiver got %d packets through a total burst", len(rcv.received))
+	}
+}
+
+func TestPartitionBlocksOnlyBoundaryTraffic(t *testing.T) {
+	g := cliqueGraph(4) // 0,1 on one side; 2,3 on the other
+	bs := []*echo{{}, {}, {}, {}}
+	behaviors := make([]node.Behavior, 4)
+	for i, b := range bs {
+		behaviors[i] = b
+	}
+	plan := &faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindPartition, At: 0, Until: time.Second, Nodes: []int{0, 1},
+	}}}
+	eng := newEngine(t, g, behaviors, Config{Faults: plan})
+	eng.Boot(0)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("from 0")) })
+	eng.Schedule(2*time.Millisecond, func() { eng.hosts[2].Broadcast([]byte("from 2")) })
+	eng.Run(500 * time.Millisecond)
+	if len(bs[1].received) != 1 || bs[1].received[0] != 0 {
+		t.Fatalf("intra-group delivery 0->1 failed: %v", bs[1].received)
+	}
+	if len(bs[3].received) != 1 || bs[3].received[0] != 2 {
+		t.Fatalf("intra-group delivery 2->3 failed: %v", bs[3].received)
+	}
+	for _, i := range []int{2, 3} {
+		for _, from := range bs[i].received {
+			if from == 0 {
+				t.Fatalf("packet crossed the partition to node %d", i)
+			}
+		}
+	}
+	for _, from := range bs[0].received {
+		if from == 2 {
+			t.Fatal("packet crossed the partition into the group")
+		}
+	}
+	// After the window closes, traffic flows again.
+	eng.Schedule(1100*time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("late")) })
+	eng.Run(2 * time.Second)
+	found := false
+	for _, from := range bs[2].received {
+		if from == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("partition did not lift at the window end")
+	}
+}
+
+func TestJitterScaleDelaysDelivery(t *testing.T) {
+	g := lineGraph(2)
+	rcv := &echo{}
+	var deliveredAt time.Duration
+	plan := &faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindJitterScale, At: 0, Until: 10 * time.Second, Factor: 1000,
+	}}}
+	eng := newEngine(t, g, []node.Behavior{&echo{}, rcv}, Config{
+		Faults: plan,
+		Jitter: time.Millisecond,
+		Trace: func(ev TraceEvent) {
+			if ev.To == 1 && !ev.Lost {
+				deliveredAt = ev.At
+			}
+		},
+	})
+	eng.Boot(0)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[0].Broadcast([]byte("x")) })
+	eng.Run(10 * time.Second)
+	_ = deliveredAt // trace records send time; measure via reception instead
+	if len(rcv.received) != 1 {
+		t.Fatalf("received %d packets, want 1", len(rcv.received))
+	}
+	// With the base 1ms jitter scaled by 1000, the uniform draw lands in
+	// [0, 1s); under this seed it exceeds the unscaled 1ms bound by far.
+	// (Deterministic: seed 1, single medium draw.)
+	if now := eng.Now(); now < 2*time.Millisecond {
+		t.Fatalf("engine idle at %v; scaled jitter had no effect", now)
+	}
+}
+
+// TestFaultPlanPreservesMediumStream pins the determinism contract: adding
+// a fault event that targets one receiver must not change the independent
+// Config.Loss outcomes experienced by any other receiver, because the
+// injector draws from its own split streams and the medium's Loss draw
+// happens unconditionally.
+func TestFaultPlanPreservesMediumStream(t *testing.T) {
+	type flatEvent struct {
+		At       time.Duration
+		From, To node.ID
+		Lost     bool
+	}
+	run := func(plan *faults.Plan) []flatEvent {
+		g := cliqueGraph(4)
+		var evs []flatEvent
+		behaviors := []node.Behavior{&echo{}, &echo{}, &echo{}, &echo{}}
+		eng := newEngine(t, g, behaviors, Config{
+			Seed:   99,
+			Loss:   0.5,
+			Faults: plan,
+			Trace: func(ev TraceEvent) {
+				if ev.To != 3 { // ignore the faulted receiver
+					evs = append(evs, flatEvent{At: ev.At, From: ev.From, To: ev.To, Lost: ev.Lost})
+				}
+			},
+		})
+		eng.Boot(0)
+		for k := 0; k < 20; k++ {
+			k := k
+			eng.Schedule(time.Duration(k+1)*time.Millisecond, func() {
+				eng.hosts[k%2].Broadcast([]byte("x"))
+			})
+		}
+		eng.Run(time.Second)
+		return evs
+	}
+	base := run(nil)
+	faulted := run(&faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindBurst, At: 0, Until: time.Second,
+		Nodes: []int{3}, LossGood: 1, LossBad: 1,
+	}}})
+	if len(base) != len(faulted) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(base), len(faulted))
+	}
+	for i := range base {
+		if base[i] != faulted[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, base[i], faulted[i])
+		}
+	}
+}
+
+// --- Config.Loss × collision-model ordering (previously untested) ---
+
+// TestLossBeforeCollisionLostPacketNeverJams: with Loss=1 every packet is
+// destroyed at transmission time, so two overlapping sends cause zero
+// collisions — a lost packet never occupies the receiver's radio.
+func TestLossBeforeCollisionLostPacketNeverJams(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	eng := newEngine(t, g, []node.Behavior{rcv, &echo{}, &echo{}},
+		Config{Collisions: true, Loss: 1.0, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	pkt := make([]byte, 100)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 0 {
+		t.Fatalf("receiver got %d packets with Loss=1", len(rcv.received))
+	}
+	if eng.Collisions(0) != 0 {
+		t.Fatalf("lost packets jammed the radio: %d collisions", eng.Collisions(0))
+	}
+}
+
+// TestLossBeforeCollisionSurvivorDeliversCleanly: when a fault plan
+// destroys one of two overlapping transmissions, the survivor is received
+// intact — loss is applied before airtime-overlap corruption.
+func TestLossBeforeCollisionSurvivorDeliversCleanly(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	// Partition node 2 away: its packet dies at transmission time at
+	// every boundary-crossing receiver.
+	plan := &faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindPartition, At: 0, Until: time.Second, Nodes: []int{2},
+	}}}
+	eng := newEngine(t, g, []node.Behavior{rcv, &echo{}, &echo{}},
+		Config{Collisions: true, Faults: plan, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	pkt := make([]byte, 100) // 3.2ms airtime: simultaneous sends would collide
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 1 || rcv.received[0] != 1 {
+		t.Fatalf("survivor not delivered cleanly: got %v", rcv.received)
+	}
+	if eng.Collisions(0) != 0 {
+		t.Fatalf("destroyed packet corrupted the survivor: %d collisions", eng.Collisions(0))
+	}
+}
+
+// TestCollisionAfterLossStillCorrupts: sanity inverse — when neither
+// packet is lost, the same overlap does collide (the ordering test is
+// meaningful only if the collision would otherwise happen).
+func TestCollisionAfterLossStillCorrupts(t *testing.T) {
+	g := cliqueGraph(3)
+	rcv := &echo{}
+	eng := newEngine(t, g, []node.Behavior{rcv, &echo{}, &echo{}},
+		Config{Collisions: true, Jitter: 1, PropDelay: time.Millisecond})
+	eng.Boot(0)
+	pkt := make([]byte, 100)
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast(pkt) })
+	eng.Schedule(time.Millisecond, func() { eng.hosts[2].Broadcast(pkt) })
+	if _, err := eng.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rcv.received) != 0 || eng.Collisions(0) == 0 {
+		t.Fatalf("expected a collision: received=%d collisions=%d",
+			len(rcv.received), eng.Collisions(0))
+	}
+}

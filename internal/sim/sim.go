@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/node"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -63,6 +64,15 @@ type Config struct {
 	Battery float64
 	// OnDeath, if non-nil, is called when a node's battery is exhausted.
 	OnDeath func(i int, at time.Duration)
+	// Faults, if non-nil, is a deterministic fault-injection plan: node
+	// crashes and reboots become engine events, and the plan's loss
+	// processes (Gilbert–Elliott bursts, ramps, partitions) are consulted
+	// for every delivery, in the same pre-airtime slot as Loss. All plan
+	// randomness comes from a stream split off Seed, so (Seed, Faults)
+	// fully determines the run.
+	Faults *faults.Plan
+	// OnCrash, if non-nil, observes plan-scheduled node crashes.
+	OnCrash func(i int, at time.Duration)
 	// Trace, if non-nil, observes every packet delivery attempt.
 	Trace func(ev TraceEvent)
 }
@@ -90,7 +100,13 @@ type Engine struct {
 	queue  eventHeap
 	hosts  []*host
 	medium *xrand.RNG
+	inj    *faults.Injector
 }
+
+// faultStream is the Split label of the fault injector's RNG. Node i uses
+// label 1+i and the medium uses 0, so any label above every representable
+// node index is free.
+const faultStream = uint64(1) << 40
 
 type event struct {
 	at  time.Duration
@@ -179,6 +195,12 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 		cfg:    cfg,
 		medium: root.Split(0),
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Graph.N()); err != nil {
+			return nil, err
+		}
+		eng.inj = faults.NewInjector(cfg.Faults, root.Split(faultStream))
+	}
 	eng.hosts = make([]*host, len(behaviors))
 	for i, b := range behaviors {
 		eng.hosts[i] = &host{
@@ -213,13 +235,25 @@ func (e *Engine) push(at time.Duration, fn func()) {
 }
 
 // Boot schedules behavior Start callbacks at time t for every alive,
-// not-yet-started node. Call once after New (t=0 for the initial
+// not-yet-started node, and turns the fault plan's crash/reboot events
+// into engine events. Call once after New (t=0 for the initial
 // deployment); late-deployed nodes are booted individually with BootNode.
 func (e *Engine) Boot(t time.Duration) {
 	for i := range e.hosts {
 		h := e.hosts[i]
 		if h.alive && !h.started {
 			e.bootHost(h, t)
+		}
+	}
+	if e.inj != nil {
+		for _, ev := range e.inj.CrashRebootEvents() {
+			ev := ev
+			switch ev.Kind {
+			case faults.KindCrash:
+				e.push(ev.At, func() { e.Crash(ev.Node) })
+			case faults.KindReboot:
+				e.push(ev.At, func() { e.Reboot(ev.Node) })
+			}
 		}
 	}
 }
@@ -302,6 +336,44 @@ func (e *Engine) Behavior(i int) node.Behavior { return e.hosts[i].behavior }
 // no forwarding — the simulator's model of destruction or battery death.
 func (e *Engine) Kill(i int) { e.hosts[i].alive = false }
 
+// Crash is the fault model's node failure: the radio closes, every
+// pending timer dies with the volatile timer state, and any in-progress
+// reception is abandoned. Unlike Kill it is designed to pair with Reboot —
+// a rebooted node must not see timers armed before the crash.
+func (e *Engine) Crash(i int) {
+	h := e.hosts[i]
+	if !h.alive {
+		return
+	}
+	h.alive = false
+	for tid, st := range h.timers {
+		st.cancelled = true
+		delete(h.timers, tid)
+	}
+	h.rxCurrent = nil
+	if e.cfg.OnCrash != nil {
+		e.cfg.OnCrash(i, e.now)
+	}
+}
+
+// Reboot revives a crashed node at the current virtual time: the radio
+// reopens and the behavior gets a restart callback — Reboot if it
+// implements node.Rebooter (warm restart: key material in stable storage
+// survived, volatile timers did not), Start otherwise. Rebooting an alive
+// or never-booted node is a no-op.
+func (e *Engine) Reboot(i int) {
+	h := e.hosts[i]
+	if h.alive || h.behavior == nil || !h.started {
+		return
+	}
+	h.alive = true
+	if rb, ok := h.behavior.(node.Rebooter); ok {
+		rb.Reboot(h)
+		return
+	}
+	h.behavior.Start(h)
+}
+
 // Collisions returns how many packets the collision model destroyed at
 // node i (zero when the model is disabled).
 func (e *Engine) Collisions(i int) int { return e.hosts[i].collisions }
@@ -361,7 +433,25 @@ func (e *Engine) checkBattery(h *host) {
 func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
 	for _, nb := range e.cfg.Graph.Neighbors(idx) {
 		rcv := e.hosts[nb]
-		lost := e.cfg.Loss > 0 && e.medium.Bool(e.cfg.Loss)
+		// Loss ordering contract (pinned by TestLossBeforeCollision*):
+		// fault-plan drops and independent per-link loss are both decided
+		// at transmission time, before the packet would occupy the
+		// receiver's radio — a lost packet can therefore never collide
+		// with, nor corrupt, another reception. The fault injector is
+		// consulted first so its chains advance on every arrival
+		// regardless of the Loss draw's outcome.
+		lost := e.inj != nil && e.inj.Drop(e.now, idx, int(nb))
+		lost = (e.cfg.Loss > 0 && e.medium.Bool(e.cfg.Loss)) || lost
+		// The jitter draw is made even for lost packets, so the medium
+		// stream consumed per (transmission, receiver) is a constant two
+		// variates: loss outcomes — whether from Config.Loss or a fault
+		// plan — can never shift later draws. This is what keeps a fault
+		// plan targeting one receiver from perturbing the radio behavior
+		// every other receiver observes (TestFaultPlanPreservesMediumStream).
+		delay := e.cfg.PropDelay
+		if jit := e.scaledJitter(); jit > 0 {
+			delay += time.Duration(e.medium.Uint64n(uint64(jit)))
+		}
 		if e.cfg.Trace != nil {
 			e.cfg.Trace(TraceEvent{At: e.now, From: from, To: rcv.id, Size: len(pkt), Lost: lost, Pkt: pkt})
 		}
@@ -372,10 +462,6 @@ func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
 		// reuse of its buffer nor another receiver's in-place mutation can
 		// corrupt a delivery — the same isolation a real radio provides.
 		copied := append([]byte(nil), pkt...)
-		delay := e.cfg.PropDelay
-		if e.cfg.Jitter > 0 {
-			delay += time.Duration(e.medium.Uint64n(uint64(e.cfg.Jitter)))
-		}
 		if e.cfg.Collisions {
 			e.scheduleCollidableRx(rcv, from, copied, e.now+delay)
 			continue
@@ -389,6 +475,16 @@ func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
 			e.checkBattery(rcv)
 		})
 	}
+}
+
+// scaledJitter returns the medium jitter with any active fault-plan
+// jitter scaling applied.
+func (e *Engine) scaledJitter() time.Duration {
+	jit := e.cfg.Jitter
+	if e.inj != nil && jit > 0 {
+		jit = time.Duration(float64(jit) * e.inj.JitterScale(e.now))
+	}
+	return jit
 }
 
 // scheduleCollidableRx implements the half-duplex collision model: the

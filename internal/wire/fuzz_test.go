@@ -24,6 +24,8 @@ func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
 		{"joinreq", func(b []byte) error { _, err := UnmarshalJoinReq(b); return err }},
 		{"joinresp", func(b []byte) error { _, err := UnmarshalJoinResp(b); return err }},
 		{"refresh", func(b []byte) error { _, err := UnmarshalRefresh(b); return err }},
+		{"keepalive", func(b []byte) error { _, err := UnmarshalKeepAlive(b); return err }},
+		{"repair", func(b []byte) error { _, err := UnmarshalRepair(b); return err }},
 	}
 	for _, dec := range decoders {
 		dec := dec

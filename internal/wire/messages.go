@@ -303,3 +303,66 @@ func UnmarshalRefresh(b []byte) (*Refresh, error) {
 	}
 	return m, nil
 }
+
+// KeepAlive is the clusterhead's periodic liveness heartbeat, sealed under
+// the current cluster key. Members that stop hearing it conclude the head
+// has died (energy depletion or capture-and-removal, the failure modes
+// Sections IV-D/IV-E motivate maintenance with) and start a local repair
+// election. HeadID lets members that missed a repair claim learn the
+// current head lazily; Epoch pins the sender's refresh epoch so a member
+// whose keys drifted notices immediately.
+type KeepAlive struct {
+	CID    uint32
+	HeadID uint32
+	Epoch  uint32
+}
+
+// Marshal encodes the body.
+func (m *KeepAlive) Marshal() []byte {
+	var w writer
+	w.u32(m.CID)
+	w.u32(m.HeadID)
+	w.u32(m.Epoch)
+	return w.buf
+}
+
+// UnmarshalKeepAlive decodes a KeepAlive body.
+func UnmarshalKeepAlive(b []byte) (*KeepAlive, error) {
+	r := reader{buf: b}
+	m := &KeepAlive{CID: r.u32(), HeadID: r.u32(), Epoch: r.u32()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Repair is a member's claim to headship of its own cluster after the
+// current head crashed — the repair counterpart of HELLO, protected by the
+// current cluster key instead of the long-erased Km (the paper's first
+// refresh variant: the key setup step repeats "within clusters, i.e. not
+// allow new clusters to be created"; the CID and cluster key survive, only
+// the head role moves).
+type Repair struct {
+	CID     uint32
+	NewHead uint32
+	Epoch   uint32
+}
+
+// Marshal encodes the body.
+func (m *Repair) Marshal() []byte {
+	var w writer
+	w.u32(m.CID)
+	w.u32(m.NewHead)
+	w.u32(m.Epoch)
+	return w.buf
+}
+
+// UnmarshalRepair decodes a Repair body.
+func UnmarshalRepair(b []byte) (*Repair, error) {
+	r := reader{buf: b}
+	m := &Repair{CID: r.u32(), NewHead: r.u32(), Epoch: r.u32()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

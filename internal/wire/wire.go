@@ -30,14 +30,16 @@ type Type byte
 
 // Message types. Values are stable wire constants.
 const (
-	THello      Type = 1 // clusterhead announcement, sealed under Km (Section IV-B.1)
-	TLinkAdvert Type = 2 // cluster-key advert, sealed under Km (Section IV-B.2)
-	TData       Type = 3 // hop-by-hop wrapped data, sealed under a cluster key (Section IV-C)
-	TBeacon     Type = 4 // routing-gradient beacon, sealed under a cluster key
-	TRevoke     Type = 5 // revocation command authenticated by the key chain (Section IV-D)
-	TJoinReq    Type = 6 // new node hello, plaintext (Section IV-E)
-	TJoinResp   Type = 7 // cluster-ID response, MAC'd under the cluster key (Section IV-E)
-	TRefresh    Type = 8 // within-cluster key refresh, sealed under the old cluster key
+	THello      Type = 1  // clusterhead announcement, sealed under Km (Section IV-B.1)
+	TLinkAdvert Type = 2  // cluster-key advert, sealed under Km (Section IV-B.2)
+	TData       Type = 3  // hop-by-hop wrapped data, sealed under a cluster key (Section IV-C)
+	TBeacon     Type = 4  // routing-gradient beacon, sealed under a cluster key
+	TRevoke     Type = 5  // revocation command authenticated by the key chain (Section IV-D)
+	TJoinReq    Type = 6  // new node hello, plaintext (Section IV-E)
+	TJoinResp   Type = 7  // cluster-ID response, MAC'd under the cluster key (Section IV-E)
+	TRefresh    Type = 8  // within-cluster key refresh, sealed under the old cluster key
+	TKeepAlive  Type = 9  // clusterhead liveness heartbeat, sealed under the cluster key
+	TRepair     Type = 10 // headship claim after a head crash, sealed under the cluster key
 )
 
 // String returns the message type mnemonic.
@@ -59,6 +61,10 @@ func (t Type) String() string {
 		return "JOIN-RESP"
 	case TRefresh:
 		return "REFRESH"
+	case TKeepAlive:
+		return "KEEPALIVE"
+	case TRepair:
+		return "REPAIR"
 	default:
 		return fmt.Sprintf("TYPE(%d)", byte(t))
 	}
@@ -116,12 +122,18 @@ func ParseFrame(pkt []byte) (*Frame, error) {
 		CID:   binary.BigEndian.Uint32(pkt[1:5]),
 		Nonce: binary.BigEndian.Uint64(pkt[5:13]),
 	}
-	if f.Type < THello || f.Type > TRefresh {
+	if f.Type < THello || f.Type > TRepair {
 		return nil, ErrBadType
 	}
 	n := int(binary.BigEndian.Uint16(pkt[13:15]))
 	if len(pkt) < frameHeader+n {
 		return nil, ErrTruncated
+	}
+	// A radio packet is exactly one frame: trailing bytes beyond the
+	// declared payload length are rejected so parse-then-marshal is the
+	// identity on every accepted packet (found by FuzzParseFrame).
+	if len(pkt) != frameHeader+n {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame payload", len(pkt)-frameHeader-n)
 	}
 	f.Payload = pkt[frameHeader : frameHeader+n]
 	return f, nil
