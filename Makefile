@@ -1,6 +1,9 @@
 GO ?= go
+# BENCHTIME=1x gives a fast smoke pass; raise it (e.g. 3s) for stable
+# numbers worth comparing with benchstat.
+BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt check
+.PHONY: all build test race vet fmt check bench
 
 all: check
 
@@ -15,6 +18,15 @@ test:
 # exercises real goroutine interleaving even on a single-CPU machine.
 race:
 	$(GO) test -race ./...
+
+# bench runs the paper's benchmark harness (bench_test.go, one
+# benchmark per figure/claim) and archives the result twice: the raw
+# text (BENCH_baseline.txt) is what benchstat consumes for A/B
+# comparisons, and BENCH_baseline.json is the same data machine-readable
+# and byte-stable for diffing across commits.
+bench:
+	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) . | tee BENCH_baseline.txt
+	$(GO) run ./cmd/benchjson < BENCH_baseline.txt > BENCH_baseline.json
 
 vet:
 	$(GO) vet ./...

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	attack [-n 1000] [-density 12.5] [-seed 1] [-workers 0]
-//	       [-scenario capture|clone|flood|selective|forge|crash|all]
+//	       [-scenario all]
 //
 // -workers bounds the concurrency of the capture sweep's per-row
 // compromise analysis (0 = one worker per CPU, 1 = serial); the capture
@@ -34,15 +34,43 @@ import (
 	"repro/internal/xrand"
 )
 
+// usageText is the synopsis printed by -h. Keep it in sync with the
+// package doc comment above; usage_test.go enforces that every
+// registered flag appears here and that the doc comment carries these
+// exact lines.
+const usageText = `attack [-n 1000] [-density 12.5] [-seed 1] [-workers 0]
+       [-scenario all]`
+
+// options holds every attack flag; registerFlags binds them to a
+// FlagSet so tests can exercise flag registration and usage output
+// without touching the process-global flag.CommandLine.
+type options struct {
+	n        *int
+	density  *float64
+	seed     *uint64
+	workers  *int
+	scenario *string
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{
+		n:        fs.Int("n", 1000, "network size"),
+		density:  fs.Float64("density", 12.5, "target mean neighbors per node"),
+		seed:     fs.Uint64("seed", 1, "simulation seed"),
+		workers:  fs.Int("workers", 0, "concurrent capture-sweep rows (0 = one per CPU, 1 = serial)"),
+		scenario: fs.String("scenario", "all", "capture, clone, flood, selective, forge, crash, or all"),
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
+		fs.PrintDefaults()
+	}
+	return o
+}
+
 func main() {
-	var (
-		n        = flag.Int("n", 1000, "network size")
-		density  = flag.Float64("density", 12.5, "target mean neighbors per node")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		workers  = flag.Int("workers", 0, "concurrent capture-sweep rows (0 = one per CPU, 1 = serial)")
-		scenario = flag.String("scenario", "all", "capture, clone, flood, selective, forge, crash, or all")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+	n, density, seed, workers, scenario := o.n, o.density, o.seed, o.workers, o.scenario
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "attack: negative -workers %d\n", *workers)
 		os.Exit(2)

@@ -1,0 +1,167 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON document on stdout, so benchmark baselines can be
+// archived and diffed mechanically. The raw text remains the input for
+// benchstat; the JSON mirrors it with the same names and units.
+//
+// Usage:
+//
+//	benchjson [-indent]
+//
+// Benchmark result lines ("BenchmarkX-8  10  123 ns/op  4 B/op ...")
+// become one entry each, keyed by name with the -P GOMAXPROCS suffix
+// split off; goos/goarch/pkg/cpu header lines are carried through.
+// Entries are sorted by name (then procs) so the output is byte-stable
+// across runs regardless of benchmark order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// usageText is the synopsis printed by -h. Keep it in sync with the
+// package doc comment above; usage_test.go enforces that every
+// registered flag appears here and that the doc comment carries these
+// exact lines.
+const usageText = `benchjson [-indent]`
+
+type options struct {
+	indent *bool
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{
+		indent: fs.Bool("indent", false, "pretty-print the JSON output"),
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
+		fs.PrintDefaults()
+	}
+	return o
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the whole document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and extracts the header fields
+// and every benchmark result line, ignoring PASS/ok/FAIL chatter.
+func parse(r io.Reader) (Baseline, error) {
+	var out Baseline
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok, err := parseLine(line)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		if out.Benchmarks[i].Name != out.Benchmarks[j].Name {
+			return out.Benchmarks[i].Name < out.Benchmarks[j].Name
+		}
+		return out.Benchmarks[i].Procs < out.Benchmarks[j].Procs
+	})
+	return out, nil
+}
+
+// parseLine decodes one "BenchmarkX-P iters v unit v unit ..." line.
+// Returns ok=false for Benchmark-prefixed lines that are not results
+// (e.g. a bare name printed before a sub-benchmark runs).
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("benchjson: odd value/unit fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("benchjson: bad value %q in %q", rest[i], line)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true, nil
+}
+
+func main() {
+	o := registerFlags(flag.CommandLine)
+	flag.Parse()
+	base, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if *o.indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

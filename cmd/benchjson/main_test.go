@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.0GHz
+BenchmarkZeta-8   	       2	 500 ns/op	  32 B/op	       1 allocs/op
+BenchmarkAlpha-8  	      10	 123.5 ns/op
+BenchmarkNoMem    	       3	 900 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	base, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" || base.Pkg != "repro" ||
+		base.CPU != "Test CPU @ 2.0GHz" {
+		t.Fatalf("header = %+v", base)
+	}
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d", len(base.Benchmarks))
+	}
+	// Sorted by name: Alpha, NoMem, Zeta.
+	a := base.Benchmarks[0]
+	if a.Name != "Alpha" || a.Procs != 8 || a.Iterations != 10 || a.Metrics["ns/op"] != 123.5 {
+		t.Fatalf("alpha = %+v", a)
+	}
+	n := base.Benchmarks[1]
+	if n.Name != "NoMem" || n.Procs != 0 || n.Metrics["ns/op"] != 900 {
+		t.Fatalf("nomem = %+v", n)
+	}
+	z := base.Benchmarks[2]
+	if z.Metrics["B/op"] != 32 || z.Metrics["allocs/op"] != 1 {
+		t.Fatalf("zeta = %+v", z)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-4 5 123 ns/op extra\n")); err == nil {
+		t.Fatal("odd value/unit fields accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX-4 5 abc ns/op\n")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	// A bare Benchmark name line (no iteration count) is skipped, not an error.
+	base, err := parse(strings.NewReader("BenchmarkSub\nBenchmarkSub/case-2 4 10 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) != 1 || base.Benchmarks[0].Name != "Sub/case" {
+		t.Fatalf("benchmarks = %+v", base.Benchmarks)
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
+//	        [-format text] [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
 //	               setupcost,chaos]
@@ -11,8 +12,16 @@
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
 // the same qualitative shapes. -workers=0 (the default) runs trials on
-// one worker per CPU; -workers=1 forces the serial path. Output is
-// bit-identical at every worker count (see docs/DETERMINISM.md).
+// one worker per CPU; -workers=1 forces the serial path. -format picks
+// text or markdown tables. Output is bit-identical at every worker
+// count (see docs/DETERMINISM.md).
+//
+// -obs serves live observability endpoints (/metrics, /events,
+// /debug/pprof) while the experiments run: worker-pool utilization and
+// queue-wait histograms, protocol counters across every trial, and CPU
+// profiles of the sweep in flight. Instrumentation never touches
+// stdout, so the tables stay byte-identical with and without it (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -23,7 +32,49 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/runner"
 )
+
+// usageText is the synopsis printed by -h. Keep it in sync with the
+// package doc comment above; usage_test.go enforces that every
+// registered flag appears here and that the doc comment carries these
+// exact lines.
+const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
+        [-format text] [-obs :9090]
+        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
+               setup,storage,election,routing,freshness,mac,lifetime,
+               setupcost,chaos]`
+
+// options holds every figures flag; registerFlags binds them to a
+// FlagSet so tests can exercise flag registration and usage output
+// without touching the process-global flag.CommandLine.
+type options struct {
+	n       *int
+	trials  *int
+	seed    *uint64
+	workers *int
+	only    *string
+	format  *string
+	obsAddr *string
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{
+		n:       fs.Int("n", 2500, "network size (paper: 2500-3600)"),
+		trials:  fs.Int("trials", 5, "independent deployments per data point"),
+		seed:    fs.Uint64("seed", 1, "root random seed"),
+		workers: fs.Int("workers", 0, "concurrent trials (0 = one per CPU, 1 = serial)"),
+		only:    fs.String("only", "", "comma-separated subset of experiments to run"),
+		format:  fs.String("format", "text", "output format: text or markdown"),
+		obsAddr: fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
+		fs.PrintDefaults()
+	}
+	return o
+}
 
 // chaosTables joins the two chaos-family sweeps into one printable step.
 type chaosTables struct {
@@ -34,32 +85,37 @@ type chaosTables struct {
 func (c chaosTables) Table() string { return c.crash.Table() + "\n" + c.burst.Table() }
 
 func main() {
-	var (
-		n       = flag.Int("n", 2500, "network size (paper: 2500-3600)")
-		trials  = flag.Int("trials", 5, "independent deployments per data point")
-		seed    = flag.Uint64("seed", 1, "root random seed")
-		workers = flag.Int("workers", 0, "concurrent trials (0 = one per CPU, 1 = serial)")
-		only    = flag.String("only", "", "comma-separated subset of experiments to run")
-		format  = flag.String("format", "text", "output format: text or markdown")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
-	if *format != "text" && *format != "markdown" {
-		fmt.Fprintf(os.Stderr, "figures: unknown -format %q\n", *format)
+	if *o.format != "text" && *o.format != "markdown" {
+		fmt.Fprintf(os.Stderr, "figures: unknown -format %q\n", *o.format)
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{Seed: *seed, Trials: *trials, N: *n, Workers: *workers}
+	opt := experiments.Options{Seed: *o.seed, Trials: *o.trials, N: *o.n, Workers: *o.workers}
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(2)
+	}
+	if *o.obsAddr != "" {
+		reg := obs.NewRegistry()
+		runner.Instrument(reg)
+		opt.Obs = reg
+		srv, err := obs.Serve(*o.obsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "figures: observability on http://%s (/metrics, /events, /debug/pprof)\n", srv.Addr())
 	}
 	// capped clamps one family's options to its registered scale caps.
 	capped := func(family string) experiments.Options {
 		return experiments.CapsFor(family).Apply(opt)
 	}
 	want := map[string]bool{}
-	if *only != "" {
-		for _, name := range strings.Split(*only, ",") {
+	if *o.only != "" {
+		for _, name := range strings.Split(*o.only, ",") {
 			want[strings.TrimSpace(name)] = true
 		}
 	}
@@ -130,8 +186,8 @@ func main() {
 		}},
 	}
 
-	if *format == "markdown" {
-		fmt.Printf("# Experiment results (n=%d, trials=%d, seed=%d)\n\n", *n, *trials, *seed)
+	if *o.format == "markdown" {
+		fmt.Printf("# Experiment results (n=%d, trials=%d, seed=%d)\n\n", *o.n, *o.trials, *o.seed)
 	}
 	for _, s := range steps {
 		if !run(s.name) {
@@ -143,7 +199,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", s.name, err)
 			os.Exit(1)
 		}
-		switch *format {
+		switch *o.format {
 		case "markdown":
 			fmt.Printf("## %s\n\n_%.1fs_\n\n```\n%s```\n\n",
 				s.name, time.Since(start).Seconds(), res.Table())

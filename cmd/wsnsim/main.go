@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0.0]
-//	       [-readings 100] [-fusion] [-refresh hash|rekey|none]
-//	       [-refresh-period 0] [-evict 1] [-add 2] [-battery 0]
+//	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
+//	       [-readings 100] [-fusion] [-refresh none]
+//	       [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
 //	       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+//	       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
 //
 // -faults loads a deterministic fault plan (crashes, reboots, loss
 // bursts, partitions, jitter scaling; see docs/FAULTS.md for the line
@@ -17,6 +18,14 @@
 // plan never changes the fault-free behavior. -heal enables the
 // protocol's self-healing knobs (clusterhead keep-alives with local
 // repair elections, bounded data retransmissions), which default to off.
+//
+// -obs serves live observability endpoints (/metrics, /events,
+// /debug/vars, /debug/pprof) for the duration of the run; -obs-hold
+// keeps them up for a grace period after the report so a scraper can
+// collect the final state, and -obs-events streams every protocol
+// milestone to a JSONL file. All observability output goes to the
+// endpoints, the sink file, and stderr — stdout stays byte-identical
+// to an uninstrumented run (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -36,42 +46,89 @@ import (
 	"repro/internal/xrand"
 )
 
+// usageText is the synopsis printed by -h. Keep it in sync with the
+// package doc comment above; usage_test.go enforces that every
+// registered flag appears here and that the doc comment carries these
+// exact lines.
+const usageText = `wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
+       [-readings 100] [-fusion] [-refresh none]
+       [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
+       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]`
+
+// options holds every wsnsim flag; registerFlags binds them to a
+// FlagSet so tests can exercise flag registration and usage output
+// without touching the process-global flag.CommandLine.
+type options struct {
+	n         *int
+	density   *float64
+	seed      *uint64
+	loss      *float64
+	readings  *int
+	fusion    *bool
+	refresh   *string
+	evict     *int
+	add       *int
+	verbose   *bool
+	traceOn   *bool
+	battery   *float64
+	refreshP  *time.Duration
+	showMap   *bool
+	faultsF   *string
+	heal      *bool
+	obsAddr   *string
+	obsHold   *time.Duration
+	obsEvents *string
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{
+		n:         fs.Int("n", 2000, "number of nodes (including the base station)"),
+		density:   fs.Float64("density", 12.5, "target mean neighbors per node"),
+		seed:      fs.Uint64("seed", 1, "simulation seed"),
+		loss:      fs.Float64("loss", 0, "per-link packet loss probability"),
+		readings:  fs.Int("readings", 100, "readings to originate from random nodes"),
+		fusion:    fs.Bool("fusion", false, "data-fusion mode: disable Step-1 encryption"),
+		refresh:   fs.String("refresh", "none", "key refresh after setup: hash, rekey, or none"),
+		evict:     fs.Int("evict", 0, "revoke this many random clusters after setup"),
+		add:       fs.Int("add", 0, "deploy this many additional nodes after setup"),
+		verbose:   fs.Bool("v", false, "print every delivery"),
+		traceOn:   fs.Bool("trace", false, "print per-phase traffic accounting by message type"),
+		battery:   fs.Float64("battery", 0, "per-node energy budget in µJ (0 = unlimited); the base station is mains-powered"),
+		refreshP:  fs.Duration("refresh-period", 0, "automatic key-refresh period (0 = off)"),
+		showMap:   fs.Bool("map", false, "print an ASCII map of the cluster structure after setup"),
+		faultsF:   fs.String("faults", "", "fault-plan file (see docs/FAULTS.md); empty = no faults"),
+		heal:      fs.Bool("heal", false, "enable self-healing: keep-alive repair elections and data retransmissions"),
+		obsAddr:   fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
+		obsHold:   fs.Duration("obs-hold", 0, "keep the -obs endpoints up this long after the report"),
+		obsEvents: fs.String("obs-events", "", "append protocol milestone events to this JSONL file"),
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
+		fs.PrintDefaults()
+	}
+	return o
+}
+
 func main() {
-	var (
-		n        = flag.Int("n", 2000, "number of nodes (including the base station)")
-		density  = flag.Float64("density", 12.5, "target mean neighbors per node")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		loss     = flag.Float64("loss", 0, "per-link packet loss probability")
-		readings = flag.Int("readings", 100, "readings to originate from random nodes")
-		fusion   = flag.Bool("fusion", false, "data-fusion mode: disable Step-1 encryption")
-		refresh  = flag.String("refresh", "none", "key refresh after setup: hash, rekey, or none")
-		evict    = flag.Int("evict", 0, "revoke this many random clusters after setup")
-		add      = flag.Int("add", 0, "deploy this many additional nodes after setup")
-		verbose  = flag.Bool("v", false, "print every delivery")
-		traceOn  = flag.Bool("trace", false, "print per-phase traffic accounting by message type")
-		battery  = flag.Float64("battery", 0, "per-node energy budget in µJ (0 = unlimited); the base station is mains-powered")
-		refreshP = flag.Duration("refresh-period", 0, "automatic key-refresh period (0 = off)")
-		showMap  = flag.Bool("map", false, "print an ASCII map of the cluster structure after setup")
-		faultsF  = flag.String("faults", "", "fault-plan file (see docs/FAULTS.md); empty = no faults")
-		heal     = flag.Bool("heal", false, "enable self-healing: keep-alive repair elections and data retransmissions")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
-	cfg.DisableStep1 = *fusion
-	if *refreshP > 0 {
-		cfg.RefreshPeriod = *refreshP
+	cfg.DisableStep1 = *o.fusion
+	if *o.refreshP > 0 {
+		cfg.RefreshPeriod = *o.refreshP
 		cfg.RefreshMode = core.RefreshHash
 	}
-	if *heal {
+	if *o.heal {
 		cfg.KeepAlivePeriod = 100 * time.Millisecond
 		cfg.SetupRetries = 2
 		cfg.DataRetries = 2
 	}
 
 	var plan *faults.Plan
-	if *faultsF != "" {
-		text, err := os.ReadFile(*faultsF)
+	if *o.faultsF != "" {
+		text, err := os.ReadFile(*o.faultsF)
 		if err != nil {
 			fail(err)
 		}
@@ -79,16 +136,44 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := plan.Validate(*n); err != nil {
+		if err := plan.Validate(*o.n); err != nil {
 			fail(err)
 		}
+	}
+
+	// Observability is strictly additive: the registry, endpoints, and
+	// event sink never touch stdout, so the printed report is identical
+	// with and without -obs.
+	var reg *obs.Registry
+	if *o.obsAddr != "" || *o.obsEvents != "" {
+		reg = obs.NewRegistry()
+	}
+	var sink *os.File
+	if *o.obsEvents != "" {
+		f, err := os.Create(*o.obsEvents)
+		if err != nil {
+			fail(err)
+		}
+		sink = f
+		defer sink.Close()
+		reg.Events().SetSink(f)
+	}
+	var srv *obs.Server
+	if *o.obsAddr != "" {
+		var err error
+		srv, err = obs.Serve(*o.obsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "wsnsim: observability on http://%s (/metrics, /events, /debug/pprof)\n", srv.Addr())
 	}
 
 	deaths := 0
 	crashes := 0
 	var rec *trace.Recorder
 	var traceHook func(sim.TraceEvent)
-	if *traceOn {
+	if *o.traceOn {
 		var err error
 		rec, err = trace.NewPhased([]string{"key-setup", "operational"},
 			[]time.Duration{cfg.ClusterPhaseEnd + cfg.LinkSpread + 50*time.Millisecond})
@@ -99,23 +184,24 @@ func main() {
 	}
 
 	d, err := core.Deploy(core.DeployOptions{
-		N:           *n,
-		Density:     *density,
-		Seed:        *seed,
+		N:           *o.n,
+		Density:     *o.density,
+		Seed:        *o.seed,
 		Config:      cfg,
-		Loss:        *loss,
-		ReserveLate: *add,
-		Battery:     *battery,
+		Loss:        *o.loss,
+		ReserveLate: *o.add,
+		Battery:     *o.battery,
 		OnDeath:     func(int, time.Duration) { deaths++ },
 		Trace:       traceHook,
 		Faults:      plan,
 		OnCrash:     func(int, time.Duration) { crashes++ },
+		Obs:         reg.Scope("wsnsim", 0),
 	})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("deployed %d nodes, density target %.1f (realized %.2f), radius %.4f, %s metric\n",
-		*n, *density, d.Graph.MeanDegree(), d.Graph.Radius(), d.Graph.Metric())
+		*o.n, *o.density, d.Graph.MeanDegree(), d.Graph.Radius(), d.Graph.Metric())
 
 	if err := d.RunSetup(); err != nil {
 		fail(err)
@@ -140,7 +226,7 @@ func main() {
 	fmt.Printf("cluster invariants: OK\n")
 
 	repairs := 0
-	if *heal {
+	if *o.heal {
 		for i, s := range d.Sensors {
 			if s == nil || i == d.BSIndex {
 				continue
@@ -149,7 +235,7 @@ func main() {
 		}
 	}
 
-	if *showMap {
+	if *o.showMap {
 		fmt.Printf("\n-- field map (glyph = cluster, # = base station) --\n")
 		fmt.Print(viz.Clusters(d.Graph, func(i int) (uint32, bool) {
 			if d.Sensors[i] == nil {
@@ -167,7 +253,7 @@ func main() {
 		}))
 	}
 
-	switch *refresh {
+	switch *o.refresh {
 	case "hash":
 		at := d.Eng.Now() + 10*time.Millisecond
 		for i, s := range d.Sensors {
@@ -178,7 +264,7 @@ func main() {
 			d.Eng.Do(at, i, func(ctx node.Context) { s.HashRefresh(ctx) })
 		}
 		d.Eng.Run(at + 50*time.Millisecond)
-		fmt.Printf("\n-- hash refresh applied to all %d nodes --\n", *n)
+		fmt.Printf("\n-- hash refresh applied to all %d nodes --\n", *o.n)
 	case "rekey":
 		at := d.Eng.Now() + 10*time.Millisecond
 		count := 0
@@ -195,10 +281,10 @@ func main() {
 		fmt.Printf("\n-- re-keying refresh initiated by %d clusterheads --\n", count)
 	case "none":
 	default:
-		fail(fmt.Errorf("unknown -refresh mode %q", *refresh))
+		fail(fmt.Errorf("unknown -refresh mode %q", *o.refresh))
 	}
 
-	if *evict > 0 {
+	if *o.evict > 0 {
 		bsCID, _ := d.BS().Cluster()
 		var cids []uint32
 		for cid := range st.Sizes {
@@ -207,8 +293,8 @@ func main() {
 			}
 		}
 		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
-		if *evict < len(cids) {
-			cids = cids[:*evict]
+		if *o.evict < len(cids) {
+			cids = cids[:*o.evict]
 		}
 		bs := d.BS()
 		d.Eng.Do(d.Eng.Now()+10*time.Millisecond, d.BSIndex, func(ctx node.Context) {
@@ -224,8 +310,8 @@ func main() {
 		fmt.Printf("\n-- revoked %d clusters; %d nodes evicted --\n", len(cids), evicted)
 	}
 
-	if *add > 0 {
-		for k := 0; k < *add; k++ {
+	if *o.add > 0 {
+		for k := 0; k < *o.add; k++ {
 			idx, err := d.AddLateNode(d.Eng.Now() + time.Duration(k+1)*100*time.Millisecond)
 			if err != nil {
 				fail(err)
@@ -233,7 +319,7 @@ func main() {
 			fmt.Printf("late node booted at position %d\n", idx)
 		}
 		d.Eng.Run(d.Eng.Now() + 5*time.Second)
-		for i := len(d.Sensors) - *add; i < len(d.Sensors); i++ {
+		for i := len(d.Sensors) - *o.add; i < len(d.Sensors); i++ {
 			if s := d.Sensors[i]; s != nil {
 				cid, _ := s.Cluster()
 				fmt.Printf("late node %d: phase %v, cluster %d, %d keys\n",
@@ -242,17 +328,17 @@ func main() {
 		}
 	}
 
-	if *verbose {
+	if *o.verbose {
 		d.BS().SetOnDeliver(func(del core.Delivery) {
 			fmt.Printf("  deliver origin=%d seq=%d bytes=%d at=%v encrypted=%v\n",
 				del.Origin, del.Seq, len(del.Data), del.At, del.Encrypted)
 		})
 	}
-	rng := xrand.New(*seed * 31)
+	rng := xrand.New(*o.seed * 31)
 	base := d.Eng.Now()
 	sent := 0
-	for k := 0; k < *readings; k++ {
-		src := 1 + rng.Intn(*n-1)
+	for k := 0; k < *o.readings; k++ {
+		src := 1 + rng.Intn(*o.n-1)
 		if src == d.BSIndex {
 			continue
 		}
@@ -262,10 +348,10 @@ func main() {
 		d.SendReading(src, base+time.Duration(k+1)*5*time.Millisecond, []byte(fmt.Sprintf("r%04d", k)))
 		sent++
 	}
-	if *heal {
+	if *o.heal {
 		// Keep-alive timers re-arm forever, so the engine never idles;
 		// run a fixed horizon past the workload instead.
-		d.Eng.Run(base + time.Duration(*readings+1)*5*time.Millisecond + 5*time.Second)
+		d.Eng.Run(base + time.Duration(*o.readings+1)*5*time.Millisecond + 5*time.Second)
 	} else if _, err := d.Eng.RunUntilIdle(0); err != nil {
 		fail(err)
 	}
@@ -279,10 +365,10 @@ func main() {
 		er.TxMicroJ/1000, er.RxMicroJ/1000, er.CryptoMicroJ/1000,
 		er.TotalMicroJ()/1000, er.MeanPerNodeMicroJ)
 	fmt.Printf("virtual time elapsed: %v\n", d.Eng.Now())
-	if *battery > 0 {
-		fmt.Printf("battery deaths: %d/%d nodes\n", deaths, *n)
+	if *o.battery > 0 {
+		fmt.Printf("battery deaths: %d/%d nodes\n", deaths, *o.n)
 	}
-	if plan != nil || *heal {
+	if plan != nil || *o.heal {
 		fmt.Printf("\n-- faults --\n")
 		fmt.Printf("plan-scheduled crashes: %d, local repair elections: %d\n", crashes, repairs)
 	}
@@ -291,7 +377,7 @@ func main() {
 		fmt.Printf("\n-- traffic accounting --\n%s", rec.Report())
 	}
 
-	if *showMap {
+	if *o.showMap {
 		fmt.Printf("\n-- energy heat map (0 coolest .. 9 hottest, x = dead, # = base station) --\n")
 		fmt.Print(viz.Heat(d.Graph, func(i int) (float64, bool) {
 			if d.Sensors[i] == nil {
@@ -310,6 +396,15 @@ func main() {
 				return 0, false
 			},
 		}))
+	}
+
+	if reg != nil {
+		fmt.Fprintf(os.Stderr, "wsnsim: %d protocol events recorded (%d dropped from the ring)\n",
+			reg.Events().Total(), reg.Events().Dropped())
+	}
+	if srv != nil && *o.obsHold > 0 {
+		fmt.Fprintf(os.Stderr, "wsnsim: holding observability endpoints for %v\n", *o.obsHold)
+		time.Sleep(*o.obsHold)
 	}
 }
 

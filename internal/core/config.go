@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // RefreshMode selects how periodic key refresh rotates cluster keys.
 type RefreshMode int
@@ -157,6 +161,14 @@ type Config struct {
 	DataRetries int
 	// DataRetryBase is the first data retry's backoff. Defaults to 40ms.
 	DataRetryBase time.Duration
+
+	// Obs, if non-nil, attaches the observability subsystem: protocol
+	// counters and milestone events (election, repair, retransmission,
+	// Km erasure, degraded delivery) labeled with the scope's run/trial.
+	// Instrumentation never draws randomness or branches on protocol
+	// state, so enabling it cannot change a run's outputs; a nil scope
+	// costs one nil check per hook.
+	Obs *obs.Scope
 }
 
 // DefaultConfig returns the parameters used throughout the experiments.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -56,6 +57,10 @@ type DeployOptions struct {
 	Faults *faults.Plan
 	// OnCrash observes plan-scheduled crashes.
 	OnCrash func(i int, at time.Duration)
+	// Obs, if non-nil, instruments the whole deployment — engine, medium,
+	// fault injector, and every sensor — against the scope's registry.
+	// Leaving it nil keeps the run byte-identical to an uninstrumented one.
+	Obs *obs.Scope
 }
 
 // Deployment is a fully wired simulated network running the protocol.
@@ -80,6 +85,9 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		return nil, fmt.Errorf("core: deployment needs at least 2 nodes, got %d", opt.N)
 	}
 	cfg := opt.Config.withDefaults()
+	if opt.Obs != nil {
+		cfg.Obs = opt.Obs
+	}
 	metric := geom.Torus
 	if opt.UsePlanar {
 		metric = geom.Planar
@@ -118,6 +126,7 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		Trace:      opt.Trace,
 		Faults:     opt.Faults,
 		OnCrash:    opt.OnCrash,
+		Obs:        cfg.Obs,
 	}, behaviors)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crypt"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -221,6 +222,7 @@ func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
 		Encrypted: in.Encrypted,
 	}
 	s.bs.deliveries = append(s.bs.deliveries, del)
+	s.om.deliveries.Inc()
 	if s.bs.OnDeliver != nil {
 		s.bs.OnDeliver(del)
 	}
@@ -300,9 +302,13 @@ func (s *Sensor) dataRetryTick(ctx node.Context) {
 			// flag degraded operation (cleared by the next ack heard).
 			delete(s.pendingAcks, k)
 			s.degraded = true
+			s.om.degraded.Inc()
+			s.cfg.Obs.Emit(now, obs.KindDegraded, int(s.id), s.ks.CID, "")
 			continue
 		}
 		p.attempts++
+		s.om.dataRetx.Inc()
+		s.cfg.Obs.Emit(now, obs.KindRetransmit, int(s.id), s.ks.CID, "data")
 		s.sendData(ctx, p.inner, k.origin, k.seq)
 		d := s.dataBackoff(ctx, p.attempts)
 		p.nextAt = now + d

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -61,6 +62,8 @@ func (s *Sensor) keepAliveTick(ctx node.Context) {
 // one member claims and the rest stand down on hearing it.
 func (s *Sensor) startRepair(ctx node.Context) {
 	s.repairing = true
+	s.repairStartAt = ctx.Now()
+	s.cfg.Obs.Emit(ctx.Now(), obs.KindRepairStart, int(s.id), s.ks.CID, "")
 	delay := time.Duration(ctx.Rand().Exp(float64(s.cfg.RepairMeanDelay)))
 	s.repairTimer = ctx.SetTimer(delay, tagRepairElect)
 }
@@ -83,6 +86,9 @@ func (s *Sensor) claimHeadship(ctx node.Context) {
 		Epoch:   s.epochs[s.ks.CID],
 	}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.TRepair, s.ks.CID, s.ks.ClusterKey, body))
+	s.om.repairs.Inc()
+	s.om.repairTime.Observe((ctx.Now() - s.repairStartAt).Seconds())
+	s.cfg.Obs.Emit(ctx.Now(), obs.KindRepair, int(s.id), s.ks.CID, "")
 	if s.OnRepaired != nil {
 		s.OnRepaired(s.ks.CID, s.id, ctx.Now())
 	}
@@ -168,6 +174,9 @@ func (s *Sensor) helloRetry(ctx node.Context) {
 	s.helloRetries++
 	body := (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, body))
+	s.om.setupTx.Inc()
+	s.om.setupRetx.Inc()
+	s.cfg.Obs.Emit(ctx.Now(), obs.KindRetransmit, int(s.id), uint32(s.id), "hello")
 	s.armHelloRetry(ctx)
 }
 
@@ -189,6 +198,9 @@ func (s *Sensor) linkRetry(ctx node.Context) {
 	s.linkRetries++
 	body := (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, body))
+	s.om.setupTx.Inc()
+	s.om.setupRetx.Inc()
+	s.cfg.Obs.Emit(ctx.Now(), obs.KindRetransmit, int(s.id), s.ks.CID, "link")
 	s.armLinkRetry(ctx)
 }
 
@@ -241,6 +253,10 @@ func (s *Sensor) rebootDuringSetup(ctx node.Context) {
 		if s.ks.InCluster {
 			s.enterOperational(ctx)
 		} else {
+			if !s.ks.Master.IsZero() {
+				s.om.kmErasures.Inc()
+				s.cfg.Obs.Emit(ctx.Now(), obs.KindKmErase, int(s.id), 0, "clusterless")
+			}
 			s.ks.EraseMaster()
 			s.phase = PhaseFailed
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/crypt"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -174,7 +175,41 @@ type Sensor struct {
 	// Malice is the adversary's hook on a compromised node.
 	Malice Malice
 
+	// om holds the node's observability counters; all-nil (no-op) when
+	// cfg.Obs is unset. repairStartAt feeds the takeover histogram.
+	om            coreMetrics
+	repairStartAt time.Duration
+
 	bs *bsState
+}
+
+// coreMetrics are the protocol counters shared by every sensor built
+// against the same registry. With observability off each field is nil
+// and every hook is a single nil check.
+type coreMetrics struct {
+	elections  *obs.Counter
+	setupTx    *obs.Counter
+	setupRetx  *obs.Counter
+	kmErasures *obs.Counter
+	repairs    *obs.Counter
+	repairTime *obs.Histogram
+	dataRetx   *obs.Counter
+	degraded   *obs.Counter
+	deliveries *obs.Counter
+}
+
+func newCoreMetrics(r *obs.Registry) coreMetrics {
+	return coreMetrics{
+		elections:  r.Counter("core_elections_total", "clusterhead self-elections during setup"),
+		setupTx:    r.Counter("core_setup_tx_total", "setup-phase broadcasts (HELLO and LINK-ADVERT, retries included)"),
+		setupRetx:  r.Counter("core_setup_retx_total", "setup-phase retransmissions (HELLO and LINK-ADVERT retries)"),
+		kmErasures: r.Counter("core_km_erasures_total", "nodes that erased the master key Km"),
+		repairs:    r.Counter("core_repairs_total", "repair elections won (headship takeovers after a head crash)"),
+		repairTime: r.Histogram("core_repair_takeover_seconds", "virtual time from repair-election start to headship claim", nil),
+		dataRetx:   r.Counter("core_data_retx_total", "ack-gated data retransmissions"),
+		degraded:   r.Counter("core_degraded_total", "readings that exhausted their retries unacknowledged"),
+		deliveries: r.Counter("core_bs_deliveries_total", "readings accepted by the base station"),
+	}
 }
 
 // NewSensor builds a sensor from its provisioning material.
@@ -188,6 +223,7 @@ func NewSensor(cfg Config, m Material) *Sensor {
 		dedup:    make(map[dedupKey]struct{}, cfg.DedupCapacity),
 		epochs:   make(map[uint32]uint32),
 		prevKeys: make(map[uint32]crypt.Key),
+		om:       newCoreMetrics(cfg.Obs.Registry()),
 	}
 }
 
@@ -416,6 +452,9 @@ func (s *Sensor) becomeHead(ctx node.Context) {
 	s.phase = PhaseDecided
 	body := (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, body))
+	s.om.elections.Inc()
+	s.om.setupTx.Inc()
+	s.cfg.Obs.Emit(ctx.Now(), obs.KindElection, int(s.id), uint32(s.id), "")
 	s.armHelloRetry(ctx)
 }
 
@@ -449,6 +488,7 @@ func (s *Sensor) sendLinkAdvert(ctx node.Context) {
 	}
 	body := (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).Marshal()
 	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, body))
+	s.om.setupTx.Inc()
 	s.armLinkRetry(ctx)
 }
 
@@ -479,6 +519,10 @@ func (s *Sensor) onLinkAdvert(ctx node.Context, f *wire.Frame) {
 // phase, all nodes erase key Km from their memory") and, on the base
 // station, launches the routing beacon.
 func (s *Sensor) enterOperational(ctx node.Context) {
+	if !s.ks.Master.IsZero() {
+		s.om.kmErasures.Inc()
+		s.cfg.Obs.Emit(ctx.Now(), obs.KindKmErase, int(s.id), s.ks.CID, "")
+	}
 	s.ks.EraseMaster()
 	s.phase = PhaseOperational
 	if s.bs != nil {

@@ -95,6 +95,7 @@ func CrashChurn(o Options, fracs []float64) (*CrashChurnResult, error) {
 			d, err := core.Deploy(core.DeployOptions{
 				N: o.N, Density: 10, Config: cfg, Faults: plan,
 				Seed: xrand.TrialSeed(o.Seed, point, trial),
+				Obs:  o.scope("crash-churn", point, trial),
 			})
 			if err != nil {
 				return churnObs{}, err
@@ -226,6 +227,7 @@ func BurstLoss(o Options, lossBad []float64) (*BurstLossResult, error) {
 		d, err := core.Deploy(core.DeployOptions{
 			N: o.N, Density: 10, Config: cfg, Faults: plan,
 			Seed: xrand.TrialSeed(o.Seed, point, trial),
+			Obs:  o.scope("burst-loss", point, trial),
 		})
 		if err != nil {
 			return 0, 0, err

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -38,6 +39,21 @@ type Options struct {
 	// positive value sizes the pool explicitly. Output is bit-identical
 	// at every setting; see docs/DETERMINISM.md.
 	Workers int
+	// Obs, if non-nil, instruments every deployment the experiment
+	// stands up against this registry (counters aggregate across trials;
+	// events carry per-trial labels). Results are byte-identical with or
+	// without it — see docs/DETERMINISM.md on the obs exclusion.
+	Obs *obs.Registry
+}
+
+// scope derives the per-trial observability scope for a deployment, or
+// nil when Obs is unset. The trial label flattens (point, trial) the
+// same way the runner's grid does, so event labels identify a cell.
+func (o Options) scope(run string, point, trial int) *obs.Scope {
+	if o.Obs == nil {
+		return nil
+	}
+	return o.Obs.Scope(run, point*o.Trials+trial)
 }
 
 // withDefaults fills unset fields with paper-scale values.
@@ -131,6 +147,7 @@ func deployTrial(o Options, density float64, point, trial int) (*core.Deployment
 		N:       o.N,
 		Density: density,
 		Seed:    xrand.TrialSeed(o.Seed, point, trial),
+		Obs:     o.scope("sweep", point, trial),
 	})
 	if err != nil {
 		return nil, err

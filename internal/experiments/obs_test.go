@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsDoesNotPerturbResults runs the same chaos sweep with and
+// without an attached registry and requires byte-identical tables: the
+// instrumentation contract is that observability never changes what an
+// experiment computes. It also checks the instrumented run actually
+// recorded something, so the equivalence is not vacuous.
+func TestObsDoesNotPerturbResults(t *testing.T) {
+	o := Options{N: 150, Trials: 2, Workers: 2, Seed: 11}
+	fracs := []float64{0.2}
+	plain, err := CrashChurn(o, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Obs = obs.NewRegistry()
+	instrumented, err := CrashChurn(o, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := instrumented.Table(), plain.Table(); got != want {
+		t.Fatalf("instrumented table differs from plain run:\n--- instrumented\n%s--- plain\n%s", got, want)
+	}
+	snap := o.Obs.Snapshot()
+	for _, name := range []string{"sim_tx_total", "core_elections_total", "sim_crashes_total"} {
+		if v, _ := snap[name].(uint64); v == 0 {
+			t.Errorf("%s = 0 in instrumented run, want nonzero", name)
+		}
+	}
+	evs := o.Obs.Events().Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded in instrumented run")
+	}
+	// Trials are labeled point*Trials+trial; with one point the labels
+	// must stay within [0, Trials).
+	for _, ev := range evs {
+		if ev.Run != "crash-churn" || ev.Trial < 0 || ev.Trial >= o.Trials {
+			t.Fatalf("bad event labels: %+v", ev)
+		}
+	}
+}

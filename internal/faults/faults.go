@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -206,7 +207,32 @@ type Injector struct {
 	chains []map[int]*geChain
 	// ramps holds per-(event, receiver) RNG streams for ramp draws.
 	ramps []map[int]*xrand.RNG
+	// m counts what the plan does to the medium. The zero value (all-nil
+	// counters) is "observability off"; Drop's draw sequence never
+	// depends on it.
+	m Metrics
 }
+
+// Metrics are the injector's drop counters by fault kind. Constructed
+// with NewMetrics; the zero value is a valid no-op set.
+type Metrics struct {
+	BurstDrops     *obs.Counter
+	RampDrops      *obs.Counter
+	PartitionDrops *obs.Counter
+}
+
+// NewMetrics registers the injector counters on r (all-nil when r is
+// nil, keeping the injector uninstrumented).
+func NewMetrics(r *obs.Registry) Metrics {
+	return Metrics{
+		BurstDrops:     r.Counter("faults_burst_drops_total", "packets dropped by Gilbert-Elliott burst events"),
+		RampDrops:      r.Counter("faults_ramp_drops_total", "packets dropped by loss-ramp events"),
+		PartitionDrops: r.Counter("faults_partition_drops_total", "packets dropped crossing a partition boundary"),
+	}
+}
+
+// SetMetrics attaches drop counters to the injector.
+func (in *Injector) SetMetrics(m Metrics) { in.m = m }
 
 // NewInjector binds plan to a random stream. The stream must be split off
 // the engine's root seed so (seed, plan) fully determines every draw.
@@ -278,6 +304,7 @@ func (in *Injector) Drop(now time.Duration, from, to int) bool {
 			// Boundary-crossing traffic dies in both directions.
 			if in.inGroup[k][from] != in.inGroup[k][to] {
 				drop = true
+				in.m.PartitionDrops.Inc()
 			}
 		case KindBurst:
 			if !in.covers(k, to) {
@@ -298,6 +325,7 @@ func (in *Injector) Drop(now time.Duration, from, to int) bool {
 			}
 			if ch.rng.Bool(loss) {
 				drop = true
+				in.m.BurstDrops.Inc()
 			}
 			if ch.rng.Bool(flip) {
 				ch.bad = !ch.bad
@@ -314,6 +342,7 @@ func (in *Injector) Drop(now time.Duration, from, to int) bool {
 			frac := float64(now-e.At) / float64(e.Until-e.At)
 			if rng.Bool(e.From + (e.To-e.From)*frac) {
 				drop = true
+				in.m.RampDrops.Inc()
 			}
 		}
 		// Keep evaluating even after a drop decision: every active

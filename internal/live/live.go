@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	Loss float64
 	// Energy is the cost model; zero value means DefaultModel.
 	Energy energy.Model
+	// Obs, if non-nil, attaches runtime counters (tx/rx/drops/timer
+	// fires) to the scope's registry. The sharded counters make the
+	// hooks contention-free across node goroutines; a nil scope costs
+	// one nil check per hook.
+	Obs *obs.Scope
 }
 
 type packet struct {
@@ -54,6 +60,32 @@ type Network struct {
 
 	lossMu  sync.Mutex
 	lossRNG *xrand.RNG
+
+	m liveMetrics
+}
+
+// liveMetrics are the runtime's counters; all-nil (no-op) when
+// Config.Obs is unset.
+type liveMetrics struct {
+	tx      *obs.Counter
+	txBytes *obs.Counter
+	rx      *obs.Counter
+	dropped *obs.Counter
+	lost    *obs.Counter
+	timers  *obs.Counter
+	crashes *obs.Counter
+}
+
+func newLiveMetrics(r *obs.Registry) liveMetrics {
+	return liveMetrics{
+		tx:      r.Counter("live_tx_total", "packets broadcast by live nodes"),
+		txBytes: r.Counter("live_tx_bytes_total", "payload bytes broadcast by live nodes"),
+		rx:      r.Counter("live_rx_total", "packets received by live nodes"),
+		dropped: r.Counter("live_inbox_dropped_total", "packets lost to inbox overflow"),
+		lost:    r.Counter("live_lost_total", "packets dropped by the loss model"),
+		timers:  r.Counter("live_timers_fired_total", "node timers fired"),
+		crashes: r.Counter("live_crashes_total", "live nodes crashed"),
+	}
 }
 
 // lhost is one node's goroutine-side state. All fields except inbox,
@@ -118,6 +150,7 @@ func Start(cfg Config, behaviors []node.Behavior) *Network {
 		cfg:     cfg,
 		stop:    make(chan struct{}),
 		lossRNG: root.Split(0),
+		m:       newLiveMetrics(cfg.Obs.Registry()),
 	}
 	n.hosts = make([]*lhost, len(behaviors))
 	now := time.Now()
@@ -168,6 +201,8 @@ func (n *Network) Alive(i int) bool { return n.hosts[i].alive.Load() }
 func (n *Network) Crash(i int) {
 	h := n.hosts[i]
 	if h.alive.CompareAndSwap(true, false) {
+		n.m.crashes.Inc()
+		n.cfg.Obs.Emit(time.Since(h.start), obs.KindCrash, i, 0, "")
 		close(h.crashed)
 	}
 }
@@ -219,6 +254,7 @@ func (n *Network) deliver(idx int, from node.ID, pkt []byte) {
 			lost := n.lossRNG.Bool(n.cfg.Loss)
 			n.lossMu.Unlock()
 			if lost {
+				n.m.lost.Inc()
 				continue
 			}
 		}
@@ -227,6 +263,7 @@ func (n *Network) deliver(idx int, from node.ID, pkt []byte) {
 		case rcv.inbox <- packet{from: from, data: copied}:
 		default:
 			rcv.dropped.Add(1)
+			n.m.dropped.Inc()
 		}
 	}
 }
@@ -252,6 +289,7 @@ func (h *lhost) run() {
 			if !h.alive.Load() {
 				return
 			}
+			h.net.m.rx.Inc()
 			h.meterMu.Lock()
 			h.meter.ChargeRx(h.net.cfg.Energy, len(p.data))
 			h.meterMu.Unlock()
@@ -304,6 +342,7 @@ func (h *lhost) fireDue(now time.Time) {
 			return
 		}
 		heap.Pop(&h.timers)
+		h.net.m.timers.Inc()
 		h.behavior.Timer(h, top.tag)
 		if !h.alive.Load() {
 			return
@@ -324,6 +363,8 @@ func (h *lhost) Broadcast(pkt []byte) {
 	if !h.alive.Load() {
 		return
 	}
+	h.net.m.tx.Inc()
+	h.net.m.txBytes.Add(uint64(len(pkt)))
 	h.meterMu.Lock()
 	h.meter.ChargeTx(h.net.cfg.Energy, len(pkt))
 	h.meterMu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -329,5 +330,43 @@ func TestDoAfterStopDoesNotBlock(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("Do blocked after Stop")
+	}
+}
+
+// TestInboxOverflowAccounting fills a node's inbox while its goroutine
+// is deliberately parked and checks that every overflowing packet is
+// counted — both on the per-node Dropped counter and on the registry's
+// live_inbox_dropped_total — and that the retained packets still drain
+// once the node resumes.
+func TestInboxOverflowAccounting(t *testing.T) {
+	const inbox = 8
+	const extra = 5
+	g := lineGraph(2)
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	cs := []*counter{{}, {}}
+	// Park node 1 inside Start so nothing reads its inbox.
+	cs[1].onStart = func(node.Context) { <-release }
+	net := Start(Config{Graph: g, Seed: 1, InboxSize: inbox, Obs: reg.Scope("live", 0)},
+		[]node.Behavior{cs[0], cs[1]})
+	defer net.Stop()
+
+	waitFor(t, time.Second, func() bool { return cs[1].started.Load() == 1 })
+	for k := 0; k < inbox+extra; k++ {
+		net.Inject(0, 0, []byte{byte(k)})
+	}
+	if got := net.Dropped(1); got != extra {
+		t.Fatalf("Dropped(1) = %d, want %d", got, extra)
+	}
+	if got := reg.Snapshot()["live_inbox_dropped_total"].(uint64); got != extra {
+		t.Fatalf("live_inbox_dropped_total = %d, want %d", got, extra)
+	}
+	close(release)
+	waitFor(t, time.Second, func() bool { return cs[1].received.Load() == inbox })
+	if got := net.Dropped(1); got != extra {
+		t.Fatalf("Dropped(1) after drain = %d, want %d", got, extra)
+	}
+	if got := reg.Snapshot()["live_rx_total"].(uint64); got != inbox {
+		t.Fatalf("live_rx_total = %d, want %d", got, inbox)
 	}
 }

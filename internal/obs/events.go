@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultEventCapacity is the ring size of a registry's event stream.
+var DefaultEventCapacity = 8192
+
+// Event is one structured protocol milestone. At is virtual simulation
+// time for the deterministic engine and time-since-start for the live
+// runtime; it marshals as integer nanoseconds.
+type Event struct {
+	At      time.Duration `json:"at"`
+	Kind    string        `json:"kind"`
+	Run     string        `json:"run,omitempty"`
+	Trial   int           `json:"trial"`
+	Node    int           `json:"node"`
+	Cluster uint32        `json:"cluster,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+}
+
+// Event kinds emitted by the instrumented protocol layers.
+const (
+	KindElection    = "election"     // a node elected itself clusterhead during setup
+	KindRepair      = "repair"       // a repair candidate took over a dead head's cluster
+	KindRepairStart = "repair-start" // keep-alive loss triggered a repair election
+	KindRetransmit  = "retransmit"   // a setup or data frame was retransmitted (Detail: hello|link|data)
+	KindKmErase     = "km-erase"     // a node erased the master key Km
+	KindDegraded    = "degraded"     // a reading exhausted its retries without an acknowledgment
+	KindCrash       = "crash"        // fault plan or scenario crashed a node
+	KindReboot      = "reboot"       // a crashed node rebooted
+)
+
+// EventStream is a bounded ring of Events with an optional JSONL sink.
+// When the ring is full the oldest event is overwritten; Total and
+// Dropped account for everything emitted. All methods are no-ops (or
+// zero) on a nil receiver.
+type EventStream struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int // index of the oldest retained event
+	n     int // retained count
+	total uint64
+	sink  io.Writer
+}
+
+func newEventStream(capacity int) *EventStream {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventStream{buf: make([]Event, capacity)}
+}
+
+// SetSink directs a JSONL copy of every subsequent event to w (one JSON
+// object per line). Pass nil to detach. The ring keeps filling either
+// way.
+func (s *EventStream) SetSink(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sink = w
+	s.mu.Unlock()
+}
+
+// Emit appends ev to the ring (overwriting the oldest event when full)
+// and writes it to the sink if one is attached.
+func (s *EventStream) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if s.sink != nil {
+		if b, err := json.Marshal(ev); err == nil {
+			s.sink.Write(append(b, '\n'))
+		}
+	}
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = ev
+		s.n++
+		return
+	}
+	s.buf[s.start] = ev
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// Snapshot returns the retained events oldest-first.
+func (s *EventStream) Snapshot() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Total returns how many events have ever been emitted.
+func (s *EventStream) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Dropped returns how many emitted events the ring has overwritten.
+func (s *EventStream) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total - uint64(s.n)
+}
+
+// Scope binds a registry's event stream to run/trial labels so
+// instrumented code can emit attributable events with one call. A nil
+// Scope is "observability off": Emit is a no-op and Registry returns
+// nil, which in turn makes every metric constructor return nil.
+type Scope struct {
+	reg   *Registry
+	run   string
+	trial int
+}
+
+// Registry returns the underlying registry (nil for a nil scope).
+func (sc *Scope) Registry() *Registry {
+	if sc == nil {
+		return nil
+	}
+	return sc.reg
+}
+
+// Emit records a labeled event on the scope's stream.
+func (sc *Scope) Emit(at time.Duration, kind string, node int, cluster uint32, detail string) {
+	if sc == nil {
+		return
+	}
+	sc.reg.events.Emit(Event{
+		At:      at,
+		Kind:    kind,
+		Run:     sc.run,
+		Trial:   sc.trial,
+		Node:    node,
+		Cluster: cluster,
+		Detail:  detail,
+	})
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// WriteMetrics renders every registered metric in Prometheus text
+// exposition format, sorted by name. Nil-safe (writes nothing).
+func (r *Registry) WriteMetrics(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, m := range r.sorted() {
+		m.writeProm(w)
+	}
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteMetrics(w)
+	})
+}
+
+// EventsHandler serves a snapshot of the event ring as JSONL
+// (one event object per line, oldest first).
+func (r *Registry) EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range r.Events().Snapshot() {
+			enc.Encode(ev)
+		}
+	})
+}
+
+// expvarReg is the registry most recently attached to a mux; published
+// once into expvar under "obs" so /debug/vars includes the metric
+// snapshot alongside memstats.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// NewMux returns an http.ServeMux exposing the registry:
+//
+//	/metrics        Prometheus text format
+//	/events         event-ring snapshot as JSONL
+//	/debug/vars     expvar (memstats, cmdline, obs metric snapshot)
+//	/debug/pprof/*  net/http/pprof profiles
+func NewMux(r *Registry) *http.ServeMux {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/events", r.EventsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running exposition endpoint. Close stops it.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// registry's mux in a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,373 @@
+// Package obs is a stdlib-only observability subsystem: a metrics
+// registry (counters, gauges, fixed-bucket histograms), a bounded
+// structured event stream, and an HTTP exposition server (Prometheus
+// text format, expvar, net/http/pprof).
+//
+// The design contract is that observability must never change what an
+// experiment computes. Every metric method is a no-op on a nil
+// receiver, and every Registry constructor returns nil from a nil
+// Registry, so instrumented code pays exactly one nil check when
+// observability is off and draws no randomness, takes no locks, and
+// allocates nothing either way. Counters are sharded across cache
+// lines so the live goroutine runtime can hammer them from many
+// goroutines without contention; the deterministic simulator is
+// single-threaded and simply lands on one shard.
+//
+// See docs/OBSERVABILITY.md for the metric catalog and a walkthrough.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// metric is anything the registry can expose in Prometheus text format.
+type metric interface {
+	metricName() string
+	writeProm(w io.Writer)
+	snapshotValue() any
+}
+
+// Registry holds named metrics and the event stream. The zero value is
+// not usable; create with NewRegistry. A nil *Registry is a valid
+// "observability off" registry: every constructor returns nil and every
+// method is a no-op.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+	events  *EventStream
+}
+
+// NewRegistry returns an empty registry with an event ring of
+// DefaultEventCapacity.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]metric),
+		events:  newEventStream(DefaultEventCapacity),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil (a no-op counter) when r is nil. Registering
+// the same name as a different metric kind panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic("obs: " + name + " already registered as a different kind")
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil (a no-op gauge) when r is nil.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic("obs: " + name + " already registered as a different kind")
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.metrics[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given bucket upper bounds (ascending; a +Inf
+// bucket is implicit). A nil or empty buckets slice uses DefBuckets.
+// Returns nil (a no-op histogram) when r is nil.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic("obs: " + name + " already registered as a different kind")
+		}
+		return h
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram " + name + " buckets must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), buckets...),
+		buckets: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.metrics[name] = h
+	return h
+}
+
+// Events returns the registry's event stream (nil when r is nil).
+func (r *Registry) Events() *EventStream {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Scope returns an event-emission scope carrying run/trial labels, for
+// handing to a deployment so every event it emits is attributable.
+// A nil registry yields a nil (no-op) scope.
+func (r *Registry) Scope(run string, trial int) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{reg: r, run: run, trial: trial}
+}
+
+// sorted returns the registered metrics ordered by name, for stable
+// exposition output.
+func (r *Registry) sorted() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
+	return ms
+}
+
+// Snapshot returns the current value of every metric keyed by name:
+// uint64 for counters, int64 for gauges, and a HistogramSnapshot for
+// histograms. Nil-safe (returns nil).
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		out[m.metricName()] = m.snapshotValue()
+	}
+	return out
+}
+
+// --- Counter ---
+
+// counterShards is the number of cache-line-padded accumulation slots
+// per counter. Power of two so the shard pick reduces to a mask.
+const counterShards = 16
+
+type counterShard struct {
+	n atomic.Uint64
+	// Pad to a 64-byte cache line so adjacent shards never false-share.
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded atomic counter. All
+// methods are no-ops on a nil receiver.
+type Counter struct {
+	name   string
+	help   string
+	shards [counterShards]counterShard
+}
+
+// shardIndex spreads concurrent goroutines across shards by hashing the
+// address of a stack variable. Goroutine stacks live in distinct
+// allocations, so different goroutines tend to land on different
+// shards, while any one goroutine keeps hitting the same cache line.
+func shardIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe)) >> 10 & (counterShards - 1))
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].n.Add(n)
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total. The sum is not an atomic
+// snapshot across shards, but each shard is monotone, so the result is
+// always a value the counter passed through.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) snapshotValue() any { return c.Value() }
+func (c *Counter) writeProm(w io.Writer) {
+	writeHeader(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+}
+
+// --- Gauge ---
+
+// Gauge is an integer value that can go up and down. All methods are
+// no-ops on a nil receiver.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) snapshotValue() any { return g.Value() }
+func (g *Gauge) writeProm(w io.Writer) {
+	writeHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+}
+
+// --- Histogram ---
+
+// DefBuckets are general-purpose latency buckets in seconds (the
+// Prometheus client default spread).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free (atomic bucket increments plus a CAS loop for the sum) and
+// a no-op on a nil receiver.
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64       // ascending upper bounds, +Inf implicit
+	buckets []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"` // len(Bounds)+1, last is +Inf
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot returns the current bucket counts, total count, and sum.
+// Nil-safe (returns a zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) snapshotValue() any { return h.Snapshot() }
+func (h *Histogram) writeProm(w io.Writer) {
+	writeHeader(w, h.name, h.help, "histogram")
+	s := h.Snapshot()
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+	}
+	cum += s.Buckets[len(s.Buckets)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, s.Count)
+}
+
+func writeHeader(w io.Writer, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

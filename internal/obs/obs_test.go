@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsNoOp exercises the "observability off" fast path:
+// every constructor on a nil registry returns nil, and every method on
+// the resulting nil metrics, streams, and scopes is a safe no-op.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h", "h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	g.Set(3)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	h.Observe(1.5)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil registry events")
+	}
+	var es *EventStream
+	es.Emit(Event{Kind: KindCrash})
+	es.SetSink(io.Discard)
+	if es.Snapshot() != nil || es.Total() != 0 || es.Dropped() != 0 {
+		t.Fatal("nil event stream must be empty")
+	}
+	sc := r.Scope("run", 1)
+	if sc != nil {
+		t.Fatal("nil registry scope")
+	}
+	sc.Emit(0, KindElection, 1, 1, "")
+	if sc.Registry() != nil {
+		t.Fatal("nil scope registry")
+	}
+	var buf bytes.Buffer
+	r.WriteMetrics(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("nil registry wrote metrics")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot")
+	}
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines and
+// checks that no increment is lost across the shards.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits", "test")
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for k := 0; k < goroutines; k++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					c.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestRegistryIdempotentAndKindChecked: the same name yields the same
+// metric, and reusing a name as a different kind panics.
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "test")
+	if b := r.Counter("x_total", "test"); a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "test")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "test")
+	g.Set(5)
+	g.Add(3)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("gauge = %d, want -2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "test", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Per-bucket (non-cumulative) counts: le=0.1 gets 0.05 and 0.1;
+	// le=1 gets 0.5; le=10 gets 2; overflow gets 100.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if math.Abs(s.Sum-102.65) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// nil bounds fall back to DefBuckets.
+	d := r.Histogram("lat2", "test", nil)
+	d.Observe(0.3)
+	if got := len(d.Snapshot().Bounds); got != len(DefBuckets) {
+		t.Fatalf("default bounds = %d, want %d", got, len(DefBuckets))
+	}
+}
+
+// TestPrometheusText checks the exposition format: HELP/TYPE headers,
+// cumulative le buckets with +Inf, and name-sorted output.
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(-4)
+	h := r.Histogram("c_seconds", "a histogram", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	var buf bytes.Buffer
+	r.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP a_gauge a gauge",
+		"# TYPE a_gauge gauge",
+		"a_gauge -4",
+		"# TYPE b_total counter",
+		"b_total 3",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="1"} 1`,
+		`c_seconds_bucket{le="2"} 2`,
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_sum 101",
+		"c_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") ||
+		strings.Index(out, "b_total") > strings.Index(out, "c_seconds") {
+		t.Fatalf("output not sorted by name:\n%s", out)
+	}
+}
+
+// TestEventRingOverflow shrinks the ring and checks overwrite-oldest
+// semantics with exact Total/Dropped accounting.
+func TestEventRingOverflow(t *testing.T) {
+	old := DefaultEventCapacity
+	DefaultEventCapacity = 4
+	defer func() { DefaultEventCapacity = old }()
+	r := NewRegistry()
+	es := r.Events()
+	for i := 0; i < 6; i++ {
+		es.Emit(Event{Kind: KindRetransmit, Node: i})
+	}
+	if es.Total() != 6 {
+		t.Fatalf("total = %d", es.Total())
+	}
+	if es.Dropped() != 2 {
+		t.Fatalf("dropped = %d", es.Dropped())
+	}
+	snap := es.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, ev := range snap {
+		if ev.Node != i+2 {
+			t.Fatalf("snapshot[%d].Node = %d, want %d (oldest-first)", i, ev.Node, i+2)
+		}
+	}
+}
+
+// TestEventSinkAndScopeLabels: a scope stamps run/trial labels and the
+// sink receives one JSON object per line.
+func TestEventSinkAndScopeLabels(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.Events().SetSink(&buf)
+	sc := r.Scope("chaos", 7)
+	if sc.Registry() != r {
+		t.Fatal("scope registry")
+	}
+	sc.Emit(3*time.Millisecond, KindRepair, 42, 9, "takeover")
+	sc.Emit(4*time.Millisecond, KindKmErase, 42, 9, "")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink lines = %d:\n%s", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Run != "chaos" || ev.Trial != 7 || ev.Node != 42 || ev.Cluster != 9 ||
+		ev.Kind != KindRepair || ev.Detail != "takeover" || ev.At != 3*time.Millisecond {
+		t.Fatalf("sink event = %+v", ev)
+	}
+	if got := r.Events().Snapshot(); len(got) != 2 || got[1].Kind != KindKmErase {
+		t.Fatalf("ring = %+v", got)
+	}
+}
+
+// TestMuxEndpoints serves the full mux and checks every route answers.
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core_repairs_total", "test").Add(2)
+	r.Scope("t", 0).Emit(0, KindElection, 1, 1, "")
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "core_repairs_total 2") {
+		t.Fatalf("/metrics:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ctype)
+	}
+	body, ctype = get("/events")
+	if !strings.Contains(body, `"kind":"election"`) {
+		t.Fatalf("/events:\n%s", body)
+	}
+	if ctype != "application/x-ndjson" {
+		t.Fatalf("/events content-type %q", ctype)
+	}
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, `"obs"`) || !strings.Contains(body, "core_repairs_total") {
+		t.Fatalf("/debug/vars missing obs snapshot")
+	}
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index:\n%s", body)
+	}
+}
+
+// TestServe binds an ephemeral port and scrapes it over real TCP.
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up", "test").Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("scrape:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "test").Add(5)
+	r.Gauge("g", "test").Set(-1)
+	r.Histogram("h_seconds", "test", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["n_total"] != uint64(5) {
+		t.Fatalf("snapshot counter = %v", snap["n_total"])
+	}
+	if snap["g"] != int64(-1) {
+		t.Fatalf("snapshot gauge = %v", snap["g"])
+	}
+	h, ok := snap["h_seconds"].(HistogramSnapshot)
+	if !ok || h.Count != 1 {
+		t.Fatalf("snapshot histogram = %#v", snap["h_seconds"])
+	}
+}

@@ -19,7 +19,39 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// poolMetrics is the process-wide pool instrumentation installed by
+// Instrument. Loaded once per Map call; nil means observability off and
+// the hot loop takes the exact uninstrumented path.
+type poolMetrics struct {
+	tasks     *obs.Counter
+	busy      *obs.Gauge
+	queueWait *obs.Histogram
+	taskTime  *obs.Histogram
+}
+
+var met atomic.Pointer[poolMetrics]
+
+// Instrument attaches pool metrics (task counts, per-worker queue wait,
+// busy-worker utilization, task durations) to r. Pass nil to detach.
+// The wall-clock timings feed only metrics — trial results and their
+// merge order stay byte-identical.
+func Instrument(r *obs.Registry) {
+	if r == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&poolMetrics{
+		tasks:     r.Counter("runner_tasks_total", "trials executed by the worker pool"),
+		busy:      r.Gauge("runner_workers_busy", "workers currently executing a trial"),
+		queueWait: r.Histogram("runner_queue_wait_seconds", "wall time from pool start to a task being claimed", nil),
+		taskTime:  r.Histogram("runner_task_seconds", "wall time per trial", nil),
+	})
+}
 
 // Workers resolves a worker-count option to a concrete pool size: values
 // greater than zero are used as given; zero or negative means one worker
@@ -52,10 +84,25 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if w > n {
 		w = n
 	}
+	m := met.Load()
+	run := fn
+	if m != nil {
+		start := time.Now()
+		run = func(i int) (T, error) {
+			m.queueWait.Observe(time.Since(start).Seconds())
+			m.busy.Inc()
+			t0 := time.Now()
+			v, err := fn(i)
+			m.taskTime.Observe(time.Since(t0).Seconds())
+			m.busy.Dec()
+			m.tasks.Inc()
+			return v, err
+		}
+	}
 	out := make([]T, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := run(i)
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +122,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = run(i)
 			}
 		}()
 	}

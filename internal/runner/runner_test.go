@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -135,5 +137,50 @@ func TestGridEmpty(t *testing.T) {
 	}
 	if out, err := Grid(4, 5, 0, func(p, tr int) (int, error) { return 0, nil }); err != nil || out != nil {
 		t.Fatalf("zero trials: %v, %v", out, err)
+	}
+}
+
+// TestInstrument attaches pool metrics, runs a parallel Map, and checks
+// the accounting: one task per index, full histograms, and an idle busy
+// gauge afterward. Results must match the uninstrumented run exactly.
+func TestInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+	const n = 37
+	got, err := Map(4, n, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	snap := reg.Snapshot()
+	if tasks := snap["runner_tasks_total"].(uint64); tasks != n {
+		t.Fatalf("runner_tasks_total = %d, want %d", tasks, n)
+	}
+	if busy := snap["runner_workers_busy"].(int64); busy != 0 {
+		t.Fatalf("runner_workers_busy = %d after Map returned", busy)
+	}
+	for _, name := range []string{"runner_queue_wait_seconds", "runner_task_seconds"} {
+		h := snap[name].(obs.HistogramSnapshot)
+		if h.Count != n {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, n)
+		}
+	}
+}
+
+// TestInstrumentDetach: Instrument(nil) restores the bare path.
+func TestInstrumentDetach(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	Instrument(nil)
+	if _, err := Map(2, 5, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tasks := reg.Snapshot()["runner_tasks_total"].(uint64); tasks != 0 {
+		t.Fatalf("detached pool still counted %d tasks", tasks)
 	}
 }

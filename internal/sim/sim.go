@@ -24,6 +24,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/faults"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
@@ -75,6 +76,11 @@ type Config struct {
 	OnCrash func(i int, at time.Duration)
 	// Trace, if non-nil, observes every packet delivery attempt.
 	Trace func(ev TraceEvent)
+	// Obs, if non-nil, attaches the observability subsystem: medium and
+	// engine counters plus crash/reboot events, labeled with the scope's
+	// run/trial. Instrumentation draws no randomness and takes no
+	// protocol-visible branches, so enabling it never changes a run.
+	Obs *obs.Scope
 }
 
 // TraceEvent describes one packet delivery attempt for debugging and the
@@ -101,6 +107,35 @@ type Engine struct {
 	hosts  []*host
 	medium *xrand.RNG
 	inj    *faults.Injector
+	m      simMetrics
+}
+
+// simMetrics holds the engine's counters. With observability off every
+// field is nil and each hook is a single nil check.
+type simMetrics struct {
+	events     *obs.Counter
+	tx         *obs.Counter
+	txBytes    *obs.Counter
+	rx         *obs.Counter
+	lost       *obs.Counter
+	collisions *obs.Counter
+	crashes    *obs.Counter
+	reboots    *obs.Counter
+	deaths     *obs.Counter
+}
+
+func newSimMetrics(r *obs.Registry) simMetrics {
+	return simMetrics{
+		events:     r.Counter("sim_events_total", "discrete events processed by the engine"),
+		tx:         r.Counter("sim_tx_total", "packets broadcast onto the medium"),
+		txBytes:    r.Counter("sim_tx_bytes_total", "payload bytes broadcast onto the medium"),
+		rx:         r.Counter("sim_rx_total", "packets decoded by a receiver"),
+		lost:       r.Counter("sim_lost_total", "per-link deliveries dropped by loss or a fault plan"),
+		collisions: r.Counter("sim_collisions_total", "packets destroyed by the half-duplex collision model"),
+		crashes:    r.Counter("sim_crashes_total", "node crashes (fault plan or scenario)"),
+		reboots:    r.Counter("sim_reboots_total", "node reboots after a crash"),
+		deaths:     r.Counter("sim_battery_deaths_total", "nodes dead of battery depletion"),
+	}
 }
 
 // faultStream is the Split label of the fault injector's RNG. Node i uses
@@ -194,12 +229,14 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 	eng := &Engine{
 		cfg:    cfg,
 		medium: root.Split(0),
+		m:      newSimMetrics(cfg.Obs.Registry()),
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(cfg.Graph.N()); err != nil {
 			return nil, err
 		}
 		eng.inj = faults.NewInjector(cfg.Faults, root.Split(faultStream))
+		eng.inj.SetMetrics(faults.NewMetrics(cfg.Obs.Registry()))
 	}
 	eng.hosts = make([]*host, len(behaviors))
 	for i, b := range behaviors {
@@ -293,6 +330,7 @@ func (e *Engine) Run(until time.Duration) int {
 		e.now = next.at
 		next.fn()
 		processed++
+		e.m.events.Inc()
 	}
 	if e.now < until {
 		e.now = until
@@ -310,6 +348,7 @@ func (e *Engine) RunUntilIdle(maxEvents int) (int, error) {
 		e.now = next.at
 		next.fn()
 		processed++
+		e.m.events.Inc()
 		if maxEvents > 0 && processed > maxEvents {
 			return processed, fmt.Errorf("sim: exceeded %d events; protocol not quiescing", maxEvents)
 		}
@@ -351,6 +390,8 @@ func (e *Engine) Crash(i int) {
 		delete(h.timers, tid)
 	}
 	h.rxCurrent = nil
+	e.m.crashes.Inc()
+	e.cfg.Obs.Emit(e.now, obs.KindCrash, i, 0, "")
 	if e.cfg.OnCrash != nil {
 		e.cfg.OnCrash(i, e.now)
 	}
@@ -367,6 +408,8 @@ func (e *Engine) Reboot(i int) {
 		return
 	}
 	h.alive = true
+	e.m.reboots.Inc()
+	e.cfg.Obs.Emit(e.now, obs.KindReboot, i, 0, "")
 	if rb, ok := h.behavior.(node.Rebooter); ok {
 		rb.Reboot(h)
 		return
@@ -405,6 +448,8 @@ func (e *Engine) InjectAt(at int, fakeFrom node.ID, pkt []byte) {
 
 // broadcast carries a host transmission onto the medium.
 func (e *Engine) broadcast(h *host, pkt []byte) {
+	e.m.tx.Inc()
+	e.m.txBytes.Add(uint64(len(pkt)))
 	h.meter.ChargeTx(e.cfg.Energy, len(pkt))
 	// The transmission itself completes even if it drains the battery;
 	// the node is dead afterwards.
@@ -424,6 +469,7 @@ func (e *Engine) checkBattery(h *host) {
 	}
 	if h.meter.Total() > e.cfg.Battery {
 		h.alive = false
+		e.m.deaths.Inc()
 		if e.cfg.OnDeath != nil {
 			e.cfg.OnDeath(h.idx, e.now)
 		}
@@ -456,6 +502,7 @@ func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
 			e.cfg.Trace(TraceEvent{At: e.now, From: from, To: rcv.id, Size: len(pkt), Lost: lost, Pkt: pkt})
 		}
 		if lost {
+			e.m.lost.Inc()
 			continue
 		}
 		// Each receiver gets a private copy, so neither the sender's later
@@ -470,6 +517,7 @@ func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
 			if !rcv.alive {
 				return
 			}
+			e.m.rx.Inc()
 			rcv.meter.ChargeRx(e.cfg.Energy, len(copied))
 			rcv.behavior.Receive(rcv, from, copied)
 			e.checkBattery(rcv)
@@ -508,9 +556,11 @@ func (e *Engine) scheduleCollidableRx(rcv *host, from node.ID, pkt []byte, arriv
 			if !cur.corrupt {
 				cur.corrupt = true
 				rcv.collisions++
+				e.m.collisions.Inc()
 			}
 			rx.corrupt = true
 			rcv.collisions++
+			e.m.collisions.Inc()
 			if rx.endsAt > cur.endsAt {
 				rcv.rxCurrent = rx // radio stays jammed until the longer one ends
 			}
@@ -522,6 +572,7 @@ func (e *Engine) scheduleCollidableRx(rcv *host, from node.ID, pkt []byte, arriv
 		if !rcv.alive || rx.corrupt {
 			return
 		}
+		e.m.rx.Inc()
 		rcv.meter.ChargeRx(e.cfg.Energy, len(pkt))
 		rcv.behavior.Receive(rcv, from, pkt)
 		e.checkBattery(rcv)

@@ -128,3 +128,53 @@ func TestFullRunAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestPhaseBoundaryExact pins the half-open bucketing contract: an
+// event at exactly the cutoff belongs to the next phase (phase i covers
+// [boundary(i-1), boundary(i))), and one a nanosecond earlier to the
+// previous.
+func TestPhaseBoundaryExact(t *testing.T) {
+	r, err := NewPhased([]string{"setup", "data"}, []time.Duration{time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := []byte{byte(wire.THello)}
+	r.record(sim.TraceEvent{At: time.Second - time.Nanosecond, From: 1, To: 2, Size: 1, Pkt: pkt})
+	r.record(sim.TraceEvent{At: time.Second, From: 3, To: 4, Size: 1, Pkt: pkt})
+	if c := r.Phase("setup")[wire.THello]; c.Transmissions != 1 || c.Deliveries != 1 {
+		t.Fatalf("setup = %+v, want exactly the pre-cutoff event", c)
+	}
+	if c := r.Phase("data")[wire.THello]; c.Transmissions != 1 || c.Deliveries != 1 {
+		t.Fatalf("data = %+v, want exactly the on-cutoff event", c)
+	}
+}
+
+// TestZeroDurationFirstPhase: a first boundary of zero is legal and
+// makes the first phase an empty [0, 0) window, so even an event at
+// t=0 lands in the second phase.
+func TestZeroDurationFirstPhase(t *testing.T) {
+	r, err := NewPhased([]string{"empty", "rest"}, []time.Duration{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := []byte{byte(wire.TData)}
+	r.record(sim.TraceEvent{At: 0, From: 1, To: 2, Size: 1, Pkt: pkt})
+	if c := r.Phase("empty")[wire.TData]; c.Transmissions != 0 {
+		t.Fatalf("zero-width phase caught an event: %+v", c)
+	}
+	if c := r.Phase("rest")[wire.TData]; c.Transmissions != 1 {
+		t.Fatalf("rest = %+v, want the t=0 event", c)
+	}
+	if strings.Contains(r.Report(), `phase "empty"`) {
+		t.Fatal("report printed an empty phase block")
+	}
+}
+
+// TestEqualBoundariesRejected: two identical boundaries would create an
+// unreachable zero-width middle phase; NewPhased must refuse them.
+func TestEqualBoundariesRejected(t *testing.T) {
+	if _, err := NewPhased([]string{"a", "b", "c"},
+		[]time.Duration{time.Second, time.Second}); err == nil {
+		t.Fatal("equal boundaries accepted")
+	}
+}
