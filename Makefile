@@ -3,7 +3,7 @@ GO ?= go
 # numbers worth comparing with benchstat.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench benchdiff
 
 all: check
 
@@ -23,10 +23,21 @@ race:
 # benchmark per figure/claim) and archives the result twice: the raw
 # text (BENCH_baseline.txt) is what benchstat consumes for A/B
 # comparisons, and BENCH_baseline.json is the same data machine-readable
-# and byte-stable for diffing across commits.
+# and byte-stable for diffing across commits. Before overwriting, the
+# fresh run is diffed against the previous baseline; a regression past
+# the threshold is reported but (leading "-") does not stop the refresh.
 bench:
-	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) . | tee BENCH_baseline.txt
+	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) . > BENCH_fresh.txt && cat BENCH_fresh.txt
+	-$(GO) run ./cmd/benchjson -diff BENCH_baseline.json < BENCH_fresh.txt
+	mv BENCH_fresh.txt BENCH_baseline.txt
 	$(GO) run ./cmd/benchjson < BENCH_baseline.txt > BENCH_baseline.json
+
+# benchdiff runs a fresh benchmark pass and fails (exit 1) if ns/op or
+# allocs/op regressed more than 10% against the archived baseline,
+# without touching the baseline files. At BENCHTIME=1x only allocs/op is
+# trustworthy; use a seconds-based BENCHTIME for timing comparisons.
+benchdiff:
+	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
 
 vet:
 	$(GO) vet ./...

@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	benchjson [-indent]
+//	benchjson [-indent] [-diff baseline.json] [-threshold pct]
 //
 // Benchmark result lines ("BenchmarkX-8  10  123 ns/op  4 B/op ...")
 // become one entry each, keyed by name with the -P GOMAXPROCS suffix
 // split off; goos/goarch/pkg/cpu header lines are carried through.
 // Entries are sorted by name (then procs) so the output is byte-stable
 // across runs regardless of benchmark order.
+//
+// With -diff, instead of emitting JSON the fresh run on stdin is compared
+// against an archived baseline document: for every benchmark present in
+// both, ns/op and allocs/op deltas are reported, and the exit status is
+// nonzero if any delta regresses by more than -threshold percent
+// (default 10). allocs/op is deterministic at any -benchtime; ns/op is
+// only meaningful at benchtimes long enough to be stable.
 package main
 
 import (
@@ -30,15 +37,19 @@ import (
 // package doc comment above; usage_test.go enforces that every
 // registered flag appears here and that the doc comment carries these
 // exact lines.
-const usageText = `benchjson [-indent]`
+const usageText = `benchjson [-indent] [-diff baseline.json] [-threshold pct]`
 
 type options struct {
-	indent *bool
+	indent    *bool
+	diff      *string
+	threshold *float64
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{
-		indent: fs.Bool("indent", false, "pretty-print the JSON output"),
+		indent:    fs.Bool("indent", false, "pretty-print the JSON output"),
+		diff:      fs.String("diff", "", "compare the run on stdin against this baseline JSON instead of emitting JSON"),
+		threshold: fs.Float64("threshold", 10, "with -diff, fail on ns/op or allocs/op regressions above this percentage"),
 	}
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
@@ -144,6 +155,82 @@ func parseLine(line string) (Benchmark, bool, error) {
 	return b, true, nil
 }
 
+// diffMetrics are the metrics a -diff run guards. B/op is left out
+// deliberately: it tracks allocs/op but adds size-class noise.
+var diffMetrics = []string{"ns/op", "allocs/op"}
+
+// regression describes one metric's change between baseline and fresh run.
+type regression struct {
+	name, metric  string
+	old, new, pct float64
+	overThreshold bool
+}
+
+// diff compares fresh against base benchmark-by-benchmark (matching on
+// name only, so a baseline from a machine with a different GOMAXPROCS
+// suffix still compares) and writes a report to w. It returns the number
+// of metrics that regressed past thresholdPct.
+func diff(w io.Writer, base, fresh Baseline, thresholdPct float64) int {
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	failed := 0
+	for _, f := range fresh.Benchmarks {
+		b, ok := byName[f.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s new benchmark, no baseline\n", f.Name)
+			continue
+		}
+		delete(byName, f.Name)
+		for _, m := range diffMetrics {
+			oldV, okOld := b.Metrics[m]
+			newV, okNew := f.Metrics[m]
+			if !okOld || !okNew || oldV == 0 {
+				continue
+			}
+			r := regression{name: f.Name, metric: m, old: oldV, new: newV}
+			r.pct = (newV - oldV) / oldV * 100
+			r.overThreshold = r.pct > thresholdPct
+			status := "ok"
+			if r.overThreshold {
+				status = "REGRESSION"
+				failed++
+			}
+			fmt.Fprintf(w, "  %-40s %-10s %14.4g -> %14.4g  %+7.1f%%  %s\n",
+				r.name, r.metric, r.old, r.new, r.pct, status)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if _, still := byName[b.Name]; still {
+			fmt.Fprintf(w, "  %-40s missing from this run (baseline only)\n", b.Name)
+		}
+	}
+	return failed
+}
+
+// runDiff loads the baseline document and reports pass/fail for the
+// fresh run, returning the process exit code.
+func runDiff(w io.Writer, baselinePath string, fresh Baseline, thresholdPct float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(w, "benchjson: %v\n", err)
+		return 1
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(w, "benchjson: parsing %s: %v\n", baselinePath, err)
+		return 1
+	}
+	fmt.Fprintf(w, "benchdiff against %s (threshold %g%%):\n", baselinePath, thresholdPct)
+	if failed := diff(w, base, fresh, thresholdPct); failed > 0 {
+		fmt.Fprintf(w, "FAIL: %d metric(s) regressed more than %g%%\n", failed, thresholdPct)
+		return 1
+	}
+	fmt.Fprintln(w, "PASS: no regressions past threshold")
+	return 0
+}
+
 func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
@@ -155,6 +242,9 @@ func main() {
 	if len(base.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *o.diff != "" {
+		os.Exit(runDiff(os.Stdout, *o.diff, base, *o.threshold))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	if *o.indent {

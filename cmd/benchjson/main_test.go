@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -40,6 +42,109 @@ func TestParse(t *testing.T) {
 	z := base.Benchmarks[2]
 	if z.Metrics["B/op"] != 32 || z.Metrics["allocs/op"] != 1 {
 		t.Fatalf("zeta = %+v", z)
+	}
+}
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiff(t *testing.T) {
+	base := Baseline{Benchmarks: []Benchmark{
+		bench("Steady", map[string]float64{"ns/op": 1000, "allocs/op": 100}),
+		bench("Faster", map[string]float64{"ns/op": 1000, "allocs/op": 100}),
+		bench("Slower", map[string]float64{"ns/op": 1000, "allocs/op": 100}),
+		bench("Gone", map[string]float64{"ns/op": 5}),
+	}}
+	fresh := Baseline{Benchmarks: []Benchmark{
+		bench("Steady", map[string]float64{"ns/op": 1050, "allocs/op": 100}),
+		bench("Faster", map[string]float64{"ns/op": 400, "allocs/op": 10}),
+		bench("Slower", map[string]float64{"ns/op": 1300, "allocs/op": 250}),
+		bench("Fresh", map[string]float64{"ns/op": 7}),
+	}}
+	var buf strings.Builder
+	failed := diff(&buf, base, fresh, 10)
+	// Slower regresses on both guarded metrics; Steady's +5% ns/op and
+	// Faster's improvements stay under the threshold.
+	if failed != 2 {
+		t.Fatalf("failed = %d, want 2\n%s", failed, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"REGRESSION",
+		"Fresh",
+		"new benchmark",
+		"Gone",
+		"missing from this run",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 2 {
+		t.Errorf("want exactly 2 REGRESSION lines:\n%s", out)
+	}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base := Baseline{Benchmarks: []Benchmark{
+		bench("X", map[string]float64{"ns/op": 1000, "allocs/op": 100}),
+	}}
+	fresh := Baseline{Benchmarks: []Benchmark{
+		bench("X", map[string]float64{"ns/op": 1090, "allocs/op": 109}),
+	}}
+	var buf strings.Builder
+	if failed := diff(&buf, base, fresh, 10); failed != 0 {
+		t.Fatalf("failed = %d within threshold\n%s", failed, buf.String())
+	}
+	// Tighten the threshold and the same deltas fail.
+	if failed := diff(&buf, base, fresh, 5); failed != 2 {
+		t.Fatalf("failed = %d at 5%% threshold", failed)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	baseline := dir + "/base.json"
+	doc, err := json.Marshal(Baseline{Benchmarks: []Benchmark{
+		bench("X", map[string]float64{"ns/op": 1000, "allocs/op": 100}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := Baseline{Benchmarks: []Benchmark{
+		bench("X", map[string]float64{"ns/op": 1000, "allocs/op": 90}),
+	}}
+	bad := Baseline{Benchmarks: []Benchmark{
+		bench("X", map[string]float64{"ns/op": 1000, "allocs/op": 200}),
+	}}
+	var buf strings.Builder
+	if code := runDiff(&buf, baseline, ok, 10); code != 0 {
+		t.Fatalf("clean run exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("no PASS line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if code := runDiff(&buf, baseline, bad, 10); code != 1 {
+		t.Fatalf("regressed run exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("no FAIL line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if code := runDiff(&buf, dir+"/absent.json", ok, 10); code != 1 {
+		t.Fatal("missing baseline file not an error")
+	}
+	if err := os.WriteFile(baseline, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if code := runDiff(&buf, baseline, ok, 10); code != 1 {
+		t.Fatal("corrupt baseline JSON not an error")
 	}
 }
 

@@ -2,6 +2,7 @@ package leap
 
 import (
 	"encoding/binary"
+	"slices"
 	"time"
 
 	"repro/internal/crypt"
@@ -86,6 +87,12 @@ type BootNode struct {
 	clusterKeys map[node.ID]crypt.Key
 
 	erased bool
+
+	// pktBuf and openBuf are reusable packet scratch. Broadcast copies per
+	// receiver before returning and KeyFromBytes copies the plaintext, so
+	// reuse across peers and packets is safe.
+	pktBuf  []byte
+	openBuf []byte
 }
 
 // NewBootNode builds a LEAP node sharing the deployment-wide transitory
@@ -244,18 +251,25 @@ func (b *BootNode) onAck(ctx node.Context, pkt []byte) {
 // neighbor INDIVIDUALLY, each sealed under the pairwise key — LEAP's
 // per-neighbor unicast bootstrap cost.
 func (b *BootNode) distributeClusterKey(ctx node.Context) {
+	// Iterate neighbors in ID order, not map order: transmission order
+	// feeds the shared medium's random stream, so map iteration here would
+	// make the whole run irreproducible.
+	peers := make([]node.ID, 0, len(b.acked))
 	for peer := range b.acked {
+		peers = append(peers, peer)
+	}
+	slices.Sort(peers)
+	aad := [1]byte{mCKey}
+	for _, peer := range peers {
 		kuv := b.pairwise[peer]
 		nonce := uint64(b.id)<<32 | uint64(peer)
-		sealed := crypt.Seal(kuv, nonce, []byte{mCKey}, b.myCK[:])
+		b.pktBuf = append(b.pktBuf[:0], mCKey)
+		b.pktBuf = binary.BigEndian.AppendUint32(b.pktBuf, uint32(b.id))
+		b.pktBuf = binary.BigEndian.AppendUint32(b.pktBuf, uint32(peer))
+		b.pktBuf = crypt.SealAppend(b.pktBuf, kuv, nonce, aad[:], b.myCK[:])
 		ctx.ChargeCipher(crypt.KeySize)
 		ctx.ChargeMAC(crypt.KeySize + 1)
-		pkt := make([]byte, 9, 9+len(sealed))
-		pkt[0] = mCKey
-		binary.BigEndian.PutUint32(pkt[1:], uint32(b.id))
-		binary.BigEndian.PutUint32(pkt[5:], uint32(peer))
-		pkt = append(pkt, sealed...)
-		ctx.Broadcast(pkt)
+		ctx.Broadcast(b.pktBuf)
 	}
 }
 
@@ -275,7 +289,9 @@ func (b *BootNode) onClusterKey(ctx node.Context, pkt []byte) {
 	}
 	nonce := uint64(sender)<<32 | uint64(b.id)
 	ctx.ChargeMAC(len(pkt) - 9 + 1)
-	body, okOpen := crypt.Open(kuv, nonce, []byte{mCKey}, pkt[9:])
+	aad := [1]byte{mCKey}
+	body, okOpen := crypt.OpenAppend(b.openBuf[:0], kuv, nonce, aad[:], pkt[9:])
+	b.openBuf = body
 	if !okOpen || len(body) != crypt.KeySize {
 		return
 	}

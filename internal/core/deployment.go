@@ -61,6 +61,14 @@ type DeployOptions struct {
 	// fault injector, and every sensor — against the scope's registry.
 	// Leaving it nil keeps the run byte-identical to an uninstrumented one.
 	Obs *obs.Scope
+	// DisablePooling turns off the engine's event and packet-buffer reuse
+	// (see sim.Config.DisablePooling). Pooling is inside the
+	// byte-equivalence contract, so this changes no output — it exists for
+	// the equivalence tests and as a debugging escape hatch.
+	DisablePooling bool
+	// PoisonRecycled overwrites recycled packet buffers with 0xDB (see
+	// sim.Config.PoisonRecycled) to surface illegal packet retention.
+	PoisonRecycled bool
 }
 
 // Deployment is a fully wired simulated network running the protocol.
@@ -127,6 +135,9 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		Faults:     opt.Faults,
 		OnCrash:    opt.OnCrash,
 		Obs:        cfg.Obs,
+
+		DisablePooling: opt.DisablePooling,
+		PoisonRecycled: opt.PoisonRecycled,
 	}, behaviors)
 	if err != nil {
 		return nil, err

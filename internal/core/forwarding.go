@@ -4,7 +4,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/crypt"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -29,8 +28,8 @@ func (s *Sensor) TriggerBeacon(ctx node.Context) {
 	s.bs.round++
 	s.round = s.bs.round
 	s.hop = 0
-	body := (&wire.Beacon{Round: s.bs.round, Hop: 0}).Marshal()
-	ctx.Broadcast(s.sealFrame(ctx, wire.TBeacon, s.ks.CID, s.ks.ClusterKey, body))
+	s.bodyBuf = (&wire.Beacon{Round: s.bs.round, Hop: 0}).AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.TBeacon, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 	if s.cfg.BeaconPeriod > 0 {
 		ctx.SetTimer(s.cfg.BeaconPeriod, tagBeacon)
 	}
@@ -58,8 +57,8 @@ func (s *Sensor) onBeacon(ctx node.Context, f *wire.Frame) {
 	}
 	s.round = b.Round
 	s.hop = newHop
-	out := (&wire.Beacon{Round: b.Round, Hop: s.hop}).Marshal()
-	ctx.Broadcast(s.sealFrame(ctx, wire.TBeacon, s.ks.CID, s.ks.ClusterKey, out))
+	s.bodyBuf = (&wire.Beacon{Round: b.Round, Hop: s.hop}).AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.TBeacon, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 }
 
 // SendReading originates one sensed reading toward the base station. Call
@@ -77,16 +76,18 @@ func (s *Sensor) SendReading(ctx node.Context, data []byte) (uint32, bool) {
 		s.readingCtr++
 		inner.Counter = s.readingCtr
 		inner.Encrypted = true
-		aad := InnerAAD(s.id)
-		inner.Sealed = crypt.Seal(s.ks.NodeKey, s.readingCtr, aad, data)
+		aad := s.innerAAD(s.id)
+		s.innerSealBuf = s.sealerFor(s.ks.NodeKey).AppendSeal(s.innerSealBuf[:0], s.readingCtr, aad, data)
+		inner.Sealed = s.innerSealBuf
 		ctx.ChargeCipher(len(data))
 		ctx.ChargeMAC(len(data) + len(aad))
 	} else {
 		// Data-fusion mode: "c1 ... is simply the data D".
-		inner.Sealed = append([]byte(nil), data...)
+		inner.Sealed = data
 	}
 	s.remember(s.id, s.readingSeq)
-	innerBytes := inner.Marshal()
+	s.innerBuf = inner.AppendMarshal(s.innerBuf[:0])
+	innerBytes := s.innerBuf
 	s.sendData(ctx, innerBytes, s.id, s.readingSeq)
 	s.trackPending(ctx, innerBytes, s.id, s.readingSeq)
 	return s.readingSeq, true
@@ -111,7 +112,8 @@ func (s *Sensor) sendData(ctx node.Context, innerBytes []byte, origin node.ID, s
 		Hop:    s.hop,
 		Inner:  innerBytes,
 	}
-	ctx.Broadcast(s.sealFrame(ctx, wire.TData, s.ks.CID, s.ks.ClusterKey, d.Marshal()))
+	s.bodyBuf = d.AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.TData, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 }
 
 // onData verifies, deduplicates, and either terminates (base station) or
@@ -195,9 +197,11 @@ func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
 			return // replayed or too-far-future counter
 		}
 		ki := s.bs.auth.NodeKey(in.Src)
-		aad := InnerAAD(in.Src)
+		aad := s.innerAAD(in.Src)
 		ctx.ChargeMAC(len(in.Sealed) + len(aad))
-		pt, ok := crypt.Open(ki, in.Counter, aad, in.Sealed)
+		// The plaintext is retained forever in Deliveries, so it must be a
+		// fresh allocation, never sensor scratch: AppendOpen(nil, ...).
+		pt, ok := s.sealerFor(ki).AppendOpen(nil, in.Counter, aad, in.Sealed)
 		if !ok {
 			return
 		}

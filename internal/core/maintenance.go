@@ -64,8 +64,8 @@ func (s *Sensor) StartClusterRefresh(ctx node.Context) bool {
 	newKey := crypt.DeriveKey(oldKey, crypt.LabelRefresh, nonce[:])
 	epoch := s.epochs[s.ks.CID] + 1
 
-	body := (&wire.Refresh{CID: s.ks.CID, Epoch: epoch, NewKey: newKey}).Marshal()
-	pkt := s.sealFrame(ctx, wire.TRefresh, s.ks.CID, oldKey, body)
+	s.bodyBuf = (&wire.Refresh{CID: s.ks.CID, Epoch: epoch, NewKey: newKey}).AppendMarshal(s.bodyBuf[:0])
+	pkt := s.sealFrame(ctx, wire.TRefresh, s.ks.CID, oldKey, s.bodyBuf)
 	s.applyRefresh(s.ks.CID, epoch, newKey)
 	ctx.Broadcast(pkt)
 	return true
@@ -100,7 +100,9 @@ func (s *Sensor) onRefresh(ctx node.Context, f *wire.Frame, pkt []byte) {
 	if isOwn {
 		// Relay the original packet (still sealed under the old key) so
 		// two-hop members and adjacent clusters' border nodes hear it.
-		ctx.Broadcast(append([]byte(nil), pkt...))
+		// Broadcast copies per receiver before returning, so relaying the
+		// runtime-owned buffer directly is safe — no defensive copy.
+		ctx.Broadcast(pkt)
 	}
 }
 
@@ -131,11 +133,12 @@ func (s *Sensor) RevokeClusters(ctx node.Context, cids []uint32) bool {
 		return false
 	}
 	s.bs.nextChain = idx
-	body := (&wire.Revoke{Index: uint32(idx), ChainKey: chainKey, CIDs: cids}).Marshal()
-	pkt, merr := (&wire.Frame{Type: wire.TRevoke, Payload: body}).Marshal()
+	s.bodyBuf = (&wire.Revoke{Index: uint32(idx), ChainKey: chainKey, CIDs: cids}).AppendMarshal(s.bodyBuf[:0])
+	pkt, merr := (&wire.Frame{Type: wire.TRevoke, Payload: s.bodyBuf}).AppendMarshal(s.txBuf[:0])
 	if merr != nil {
 		return false
 	}
+	s.txBuf = pkt
 	// The base station applies its own command: it stops accepting
 	// traffic relayed under revoked clusters' keys.
 	for _, cid := range cids {
@@ -165,8 +168,9 @@ func (s *Sensor) onRevoke(ctx node.Context, f *wire.Frame, pkt []byte) {
 		delete(s.epochs, cid)
 	}
 	// Re-flood so the command crosses the network even though revoked
-	// clusters' nodes may refuse to cooperate.
-	ctx.Broadcast(append([]byte(nil), pkt...))
+	// clusters' nodes may refuse to cooperate. Broadcast copies per
+	// receiver before returning, so no defensive copy is needed.
+	ctx.Broadcast(pkt)
 }
 
 // Evicted reports whether this node has lost its own cluster to a
@@ -182,11 +186,12 @@ func (s *Sensor) Evicted() bool {
 func (s *Sensor) startJoin(ctx node.Context) {
 	s.phase = PhaseJoining
 	s.joinAttempts++
-	body := (&wire.JoinReq{NodeID: uint32(s.id)}).Marshal()
-	pkt, err := (&wire.Frame{Type: wire.TJoinReq, Payload: body}).Marshal()
+	s.bodyBuf = (&wire.JoinReq{NodeID: uint32(s.id)}).AppendMarshal(s.bodyBuf[:0])
+	pkt, err := (&wire.Frame{Type: wire.TJoinReq, Payload: s.bodyBuf}).AppendMarshal(s.txBuf[:0])
 	if err != nil {
 		return
 	}
+	s.txBuf = pkt
 	ctx.Broadcast(pkt)
 	window := s.cfg.JoinWindow
 	if s.cfg.SetupRetries > 0 && s.joinAttempts > 1 {
@@ -231,11 +236,12 @@ func (s *Sensor) sendJoinResp(ctx node.Context) {
 	epoch := s.epochs[s.ks.CID]
 	tag := joinRespTag(s.ks.ClusterKey, s.ks.CID, epoch)
 	ctx.ChargeMAC(8)
-	body := (&wire.JoinResp{CID: s.ks.CID, Epoch: epoch, Tag: tag}).Marshal()
-	pkt, err := (&wire.Frame{Type: wire.TJoinResp, Payload: body}).Marshal()
+	s.bodyBuf = (&wire.JoinResp{CID: s.ks.CID, Epoch: epoch, Tag: tag}).AppendMarshal(s.bodyBuf[:0])
+	pkt, err := (&wire.Frame{Type: wire.TJoinResp, Payload: s.bodyBuf}).AppendMarshal(s.txBuf[:0])
 	if err != nil {
 		return
 	}
+	s.txBuf = pkt
 	ctx.Broadcast(pkt)
 }
 

@@ -41,12 +41,12 @@ func (s *Sensor) keepAliveTick(ctx node.Context) {
 		return
 	}
 	if s.headID == s.id {
-		body := (&wire.KeepAlive{
+		s.bodyBuf = (&wire.KeepAlive{
 			CID:    s.ks.CID,
 			HeadID: uint32(s.id),
 			Epoch:  s.epochs[s.ks.CID],
-		}).Marshal()
-		ctx.Broadcast(s.sealFrame(ctx, wire.TKeepAlive, s.ks.CID, s.ks.ClusterKey, body))
+		}).AppendMarshal(s.bodyBuf[:0])
+		ctx.Broadcast(s.sealFrame(ctx, wire.TKeepAlive, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 	} else if !s.repairing {
 		silent := ctx.Now() - s.lastKeepAlive
 		if silent > time.Duration(s.cfg.KeepAliveMisses)*s.cfg.KeepAlivePeriod {
@@ -80,12 +80,12 @@ func (s *Sensor) claimHeadship(ctx node.Context) {
 	s.repairing = false
 	s.headID = s.id
 	s.repaired = true
-	body := (&wire.Repair{
+	s.bodyBuf = (&wire.Repair{
 		CID:     s.ks.CID,
 		NewHead: uint32(s.id),
 		Epoch:   s.epochs[s.ks.CID],
-	}).Marshal()
-	ctx.Broadcast(s.sealFrame(ctx, wire.TRepair, s.ks.CID, s.ks.ClusterKey, body))
+	}).AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.TRepair, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 	s.om.repairs.Inc()
 	s.om.repairTime.Observe((ctx.Now() - s.repairStartAt).Seconds())
 	s.cfg.Obs.Emit(ctx.Now(), obs.KindRepair, int(s.id), s.ks.CID, "")
@@ -172,7 +172,8 @@ func (s *Sensor) helloRetry(ctx node.Context) {
 		return // past T1 every node is decided; a retry would be noise
 	}
 	s.helloRetries++
-	body := (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).Marshal()
+	s.bodyBuf = (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).AppendMarshal(s.bodyBuf[:0])
+	body := s.bodyBuf
 	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, body))
 	s.om.setupTx.Inc()
 	s.om.setupRetx.Inc()
@@ -196,7 +197,8 @@ func (s *Sensor) linkRetry(ctx node.Context) {
 		return
 	}
 	s.linkRetries++
-	body := (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).Marshal()
+	s.bodyBuf = (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).AppendMarshal(s.bodyBuf[:0])
+	body := s.bodyBuf
 	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, body))
 	s.om.setupTx.Inc()
 	s.om.setupRetx.Inc()

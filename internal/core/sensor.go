@@ -180,7 +180,49 @@ type Sensor struct {
 	om            coreMetrics
 	repairStartAt time.Duration
 
+	// sealers caches per-key AEAD state (subkey derivations, AES key
+	// schedule, HMAC pads) so steady-state sealing and opening allocate
+	// nothing. Bounded by maxCachedSealers; see sealerFor.
+	sealers map[crypt.Key]*crypt.Sealer
+
+	// Transmit-path scratch. Every buffer is consumed before the call
+	// that filled it returns control to the radio (Broadcast copies
+	// per-receiver before returning in both runtimes), so reuse across
+	// packets is invisible on the air. A sealFrame result is valid only
+	// until the next sealFrame on this sensor; openFrame results only
+	// until the next openFrame.
+	aadBuf       [5]byte // FrameAAD / InnerAAD scratch
+	sealBuf      []byte  // sealed frame payload
+	txBuf        []byte  // marshaled outgoing frame
+	bodyBuf      []byte  // marshaled outgoing body
+	innerBuf     []byte  // marshaled Step-1 Inner envelope
+	innerSealBuf []byte  // Step-1 sealed reading
+	openBuf      []byte  // opened (decrypted) frame body
+
 	bs *bsState
+}
+
+// maxCachedSealers bounds the per-sensor sealer cache. The base station
+// holds one sealer per origin node key, so the bound is sized for the
+// multi-thousand-node topologies internal/geom targets; on overflow the
+// whole cache is cleared (deterministically — no eviction order) and
+// rebuilt on demand.
+const maxCachedSealers = 4096
+
+// sealerFor returns the cached AEAD state for key, constructing it on
+// first use.
+func (s *Sensor) sealerFor(key crypt.Key) *crypt.Sealer {
+	if sl, ok := s.sealers[key]; ok {
+		return sl
+	}
+	if s.sealers == nil {
+		s.sealers = make(map[crypt.Key]*crypt.Sealer, 8)
+	} else if len(s.sealers) >= maxCachedSealers {
+		clear(s.sealers)
+	}
+	sl := crypt.NewSealer(key)
+	s.sealers[key] = sl
+	return sl
 }
 
 // coreMetrics are the protocol counters shared by every sensor built
@@ -363,12 +405,16 @@ func (s *Sensor) Timer(ctx node.Context, tag node.Tag) {
 	}
 }
 
-// Receive implements node.Behavior.
+// Receive implements node.Behavior. pkt is owned by the runtime and may
+// be recycled once this returns; everything a handler keeps past that
+// point is copied during body unmarshaling (wire's reader copies byte
+// strings) or freshly decrypted.
 func (s *Sensor) Receive(ctx node.Context, from node.ID, pkt []byte) {
-	f, err := wire.ParseFrame(pkt)
-	if err != nil {
+	var frame wire.Frame
+	if err := wire.ParseFrameInto(&frame, pkt); err != nil {
 		return // garbage on the air
 	}
+	f := &frame
 	switch f.Type {
 	case wire.THello:
 		s.onHello(ctx, f)
@@ -404,34 +450,56 @@ func FrameAAD(typ wire.Type, cid uint32) []byte {
 	return []byte{byte(typ), byte(cid >> 24), byte(cid >> 16), byte(cid >> 8), byte(cid)}
 }
 
+// frameAAD is FrameAAD into the sensor's scratch; the result is valid
+// until the next frameAAD/innerAAD call and is always consumed before
+// then (the seal/open call it feeds reads it synchronously).
+func (s *Sensor) frameAAD(typ wire.Type, cid uint32) []byte {
+	s.aadBuf = [5]byte{byte(typ), byte(cid >> 24), byte(cid >> 16), byte(cid >> 8), byte(cid)}
+	return s.aadBuf[:]
+}
+
+// innerAAD is InnerAAD into the same scratch.
+func (s *Sensor) innerAAD(origin node.ID) []byte {
+	s.aadBuf = [5]byte{0xE2, byte(origin >> 24), byte(origin >> 16), byte(origin >> 8), byte(origin)}
+	return s.aadBuf[:]
+}
+
 func (s *Sensor) nextNonce() uint64 {
 	s.txNonce++
 	return uint64(s.id)<<32 | uint64(s.txNonce)
 }
 
-// sealFrame seals body under key and returns the marshaled frame.
+// sealFrame seals body under key and returns the marshaled frame. The
+// returned packet is scratch-backed: valid until the next sealFrame on
+// this sensor, so it must be broadcast (the radio copies per receiver
+// before returning) or copied before another frame is sealed.
 func (s *Sensor) sealFrame(ctx node.Context, typ wire.Type, cid uint32, key crypt.Key, body []byte) []byte {
 	nonce := s.nextNonce()
-	aad := FrameAAD(typ, cid)
-	sealed := crypt.Seal(key, nonce, aad, body)
+	aad := s.frameAAD(typ, cid)
+	s.sealBuf = s.sealerFor(key).AppendSeal(s.sealBuf[:0], nonce, aad, body)
 	ctx.ChargeCipher(len(body))
 	ctx.ChargeMAC(len(body) + len(aad))
-	pkt, err := (&wire.Frame{Type: typ, CID: cid, Nonce: nonce, Payload: sealed}).Marshal()
+	pkt, err := (&wire.Frame{Type: typ, CID: cid, Nonce: nonce, Payload: s.sealBuf}).AppendMarshal(s.txBuf[:0])
 	if err != nil {
 		// Bodies are tiny and bounded; this cannot happen.
 		panic("core: frame marshal: " + err.Error())
 	}
+	s.txBuf = pkt
 	return pkt
 }
 
-// openFrame verifies and decrypts a received frame under key.
+// openFrame verifies and decrypts a received frame under key. The
+// returned body is scratch-backed: valid until the next openFrame on
+// this sensor. Handlers never keep it — wire's body unmarshalers copy
+// every byte string they decode.
 func (s *Sensor) openFrame(ctx node.Context, f *wire.Frame, key crypt.Key) ([]byte, bool) {
-	aad := FrameAAD(f.Type, f.CID)
+	aad := s.frameAAD(f.Type, f.CID)
 	ctx.ChargeMAC(len(f.Payload) + len(aad))
-	body, ok := crypt.Open(key, f.Nonce, aad, f.Payload)
+	body, ok := s.sealerFor(key).AppendOpen(s.openBuf[:0], f.Nonce, aad, f.Payload)
 	if !ok {
 		return nil, false
 	}
+	s.openBuf = body
 	ctx.ChargeCipher(len(body))
 	return body, true
 }
@@ -450,8 +518,8 @@ func (s *Sensor) becomeHead(ctx node.Context) {
 	s.epochs[uint32(s.id)] = 0
 	s.headID = s.id
 	s.phase = PhaseDecided
-	body := (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).Marshal()
-	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, body))
+	s.bodyBuf = (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.THello, 0, s.ks.Master, s.bodyBuf))
 	s.om.elections.Inc()
 	s.om.setupTx.Inc()
 	s.cfg.Obs.Emit(ctx.Now(), obs.KindElection, int(s.id), uint32(s.id), "")
@@ -486,8 +554,8 @@ func (s *Sensor) sendLinkAdvert(ctx node.Context) {
 	if !s.ks.InCluster || s.ks.Master.IsZero() {
 		return
 	}
-	body := (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).Marshal()
-	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, body))
+	s.bodyBuf = (&wire.LinkAdvert{CID: s.ks.CID, ClusterKey: s.ks.ClusterKey}).AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.TLinkAdvert, 0, s.ks.Master, s.bodyBuf))
 	s.om.setupTx.Inc()
 	s.armLinkRetry(ctx)
 }

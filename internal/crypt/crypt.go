@@ -28,6 +28,7 @@ import (
 	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
+	"slices"
 )
 
 const (
@@ -183,15 +184,24 @@ const Overhead = MACSize
 // (aad | nonce | ciphertext). aad is authenticated but not encrypted (the
 // protocol puts the cluster ID there so forwarders can pick the right key).
 func Seal(k Key, nonce uint64, aad, plaintext []byte) []byte {
+	return SealAppend(make([]byte, 0, len(plaintext)+Overhead), k, nonce, aad, plaintext)
+}
+
+// SealAppend is Seal writing into caller-provided space: it appends the
+// sealed message to dst and returns the extended slice. The appended
+// bytes are exactly Seal's output. Callers that amortize one key over
+// many messages should prefer a Sealer, which also caches the subkey
+// derivations and cipher state.
+func SealAppend(dst []byte, k Key, nonce uint64, aad, plaintext []byte) []byte {
 	encKey := DeriveKey(k, LabelEncrypt)
 	macKey := DeriveKey(k, LabelMAC)
-	out := make([]byte, len(plaintext)+Overhead)
-	XORKeyStream(encKey, nonce, out[:len(plaintext)], plaintext)
+	off := len(dst)
+	dst = slices.Grow(dst, len(plaintext)+Overhead)[:off+len(plaintext)]
+	XORKeyStream(encKey, nonce, dst[off:], plaintext)
 	var nb [8]byte
 	binary.BigEndian.PutUint64(nb[:], nonce)
-	tag := MAC(macKey, aad, nb[:], out[:len(plaintext)])
-	copy(out[len(plaintext):], tag[:])
-	return out
+	tag := MAC(macKey, aad, nb[:], dst[off:])
+	return append(dst, tag[:]...)
 }
 
 // Open verifies and decrypts a Seal output. It returns the plaintext and
@@ -201,17 +211,32 @@ func Open(k Key, nonce uint64, aad, sealed []byte) ([]byte, bool) {
 	if len(sealed) < Overhead {
 		return nil, false
 	}
+	pt, ok := OpenAppend(make([]byte, 0, len(sealed)-Overhead), k, nonce, aad, sealed)
+	if !ok {
+		return nil, false
+	}
+	return pt, true
+}
+
+// OpenAppend is Open writing into caller-provided space: on success it
+// appends the plaintext to dst and returns (extended slice, true); on any
+// authentication failure it returns (dst, false) with dst unmodified.
+func OpenAppend(dst []byte, k Key, nonce uint64, aad, sealed []byte) ([]byte, bool) {
+	if len(sealed) < Overhead {
+		return dst, false
+	}
 	ctLen := len(sealed) - Overhead
 	macKey := DeriveKey(k, LabelMAC)
 	var nb [8]byte
 	binary.BigEndian.PutUint64(nb[:], nonce)
 	if !VerifyMAC(macKey, sealed[ctLen:], aad, nb[:], sealed[:ctLen]) {
-		return nil, false
+		return dst, false
 	}
 	encKey := DeriveKey(k, LabelEncrypt)
-	pt := make([]byte, ctLen)
-	XORKeyStream(encKey, nonce, pt, sealed[:ctLen])
-	return pt, true
+	off := len(dst)
+	dst = slices.Grow(dst, ctLen)[:off+ctLen]
+	XORKeyStream(encKey, nonce, dst[off:], sealed[:ctLen])
+	return dst, true
 }
 
 // HashForward is the one-way function used both for hash-based key refresh

@@ -1,0 +1,123 @@
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"hash"
+	"slices"
+)
+
+// Sealer is an allocation-free equivalent of Seal/Open for one directory
+// key: the two subkey derivations (Kencr = F_k(0), KMAC = F_k(1)), the AES
+// key schedule, and the HMAC pad state are computed once at construction
+// and reused for every packet. Output is byte-identical to the one-shot
+// functions — TestSealerMatchesSeal pins this — so callers may mix the two
+// freely; the Sealer only changes who pays the setup cost.
+//
+// A Sealer is not safe for concurrent use (it owns mutable MAC and
+// keystream scratch). The simulator's single-threaded behavior contract
+// means each node can hold one per key without locking.
+type Sealer struct {
+	enc cipher.Block // AES-128 keyed with Kencr
+	mac hash.Hash    // HMAC-SHA256 keyed with KMAC
+
+	sum [sha256.Size]byte // Sum scratch for the MAC
+	// Counter/keystream scratch for xorKeyStream: locals would escape to
+	// the heap through the cipher.Block interface call, so they live here.
+	ctr [aes.BlockSize]byte
+	ks  [aes.BlockSize]byte
+	nb  [8]byte
+}
+
+// NewSealer derives the encryption and MAC subkeys from k and precomputes
+// their cipher state.
+func NewSealer(k Key) *Sealer {
+	encKey := DeriveKey(k, LabelEncrypt)
+	macKey := DeriveKey(k, LabelMAC)
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		// Key is always KeySize bytes; aes.NewCipher cannot fail.
+		panic("crypt: aes.NewCipher: " + err.Error())
+	}
+	return &Sealer{
+		enc: block,
+		mac: hmac.New(sha256.New, macKey[:]),
+	}
+}
+
+// xorKeyStream is AES-CTR with the 64-bit nonce in the first 8 counter
+// bytes — bit-for-bit the keystream cipher.NewCTR produces for the same
+// IV (NewCTR increments the whole 16-byte counter big-endian; starting
+// from nonce||0 the two walks are identical for any message under 2^64
+// blocks, i.e. always). Reimplemented here only to skip NewCTR's per-call
+// stream-state allocation. dst may alias src.
+func (s *Sealer) xorKeyStream(nonce uint64, dst, src []byte) {
+	ctr, ks := s.ctr[:], s.ks[:]
+	for i := range ctr {
+		ctr[i] = 0
+	}
+	binary.BigEndian.PutUint64(ctr[:8], nonce)
+	for len(src) > 0 {
+		s.enc.Encrypt(ks, ctr)
+		n := subtle.XORBytes(dst, src, ks)
+		dst, src = dst[n:], src[n:]
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+	}
+}
+
+// appendTag appends the truncated HMAC tag over (aad | nonce | ct) to dst.
+func (s *Sealer) appendTag(dst []byte, nonce uint64, aad, ct []byte) []byte {
+	binary.BigEndian.PutUint64(s.nb[:], nonce)
+	s.mac.Reset()
+	s.mac.Write(aad)
+	s.mac.Write(s.nb[:])
+	s.mac.Write(ct)
+	sum := s.mac.Sum(s.sum[:0])
+	return append(dst, sum[:MACSize]...)
+}
+
+// AppendSeal appends the authenticated encryption of plaintext (same bytes
+// Seal returns) to dst and returns the extended slice. Passing dst with
+// spare capacity makes the call allocation-free; the appended region never
+// aliases plaintext or aad.
+func (s *Sealer) AppendSeal(dst []byte, nonce uint64, aad, plaintext []byte) []byte {
+	off := len(dst)
+	dst = slices.Grow(dst, len(plaintext)+Overhead)[:off+len(plaintext)]
+	s.xorKeyStream(nonce, dst[off:], plaintext)
+	return s.appendTag(dst, nonce, aad, dst[off:])
+}
+
+// AppendOpen verifies and decrypts a Seal/AppendSeal output, appending the
+// plaintext to dst. On any authentication failure it returns (dst, false)
+// with dst unmodified and without leaking which check failed. As with
+// AppendSeal, spare capacity in dst makes the call allocation-free;
+// callers that hand the plaintext to long-lived consumers must pass a
+// fresh dst (conventionally nil) rather than recycled scratch.
+func (s *Sealer) AppendOpen(dst []byte, nonce uint64, aad, sealed []byte) ([]byte, bool) {
+	if len(sealed) < Overhead {
+		return dst, false
+	}
+	ctLen := len(sealed) - Overhead
+	binary.BigEndian.PutUint64(s.nb[:], nonce)
+	s.mac.Reset()
+	s.mac.Write(aad)
+	s.mac.Write(s.nb[:])
+	s.mac.Write(sealed[:ctLen])
+	sum := s.mac.Sum(s.sum[:0])
+	if subtle.ConstantTimeCompare(sealed[ctLen:], sum[:MACSize]) != 1 {
+		return dst, false
+	}
+	off := len(dst)
+	dst = slices.Grow(dst, ctLen)[:off+ctLen]
+	s.xorKeyStream(nonce, dst[off:], sealed[:ctLen])
+	return dst, true
+}

@@ -1,0 +1,160 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestSealerMatchesSeal pins the byte-equivalence contract: for the same
+// (key, nonce, aad, plaintext), AppendSeal produces exactly Seal's output
+// and AppendOpen exactly Open's, across message sizes spanning the CTR
+// block boundaries.
+func TestSealerMatchesSeal(t *testing.T) {
+	rng := xrand.New(0xC0FFEE)
+	for trial := 0; trial < 200; trial++ {
+		var k Key
+		for i := range k {
+			k[i] = byte(rng.Uint64n(256))
+		}
+		s := NewSealer(k)
+		size := int(rng.Uint64n(70)) // 0..69 covers 0, <1, =1, >4 AES blocks
+		pt := make([]byte, size)
+		for i := range pt {
+			pt[i] = byte(rng.Uint64n(256))
+		}
+		aad := make([]byte, rng.Uint64n(9))
+		for i := range aad {
+			aad[i] = byte(rng.Uint64n(256))
+		}
+		nonce := rng.Uint64()
+
+		want := Seal(k, nonce, aad, pt)
+		got := s.AppendSeal(nil, nonce, aad, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: AppendSeal != Seal\n got %x\nwant %x", trial, got, want)
+		}
+
+		// Open the one-shot output with the Sealer and vice versa.
+		opened, ok := s.AppendOpen(nil, nonce, aad, want)
+		if !ok || !bytes.Equal(opened, pt) {
+			t.Fatalf("trial %d: AppendOpen(Seal output) = %x, %v; want %x, true", trial, opened, ok, pt)
+		}
+		opened2, ok := Open(k, nonce, aad, got)
+		if !ok || !bytes.Equal(opened2, pt) {
+			t.Fatalf("trial %d: Open(AppendSeal output) failed", trial)
+		}
+	}
+}
+
+// TestSealerAppendSemantics checks that both Append methods honor the
+// append contract: existing dst bytes are preserved and the result is
+// appended after them.
+func TestSealerAppendSemantics(t *testing.T) {
+	k := KeyFromBytes([]byte("append-semantics"))
+	s := NewSealer(k)
+	pt := []byte("the quick brown fox")
+	aad := []byte{7}
+
+	prefix := []byte("HDR:")
+	out := s.AppendSeal(append([]byte(nil), prefix...), 42, aad, pt)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("AppendSeal clobbered prefix: %q", out)
+	}
+	if want := Seal(k, 42, aad, pt); !bytes.Equal(out[len(prefix):], want) {
+		t.Fatalf("AppendSeal after prefix diverges from Seal")
+	}
+
+	opened, ok := s.AppendOpen(append([]byte(nil), prefix...), 42, aad, out[len(prefix):])
+	if !ok || !bytes.Equal(opened, append(append([]byte(nil), prefix...), pt...)) {
+		t.Fatalf("AppendOpen append semantics broken: %q ok=%v", opened, ok)
+	}
+}
+
+// TestSealerRejects checks the Sealer's failure paths mirror Open's: a
+// flipped bit anywhere (ciphertext, tag, aad, nonce), a truncated input,
+// or the wrong key must fail without modifying dst.
+func TestSealerRejects(t *testing.T) {
+	k := KeyFromBytes([]byte("sealer-rejects!!"))
+	s := NewSealer(k)
+	pt := []byte("payload payload payload")
+	aad := []byte{1, 2, 3}
+	sealed := s.AppendSeal(nil, 9, aad, pt)
+
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x40
+		if _, ok := s.AppendOpen(nil, 9, aad, tampered); ok {
+			t.Fatalf("accepted tampered byte %d", i)
+		}
+	}
+	if _, ok := s.AppendOpen(nil, 10, aad, sealed); ok {
+		t.Fatal("accepted wrong nonce")
+	}
+	if _, ok := s.AppendOpen(nil, 9, []byte{1, 2}, sealed); ok {
+		t.Fatal("accepted wrong aad")
+	}
+	if _, ok := s.AppendOpen(nil, 9, aad, sealed[:Overhead-1]); ok {
+		t.Fatal("accepted truncated input")
+	}
+	if _, ok := NewSealer(KeyFromBytes([]byte("other"))).AppendOpen(nil, 9, aad, sealed); ok {
+		t.Fatal("accepted wrong key")
+	}
+	dst := []byte("keep")
+	got, ok := s.AppendOpen(dst, 99, aad, sealed)
+	if ok || !bytes.Equal(got, dst) {
+		t.Fatalf("failed AppendOpen modified dst: %q ok=%v", got, ok)
+	}
+}
+
+// TestSealerAllocFree is the allocation regression test the issue asks
+// for: with warm scratch, seal and open must not allocate at all.
+func TestSealerAllocFree(t *testing.T) {
+	k := KeyFromBytes([]byte("alloc-free-seals"))
+	s := NewSealer(k)
+	pt := []byte("0123456789abcdef0123456789abcdef012345") // 38 B, typical frame body
+	aad := []byte{3, 0, 0, 0, 7}
+	sealBuf := make([]byte, 0, len(pt)+Overhead)
+	openBuf := make([]byte, 0, len(pt))
+	sealed := s.AppendSeal(nil, 1, aad, pt)
+
+	if n := testing.AllocsPerRun(200, func() {
+		sealBuf = s.AppendSeal(sealBuf[:0], 5, aad, pt)
+	}); n != 0 {
+		t.Errorf("AppendSeal allocates %v/op; want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		var ok bool
+		openBuf, ok = s.AppendOpen(openBuf[:0], 1, aad, sealed)
+		if !ok {
+			t.Fatal("open failed")
+		}
+	}); n != 0 {
+		t.Errorf("AppendOpen allocates %v/op; want 0", n)
+	}
+}
+
+// TestSealOpenAllocBudget pins the one-shot path's allocation count so the
+// baseline the Sealer is measured against cannot silently regress.
+func TestSealOpenAllocBudget(t *testing.T) {
+	k := KeyFromBytes([]byte("one-shot-budget!"))
+	pt := []byte("0123456789abcdef0123456789abcdef012345")
+	aad := []byte{3, 0, 0, 0, 7}
+	sealed := Seal(k, 1, aad, pt)
+
+	// The one-shot functions re-derive both subkeys and rebuild all
+	// cipher state per call; ~30 allocations each today. The budget is
+	// deliberately loose — it exists to catch order-of-magnitude rot and
+	// to document why the Sealer path matters.
+	if n := testing.AllocsPerRun(100, func() { _ = Seal(k, 1, aad, pt) }); n > 40 {
+		t.Errorf("Seal allocates %v/op; budget 40", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := Open(k, 1, aad, sealed); !ok {
+			t.Fatal("open failed")
+		}
+	}); n > 40 {
+		t.Errorf("Open allocates %v/op; budget 40", n)
+	}
+}

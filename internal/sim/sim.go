@@ -14,6 +14,18 @@
 // everything the paper's figures measure (message counts, key counts,
 // cluster structure) without modeling PHY/MAC detail the paper does not
 // report.
+//
+// # Buffer ownership
+//
+// The engine recycles both its event records and the per-receiver packet
+// copies it hands to Behavior.Receive. The contract is strict: a packet
+// slice passed to Receive (and the TraceEvent.Pkt slice passed to a Trace
+// hook) is owned by the engine and valid only until that callback returns;
+// code that needs the bytes longer must copy them. Config.PoisonRecycled
+// turns violations into loud test failures, and Config.DisablePooling
+// restores the old allocate-per-delivery behavior for A/B comparison —
+// both engines produce byte-identical runs for any behavior honoring the
+// contract.
 package sim
 
 import (
@@ -63,7 +75,9 @@ type Config struct {
 	// ("sensors usually have limited lifetime and usually die of energy
 	// depletion", Section IV-E). Zero means unlimited.
 	Battery float64
-	// OnDeath, if non-nil, is called when a node's battery is exhausted.
+	// OnDeath, if non-nil, is called when a node dies of energy
+	// depletion — whether the engine's battery accounting exceeded the
+	// budget or the behavior declared its own death through Context.Die.
 	OnDeath func(i int, at time.Duration)
 	// Faults, if non-nil, is a deterministic fault-injection plan: node
 	// crashes and reboots become engine events, and the plan's loss
@@ -81,6 +95,20 @@ type Config struct {
 	// run/trial. Instrumentation draws no randomness and takes no
 	// protocol-visible branches, so enabling it never changes a run.
 	Obs *obs.Scope
+	// DisablePooling turns off the engine's event free-list and packet
+	// arena, making every delivery allocate fresh memory as the
+	// pre-pooling engine did. Pooling is invisible to any behavior that
+	// honors the buffer-ownership contract (see the package comment), so
+	// this switch exists only for the equivalence tests that pin a
+	// pooled and an unpooled engine to byte-identical runs, and as a
+	// debugging escape hatch.
+	DisablePooling bool
+	// PoisonRecycled overwrites every recycled packet buffer with 0xDB
+	// before reuse. A behavior or trace hook that illegally retains a
+	// delivered packet past its callback observes the poison and
+	// diverges, turning silent use-after-recycle bugs into loud test
+	// failures. Ignored when DisablePooling is set.
+	PoisonRecycled bool
 }
 
 // TraceEvent describes one packet delivery attempt for debugging and the
@@ -91,9 +119,11 @@ type TraceEvent struct {
 	To   node.ID
 	Size int
 	Lost bool
-	// Pkt is the raw packet. It aliases the sender's buffer and is only
-	// valid for the duration of the trace callback; hooks that need it
-	// later must copy.
+	// Pkt is the raw packet. It aliases an engine-owned buffer (the
+	// sender's, which may itself be recycled protocol scratch) and is
+	// only valid for the duration of the trace callback; hooks that need
+	// it later must copy. Config.PoisonRecycled exists to catch hooks
+	// that violate this.
 	Pkt []byte
 }
 
@@ -108,6 +138,13 @@ type Engine struct {
 	medium *xrand.RNG
 	inj    *faults.Injector
 	m      simMetrics
+
+	// freeEv is the event free-list: every dispatched event returns here
+	// and is reused by the next push, so the steady-state event loop
+	// stops allocating. pkts recycles the per-receiver delivery copies
+	// under the same discipline.
+	freeEv []*event
+	pkts   pktArena
 }
 
 // simMetrics holds the engine's counters. With observability off every
@@ -134,7 +171,7 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		collisions: r.Counter("sim_collisions_total", "packets destroyed by the half-duplex collision model"),
 		crashes:    r.Counter("sim_crashes_total", "node crashes (fault plan or scenario)"),
 		reboots:    r.Counter("sim_reboots_total", "node reboots after a crash"),
-		deaths:     r.Counter("sim_battery_deaths_total", "nodes dead of battery depletion"),
+		deaths:     r.Counter("sim_battery_deaths_total", "nodes dead of energy depletion (battery accounting or Context.Die)"),
 	}
 }
 
@@ -143,10 +180,30 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 // node index is free.
 const faultStream = uint64(1) << 40
 
+// eventKind discriminates the engine's typed events. The hot-path kinds
+// (delivery, timer, collidable reception) carry their operands in the
+// event record itself instead of a freshly allocated closure, which is
+// what lets the free-list make the event loop allocation-free.
+type eventKind uint8
+
+const (
+	evFunc    eventKind = iota // generic scheduled function (Schedule, Boot)
+	evDeliver                  // collision-free packet delivery to h
+	evRxBegin                  // collision model: packet starts occupying h's radio
+	evRxEnd                    // collision model: airtime over, deliver if intact
+	evTimer                    // behavior timer tid on h
+)
+
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+	fn   func()
+	h    *host
+	from node.ID
+	pkt  []byte
+	rx   *reception
+	tid  node.TimerID
 }
 
 type eventHeap []*event
@@ -169,6 +226,49 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// pktArena recycles the per-receiver packet copies deliverFrom makes.
+// Buffers are handed to Behavior.Receive and reclaimed as soon as the
+// callback returns; see the package comment for the ownership contract.
+type pktArena struct {
+	free     [][]byte
+	disabled bool
+	poison   bool
+}
+
+func (a *pktArena) get(n int) []byte {
+	if a.disabled {
+		return make([]byte, n)
+	}
+	if last := len(a.free) - 1; last >= 0 {
+		b := a.free[last]
+		a.free[last] = nil
+		a.free = a.free[:last]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this packet: drop it and size up. Packet sizes
+		// are bounded, so the arena converges to max-size buffers.
+	}
+	c := n
+	if c < 128 {
+		c = 128
+	}
+	return make([]byte, n, c)
+}
+
+func (a *pktArena) put(b []byte) {
+	if a.disabled || cap(b) == 0 {
+		return
+	}
+	if a.poison {
+		b = b[:cap(b)]
+		for i := range b {
+			b[i] = 0xDB
+		}
+	}
+	a.free = append(a.free, b)
+}
+
 // host adapts one behavior to the engine and implements node.Context.
 type host struct {
 	eng      *Engine
@@ -179,8 +279,12 @@ type host struct {
 	meter    energy.Meter
 	alive    bool
 	started  bool
-	timers   map[node.TimerID]*timerState
-	nextTID  node.TimerID
+
+	// timers maps each armed timer to its tag; presence in the map is
+	// the armed/cancelled state, so arming a timer allocates no
+	// per-timer record.
+	timers  map[node.TimerID]node.Tag
+	nextTID node.TimerID
 
 	// Collision-model state: the reception currently occupying the
 	// radio, and how many packets collisions have destroyed here.
@@ -196,10 +300,6 @@ type host struct {
 type reception struct {
 	endsAt  time.Duration
 	corrupt bool
-}
-
-type timerState struct {
-	cancelled bool
 }
 
 // New builds an engine hosting one behavior per graph node. behaviors[i]
@@ -231,6 +331,8 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 		medium: root.Split(0),
 		m:      newSimMetrics(cfg.Obs.Registry()),
 	}
+	eng.pkts.disabled = cfg.DisablePooling
+	eng.pkts.poison = cfg.PoisonRecycled
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(cfg.Graph.N()); err != nil {
 			return nil, err
@@ -247,7 +349,7 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 			behavior: b,
 			rng:      root.Split(1 + uint64(i)),
 			alive:    b != nil,
-			timers:   make(map[node.TimerID]*timerState),
+			timers:   make(map[node.TimerID]node.Tag),
 		}
 	}
 	return eng, nil
@@ -255,6 +357,32 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// newEvent takes an event record from the free-list (or allocates one)
+// and stamps it with the next tie-break sequence number.
+func (e *Engine) newEvent(at time.Duration) *event {
+	var ev *event
+	if last := len(e.freeEv) - 1; last >= 0 {
+		ev = e.freeEv[last]
+		e.freeEv[last] = nil
+		e.freeEv = e.freeEv[:last]
+	} else {
+		ev = &event{}
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	return ev
+}
+
+// recycle clears a dispatched event and returns it to the free-list.
+func (e *Engine) recycle(ev *event) {
+	if e.cfg.DisablePooling {
+		return
+	}
+	*ev = event{}
+	e.freeEv = append(e.freeEv, ev)
+}
 
 // Schedule runs fn at the given absolute virtual time (or immediately next
 // if t is in the past). External actors — experiment scripts, the
@@ -267,8 +395,10 @@ func (e *Engine) Schedule(t time.Duration, fn func()) {
 }
 
 func (e *Engine) push(at time.Duration, fn func()) {
-	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	ev := e.newEvent(at)
+	ev.kind = evFunc
+	ev.fn = fn
+	heap.Push(&e.queue, ev)
 }
 
 // Boot schedules behavior Start callbacks at time t for every alive,
@@ -316,6 +446,23 @@ func (e *Engine) bootHost(h *host, t time.Duration) {
 	})
 }
 
+// dispatch runs one popped event and returns its record to the free-list.
+func (e *Engine) dispatch(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evDeliver:
+		e.runDeliver(ev.h, ev.from, ev.pkt)
+	case evRxBegin:
+		e.runRxBegin(ev.h, ev.rx)
+	case evRxEnd:
+		e.runRxEnd(ev.h, ev.from, ev.pkt, ev.rx)
+	case evTimer:
+		e.runTimer(ev.h, ev.tid)
+	}
+	e.recycle(ev)
+}
+
 // Run processes events in time order until the queue is empty or the
 // virtual clock would exceed until. It returns the number of events
 // processed.
@@ -328,7 +475,7 @@ func (e *Engine) Run(until time.Duration) int {
 		}
 		heap.Pop(&e.queue)
 		e.now = next.at
-		next.fn()
+		e.dispatch(next)
 		processed++
 		e.m.events.Inc()
 	}
@@ -346,7 +493,7 @@ func (e *Engine) RunUntilIdle(maxEvents int) (int, error) {
 	for e.queue.Len() > 0 {
 		next := heap.Pop(&e.queue).(*event)
 		e.now = next.at
-		next.fn()
+		e.dispatch(next)
 		processed++
 		e.m.events.Inc()
 		if maxEvents > 0 && processed > maxEvents {
@@ -372,7 +519,9 @@ func (e *Engine) Alive(i int) bool { return e.hosts[i].alive }
 func (e *Engine) Behavior(i int) node.Behavior { return e.hosts[i].behavior }
 
 // Kill removes node i from the network immediately: no further callbacks,
-// no forwarding — the simulator's model of destruction or battery death.
+// no forwarding — the simulator's model of external destruction. Unlike a
+// battery death or Context.Die it is silent: no death counter, no OnDeath
+// callback (the scenario that called Kill already knows).
 func (e *Engine) Kill(i int) { e.hosts[i].alive = false }
 
 // Crash is the fault model's node failure: the radio closes, every
@@ -385,10 +534,7 @@ func (e *Engine) Crash(i int) {
 		return
 	}
 	h.alive = false
-	for tid, st := range h.timers {
-		st.cancelled = true
-		delete(h.timers, tid)
-	}
+	clear(h.timers)
 	h.rxCurrent = nil
 	e.m.crashes.Inc()
 	e.cfg.Obs.Emit(e.now, obs.KindCrash, i, 0, "")
@@ -443,7 +589,7 @@ func (e *Engine) Do(t time.Duration, i int, fn func(node.Context)) {
 // it spends no defender energy and reaches exactly the nodes a real radio
 // at that position would reach.
 func (e *Engine) InjectAt(at int, fakeFrom node.ID, pkt []byte) {
-	e.deliverFrom(at, fakeFrom, pkt, false)
+	e.deliverFrom(at, fakeFrom, pkt)
 }
 
 // broadcast carries a host transmission onto the medium.
@@ -453,7 +599,7 @@ func (e *Engine) broadcast(h *host, pkt []byte) {
 	h.meter.ChargeTx(e.cfg.Energy, len(pkt))
 	// The transmission itself completes even if it drains the battery;
 	// the node is dead afterwards.
-	e.deliverFrom(h.idx, h.id, pkt, true)
+	e.deliverFrom(h.idx, h.id, pkt)
 	e.checkBattery(h)
 }
 
@@ -468,15 +614,31 @@ func (e *Engine) checkBattery(h *host) {
 		return
 	}
 	if h.meter.Total() > e.cfg.Battery {
-		h.alive = false
-		e.m.deaths.Inc()
-		if e.cfg.OnDeath != nil {
-			e.cfg.OnDeath(h.idx, e.now)
-		}
+		e.kill(h)
 	}
 }
 
-func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
+// kill is the single death path for energy depletion: both the engine's
+// battery accounting (checkBattery) and a behavior's own Context.Die
+// route through it, so the death counter and the OnDeath callback can
+// never disagree about how many nodes died.
+func (e *Engine) kill(h *host) {
+	if !h.alive {
+		return
+	}
+	h.alive = false
+	e.m.deaths.Inc()
+	if e.cfg.OnDeath != nil {
+		e.cfg.OnDeath(h.idx, e.now)
+	}
+}
+
+// deliverFrom fans a transmission at graph position idx out to every
+// radio neighbor. Each receiver gets a private arena copy, so neither the
+// sender's later reuse of its buffer nor another receiver's in-place
+// mutation can corrupt a delivery — the same isolation a real radio
+// provides; the copy returns to the arena when Receive returns.
+func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte) {
 	for _, nb := range e.cfg.Graph.Neighbors(idx) {
 		rcv := e.hosts[nb]
 		// Loss ordering contract (pinned by TestLossBeforeCollision*):
@@ -505,24 +667,31 @@ func (e *Engine) deliverFrom(idx int, from node.ID, pkt []byte, _ bool) {
 			e.m.lost.Inc()
 			continue
 		}
-		// Each receiver gets a private copy, so neither the sender's later
-		// reuse of its buffer nor another receiver's in-place mutation can
-		// corrupt a delivery — the same isolation a real radio provides.
-		copied := append([]byte(nil), pkt...)
+		copied := e.pkts.get(len(pkt))
+		copy(copied, pkt)
 		if e.cfg.Collisions {
 			e.scheduleCollidableRx(rcv, from, copied, e.now+delay)
 			continue
 		}
-		e.push(e.now+delay, func() {
-			if !rcv.alive {
-				return
-			}
-			e.m.rx.Inc()
-			rcv.meter.ChargeRx(e.cfg.Energy, len(copied))
-			rcv.behavior.Receive(rcv, from, copied)
-			e.checkBattery(rcv)
-		})
+		ev := e.newEvent(e.now + delay)
+		ev.kind = evDeliver
+		ev.h = rcv
+		ev.from = from
+		ev.pkt = copied
+		heap.Push(&e.queue, ev)
 	}
+}
+
+// runDeliver completes a collision-free delivery and reclaims the packet
+// buffer once the receiver's callback is done with it.
+func (e *Engine) runDeliver(rcv *host, from node.ID, pkt []byte) {
+	if rcv.alive {
+		e.m.rx.Inc()
+		rcv.meter.ChargeRx(e.cfg.Energy, len(pkt))
+		rcv.behavior.Receive(rcv, from, pkt)
+		e.checkBattery(rcv)
+	}
+	e.pkts.put(pkt)
 }
 
 // scaledJitter returns the medium jitter with any active fault-plan
@@ -540,43 +709,76 @@ func (e *Engine) scaledJitter() time.Duration {
 // overlaps another reception, both are corrupted and neither is
 // delivered. Receive energy is charged only for packets that decode —
 // corrupted receptions are dropped before the full-packet receive cost.
+// The end-of-airtime event owns the packet buffer.
 func (e *Engine) scheduleCollidableRx(rcv *host, from node.ID, pkt []byte, arrival time.Duration) {
 	airtime := e.cfg.AirtimePerByte * time.Duration(len(pkt))
 	if airtime <= 0 {
 		airtime = time.Microsecond
 	}
 	rx := &reception{endsAt: arrival + airtime}
-	e.push(arrival, func() {
-		if !rcv.alive {
-			return
-		}
-		if cur := rcv.rxCurrent; cur != nil && e.now < cur.endsAt {
-			// Overlap: the in-progress reception and this one are both
-			// destroyed.
-			if !cur.corrupt {
-				cur.corrupt = true
-				rcv.collisions++
-				e.m.collisions.Inc()
-			}
-			rx.corrupt = true
+	begin := e.newEvent(arrival)
+	begin.kind = evRxBegin
+	begin.h = rcv
+	begin.rx = rx
+	heap.Push(&e.queue, begin)
+	end := e.newEvent(arrival + airtime)
+	end.kind = evRxEnd
+	end.h = rcv
+	end.from = from
+	end.pkt = pkt
+	end.rx = rx
+	heap.Push(&e.queue, end)
+}
+
+// runRxBegin starts occupying the receiver's radio, corrupting any
+// overlapping reception.
+func (e *Engine) runRxBegin(rcv *host, rx *reception) {
+	if !rcv.alive {
+		return
+	}
+	if cur := rcv.rxCurrent; cur != nil && e.now < cur.endsAt {
+		// Overlap: the in-progress reception and this one are both
+		// destroyed.
+		if !cur.corrupt {
+			cur.corrupt = true
 			rcv.collisions++
 			e.m.collisions.Inc()
-			if rx.endsAt > cur.endsAt {
-				rcv.rxCurrent = rx // radio stays jammed until the longer one ends
-			}
-			return
 		}
-		rcv.rxCurrent = rx
-	})
-	e.push(arrival+airtime, func() {
-		if !rcv.alive || rx.corrupt {
-			return
+		rx.corrupt = true
+		rcv.collisions++
+		e.m.collisions.Inc()
+		if rx.endsAt > cur.endsAt {
+			rcv.rxCurrent = rx // radio stays jammed until the longer one ends
 		}
+		return
+	}
+	rcv.rxCurrent = rx
+}
+
+// runRxEnd delivers a collidable reception that survived its airtime and
+// reclaims the packet buffer.
+func (e *Engine) runRxEnd(rcv *host, from node.ID, pkt []byte, rx *reception) {
+	if rcv.alive && !rx.corrupt {
 		e.m.rx.Inc()
 		rcv.meter.ChargeRx(e.cfg.Energy, len(pkt))
 		rcv.behavior.Receive(rcv, from, pkt)
 		e.checkBattery(rcv)
-	})
+	}
+	e.pkts.put(pkt)
+}
+
+// runTimer fires behavior timer tid on h unless it was cancelled (absent
+// from the map) or the host died.
+func (e *Engine) runTimer(h *host, tid node.TimerID) {
+	tag, ok := h.timers[tid]
+	if !ok {
+		return
+	}
+	delete(h.timers, tid)
+	if !h.alive {
+		return
+	}
+	h.behavior.Timer(h, tag)
 }
 
 // --- node.Context implementation ---
@@ -599,24 +801,19 @@ func (h *host) Broadcast(pkt []byte) {
 func (h *host) SetTimer(d time.Duration, tag node.Tag) node.TimerID {
 	h.nextTID++
 	tid := h.nextTID
-	st := &timerState{}
-	h.timers[tid] = st
-	h.eng.push(h.eng.now+d, func() {
-		delete(h.timers, tid)
-		if st.cancelled || !h.alive {
-			return
-		}
-		h.behavior.Timer(h, tag)
-	})
+	h.timers[tid] = tag
+	e := h.eng
+	ev := e.newEvent(e.now + d)
+	ev.kind = evTimer
+	ev.h = h
+	ev.tid = tid
+	heap.Push(&e.queue, ev)
 	return tid
 }
 
 // CancelTimer implements node.Context.
 func (h *host) CancelTimer(id node.TimerID) {
-	if st, ok := h.timers[id]; ok {
-		st.cancelled = true
-		delete(h.timers, id)
-	}
+	delete(h.timers, id)
 }
 
 // Rand implements node.Context.
@@ -634,5 +831,7 @@ func (h *host) ChargeMAC(n int) {
 	h.eng.checkBattery(h)
 }
 
-// Die implements node.Context.
-func (h *host) Die() { h.alive = false }
+// Die implements node.Context: the behavior's own declaration of energy
+// death. It routes through the same bookkeeping as a battery-accounting
+// death, so the deaths counter and OnDeath observe it.
+func (h *host) Die() { h.eng.kill(h) }

@@ -12,8 +12,13 @@ type Hello struct {
 }
 
 // Marshal encodes the body.
-func (m *Hello) Marshal() []byte {
-	var w writer
+func (m *Hello) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Hello) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.HeadID)
 	w.key(m.ClusterKey)
 	return w.buf
@@ -38,8 +43,13 @@ type LinkAdvert struct {
 }
 
 // Marshal encodes the body.
-func (m *LinkAdvert) Marshal() []byte {
-	var w writer
+func (m *LinkAdvert) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *LinkAdvert) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.CID)
 	w.key(m.ClusterKey)
 	return w.buf
@@ -71,8 +81,13 @@ type Inner struct {
 }
 
 // Marshal encodes the body.
-func (m *Inner) Marshal() []byte {
-	var w writer
+func (m *Inner) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Inner) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.Src)
 	w.u64(m.Counter)
 	if m.Encrypted {
@@ -120,8 +135,13 @@ type Data struct {
 }
 
 // Marshal encodes the body.
-func (m *Data) Marshal() []byte {
-	var w writer
+func (m *Data) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Data) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.i64(m.Tau)
 	w.u32(m.SrcCID)
 	w.u32(m.Origin)
@@ -158,8 +178,13 @@ type Beacon struct {
 }
 
 // Marshal encodes the body.
-func (m *Beacon) Marshal() []byte {
-	var w writer
+func (m *Beacon) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Beacon) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.Round)
 	w.u16(m.Hop)
 	return w.buf
@@ -188,8 +213,13 @@ type Revoke struct {
 }
 
 // Marshal encodes the body.
-func (m *Revoke) Marshal() []byte {
-	var w writer
+func (m *Revoke) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Revoke) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.Index)
 	w.key(m.ChainKey)
 	w.u16(uint16(len(m.CIDs)))
@@ -223,8 +253,13 @@ type JoinReq struct {
 }
 
 // Marshal encodes the body.
-func (m *JoinReq) Marshal() []byte {
-	var w writer
+func (m *JoinReq) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *JoinReq) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.NodeID)
 	return w.buf
 }
@@ -254,8 +289,13 @@ type JoinResp struct {
 }
 
 // Marshal encodes the body.
-func (m *JoinResp) Marshal() []byte {
-	var w writer
+func (m *JoinResp) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *JoinResp) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.CID)
 	w.u32(m.Epoch)
 	w.buf = append(w.buf, m.Tag[:]...)
@@ -286,8 +326,13 @@ type Refresh struct {
 }
 
 // Marshal encodes the body.
-func (m *Refresh) Marshal() []byte {
-	var w writer
+func (m *Refresh) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Refresh) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.CID)
 	w.u32(m.Epoch)
 	w.key(m.NewKey)
@@ -318,8 +363,13 @@ type KeepAlive struct {
 }
 
 // Marshal encodes the body.
-func (m *KeepAlive) Marshal() []byte {
-	var w writer
+func (m *KeepAlive) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *KeepAlive) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.CID)
 	w.u32(m.HeadID)
 	w.u32(m.Epoch)
@@ -349,8 +399,13 @@ type Repair struct {
 }
 
 // Marshal encodes the body.
-func (m *Repair) Marshal() []byte {
-	var w writer
+func (m *Repair) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *Repair) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
 	w.u32(m.CID)
 	w.u32(m.NewHead)
 	w.u32(m.Epoch)

@@ -99,44 +99,61 @@ const MaxPayload = 1<<16 - 1
 
 // Marshal encodes the frame.
 func (f *Frame) Marshal() ([]byte, error) {
+	return f.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the frame's encoding to dst and returns the
+// extended slice — the same bytes Marshal produces, but reusable scratch
+// with spare capacity makes the call allocation-free.
+func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
-		return nil, fmt.Errorf("wire: payload of %d bytes exceeds maximum %d", len(f.Payload), MaxPayload)
+		return dst, fmt.Errorf("wire: payload of %d bytes exceeds maximum %d", len(f.Payload), MaxPayload)
 	}
-	out := make([]byte, frameHeader+len(f.Payload))
-	out[0] = byte(f.Type)
-	binary.BigEndian.PutUint32(out[1:5], f.CID)
-	binary.BigEndian.PutUint64(out[5:13], f.Nonce)
-	binary.BigEndian.PutUint16(out[13:15], uint16(len(f.Payload)))
-	copy(out[frameHeader:], f.Payload)
-	return out, nil
+	dst = append(dst, byte(f.Type))
+	dst = binary.BigEndian.AppendUint32(dst, f.CID)
+	dst = binary.BigEndian.AppendUint64(dst, f.Nonce)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Payload)))
+	return append(dst, f.Payload...), nil
 }
 
 // ParseFrame decodes a frame from a packet. The returned frame's payload
 // aliases pkt.
 func ParseFrame(pkt []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := ParseFrameInto(f, pkt); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseFrameInto decodes a frame from a packet into a caller-provided
+// (typically stack-allocated) Frame, avoiding ParseFrame's per-packet
+// allocation. f.Payload aliases pkt; it is only as long-lived as the
+// packet buffer, which on the simulator's receive path is recycled when
+// Receive returns.
+func ParseFrameInto(f *Frame, pkt []byte) error {
 	if len(pkt) < frameHeader {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	f := &Frame{
-		Type:  Type(pkt[0]),
-		CID:   binary.BigEndian.Uint32(pkt[1:5]),
-		Nonce: binary.BigEndian.Uint64(pkt[5:13]),
-	}
+	f.Type = Type(pkt[0])
+	f.CID = binary.BigEndian.Uint32(pkt[1:5])
+	f.Nonce = binary.BigEndian.Uint64(pkt[5:13])
+	f.Payload = nil
 	if f.Type < THello || f.Type > TRepair {
-		return nil, ErrBadType
+		return ErrBadType
 	}
 	n := int(binary.BigEndian.Uint16(pkt[13:15]))
 	if len(pkt) < frameHeader+n {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	// A radio packet is exactly one frame: trailing bytes beyond the
 	// declared payload length are rejected so parse-then-marshal is the
 	// identity on every accepted packet (found by FuzzParseFrame).
 	if len(pkt) != frameHeader+n {
-		return nil, fmt.Errorf("wire: %d trailing bytes after frame payload", len(pkt)-frameHeader-n)
+		return fmt.Errorf("wire: %d trailing bytes after frame payload", len(pkt)-frameHeader-n)
 	}
 	f.Payload = pkt[frameHeader : frameHeader+n]
-	return f, nil
+	return nil
 }
 
 // writer appends big-endian fields to a buffer.
