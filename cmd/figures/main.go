@@ -7,7 +7,7 @@
 //	        [-format text] [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
-//	               setupcost,chaos]
+//	               setupcost,chaos,arq]
 //
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
@@ -44,7 +44,7 @@ const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
         [-format text] [-obs :9090]
         [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
                setup,storage,election,routing,freshness,mac,lifetime,
-               setupcost,chaos]`
+               setupcost,chaos,arq]`
 
 // options holds every figures flag; registerFlags binds them to a
 // FlagSet so tests can exercise flag registration and usage output
@@ -183,6 +183,9 @@ func main() {
 				return nil, err
 			}
 			return chaosTables{crash, burst}, nil
+		}},
+		{"arq", func() (interface{ Table() string }, error) {
+			return experiments.ARQBurst(capped("arq"), nil)
 		}},
 	}
 

@@ -1,0 +1,232 @@
+package main
+
+// Multi-process live mode: -listen switches wsnsim from the
+// deterministic simulator to the live runtime (internal/live) with a
+// real UDP carrier (internal/transport). Each process hosts exactly one
+// protocol node; the rest of the topology is dark locally and reached
+// over loopback (or a LAN) through the reliable transport — sequence
+// numbers, acks, retransmission, breakers. All processes must share
+// -seed so they derive the same key authority, and node 0 is the base
+// station.
+//
+// Example, two terminals:
+//
+//	wsnsim -listen 127.0.0.1:7101 -node 0 -peers 1=127.0.0.1:7102 -seed 7
+//	wsnsim -listen 127.0.0.1:7102 -node 1 -peers 0=127.0.0.1:7101 -seed 7
+//
+// Each process blocks on a probe barrier until every peer is reachable,
+// runs cluster-key setup for real, prints "Km erased: true" once its
+// node is operational with the master key destroyed, and exits 0 only
+// on full success.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/live"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// parsePeers parses "id=addr,id=addr" into a map.
+func parsePeers(s string) (map[int]string, error) {
+	peers := map[int]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=addr)", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -peers node id %q", id)
+		}
+		if _, dup := peers[n]; dup {
+			return nil, fmt.Errorf("duplicate -peers node id %d", n)
+		}
+		peers[n] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-listen requires at least one -peers entry")
+	}
+	return peers, nil
+}
+
+// liveConfig compresses the protocol's real-time phases so a loopback
+// cluster finishes setup in under a second. Every process derives the
+// same values, so phase windows line up across the cluster (the probe
+// barrier aligns their starting instants).
+func liveConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.HelloMeanDelay = 20 * time.Millisecond
+	cfg.ClusterPhaseEnd = 400 * time.Millisecond
+	cfg.LinkSpread = 200 * time.Millisecond
+	cfg.FreshWindow = 2 * time.Second // scheduling jitter is real here
+	// Processes boot with real skew: a one-shot routing beacon can land
+	// before a peer finished its own setup and be discarded. Re-flood
+	// periodically so every node acquires a hop gradient.
+	cfg.BeaconPeriod = 500 * time.Millisecond
+	// Each process's protocol clock starts when its own runtime boots;
+	// the probe barrier bounds that skew to well under a second. Without
+	// this allowance a sender whose clock started first stamps readings
+	// the receiver sees as from-the-future and silently drops.
+	cfg.SkewTolerance = time.Second
+	return cfg
+}
+
+// runLive is the -listen entry point. It never returns: the process
+// exits 0 only if this node completed key setup and erased Km.
+func runLive(o *options) {
+	local := *o.nodeID
+	peers, err := parsePeers(*o.peers)
+	if err != nil {
+		fail(err)
+	}
+	if _, clash := peers[local]; clash || local < 0 {
+		fail(fmt.Errorf("-node %d conflicts with -peers", local))
+	}
+	n := local + 1
+	ids := []int{local}
+	for id := range peers {
+		if id+1 > n {
+			n = id + 1
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for want, id := range ids {
+		if id != want {
+			fail(fmt.Errorf("cluster must cover node ids 0..%d contiguously; missing %d", n-1, want))
+		}
+	}
+
+	// Every node inside radio range of every other: the cluster is one
+	// radio cell, split across processes.
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: 0.45 + 0.01*float64(i), Y: 0.5}
+	}
+	graph := topology.FromPositions(pos, 1, 0.5, geom.Planar)
+
+	cfg := liveConfig()
+	auth := core.AuthorityFromSeed(*o.seed, cfg.ChainLength)
+	behaviors := make([]node.Behavior, n)
+	var s *core.Sensor
+	m := auth.MaterialFor(node.ID(local))
+	if local == 0 {
+		s = core.NewBaseStation(cfg, m, auth)
+	} else {
+		s = core.NewSensor(cfg, m)
+	}
+	behaviors[local] = s
+
+	carrier, err := transport.ListenUDP(local, *o.listen)
+	if err != nil {
+		fail(err)
+	}
+	defer carrier.Close()
+	for id, addr := range peers {
+		if err := carrier.AddPeer(id, addr); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("wsnsim: node %d listening on %s, waiting for %d peer(s)\n",
+		local, carrier.Addr(), len(peers))
+	if err := carrier.WaitReady(30 * time.Second); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wsnsim: node %d: all peers reachable, starting key setup\n", local)
+
+	// ARQ with a deep retry budget: process scheduling skew means a
+	// peer's first frames can race its protocol boot.
+	net := live.Start(live.Config{
+		Graph:     graph,
+		Seed:      *o.seed,
+		Transport: transport.Config{ARQ: true, MaxRetries: 8},
+		Carrier:   carrier,
+	}, behaviors)
+	defer net.Stop()
+
+	if local == 0 {
+		s.SetOnDeliver(func(d core.Delivery) {
+			fmt.Printf("wsnsim: node 0: delivered reading origin=%d bytes=%d encrypted=%v\n",
+				d.Origin, len(d.Data), d.Encrypted)
+		})
+	}
+
+	// Poll protocol state on the node's own goroutine until it is
+	// operational with the master key destroyed (and, off the base
+	// station, holding a beacon-acquired hop gradient — proof the UDP
+	// path carried traffic both ways).
+	type snap struct {
+		phase   core.Phase
+		hop     uint16
+		kmGone  bool
+		cluster uint32
+		inC     bool
+	}
+	poll := func() (snap, bool) {
+		ch := make(chan snap, 1)
+		net.Do(local, func(node.Context) {
+			cid, in := s.Cluster()
+			ch <- snap{s.Phase(), s.Hop(), s.KeyStore().Master.IsZero(), cid, in}
+		})
+		select {
+		case v := <-ch:
+			return v, true
+		case <-time.After(time.Second):
+			return snap{}, false
+		}
+	}
+	deadline := time.Now().Add(45 * time.Second)
+	var st snap
+	for {
+		v, ok := poll()
+		if ok {
+			st = v
+			ready := st.phase == core.PhaseOperational && st.kmGone
+			if local != 0 {
+				ready = ready && st.hop != core.HopUnknown
+			}
+			if ready {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "wsnsim: node %d: setup incomplete before deadline (phase %v, hop %d, Km erased %v)\n",
+				local, st.phase, st.hop, st.kmGone)
+			os.Exit(1)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("wsnsim: node %d: operational, cluster %d (member %v), hop %d\n",
+		local, st.cluster, st.inC, st.hop)
+
+	// Non-BS nodes push one end-to-end encrypted reading through the
+	// socket; the base station prints deliveries as they land.
+	if local != 0 {
+		net.Do(local, func(ctx node.Context) {
+			if _, ok := s.SendReading(ctx, []byte{byte(local)}); !ok {
+				fmt.Fprintf(os.Stderr, "wsnsim: node %d: could not send reading\n", local)
+			}
+		})
+	}
+
+	// Hold so peers can finish their own setup against our live radio
+	// (and so in-flight acks and readings drain) before tearing down.
+	time.Sleep(*o.hold)
+	fmt.Printf("wsnsim: node %d: Km erased: %v\n", local, st.kmGone)
+	if !st.kmGone {
+		os.Exit(1)
+	}
+}

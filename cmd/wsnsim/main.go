@@ -10,6 +10,7 @@
 //	       [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
 //	       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
 //	       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
+//	       [-listen addr] [-node 0] [-peers id=addr,...] [-hold 2s]
 //
 // -faults loads a deterministic fault plan (crashes, reboots, loss
 // bursts, partitions, jitter scaling; see docs/FAULTS.md for the line
@@ -17,7 +18,18 @@
 // -seed and -faults file reproduce the identical run, and removing the
 // plan never changes the fault-free behavior. -heal enables the
 // protocol's self-healing knobs (clusterhead keep-alives with local
-// repair elections, bounded data retransmissions), which default to off.
+// repair elections, bounded data retransmissions), which default to
+// off; a run that ends with unrepaired orphan nodes under -heal exits
+// non-zero with a one-line diagnostic.
+//
+// -listen switches to multi-process live mode: this process hosts the
+// single protocol node given by -node over a real UDP socket, reaches
+// the nodes listed in -peers through the reliable transport layer
+// (internal/transport: acks, retransmission, circuit breakers), and
+// exits 0 only once its node completed cluster-key setup and erased
+// the master key Km. All processes must share -seed; node 0 is the
+// base station. See the "Multi-process live run" section of README.md
+// and docs/TRANSPORT.md.
 //
 // -obs serves live observability endpoints (/metrics, /events,
 // /debug/vars, /debug/pprof) for the duration of the run; -obs-hold
@@ -54,7 +66,8 @@ const usageText = `wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
        [-readings 100] [-fusion] [-refresh none]
        [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
        [-faults plan.txt] [-heal] [-trace] [-map] [-v]
-       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]`
+       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
+       [-listen addr] [-node 0] [-peers id=addr,...] [-hold 2s]`
 
 // options holds every wsnsim flag; registerFlags binds them to a
 // FlagSet so tests can exercise flag registration and usage output
@@ -79,6 +92,10 @@ type options struct {
 	obsAddr   *string
 	obsHold   *time.Duration
 	obsEvents *string
+	listen    *string
+	nodeID    *int
+	peers     *string
+	hold      *time.Duration
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
@@ -102,6 +119,10 @@ func registerFlags(fs *flag.FlagSet) *options {
 		obsAddr:   fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
 		obsHold:   fs.Duration("obs-hold", 0, "keep the -obs endpoints up this long after the report"),
 		obsEvents: fs.String("obs-events", "", "append protocol milestone events to this JSONL file"),
+		listen:    fs.String("listen", "", "live mode: host one node over real UDP, listening on this address (e.g. 127.0.0.1:7101); empty = simulate in-process"),
+		nodeID:    fs.Int("node", 0, "live mode: the node id this process hosts (0 = base station)"),
+		peers:     fs.String("peers", "", "live mode: comma-separated id=addr list of the other processes"),
+		hold:      fs.Duration("hold", 2*time.Second, "live mode: linger this long after setup so peers can finish against our radio"),
 	}
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
@@ -113,6 +134,11 @@ func registerFlags(fs *flag.FlagSet) *options {
 func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *o.listen != "" {
+		runLive(o)
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.DisableStep1 = *o.fusion
@@ -406,6 +432,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wsnsim: holding observability endpoints for %v\n", *o.obsHold)
 		time.Sleep(*o.obsHold)
 	}
+
+	// Under -heal an orphan left at the end of the run means the repair
+	// machinery failed to do its one job; make that a hard failure so
+	// scripts and CI catch it.
+	if *o.heal {
+		if orphans := countOrphans(d); orphans > 0 {
+			fmt.Fprintf(os.Stderr, "wsnsim: %d node(s) ended the run orphaned despite -heal (clusterless or clusterhead dead)\n", orphans)
+			os.Exit(1)
+		}
+	}
+}
+
+// countOrphans reports how many live, non-evicted sensors ended the run
+// without a working cluster: either they never (re)joined one, or the
+// head they believe in is dead and no repair election replaced it. The
+// head pointer is Head(), not the cluster id — a repair election keeps
+// the cluster's identity (and key) while moving headship to a survivor.
+func countOrphans(d *core.Deployment) int {
+	orphans := 0
+	for i, s := range d.Sensors {
+		if s == nil || i == d.BSIndex || s.Evicted() || !d.Eng.Alive(i) {
+			continue
+		}
+		if _, in := s.Cluster(); !in {
+			orphans++
+			continue
+		}
+		head := int(s.Head())
+		if head != i && (head >= len(d.Sensors) || d.Sensors[head] == nil || !d.Eng.Alive(head)) {
+			orphans++
+		}
+	}
+	return orphans
 }
 
 func fail(err error) {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// deploySmall runs key setup on a compact deterministic network.
+func deploySmall(t *testing.T) *core.Deployment {
+	t.Helper()
+	d, err := core.Deploy(core.DeployOptions{N: 80, Density: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCountOrphansHealthyNetwork: after a clean setup every clustered
+// node has a live head, so the -heal exit check must see zero orphans.
+func TestCountOrphansHealthyNetwork(t *testing.T) {
+	d := deploySmall(t)
+	if got := countOrphans(d); got != 0 {
+		t.Fatalf("healthy network reports %d orphans, want 0", got)
+	}
+}
+
+// TestCountOrphansAfterHeadCrash: crashing a clusterhead (with healing
+// off, so no repair election runs) must orphan its surviving members.
+func TestCountOrphansAfterHeadCrash(t *testing.T) {
+	d := deploySmall(t)
+	st := d.Clusters()
+	// Pick a head that leads at least one other node.
+	victim := -1
+	for cid, size := range st.Sizes {
+		head := int(cid)
+		if size >= 2 && head != d.BSIndex && head < len(d.Sensors) && d.Sensors[head] != nil {
+			victim = head
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no multi-member cluster found; enlarge the deployment")
+	}
+	d.Eng.Crash(victim)
+	d.Eng.Run(d.Eng.Now() + 10*time.Millisecond)
+	if got := countOrphans(d); got < 1 {
+		t.Fatalf("crashed head %d left %d orphans, want >= 1", victim, got)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("1=127.0.0.1:7102, 2=127.0.0.1:7103")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[1] != "127.0.0.1:7102" || peers[2] != "127.0.0.1:7103" {
+		t.Fatalf("parsed %v", peers)
+	}
+	for _, bad := range []string{"", "1:addr", "x=addr", "-3=addr", "1=a,1=b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted invalid input", bad)
+		}
+	}
+}

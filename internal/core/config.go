@@ -78,6 +78,14 @@ type Config struct {
 	// cover one hop's delivery latency plus clock skew.
 	FreshWindow time.Duration
 
+	// SkewTolerance is how far *negative* an envelope's age may read
+	// before the freshness check rejects it as from-the-future. Inside
+	// one simulation every node shares the virtual clock, so the zero
+	// default (no tolerance) is exact; multi-process live deployments
+	// have genuinely skewed per-process clocks and must budget for them
+	// here, as any real WSN with imperfect time sync would.
+	SkewTolerance time.Duration
+
 	// FloodForwarding disables the hop-gradient forwarding rule: every
 	// node relays every authenticated, fresh, unseen data message
 	// regardless of direction. Maximally robust and maximally expensive;

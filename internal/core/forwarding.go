@@ -135,8 +135,11 @@ func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
 		return
 	}
 	// Freshness: τ is restamped at every hop, so a tight window suffices.
+	// The lower bound admits SkewTolerance of apparent future-ness: zero
+	// in simulation (shared virtual clock), nonzero across real
+	// processes whose clocks started at different instants.
 	age := int64(ctx.Now()) - d.Tau
-	if age < 0 || age > int64(s.cfg.FreshWindow) {
+	if age < -int64(s.cfg.SkewTolerance) || age > int64(s.cfg.FreshWindow) {
 		return
 	}
 	// Implicit acknowledgement: overhearing our own pending (origin, seq)

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestARQBurstStrictImprovement pins the acceptance criterion for the
+// reliable-transport chaos variant: under heavy burst loss, at identical
+// seeds, per-link ARQ must deliver strictly more readings than the bare
+// fire-and-forget medium. Both arms share every stream — deployment,
+// key material, injector chains — so the only difference is retransmit.
+func TestARQBurstStrictImprovement(t *testing.T) {
+	res, err := ARQBurst(Options{Seed: 11, Trials: 2, N: 120, Workers: 0}, []float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arq, ok := res.DeliveryARQ.At(0.9)
+	if !ok {
+		t.Fatal("missing sweep point 0.9 in ARQ series")
+	}
+	bare, ok := res.DeliveryBare.At(0.9)
+	if !ok {
+		t.Fatal("missing sweep point 0.9 in bare series")
+	}
+	if arq <= bare {
+		t.Fatalf("ARQ delivery %.3f not strictly above bare %.3f under burst loss", arq, bare)
+	}
+	if arq == 0 {
+		t.Fatal("ARQ arm delivered nothing; experiment is measuring a dead network")
+	}
+}

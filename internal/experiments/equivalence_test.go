@@ -73,6 +73,9 @@ func equivFamilies() []family {
 		{"BurstLoss", func(o Options) (any, error) {
 			return BurstLoss(o, []float64{0, 0.6})
 		}},
+		{"ARQBurst", func(o Options) (any, error) {
+			return ARQBurst(o, []float64{0, 0.6})
+		}},
 	}
 }
 
@@ -130,6 +133,7 @@ func TestChaosEquivalenceAcrossWorkerCounts(t *testing.T) {
 	}{
 		{"CrashChurn", func(o Options) (any, error) { return CrashChurn(o, []float64{0.1, 0.25}) }},
 		{"BurstLoss", func(o Options) (any, error) { return BurstLoss(o, []float64{0.3, 0.9}) }},
+		{"ARQBurst", func(o Options) (any, error) { return ARQBurst(o, []float64{0.3, 0.9}) }},
 	}
 	for _, fam := range runs {
 		fam := fam

@@ -122,6 +122,7 @@ var familyCaps = map[string]Caps{
 	"lifetime":  {MaxN: 500},
 	"setupcost": {MaxN: 1000},
 	"chaos":     {MaxN: 500, MaxTrials: 3},
+	"arq":       {MaxN: 300, MaxTrials: 3},
 }
 
 // CapsFor returns the scale caps for the named experiment family (the

@@ -23,6 +23,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/xrand"
 )
 
@@ -43,11 +44,34 @@ type Config struct {
 	// hooks contention-free across node goroutines; a nil scope costs
 	// one nil check per hook.
 	Obs *obs.Scope
+
+	// Transport enables the reliable datagram layer (internal/transport):
+	// framing, duplicate suppression, and — with Transport.ARQ — per-link
+	// ack/retransmit with circuit breakers. The zero value keeps the
+	// legacy fire-and-forget path, bit-for-bit.
+	Transport transport.Config
+	// Carrier, if non-nil, moves frames to nodes hosted by OTHER OS
+	// processes (e.g. transport.UDP): a local Broadcast reaches local
+	// neighbors through their inboxes and remote neighbors through the
+	// carrier; inbound carrier frames are fanned to local neighbors of
+	// the sender. Setting a Carrier implies framing. Each process should
+	// host exactly one non-nil behavior in this mode.
+	Carrier transport.Carrier
+	// Drop, if non-nil, is consulted once per transmitted frame (data,
+	// ack, or retransmission) on the framed path — the seam for
+	// internal/faults injectors. It runs under an internal mutex, so a
+	// non-concurrency-safe injector is fine. Returning true discards the
+	// frame before it reaches any inbox or the carrier.
+	Drop func(now time.Duration, from, to int) bool
 }
+
+// framed reports whether packets travel inside transport frames.
+func (c Config) framed() bool { return c.Transport.Enabled() || c.Carrier != nil }
 
 type packet struct {
 	from node.ID
 	data []byte
+	raw  bool // data is a transport frame, not a bare radio packet
 }
 
 // Network hosts the nodes. Create with Start, stop with Stop.
@@ -61,7 +85,10 @@ type Network struct {
 	lossMu  sync.Mutex
 	lossRNG *xrand.RNG
 
-	m liveMetrics
+	start time.Time
+
+	m  liveMetrics
+	tm transport.Metrics
 }
 
 // liveMetrics are the runtime's counters; all-nil (no-op) when
@@ -109,6 +136,12 @@ type lhost struct {
 	nextTID node.TimerID
 	clock   *time.Timer
 	start   time.Time
+
+	// ep is the node's reliability endpoint (nil on the legacy path).
+	// It is driven exclusively from the node goroutine: Send from
+	// Broadcast, HandleRaw from inbox processing, Tick from arq.
+	ep  *transport.Endpoint
+	arq *time.Timer // retransmit clock, armed from ep.NextWake
 }
 
 type liveTimer struct {
@@ -151,9 +184,11 @@ func Start(cfg Config, behaviors []node.Behavior) *Network {
 		stop:    make(chan struct{}),
 		lossRNG: root.Split(0),
 		m:       newLiveMetrics(cfg.Obs.Registry()),
+		tm:      transport.NewMetrics(cfg.Obs.Registry()),
 	}
 	n.hosts = make([]*lhost, len(behaviors))
 	now := time.Now()
+	n.start = now
 	for i, b := range behaviors {
 		h := &lhost{
 			net:      n,
@@ -167,6 +202,13 @@ func Start(cfg Config, behaviors []node.Behavior) *Network {
 			start:    now,
 		}
 		h.alive.Store(b != nil)
+		if cfg.framed() && b != nil {
+			idx := i
+			h.ep = transport.NewEndpoint(cfg.Transport, i, h.rng.Split(^uint64(0)),
+				func(to int, frame []byte) { n.sendFrame(idx, to, frame) },
+				h.deliverUp)
+			h.ep.SetMetrics(n.tm)
+		}
 		n.hosts[i] = h
 	}
 	for _, h := range n.hosts {
@@ -176,12 +218,23 @@ func Start(cfg Config, behaviors []node.Behavior) *Network {
 		n.wg.Add(1)
 		go h.run()
 	}
+	if cfg.Carrier != nil {
+		n.wg.Add(1)
+		go n.pump()
+	}
 	return n
 }
 
 // Stop shuts every node down and waits for their goroutines. It is
-// idempotent. After Stop returns, meters and behaviors may be inspected
-// without synchronization.
+// idempotent and safe to race with in-flight traffic: the shutdown
+// signal is a channel close (never a channel of packets), inboxes are
+// buffered and never closed, and deliveries into them are non-blocking
+// — so a node goroutine caught mid-Broadcast while its peers exit can
+// neither panic on a closed channel nor deadlock on a full one; its
+// packets land in abandoned buffers and are garbage-collected with
+// them. Stop does NOT close Config.Carrier (the caller owns it); it
+// only detaches the pump goroutine from it. After Stop returns, meters
+// and behaviors may be inspected without synchronization.
 func (n *Network) Stop() {
 	if n.done.CompareAndSwap(false, true) {
 		close(n.stop)
@@ -230,17 +283,116 @@ func (n *Network) MeterSnapshot(i int) energy.Meter {
 // Do runs fn on node i's goroutine with that node's Context — the hook for
 // application-level actions (send a reading, trigger a refresh). It blocks
 // until the command is queued; the command itself runs asynchronously.
+// Commands for dead, crashed, or dark (nil-behavior) nodes are dropped:
+// a crashed node's goroutine has exited, so without the crashed case a
+// full command buffer would block the caller forever.
 func (n *Network) Do(i int, fn func(node.Context)) {
+	h := n.hosts[i]
+	if h.behavior == nil {
+		return
+	}
 	select {
-	case n.hosts[i].cmds <- fn:
+	case h.cmds <- fn:
 	case <-n.stop:
+	case <-h.crashed:
 	}
 }
 
 // Inject broadcasts pkt from the radio position of graph node at with a
-// forged link-layer sender, for adversary scenarios.
+// forged link-layer sender, for adversary scenarios. Injection models a
+// rogue radio, so it always uses the bare path: it bypasses the
+// transport layer (no framing, no seq, no acks) even when the network
+// runs framed — exactly what an attacker who ignores our link protocol
+// would transmit.
 func (n *Network) Inject(at int, fakeFrom node.ID, pkt []byte) {
 	n.deliver(at, fakeFrom, pkt)
+}
+
+// BreakerState reports node i's transport breaker toward peer; always
+// BreakerClosed on the legacy path. Inspect only after Stop (endpoint
+// state is owned by the node goroutine while the network runs).
+func (n *Network) BreakerState(i, peer int) transport.BreakerState {
+	if h := n.hosts[i]; h.ep != nil {
+		return h.ep.BreakerState(peer)
+	}
+	return transport.BreakerClosed
+}
+
+// sendFrame moves one marshalled transport frame from a local sender
+// toward its destination: the loss model and fault-injection seam run
+// here (per frame — so retransmissions and acks face the same medium
+// as first transmissions), then the frame lands in a local inbox or on
+// the carrier. Called from node goroutines; the frame slice is copied
+// because endpoints reuse marshal scratch.
+func (n *Network) sendFrame(from, to int, frame []byte) {
+	if n.cfg.Loss > 0 || n.cfg.Drop != nil {
+		n.lossMu.Lock()
+		dropped := n.cfg.Drop != nil && n.cfg.Drop(time.Since(n.start), from, to)
+		if !dropped && n.cfg.Loss > 0 {
+			dropped = n.lossRNG.Bool(n.cfg.Loss)
+		}
+		n.lossMu.Unlock()
+		if dropped {
+			n.m.lost.Inc()
+			return
+		}
+	}
+	rcv := n.hosts[to]
+	if rcv.behavior == nil {
+		if n.cfg.Carrier != nil {
+			n.cfg.Carrier.Send(to, frame)
+		}
+		return
+	}
+	if !rcv.alive.Load() {
+		return
+	}
+	copied := append([]byte(nil), frame...)
+	select {
+	case rcv.inbox <- packet{from: node.ID(from), data: copied, raw: true}:
+	default:
+		rcv.dropped.Add(1)
+		n.m.dropped.Inc()
+	}
+}
+
+// pump moves inbound carrier frames into local inboxes. A frame from
+// remote node f is offered to every local neighbor of f — in the
+// one-behavior-per-process deployment that is exactly the one node the
+// remote peer addressed.
+func (n *Network) pump() {
+	defer n.wg.Done()
+	inbound := n.cfg.Carrier.Inbound()
+	for {
+		select {
+		case in, ok := <-inbound:
+			if !ok {
+				return
+			}
+			n.inboundFrame(in)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+func (n *Network) inboundFrame(in transport.Inbound) {
+	if in.From < 0 || in.From >= len(n.hosts) {
+		return
+	}
+	for _, nb := range n.cfg.Graph.Neighbors(in.From) {
+		rcv := n.hosts[nb]
+		if rcv.behavior == nil || !rcv.alive.Load() {
+			continue
+		}
+		copied := append([]byte(nil), in.Frame...)
+		select {
+		case rcv.inbox <- packet{from: node.ID(in.From), data: copied, raw: true}:
+		default:
+			rcv.dropped.Add(1)
+			n.m.dropped.Inc()
+		}
+	}
 }
 
 func (n *Network) deliver(idx int, from node.ID, pkt []byte) {
@@ -276,10 +428,16 @@ func (h *lhost) run() {
 		<-h.clock.C
 	}
 	defer h.clock.Stop()
+	h.arq = time.NewTimer(time.Hour)
+	if !h.arq.Stop() {
+		<-h.arq.C
+	}
+	defer h.arq.Stop()
 
 	h.behavior.Start(h)
 	for {
 		h.rearmClock()
+		h.rearmARQ()
 		select {
 		case <-h.net.stop:
 			return
@@ -289,11 +447,13 @@ func (h *lhost) run() {
 			if !h.alive.Load() {
 				return
 			}
-			h.net.m.rx.Inc()
-			h.meterMu.Lock()
-			h.meter.ChargeRx(h.net.cfg.Energy, len(p.data))
-			h.meterMu.Unlock()
-			h.behavior.Receive(h, p.from, p.data)
+			if p.raw {
+				// Framed path: acks/dup-suppression first, then the
+				// payload surfaces through deliverUp.
+				h.ep.HandleRaw(p.data, h.Now())
+				continue
+			}
+			h.deliverUp(int(p.from), p.data)
 		case fn := <-h.cmds:
 			if !h.alive.Load() {
 				return
@@ -304,8 +464,46 @@ func (h *lhost) run() {
 				return
 			}
 			h.fireDue(now)
+		case <-h.arq.C:
+			if !h.alive.Load() {
+				return
+			}
+			h.ep.Tick(h.Now())
 		}
 	}
+}
+
+// deliverUp hands one radio payload to the behavior, charging Rx. It is
+// both the legacy inbox path and the endpoint's delivery callback.
+func (h *lhost) deliverUp(from int, data []byte) {
+	h.net.m.rx.Inc()
+	h.meterMu.Lock()
+	h.meter.ChargeRx(h.net.cfg.Energy, len(data))
+	h.meterMu.Unlock()
+	h.behavior.Receive(h, node.ID(from), data)
+}
+
+// rearmARQ sets the retransmit clock to the endpoint's earliest
+// deadline; parked when nothing is in flight.
+func (h *lhost) rearmARQ() {
+	if h.ep == nil {
+		return
+	}
+	if !h.arq.Stop() {
+		select {
+		case <-h.arq.C:
+		default:
+		}
+	}
+	w, ok := h.ep.NextWake()
+	if !ok {
+		return
+	}
+	d := w - h.Now()
+	if d < 0 {
+		d = 0
+	}
+	h.arq.Reset(d)
 }
 
 // rearmClock sets the shared timer to the earliest pending deadline,
@@ -358,7 +556,12 @@ func (h *lhost) ID() node.ID { return h.id }
 // Now implements node.Context: time since the network started.
 func (h *lhost) Now() time.Duration { return time.Since(h.start) }
 
-// Broadcast implements node.Context.
+// Broadcast implements node.Context. On the framed path the broadcast
+// becomes one transport frame per neighbor (each with its own seq and,
+// under ARQ, its own retry schedule); Tx energy is still charged once
+// per Broadcast, matching the radio model of the bare path —
+// retransmissions and acks are deliberately free, a simplification
+// documented in docs/TRANSPORT.md.
 func (h *lhost) Broadcast(pkt []byte) {
 	if !h.alive.Load() {
 		return
@@ -368,6 +571,19 @@ func (h *lhost) Broadcast(pkt []byte) {
 	h.meterMu.Lock()
 	h.meter.ChargeTx(h.net.cfg.Energy, len(pkt))
 	h.meterMu.Unlock()
+	if h.ep != nil {
+		now := h.Now()
+		for _, nb := range h.net.cfg.Graph.Neighbors(h.idx) {
+			// Without a carrier a dark (nil-behavior) neighbor can never
+			// ack; don't waste a retry budget proving it.
+			if h.net.cfg.Carrier == nil && h.net.hosts[nb].behavior == nil {
+				continue
+			}
+			h.ep.Send(int(nb), pkt, now)
+		}
+		h.rearmARQ()
+		return
+	}
 	h.net.deliver(h.idx, h.id, pkt)
 }
 

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTransportFrame checks that the frame header parser never panics,
+// and that parse→marshal is the identity on every accepted datagram —
+// the property that caught internal/wire's trailing-bytes laxity.
+func FuzzTransportFrame(f *testing.F) {
+	f.Add(Frame{Kind: KindData, From: 3, Epoch: 0xdeadbeef, Seq: 41, Payload: []byte("hello")}.Marshal())
+	f.Add(Frame{Kind: KindAck, From: 0, Epoch: 1, Seq: 1}.Marshal())
+	f.Add(Frame{Kind: KindProbe, From: 9}.Marshal())
+	f.Add(Frame{Kind: KindProbeAck, From: 2}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fr, err := ParseFrame(raw)
+		if err != nil {
+			return
+		}
+		re := fr.Marshal()
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("parse→marshal not identity:\n in  %x\n out %x", raw, re)
+		}
+		fr2, err := ParseFrame(re)
+		if err != nil {
+			t.Fatalf("re-parse of marshalled frame failed: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.From != fr.From || fr2.Epoch != fr.Epoch ||
+			fr2.Seq != fr.Seq || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("re-parse disagrees: %+v vs %+v", fr2, fr)
+		}
+	})
+}
+
+func TestParseFrameRejectsTrailingBytes(t *testing.T) {
+	raw := Frame{Kind: KindData, From: 1, Epoch: 2, Seq: 3, Payload: []byte("p")}.Marshal()
+	if _, err := ParseFrame(append(raw, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := ParseFrame(raw[:len(raw)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := ParseFrame(nil); err == nil {
+		t.Fatal("empty datagram accepted")
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] = 99
+	if _, err := ParseFrame(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	bad = append([]byte{}, raw...)
+	bad[1] = 0
+	if _, err := ParseFrame(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

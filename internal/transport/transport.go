@@ -1,0 +1,581 @@
+// Package transport is a reliable datagram layer for the live runtime:
+// sequence-numbered frames, per-link ACK/ARQ with capped exponential
+// backoff and jitter, duplicate suppression via a sliding receive
+// window, and per-link health tracking (consecutive-failure circuit
+// breaker with half-open probing and quarantine of flapping links).
+//
+// The package is split along a carrier seam: an Endpoint is a pure,
+// single-goroutine state machine driven by explicit timestamps, and a
+// Carrier moves raw frames between endpoints. The in-process channel
+// carrier inside internal/live and the UDP loopback carrier (udp.go)
+// are interchangeable, so the same protocol code runs hermetically
+// under go test -race and across real OS processes.
+//
+// Determinism: an Endpoint draws jitter from the *xrand.RNG it was
+// constructed with and never consults wall-clock or global randomness,
+// so identical call sequences produce identical retransmit schedules.
+// Map iteration on hot decision paths (Tick) is sorted for the same
+// reason. The zero Config disables both framing and ARQ, keeping every
+// experiment family's golden output byte-identical.
+package transport
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// Config holds the reliability knobs. The zero value means "off": no
+// framing, no ARQ, no breakers — the live runtime's legacy fire-and-
+// forget path. Setting ARQ implies framing.
+type Config struct {
+	// Framed wraps every payload in a transport frame (with epoch and
+	// sequence number) and suppresses duplicates at the receiver, but
+	// does not ack or retransmit. Required (and implied) by ARQ; useful
+	// alone when the carrier is a real socket.
+	Framed bool
+	// ARQ enables per-link acknowledgements and retransmission.
+	ARQ bool
+
+	// MaxRetries is how many times an unacked frame is retransmitted
+	// before the send is declared failed (so a frame is sent at most
+	// 1+MaxRetries times). Default 4.
+	MaxRetries int
+	// RetryBase is the backoff before the first retransmission; attempt
+	// k waits RetryBase<<k, capped at RetryCap. Default 20ms.
+	RetryBase time.Duration
+	// RetryCap bounds the exponential backoff. Default 320ms.
+	RetryCap time.Duration
+	// RetryJitter spreads each delay uniformly over ±RetryJitter×delay
+	// to decorrelate retransmit storms. Default 0.25; negative disables.
+	RetryJitter float64
+
+	// BreakerThreshold opens a link's circuit breaker after this many
+	// consecutive send failures (exhausted retry budgets). Default 3;
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects traffic before
+	// admitting a single half-open probe. Default 2s.
+	BreakerCooldown time.Duration
+	// FlapLimit quarantines a link that opens its breaker this many
+	// times within FlapWindow. Default 3; negative disables.
+	FlapLimit int
+	// FlapWindow is the sliding window for flap counting. Default 10s.
+	FlapWindow time.Duration
+	// Quarantine is how long a flapping link is exiled: no tracked
+	// sends, no probes, best-effort only. Default 30s.
+	Quarantine time.Duration
+}
+
+// Enabled reports whether the transport does anything beyond passing
+// payloads through (i.e. whether frames appear on the wire).
+func (c Config) Enabled() bool { return c.Framed || c.ARQ }
+
+func (c Config) withDefaults() Config {
+	if c.ARQ {
+		c.Framed = true
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 20 * time.Millisecond
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = 320 * time.Millisecond
+	}
+	if c.RetryJitter == 0 {
+		c.RetryJitter = 0.25
+	}
+	if c.RetryJitter < 0 {
+		c.RetryJitter = 0
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.FlapLimit == 0 {
+		c.FlapLimit = 3
+	}
+	if c.FlapWindow == 0 {
+		c.FlapWindow = 10 * time.Second
+	}
+	if c.Quarantine == 0 {
+		c.Quarantine = 30 * time.Second
+	}
+	return c
+}
+
+// BaseRetryDelay is the deterministic (jitter-free) backoff before
+// retransmission attempt k (0-based): RetryBase<<k capped at RetryCap.
+func BaseRetryDelay(cfg Config, attempt int) time.Duration {
+	cfg = cfg.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := cfg.RetryBase
+	// Shifting past 62 bits would overflow time.Duration long before
+	// the cap comparison; clamp the exponent instead.
+	for i := 0; i < attempt && d < cfg.RetryCap; i++ {
+		d <<= 1
+	}
+	if d > cfg.RetryCap {
+		d = cfg.RetryCap
+	}
+	return d
+}
+
+// RetryDelay draws the jittered backoff before retransmission attempt k
+// (0-based): BaseRetryDelay spread uniformly over ±RetryJitter×delay.
+// All randomness comes from rng, so a seeded stream reproduces the
+// exact retransmit schedule.
+func RetryDelay(cfg Config, attempt int, rng *xrand.RNG) time.Duration {
+	cfg = cfg.withDefaults()
+	base := BaseRetryDelay(cfg, attempt)
+	if cfg.RetryJitter == 0 || rng == nil {
+		return base
+	}
+	u := 2*rng.Float64() - 1 // uniform in [-1, 1)
+	d := time.Duration(float64(base) * (1 + cfg.RetryJitter*u))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// BreakerState is a link's health phase.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: link healthy, sends tracked normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: link failed repeatedly; tracked sends are rejected
+	// (degraded to best-effort) until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe frame is in
+	// flight. Its ack closes the breaker, its failure reopens it.
+	BreakerHalfOpen
+)
+
+// String returns the state mnemonic.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// Metrics is the transport's obs instrumentation. All fields may be
+// nil (the obs API is nil-safe), so an unobserved endpoint pays only
+// nil checks.
+type Metrics struct {
+	TxData      *obs.Counter
+	TxAcks      *obs.Counter
+	RxData      *obs.Counter
+	RxAcks      *obs.Counter
+	Retransmits *obs.Counter
+	DupDrops    *obs.Counter
+	Failures    *obs.Counter
+	Opens       *obs.Counter
+	Closes      *obs.Counter
+	Probes      *obs.Counter
+	Quarantines *obs.Counter
+	ParseErrs   *obs.Counter
+	// OpenLinks counts links currently open or half-open.
+	OpenLinks *obs.Gauge
+}
+
+// NewMetrics registers the transport metric set on r (nil-safe).
+func NewMetrics(r *obs.Registry) Metrics {
+	return Metrics{
+		TxData:      r.Counter("transport_tx_data_total", "data frames sent (first transmissions)"),
+		TxAcks:      r.Counter("transport_tx_acks_total", "ack frames sent"),
+		RxData:      r.Counter("transport_rx_data_total", "fresh data frames delivered up"),
+		RxAcks:      r.Counter("transport_rx_acks_total", "ack frames received"),
+		Retransmits: r.Counter("transport_retransmits_total", "data frame retransmissions"),
+		DupDrops:    r.Counter("transport_dup_drops_total", "duplicate data frames suppressed"),
+		Failures:    r.Counter("transport_send_failures_total", "sends abandoned after the retry budget"),
+		Opens:       r.Counter("transport_breaker_opens_total", "circuit breakers opened"),
+		Closes:      r.Counter("transport_breaker_closes_total", "circuit breakers closed"),
+		Probes:      r.Counter("transport_breaker_probes_total", "half-open probe frames admitted"),
+		Quarantines: r.Counter("transport_quarantines_total", "flapping links quarantined"),
+		ParseErrs:   r.Counter("transport_parse_errors_total", "undecodable frames dropped"),
+		OpenLinks:   r.Gauge("transport_open_links", "links currently open or half-open"),
+	}
+}
+
+// pending is one unacked data frame awaiting retransmission or failure.
+type pending struct {
+	seq      uint32
+	raw      []byte // full marshalled frame, owned by the endpoint
+	attempts int    // retransmissions performed so far
+	nextAt   time.Duration
+}
+
+// link is the per-peer ARQ and health state.
+type link struct {
+	peer    int
+	nextSeq uint32
+	// inflight maps seq → pending for tracked, unacked data frames.
+	inflight map[uint32]*pending
+
+	// Receive side: sliding duplicate-suppression window. rcvMask bit k
+	// marks seq rcvHigh-k as seen; anything older than 64 behind is
+	// assumed to be a duplicate.
+	rcvInit  bool
+	rcvEpoch uint32
+	rcvHigh  uint32
+	rcvMask  uint64
+
+	// Health: consecutive failures, breaker phase, flap bookkeeping.
+	fails       int
+	state       BreakerState
+	reopenAt    time.Duration // when an open breaker admits a probe
+	probe       uint32        // seq of the in-flight half-open probe
+	flapStart   time.Duration
+	flapOpens   int
+	quarantined bool // this open is a quarantine (flapping link)
+}
+
+// Endpoint is one node's reliability state machine. It is NOT
+// goroutine-safe: the owner (a live host goroutine or the Lab) must
+// serialize Send, HandleRaw, Tick, and Reboot, passing its own
+// monotonic notion of now.
+//
+// Buffer ownership: the frame slice passed to the send callback is
+// only valid for the duration of the call — carriers must copy if they
+// retain (the same contract as internal/sim's packet arena; see
+// docs/TRANSPORT.md). Likewise the payload passed to deliver aliases
+// the raw datagram given to HandleRaw.
+type Endpoint struct {
+	cfg     Config
+	local   int
+	epoch   uint32
+	rng     *xrand.RNG
+	send    func(to int, frame []byte)
+	deliver func(from int, payload []byte)
+	m       Metrics
+
+	links   map[int]*link
+	scratch []byte // marshal buffer for acks and untracked sends
+	peerBuf []int  // sorted-key scratch for Tick
+	seqBuf  []uint32
+}
+
+// NewEndpoint builds an endpoint for node local. rng seeds the boot
+// epoch and all jitter draws; send transmits a marshalled frame toward
+// a peer; deliver hands a fresh payload up the stack. cfg is
+// normalized with defaults (zero value = transport off; such an
+// endpoint still works but callers should bypass it entirely).
+func NewEndpoint(cfg Config, local int, rng *xrand.RNG, send func(to int, frame []byte), deliver func(from int, payload []byte)) *Endpoint {
+	e := &Endpoint{
+		cfg:     cfg.withDefaults(),
+		local:   local,
+		rng:     rng,
+		send:    send,
+		deliver: deliver,
+		links:   make(map[int]*link),
+	}
+	e.epoch = e.newEpoch()
+	return e
+}
+
+// SetMetrics attaches obs instrumentation. Metrics never influence
+// behavior, so the zero Metrics (all nil) is always safe.
+func (e *Endpoint) SetMetrics(m Metrics) { e.m = m }
+
+// Epoch returns the current boot incarnation identifier.
+func (e *Endpoint) Epoch() uint32 { return e.epoch }
+
+func (e *Endpoint) newEpoch() uint32 {
+	// Epochs only need to differ between incarnations; a random draw
+	// avoids persisting boot counters across crash/reboot.
+	for {
+		if ep := uint32(e.rng.Uint64()); ep != 0 && ep != e.epoch {
+			return ep
+		}
+	}
+}
+
+func (e *Endpoint) link(peer int) *link {
+	l, ok := e.links[peer]
+	if !ok {
+		l = &link{peer: peer, inflight: make(map[uint32]*pending)}
+		e.links[peer] = l
+	}
+	return l
+}
+
+// BreakerState reports the health phase of the link toward peer.
+func (e *Endpoint) BreakerState(peer int) BreakerState {
+	if l, ok := e.links[peer]; ok {
+		return l.state
+	}
+	return BreakerClosed
+}
+
+// Quarantined reports whether the link toward peer is currently exiled
+// for flapping (no tracked sends or probes until the quarantine
+// deadline passes and a probe succeeds).
+func (e *Endpoint) Quarantined(peer int) bool {
+	l, ok := e.links[peer]
+	return ok && l.state == BreakerOpen && l.quarantined
+}
+
+// InFlight returns the number of tracked, unacked data frames across
+// all links.
+func (e *Endpoint) InFlight() int {
+	n := 0
+	for _, l := range e.links {
+		n += len(l.inflight)
+	}
+	return n
+}
+
+// Send frames payload toward peer and transmits it. Under ARQ the
+// frame is tracked for retransmission unless the link's breaker
+// rejects it, in which case the frame still goes out once, best-effort
+// (graceful degradation: an open breaker never silences a node, it
+// only stops the transport from burning retries on a dead peer).
+func (e *Endpoint) Send(to int, payload []byte, now time.Duration) {
+	l := e.link(to)
+	l.nextSeq++
+	f := Frame{Kind: KindData, From: uint32(e.local), Epoch: e.epoch, Seq: l.nextSeq, Payload: payload}
+	e.m.TxData.Inc()
+	if e.cfg.ARQ && e.admit(l, now) {
+		raw := f.Marshal()
+		l.inflight[l.nextSeq] = &pending{
+			seq:    l.nextSeq,
+			raw:    raw,
+			nextAt: now + RetryDelay(e.cfg, 0, e.rng),
+		}
+		if l.state == BreakerHalfOpen {
+			l.probe = l.nextSeq
+		}
+		e.send(to, raw)
+		return
+	}
+	e.scratch = f.AppendMarshal(e.scratch[:0])
+	e.send(to, e.scratch)
+}
+
+// admit decides whether a tracked send may proceed on l, advancing the
+// breaker open → half-open when the cooldown has elapsed.
+func (e *Endpoint) admit(l *link, now time.Duration) bool {
+	switch l.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now < l.reopenAt {
+			return false
+		}
+		l.state = BreakerHalfOpen
+		l.quarantined = false
+		l.probe = 0
+		e.m.Probes.Inc()
+		return true
+	default: // BreakerHalfOpen
+		// One probe at a time; everything else degrades to best-effort
+		// until the probe resolves.
+		return l.probe == 0
+	}
+}
+
+// HandleRaw processes one inbound datagram (exactly one frame).
+func (e *Endpoint) HandleRaw(raw []byte, now time.Duration) {
+	f, err := ParseFrame(raw)
+	if err != nil {
+		e.m.ParseErrs.Inc()
+		return
+	}
+	from := int(f.From)
+	switch f.Kind {
+	case KindData:
+		l := e.link(from)
+		fresh := l.accept(f.Epoch, f.Seq)
+		if e.cfg.ARQ {
+			ack := Frame{Kind: KindAck, From: uint32(e.local), Epoch: f.Epoch, Seq: f.Seq}
+			e.scratch = ack.AppendMarshal(e.scratch[:0])
+			e.m.TxAcks.Inc()
+			e.send(from, e.scratch)
+		}
+		if !fresh {
+			e.m.DupDrops.Inc()
+			return
+		}
+		e.m.RxData.Inc()
+		e.deliver(from, f.Payload)
+	case KindAck:
+		e.m.RxAcks.Inc()
+		if f.Epoch != e.epoch {
+			return // addressed to a previous incarnation
+		}
+		l := e.link(from)
+		delete(l.inflight, f.Seq)
+		l.fails = 0
+		if l.state != BreakerClosed {
+			// Any ack proves the link is alive again — including acks
+			// for best-effort frames sent while the breaker was open.
+			l.state = BreakerClosed
+			l.probe = 0
+			e.m.Closes.Inc()
+			e.m.OpenLinks.Dec()
+		}
+	default:
+		// Probes are a carrier concern; an endpoint ignores them.
+	}
+}
+
+// accept runs the duplicate-suppression window, returning true when
+// (epoch, seq) has not been seen before on this link.
+func (l *link) accept(epoch, seq uint32) bool {
+	if !l.rcvInit || l.rcvEpoch != epoch {
+		// First frame from this incarnation: reset the window.
+		l.rcvInit = true
+		l.rcvEpoch = epoch
+		l.rcvHigh = seq
+		l.rcvMask = 1
+		return true
+	}
+	if seq > l.rcvHigh {
+		shift := seq - l.rcvHigh
+		if shift >= 64 {
+			l.rcvMask = 0
+		} else {
+			l.rcvMask <<= shift
+		}
+		l.rcvMask |= 1
+		l.rcvHigh = seq
+		return true
+	}
+	delta := l.rcvHigh - seq
+	if delta >= 64 {
+		return false // too old to judge: assume duplicate
+	}
+	bit := uint64(1) << delta
+	if l.rcvMask&bit != 0 {
+		return false
+	}
+	l.rcvMask |= bit
+	return true
+}
+
+// Tick retransmits due frames and ages out exhausted ones. Iteration is
+// sorted by peer then seq so jitter draws happen in a deterministic
+// order regardless of map layout.
+func (e *Endpoint) Tick(now time.Duration) {
+	if !e.cfg.ARQ {
+		return
+	}
+	e.peerBuf = e.peerBuf[:0]
+	for peer, l := range e.links {
+		if len(l.inflight) > 0 {
+			e.peerBuf = append(e.peerBuf, peer)
+		}
+	}
+	sort.Ints(e.peerBuf)
+	for _, peer := range e.peerBuf {
+		l := e.links[peer]
+		e.seqBuf = e.seqBuf[:0]
+		for seq := range l.inflight {
+			e.seqBuf = append(e.seqBuf, seq)
+		}
+		sort.Slice(e.seqBuf, func(i, j int) bool { return e.seqBuf[i] < e.seqBuf[j] })
+		for _, seq := range e.seqBuf {
+			p := l.inflight[seq]
+			if p.nextAt > now {
+				continue
+			}
+			if p.attempts >= e.cfg.MaxRetries {
+				delete(l.inflight, seq)
+				e.m.Failures.Inc()
+				e.fail(l, seq, now)
+				continue
+			}
+			p.attempts++
+			p.nextAt = now + RetryDelay(e.cfg, p.attempts, e.rng)
+			e.m.Retransmits.Inc()
+			e.send(peer, p.raw)
+		}
+	}
+}
+
+// fail records an exhausted send on l and runs the breaker transition.
+func (e *Endpoint) fail(l *link, seq uint32, now time.Duration) {
+	if l.state == BreakerHalfOpen && seq == l.probe {
+		// The probe itself died: straight back to open.
+		e.open(l, now)
+		return
+	}
+	l.fails++
+	if l.state == BreakerClosed && e.cfg.BreakerThreshold > 0 && l.fails >= e.cfg.BreakerThreshold {
+		e.open(l, now)
+	}
+}
+
+// open transitions l to BreakerOpen, counting flaps and quarantining a
+// link that keeps bouncing open within the flap window.
+func (e *Endpoint) open(l *link, now time.Duration) {
+	if l.state == BreakerClosed {
+		e.m.OpenLinks.Inc()
+	}
+	l.state = BreakerOpen
+	l.fails = 0
+	l.probe = 0
+	e.m.Opens.Inc()
+	if now-l.flapStart > e.cfg.FlapWindow {
+		l.flapStart = now
+		l.flapOpens = 0
+	}
+	l.flapOpens++
+	if e.cfg.FlapLimit > 0 && l.flapOpens >= e.cfg.FlapLimit {
+		l.reopenAt = now + e.cfg.Quarantine
+		l.flapOpens = 0
+		l.flapStart = now + e.cfg.Quarantine
+		l.quarantined = true
+		e.m.Quarantines.Inc()
+		return
+	}
+	l.reopenAt = now + e.cfg.BreakerCooldown
+}
+
+// NextWake returns the earliest retransmit deadline across all links,
+// or false when nothing is in flight.
+func (e *Endpoint) NextWake() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, l := range e.links {
+		for _, p := range l.inflight {
+			if !found || p.nextAt < min {
+				min = p.nextAt
+				found = true
+			}
+		}
+	}
+	return min, found
+}
+
+// Reboot resets the endpoint to a fresh incarnation: a new epoch,
+// empty links, no in-flight state. Receivers notice the epoch change
+// and reset their windows; acks for the old epoch are ignored.
+func (e *Endpoint) Reboot() {
+	open := 0
+	for _, l := range e.links {
+		if l.state != BreakerClosed {
+			open++
+		}
+	}
+	e.m.OpenLinks.Add(-int64(open))
+	e.epoch = e.newEpoch()
+	e.links = make(map[int]*link)
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Carrier moves marshalled transport frames between nodes. Inbound
+// frames surface on a channel so the consumer can select against its
+// own shutdown signal. Send must not retain the frame slice past the
+// call (endpoints reuse marshal buffers).
+type Carrier interface {
+	Send(to int, frame []byte)
+	// Inbound yields received frames. The channel is closed by Close.
+	Inbound() <-chan Inbound
+}
+
+// Inbound is one frame received by a carrier. From is the peer's node
+// index as authenticated by the carrier (for UDP: the socket the frame
+// arrived from); endpoints additionally read the From field inside the
+// frame, which for a well-behaved peer agrees.
+type Inbound struct {
+	From  int
+	Frame []byte
+}
+
+// UDP is a Carrier over a real UDP socket, turning N OS processes into
+// one cluster network. It is loopback/LAN oriented: no encryption at
+// this layer (the protocol's own frames are sealed end to end) and
+// peer identity is the source address registered via AddPeer.
+type UDP struct {
+	local int
+	conn  *net.UDPConn
+
+	mu    sync.Mutex
+	peers map[int]*net.UDPAddr // node index → address
+	addrs map[string]int       // address string → node index
+	ready map[int]bool         // peers that answered a probe
+
+	inbound chan Inbound
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	// Dropped counts inbound frames discarded because the inbound
+	// channel was full (consumer too slow); Errs counts socket write
+	// errors. Both are diagnostics, not control flow.
+	Dropped atomic.Uint64
+	Errs    atomic.Uint64
+}
+
+// ListenUDP opens a UDP carrier for node local on listen (e.g.
+// "127.0.0.1:9001"). Register peers with AddPeer, then optionally
+// block on WaitReady before starting protocol traffic.
+func ListenUDP(local int, listen string) (*UDP, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
+	}
+	u := &UDP{
+		local:   local,
+		conn:    conn,
+		peers:   make(map[int]*net.UDPAddr),
+		addrs:   make(map[string]int),
+		ready:   make(map[int]bool),
+		inbound: make(chan Inbound, 4096),
+	}
+	u.wg.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// Addr returns the bound local address (useful with ":0" listens).
+func (u *UDP) Addr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer registers a peer's node index and UDP address.
+func (u *UDP) AddPeer(id int, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.peers[id] = ua
+	u.addrs[ua.String()] = id
+	return nil
+}
+
+// Inbound implements Carrier.
+func (u *UDP) Inbound() <-chan Inbound { return u.inbound }
+
+// Send implements Carrier. Unknown peers and socket errors are counted
+// and dropped: UDP is lossy by contract and the ARQ layer above owns
+// recovery.
+func (u *UDP) Send(to int, frame []byte) {
+	if u.closed.Load() {
+		return
+	}
+	u.mu.Lock()
+	addr := u.peers[to]
+	u.mu.Unlock()
+	if addr == nil {
+		u.Errs.Add(1)
+		return
+	}
+	if _, err := u.conn.WriteToUDP(frame, addr); err != nil {
+		u.Errs.Add(1)
+	}
+}
+
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, HeaderSize+MaxPayload)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			if u.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		u.mu.Lock()
+		id, known := u.addrs[from.String()]
+		u.mu.Unlock()
+		if !known || n < HeaderSize {
+			continue
+		}
+		// Probe traffic terminates here: it is the WaitReady barrier,
+		// not protocol data.
+		switch Kind(buf[1]) {
+		case KindProbe:
+			ack := Frame{Kind: KindProbeAck, From: uint32(u.local)}
+			if _, err := u.conn.WriteToUDP(ack.Marshal(), from); err != nil {
+				u.Errs.Add(1)
+			}
+			continue
+		case KindProbeAck:
+			u.mu.Lock()
+			u.ready[id] = true
+			u.mu.Unlock()
+			continue
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		select {
+		case u.inbound <- Inbound{From: id, Frame: frame}:
+		default:
+			u.Dropped.Add(1)
+		}
+	}
+}
+
+// WaitReady probes every registered peer until each has answered (so
+// both directions of every link are verified) or the timeout expires.
+// It is the start-of-run barrier for multi-process deployments: peers
+// boot at slightly different times and early protocol frames must not
+// vanish into unbound sockets.
+func (u *UDP) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	probe := Frame{Kind: KindProbe, From: uint32(u.local)}.Marshal()
+	for {
+		missing := u.missingPeers()
+		if len(missing) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: peers unreachable after %v: %v", timeout, missing)
+		}
+		u.mu.Lock()
+		for _, id := range missing {
+			if addr := u.peers[id]; addr != nil {
+				if _, err := u.conn.WriteToUDP(probe, addr); err != nil {
+					u.Errs.Add(1)
+				}
+			}
+		}
+		u.mu.Unlock()
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (u *UDP) missingPeers() []int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	var missing []int
+	for id := range u.peers {
+		if !u.ready[id] {
+			missing = append(missing, id)
+		}
+	}
+	sort.Ints(missing)
+	return missing
+}
+
+// Close shuts the socket, stops the read loop, and closes the inbound
+// channel. Safe to call once; Send becomes a no-op afterwards.
+func (u *UDP) Close() error {
+	if !u.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := u.conn.Close()
+	u.wg.Wait()
+	close(u.inbound)
+	return err
+}
