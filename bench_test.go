@@ -12,6 +12,7 @@ package repro_test
 // paper scale (n=2500-3600, five trials).
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/crypt"
@@ -403,6 +404,38 @@ func benchResilienceWorkers(b *testing.B, workers int) {
 // security sweep's wall-clock at workers=1 vs one worker per CPU.
 func BenchmarkResilienceSerial(b *testing.B)   { benchResilienceWorkers(b, 1) }
 func BenchmarkResilienceParallel(b *testing.B) { benchResilienceWorkers(b, 0) }
+
+// benchScaleSweepShards runs one ScaleSweep trial at n=5000 on the given
+// intra-trial shard count and reports the engine's throughput. The
+// events/s/core figure is the gated number (benchdiff): it is the
+// per-core event rate of the sharded scheduler itself — epoch windows,
+// cross-shard mailboxes, deterministic merge — so a regression here is
+// a regression in every large-deployment run.
+func benchScaleSweepShards(b *testing.B, shards int) {
+	var evsPerCore, events float64
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{Seed: uint64(i) + 1, Trials: 1, Shards: shards}
+		res, err := experiments.ScaleSweep(o, []int{5000}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := res.Points[0]
+		evsPerCore += p.EventsPerSecCore
+		events += float64(p.Events)
+	}
+	b.ReportMetric(evsPerCore/float64(b.N), "events/s/core")
+	b.ReportMetric(events/float64(b.N), "events")
+}
+
+// BenchmarkScaleSweepShard1 pins the sharded engine's serial escape
+// hatch (one shard, no cross-shard traffic): the baseline event rate.
+func BenchmarkScaleSweepShard1(b *testing.B) { benchScaleSweepShards(b, 1) }
+
+// BenchmarkScaleSweepSharded runs the same deployment on one shard per
+// CPU. Output is byte-identical to the single-shard run (the experiments
+// package's shard-equivalence tests prove it); the per-core rate shows
+// the synchronization overhead the epoch barrier costs at this scale.
+func BenchmarkScaleSweepSharded(b *testing.B) { benchScaleSweepShards(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkTransportRoundTrip measures the reliable transport's hot
 // path end to end: seal a reading-sized payload, frame and send it

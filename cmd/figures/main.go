@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
-//	        [-format text] [-obs :9090]
+//	figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards 0]
+//	        [-scale-sizes 25000,100000] [-format text] [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
 //	               setupcost,chaos,arq]
@@ -15,6 +15,15 @@
 // one worker per CPU; -workers=1 forces the serial path. -format picks
 // text or markdown tables. Output is bit-identical at every worker
 // count (see docs/DETERMINISM.md).
+//
+// -shards >= 1 runs every trial on the simulator's intra-trial sharded
+// engine (S shard goroutines per simulation; the trial pool shrinks so
+// -workers still bounds total concurrency). Output is byte-identical
+// across all -shards >= 1 but differs from the default -shards 0 legacy
+// engine; see docs/SCALING.md. The scale step's ScaleSweep sizes come
+// from -scale-sizes; reproducing the 10^6-node run is
+//
+//	figures -only scale -shards 8 -trials 1 -scale-sizes 1000000
 //
 // -obs serves live observability endpoints (/metrics, /events,
 // /debug/pprof) while the experiments run: worker-pool utilization and
@@ -28,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,8 +50,8 @@ import (
 // package doc comment above; usage_test.go enforces that every
 // registered flag appears here and that the doc comment carries these
 // exact lines.
-const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
-        [-format text] [-obs :9090]
+const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards 0]
+        [-scale-sizes 25000,100000] [-format text] [-obs :9090]
         [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
                setup,storage,election,routing,freshness,mac,lifetime,
                setupcost,chaos,arq]`
@@ -50,24 +60,28 @@ const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0]
 // FlagSet so tests can exercise flag registration and usage output
 // without touching the process-global flag.CommandLine.
 type options struct {
-	n       *int
-	trials  *int
-	seed    *uint64
-	workers *int
-	only    *string
-	format  *string
-	obsAddr *string
+	n          *int
+	trials     *int
+	seed       *uint64
+	workers    *int
+	shards     *int
+	scaleSizes *string
+	only       *string
+	format     *string
+	obsAddr    *string
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{
-		n:       fs.Int("n", 2500, "network size (paper: 2500-3600)"),
-		trials:  fs.Int("trials", 5, "independent deployments per data point"),
-		seed:    fs.Uint64("seed", 1, "root random seed"),
-		workers: fs.Int("workers", 0, "concurrent trials (0 = one per CPU, 1 = serial)"),
-		only:    fs.String("only", "", "comma-separated subset of experiments to run"),
-		format:  fs.String("format", "text", "output format: text or markdown"),
-		obsAddr: fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
+		n:          fs.Int("n", 2500, "network size (paper: 2500-3600)"),
+		trials:     fs.Int("trials", 5, "independent deployments per data point"),
+		seed:       fs.Uint64("seed", 1, "root random seed"),
+		workers:    fs.Int("workers", 0, "concurrent trials (0 = one per CPU, 1 = serial)"),
+		shards:     fs.Int("shards", 0, "intra-trial simulation shards (0 = legacy serial engine, >=1 = sharded; see docs/SCALING.md)"),
+		scaleSizes: fs.String("scale-sizes", "25000,100000", "comma-separated network sizes for the scale step's ScaleSweep"),
+		only:       fs.String("only", "", "comma-separated subset of experiments to run"),
+		format:     fs.String("format", "text", "output format: text or markdown"),
+		obsAddr:    fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
 	}
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
@@ -84,6 +98,36 @@ type chaosTables struct {
 
 func (c chaosTables) Table() string { return c.crash.Table() + "\n" + c.burst.Table() }
 
+// scaleTables joins the scale step's two views: the cross-size curve
+// comparison (ScaleInvariance) and the large-deployment streamed sweep
+// (ScaleSweep).
+type scaleTables struct {
+	inv   *experiments.ScaleInvarianceResult
+	sweep *experiments.ScaleSweepResult
+}
+
+func (s scaleTables) Table() string { return s.inv.Table() + "\n" + s.sweep.Table() }
+
+// parseSizes parses the -scale-sizes list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -scale-sizes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scale-sizes is empty")
+	}
+	return out, nil
+}
+
 func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,8 +136,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{Seed: *o.seed, Trials: *o.trials, N: *o.n, Workers: *o.workers}
+	opt := experiments.Options{Seed: *o.seed, Trials: *o.trials, N: *o.n, Workers: *o.workers, Shards: *o.shards}
 	if err := opt.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	scaleSizes, err := parseSizes(*o.scaleSizes)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(2)
 	}
@@ -133,8 +182,15 @@ func main() {
 			return experiments.DensitySweep(opt, nil)
 		}},
 		{"scale", func() (interface{ Table() string }, error) {
-			scaleOpt := opt
-			return experiments.ScaleInvariance(scaleOpt, []int{1000, 2000, 4000}, []float64{8, 12.5, 20})
+			inv, err := experiments.ScaleInvariance(opt, []int{1000, 2000, 4000}, []float64{8, 12.5, 20})
+			if err != nil {
+				return nil, err
+			}
+			sweep, err := experiments.ScaleSweep(capped("scale"), scaleSizes, 10)
+			if err != nil {
+				return nil, err
+			}
+			return scaleTables{inv, sweep}, nil
 		}},
 		{"resilience", func() (interface{ Table() string }, error) {
 			return experiments.Resilience(opt, nil)

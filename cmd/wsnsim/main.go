@@ -6,7 +6,7 @@
 // Usage:
 //
 //	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
-//	       [-readings 100] [-fusion] [-refresh none]
+//	       [-shards 0] [-readings 100] [-fusion] [-refresh none]
 //	       [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
 //	       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
 //	       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
@@ -63,7 +63,7 @@ import (
 // registered flag appears here and that the doc comment carries these
 // exact lines.
 const usageText = `wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
-       [-readings 100] [-fusion] [-refresh none]
+       [-shards 0] [-readings 100] [-fusion] [-refresh none]
        [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
        [-faults plan.txt] [-heal] [-trace] [-map] [-v]
        [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
@@ -77,6 +77,7 @@ type options struct {
 	density   *float64
 	seed      *uint64
 	loss      *float64
+	shards    *int
 	readings  *int
 	fusion    *bool
 	refresh   *string
@@ -104,6 +105,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		density:   fs.Float64("density", 12.5, "target mean neighbors per node"),
 		seed:      fs.Uint64("seed", 1, "simulation seed"),
 		loss:      fs.Float64("loss", 0, "per-link packet loss probability"),
+		shards:    fs.Int("shards", 0, "intra-trial simulation shards (0 = legacy serial engine, >=1 = sharded; see docs/SCALING.md)"),
 		readings:  fs.Int("readings", 100, "readings to originate from random nodes"),
 		fusion:    fs.Bool("fusion", false, "data-fusion mode: disable Step-1 encryption"),
 		refresh:   fs.String("refresh", "none", "key refresh after setup: hash, rekey, or none"),
@@ -215,6 +217,7 @@ func main() {
 		Seed:        *o.seed,
 		Config:      cfg,
 		Loss:        *o.loss,
+		Shards:      *o.shards,
 		ReserveLate: *o.add,
 		Battery:     *o.battery,
 		OnDeath:     func(int, time.Duration) { deaths++ },

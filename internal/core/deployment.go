@@ -69,6 +69,13 @@ type DeployOptions struct {
 	// PoisonRecycled overwrites recycled packet buffers with 0xDB (see
 	// sim.Config.PoisonRecycled) to surface illegal packet retention.
 	PoisonRecycled bool
+	// Shards, when >= 1, runs the trial on the simulator's intra-trial
+	// sharded engine: nodes are assigned to spatial stripes via
+	// topology.Graph.ShardStripes and each stripe's event heap advances
+	// on its own goroutine. Output is byte-identical across all Shards
+	// >= 1 but differs from the legacy Shards=0 engine (see
+	// sim.Config.Shards and docs/SCALING.md).
+	Shards int
 }
 
 // Deployment is a fully wired simulated network running the protocol.
@@ -123,9 +130,15 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		}
 		behaviors[i] = sensors[i]
 	}
+	var shardOf []int
+	if opt.Shards > 0 {
+		shardOf = graph.ShardStripes(opt.Shards)
+	}
 	eng, err := sim.New(sim.Config{
 		Graph:      graph,
 		Seed:       opt.Seed,
+		Shards:     opt.Shards,
+		ShardOf:    shardOf,
 		Loss:       opt.Loss,
 		Collisions: opt.Collisions,
 		Jitter:     opt.Jitter,
@@ -317,6 +330,25 @@ func (d *Deployment) KeysPerNode(excludeBS bool) []int {
 		out = append(out, s.ClusterKeyCount())
 	}
 	return out
+}
+
+// VisitClustered streams every booted, clustered node in graph-index
+// order to f without materializing any per-node slice: the accumulation
+// path the large-scale experiments use, where KeysPerNode's O(nodes)
+// result slice would dominate memory. f receives the node's graph
+// index, cluster ID, stored cluster-key count, and whether it is its
+// cluster's head.
+func (d *Deployment) VisitClustered(f func(i int, cid uint32, keyCount int, isHead bool)) {
+	for i, s := range d.Sensors {
+		if s == nil {
+			continue
+		}
+		cid, ok := s.Cluster()
+		if !ok {
+			continue
+		}
+		f(i, cid, s.ClusterKeyCount(), s.IsHead())
+	}
 }
 
 // VerifyClusterInvariants checks the structural properties the protocol

@@ -258,11 +258,15 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 func NewSensor(cfg Config, m Material) *Sensor {
 	cfg = cfg.withDefaults()
 	return &Sensor{
-		cfg:      cfg,
-		ks:       keyStoreFor(m, cfg.MaxChainSkip),
-		id:       m.ID,
-		hop:      HopUnknown,
-		dedup:    make(map[dedupKey]struct{}, cfg.DedupCapacity),
+		cfg: cfg,
+		ks:  keyStoreFor(m, cfg.MaxChainSkip),
+		id:  m.ID,
+		hop: HopUnknown,
+		// Sized lazily, NOT pre-sized to DedupCapacity: a hint of 1024
+		// reserves ~20 KB of empty buckets per node, which at 10^6 nodes
+		// is ~20 GB of memory for caches that stay empty until data
+		// traffic flows. The FIFO in remember still bounds growth.
+		dedup:    make(map[dedupKey]struct{}),
 		epochs:   make(map[uint32]uint32),
 		prevKeys: make(map[uint32]crypt.Key),
 		om:       newCoreMetrics(cfg.Obs.Registry()),
@@ -592,6 +596,13 @@ func (s *Sensor) enterOperational(ctx node.Context) {
 		s.cfg.Obs.Emit(ctx.Now(), obs.KindKmErase, int(s.id), s.ks.CID, "")
 	}
 	s.ks.EraseMaster()
+	// Drop the setup-era sealer cache along with Km itself. The cached
+	// AEAD state for Km (and any other key only used during setup) is
+	// ~1 KB per entry and would otherwise stay pinned for the node's
+	// lifetime — about a gigabyte across a 10^6-node deployment. This
+	// is purely a cache: operational traffic rebuilds the entries it
+	// uses, so output is byte-identical (the map is never iterated).
+	clear(s.sealers)
 	s.phase = PhaseOperational
 	if s.bs != nil {
 		s.TriggerBeacon(ctx)

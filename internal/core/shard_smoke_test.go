@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestShardSmokeInvariance(t *testing.T) {
+	plan := &faults.Plan{
+		Events: []faults.Event{
+			{Kind: faults.KindCrash, At: 200 * time.Millisecond, Node: 5},
+			{Kind: faults.KindReboot, At: 700 * time.Millisecond, Node: 5},
+			{Kind: faults.KindBurst, At: 100 * time.Millisecond, Until: 400 * time.Millisecond, PGB: 0.3, PBG: 0.4, LossGood: 0.02, LossBad: 0.6},
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		opt  DeployOptions
+	}{
+		{"plain", DeployOptions{N: 300, Density: 10, Seed: 7}},
+		{"loss", DeployOptions{N: 300, Density: 10, Seed: 8, Loss: 0.1}},
+		{"collisions", DeployOptions{N: 300, Density: 10, Seed: 9, Collisions: true, Jitter: 3 * time.Millisecond}},
+		{"faults", DeployOptions{N: 300, Density: 10, Seed: 10, Loss: 0.05, Faults: plan}},
+		{"battery", DeployOptions{N: 300, Density: 10, Seed: 11, Battery: 3000}},
+	} {
+		var deaths1, deathsN string
+		sig := func(shards int) string {
+			opt := tc.opt
+			opt.Shards = shards
+			var deaths []string
+			if opt.Battery > 0 {
+				opt.OnDeath = func(i int, at time.Duration) { deaths = append(deaths, fmt.Sprint(i, at)) }
+			}
+			d, err := Deploy(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Eng.Run(2 * time.Second)
+			st := d.Clusters()
+			en := d.Energy()
+			ds := fmt.Sprint(deaths)
+			if shards == 1 {
+				deaths1 = ds
+			} else {
+				deathsN = ds
+			}
+			return fmt.Sprintf("clusters=%d heads=%d mean=%v tx=%d rx=%d e=%v",
+				st.NumClusters, st.Heads, st.MeanSize, en.TxCount, en.RxCount, en.TotalMicroJ())
+		}
+		s1 := sig(1)
+		for _, s := range []int{2, 4, 7} {
+			if got := sig(s); got != s1 {
+				t.Errorf("%s shards=%d: %s\n  want (s=1): %s", tc.name, s, got, s1)
+			}
+			if deathsN != deaths1 {
+				t.Errorf("%s shards=%d deaths: %s want %s", tc.name, s, deathsN, deaths1)
+			}
+		}
+		t.Logf("%s: %s", tc.name, s1)
+	}
+}

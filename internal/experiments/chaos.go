@@ -68,7 +68,7 @@ func CrashChurn(o Options, fracs []float64) (*CrashChurnResult, error) {
 		repaired     int
 		latencySumMS float64
 	}
-	obs, err := runner.Grid(o.Workers, len(fracs), o.Trials,
+	obs, err := runner.Grid(o.pool(), len(fracs), o.Trials,
 		func(point, trial int) (churnObs, error) {
 			// Victim selection draws from its own stream so adding a
 			// crash axis never perturbs the deployment.
@@ -94,8 +94,9 @@ func CrashChurn(o Options, fracs []float64) (*CrashChurnResult, error) {
 			}
 			d, err := core.Deploy(core.DeployOptions{
 				N: o.N, Density: 10, Config: cfg, Faults: plan,
-				Seed: xrand.TrialSeed(o.Seed, point, trial),
-				Obs:  o.scope("crash-churn", point, trial),
+				Seed:   xrand.TrialSeed(o.Seed, point, trial),
+				Obs:    o.scope("crash-churn", point, trial),
+				Shards: o.Shards,
 			})
 			if err != nil {
 				return churnObs{}, err
@@ -226,8 +227,9 @@ func BurstLoss(o Options, lossBad []float64) (*BurstLossResult, error) {
 		}}}
 		d, err := core.Deploy(core.DeployOptions{
 			N: o.N, Density: 10, Config: cfg, Faults: plan,
-			Seed: xrand.TrialSeed(o.Seed, point, trial),
-			Obs:  o.scope("burst-loss", point, trial),
+			Seed:   xrand.TrialSeed(o.Seed, point, trial),
+			Obs:    o.scope("burst-loss", point, trial),
+			Shards: o.Shards,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -267,7 +269,7 @@ func BurstLoss(o Options, lossBad []float64) (*BurstLossResult, error) {
 	type burstObs struct {
 		retry, bare, degraded float64
 	}
-	obs, err := runner.Grid(o.Workers, len(lossBad), o.Trials,
+	obs, err := runner.Grid(o.pool(), len(lossBad), o.Trials,
 		func(point, trial int) (burstObs, error) {
 			withRetry, degraded, err := arm(point, trial, 2)
 			if err != nil {

@@ -10,6 +10,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 )
 
@@ -75,6 +76,9 @@ func equivFamilies() []family {
 		}},
 		{"ARQBurst", func(o Options) (any, error) {
 			return ARQBurst(o, []float64{0, 0.6})
+		}},
+		{"ScaleSweep", func(o Options) (any, error) {
+			return ScaleSweep(o, []int{150, 300}, 10)
 		}},
 	}
 }
@@ -151,6 +155,41 @@ func TestChaosEquivalenceAcrossWorkerCounts(t *testing.T) {
 					ref = j
 				} else if !bytes.Equal(ref, j) {
 					t.Fatalf("workers=%d output differs from workers=1\nref: %s\ngot: %s", workers, ref, j)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountEquivalence proves the sharded engine's invariance
+// contract at the experiment level: every family marshals to the same
+// bytes at Shards 1, 2, 4, and GOMAXPROCS. The reference is Shards=1
+// (the sharded engine's serial escape hatch), not Shards=0: the legacy
+// engine is a different determinism contract by design — the global
+// tie-break sequence and the shared medium stream are inherently
+// serial — so sharded output matches it in distribution, not in bytes
+// (see docs/SCALING.md).
+func TestShardCountEquivalence(t *testing.T) {
+	shardCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 1 && p != 2 && p != 4 {
+		shardCounts = append(shardCounts, p)
+	}
+	for _, fam := range equivFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			var ref []byte
+			for _, shards := range shardCounts {
+				o := Options{Seed: 11, Trials: 2, N: 220, Workers: 4, Shards: shards}
+				res, err := fam.run(o)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				j := mustJSON(t, res)
+				if ref == nil {
+					ref = j
+				} else if !bytes.Equal(ref, j) {
+					t.Fatalf("shards=%d output differs from shards=1\nref: %s\ngot: %s", shards, ref, j)
 				}
 			}
 		})

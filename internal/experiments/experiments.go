@@ -44,6 +44,13 @@ type Options struct {
 	// events carry per-trial labels). Results are byte-identical with or
 	// without it — see docs/DETERMINISM.md on the obs exclusion.
 	Obs *obs.Registry
+	// Shards, when >= 1, runs every trial on the simulator's intra-trial
+	// sharded engine with this many shards; the trial pool is then sized
+	// with runner.NestedWorkers so Workers keeps bounding total
+	// concurrency. Output is byte-identical across all Shards >= 1 but
+	// differs from the legacy Shards=0 engine (a new determinism
+	// contract, like a seed salt; see docs/SCALING.md).
+	Shards int
 }
 
 // scope derives the per-trial observability scope for a deployment, or
@@ -84,8 +91,16 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("experiments: negative Workers %d", o.Workers)
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("experiments: negative Shards %d", o.Shards)
+	}
 	return nil
 }
+
+// pool resolves the trial pool's worker count. With a sharded engine
+// each trial runs o.Shards goroutines, so the outer pool shrinks to
+// keep Workers meaning total concurrency (runner.NestedWorkers).
+func (o Options) pool() int { return runner.NestedWorkers(o.Workers, o.Shards) }
 
 // Caps bounds an Options value for experiment families that are too
 // event-heavy (or too memory-heavy) to run at the full figure scale.
@@ -123,6 +138,9 @@ var familyCaps = map[string]Caps{
 	"setupcost": {MaxN: 1000},
 	"chaos":     {MaxN: 500, MaxTrials: 3},
 	"arq":       {MaxN: 300, MaxTrials: 3},
+	// The scale sweep deploys 1e5+-node networks per trial; two trials
+	// are enough for the streamed means at that size.
+	"scale": {MaxTrials: 2},
 }
 
 // CapsFor returns the scale caps for the named experiment family (the
@@ -149,6 +167,7 @@ func deployTrial(o Options, density float64, point, trial int) (*core.Deployment
 		Density: density,
 		Seed:    xrand.TrialSeed(o.Seed, point, trial),
 		Obs:     o.scope("sweep", point, trial),
+		Shards:  o.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -187,7 +206,7 @@ func DensitySweep(o Options, densities []float64) (*SweepResult, error) {
 	type sweepObs struct {
 		keys, size, heads, msgs float64
 	}
-	obs, err := runner.Grid(o.Workers, len(densities), o.Trials,
+	obs, err := runner.Grid(o.pool(), len(densities), o.Trials,
 		func(point, trial int) (sweepObs, error) {
 			d, err := deployTrial(o, densities[point], point, trial)
 			if err != nil {
@@ -258,7 +277,7 @@ func Figure1(o Options, densities ...float64) (*Figure1Result, error) {
 	}
 	// Jobs return raw per-cluster sizes; histogram counts are insensitive
 	// to the (map-iteration) order they arrive in.
-	sizes, err := runner.Grid(o.Workers, len(densities), o.Trials,
+	sizes, err := runner.Grid(o.pool(), len(densities), o.Trials,
 		func(point, trial int) ([]int, error) {
 			d, err := deployTrial(o, densities[point], point, trial)
 			if err != nil {

@@ -56,7 +56,7 @@ func SetupCost(o Options, densities []float64) (*SetupCostResult, error) {
 	type costObs struct {
 		tx, uj, leapTx, leapUJ, egTx, egUJ float64
 	}
-	obs, err := runner.Grid(o.Workers, len(densities), o.Trials,
+	obs, err := runner.Grid(o.pool(), len(densities), o.Trials,
 		func(point, trial int) (costObs, error) {
 			density := densities[point]
 			seed := xrand.TrialSeed(o.Seed^saltBoot, point, trial)

@@ -66,7 +66,7 @@ func Storage(o Options, sizes []int, density float64) (*StorageResult, error) {
 		name string
 		keys float64
 	}
-	obs, err := runner.Grid(o.Workers, len(sizes), o.Trials,
+	obs, err := runner.Grid(o.pool(), len(sizes), o.Trials,
 		func(point, trial int) ([]schemeObs, error) {
 			opt := o
 			opt.N = sizes[point]

@@ -1,0 +1,267 @@
+package geom
+
+// Boundary tests surfaced by the sharded engine: shard stripes are
+// whole grid columns, so queries at exact column edges, at exactly
+// X == side, and across the torus wrap are precisely the cases the
+// cross-shard delivery path depends on. Every case is pinned against
+// the O(n) brute-force reference under both metrics.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// edgePoints builds a deterministic deployment that saturates the
+// awkward coordinates: points exactly on every cell edge, exactly on
+// the region boundary (X or Y == side, legal for callers that place
+// points manually), at the four corners, at cell centers, and a random
+// fill in between.
+func edgePoints(rng *xrand.RNG, side, cell float64) []Point {
+	var pts []Point
+	ncols := int(side / cell)
+	for c := 0; c <= ncols; c++ {
+		edge := float64(c) * cell
+		if edge > side {
+			edge = side
+		}
+		pts = append(pts,
+			Point{X: edge, Y: side / 2},
+			Point{X: side / 2, Y: edge},
+			Point{X: edge, Y: edge},
+			Point{X: edge, Y: rng.Float64() * side},
+		)
+	}
+	pts = append(pts,
+		Point{X: 0, Y: 0}, Point{X: side, Y: 0},
+		Point{X: 0, Y: side}, Point{X: side, Y: side},
+		Point{X: side / 2, Y: side / 2},
+	)
+	for i := 0; i < 120; i++ {
+		pts = append(pts, Point{X: rng.Float64() * side, Y: rng.Float64() * side})
+	}
+	return pts
+}
+
+// TestGridBoundaryExactEdges: queries from every point of the edge-rich
+// deployment — including the ones at exactly X == side, which clamp
+// into the last grid column — must match brute force under both
+// metrics, at the build radius and at a smaller one.
+func TestGridBoundaryExactEdges(t *testing.T) {
+	const side, radius = 12.0, 2.0
+	rng := xrand.New(21)
+	pts := edgePoints(rng, side, radius)
+	for _, metric := range []Metric{Planar, Torus} {
+		g := NewGrid(pts, side, radius, metric)
+		for _, r := range []float64{radius, 0.75} {
+			for i := range pts {
+				got := sorted(g.Within(nil, pts[i], r, int32(i)))
+				want := sorted(bruteWithin(pts, pts[i], r, side, metric, int32(i)))
+				if !equalIDs(got, want) {
+					t.Fatalf("metric=%v r=%v query=%v: grid %v != brute %v",
+						metric, r, pts[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGridQueryBeyondLastColumn pins the clamp in Within directly: a
+// query point at exactly X == side (or Y == side) must see the same
+// neighbors as the equivalent wrapped query at 0 on the torus, and the
+// brute-force set on the plane — not a 3x3 block centered one column
+// out of range.
+func TestGridQueryBeyondLastColumn(t *testing.T) {
+	const side, radius = 10.0, 1.0
+	rng := xrand.New(22)
+	pts := UniformPoints(rng, 500, side)
+	for _, metric := range []Metric{Planar, Torus} {
+		g := NewGrid(pts, side, radius, metric)
+		queries := []Point{
+			{X: side, Y: 4.7},
+			{X: 3.3, Y: side},
+			{X: side, Y: side},
+			{X: side, Y: 0},
+			// math.Nextafter(side, 0) is the largest representable
+			// coordinate strictly inside the region; its X/cell can
+			// still round to nx in floating point.
+			{X: math.Nextafter(side, 0), Y: 2.2},
+		}
+		for _, q := range queries {
+			got := sorted(g.Within(nil, q, radius, -1))
+			want := sorted(bruteWithin(pts, q, radius, side, metric, -1))
+			if !equalIDs(got, want) {
+				t.Fatalf("metric=%v query=%v: grid %v != brute %v", metric, q, got, want)
+			}
+		}
+		if metric == Torus {
+			// X == side is the same torus point as X == 0.
+			a := sorted(g.Within(nil, Point{X: side, Y: 5}, radius, -1))
+			b := sorted(g.Within(nil, Point{X: 0, Y: 5}, radius, -1))
+			if !equalIDs(a, b) {
+				t.Fatalf("torus: query at side %v != query at 0 %v", a, b)
+			}
+		}
+	}
+}
+
+// TestGridTorusWrapAcrossShardBorder places tight clusters on both
+// sides of the wrap seam — the border between the first and last shard
+// stripe — and checks each side sees the other through the wrap, while
+// the planar grid on the same points correctly does not.
+func TestGridTorusWrapAcrossShardBorder(t *testing.T) {
+	const side, radius = 8.0, 1.0
+	pts := []Point{
+		{X: 0.1, Y: 3.0}, {X: 0.3, Y: 3.1}, // just right of the seam
+		{X: 7.8, Y: 3.0}, {X: 7.95, Y: 2.9}, // just left of the seam
+		{X: 4.0, Y: 3.0}, // far from it
+	}
+	gt := NewGrid(pts, side, radius, Torus)
+	gp := NewGrid(pts, side, radius, Planar)
+	for i := range pts {
+		gotT := sorted(gt.Within(nil, pts[i], radius, int32(i)))
+		wantT := sorted(bruteWithin(pts, pts[i], radius, side, Torus, int32(i)))
+		if !equalIDs(gotT, wantT) {
+			t.Fatalf("torus query %d: grid %v != brute %v", i, gotT, wantT)
+		}
+		gotP := sorted(gp.Within(nil, pts[i], radius, int32(i)))
+		wantP := sorted(bruteWithin(pts, pts[i], radius, side, Planar, int32(i)))
+		if !equalIDs(gotP, wantP) {
+			t.Fatalf("planar query %d: grid %v != brute %v", i, gotP, wantP)
+		}
+	}
+	// The seam clusters must be mutual torus neighbors and planar strangers.
+	if n := gt.Within(nil, pts[0], radius, 0); len(n) != 3 {
+		t.Fatalf("torus: node 0 sees %v, want the seam cluster {1,2,3}", n)
+	}
+	if n := gp.Within(nil, pts[0], radius, 0); len(n) != 1 {
+		t.Fatalf("planar: node 0 sees %v, want only {1}", n)
+	}
+}
+
+// TestGridMetricsAgreeAwayFromBoundary: for queries more than radius
+// away from every region edge no pair can wrap, so both metrics must
+// return the identical neighbor set — shard borders interior to the
+// region are invisible to the metric.
+func TestGridMetricsAgreeAwayFromBoundary(t *testing.T) {
+	const side, radius = 10.0, 1.0
+	rng := xrand.New(23)
+	pts := UniformPoints(rng, 600, side)
+	gt := NewGrid(pts, side, radius, Torus)
+	gp := NewGrid(pts, side, radius, Planar)
+	checked := 0
+	for i, p := range pts {
+		if p.X < radius || p.X > side-radius || p.Y < radius || p.Y > side-radius {
+			continue
+		}
+		checked++
+		a := sorted(gt.Within(nil, p, radius, int32(i)))
+		b := sorted(gp.Within(nil, p, radius, int32(i)))
+		if !equalIDs(a, b) {
+			t.Fatalf("interior node %d: torus %v != planar %v", i, a, b)
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d interior nodes; deployment too small to mean anything", checked)
+	}
+}
+
+// TestShardStripesPartition checks the stripe assignment's contract:
+// values in [0, shards), stripes contiguous and non-decreasing along
+// x (whole columns), boundary points included, counts roughly
+// balanced, and the assignment a pure function of the points.
+func TestShardStripesPartition(t *testing.T) {
+	const side, radius = 12.0, 1.5
+	rng := xrand.New(24)
+	pts := edgePoints(rng, side, radius)
+	g := NewGrid(pts, side, radius, Torus)
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		got := g.ShardStripes(shards)
+		if len(got) != len(pts) {
+			t.Fatalf("shards=%d: %d assignments for %d points", shards, len(got), len(pts))
+		}
+		counts := make([]int, shards)
+		for i, s := range got {
+			if s < 0 || s >= shards {
+				t.Fatalf("shards=%d: point %d assigned %d", shards, i, s)
+			}
+			counts[s]++
+		}
+		// Contiguity: stripe index is monotone in grid column (points at
+		// exactly X == side wrap to column 0, so compare columns, not raw
+		// x). Same-column points must share a stripe.
+		for i, p := range pts {
+			for j, q := range pts {
+				ci, cj := g.colOf(p), g.colOf(q)
+				if ci < cj && got[i] > got[j] {
+					t.Fatalf("shards=%d: col %d in stripe %d but col %d in stripe %d",
+						shards, ci, got[i], cj, got[j])
+				}
+				if ci == cj && got[i] != got[j] {
+					t.Fatalf("shards=%d: column %d split across stripes %d and %d",
+						shards, ci, got[i], got[j])
+				}
+			}
+		}
+		// Balance: the greedy column partition keeps every stripe within
+		// one column's worth of the ideal share.
+		ideal := float64(len(pts)) / float64(shards)
+		maxCol := 0
+		colCount := map[int]int{}
+		for _, p := range pts {
+			colCount[g.colOf(p)]++
+		}
+		for _, c := range colCount {
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+		for s, c := range counts {
+			if float64(c) > ideal+float64(maxCol) {
+				t.Errorf("shards=%d stripe %d has %d points (ideal %.1f, max column %d)",
+					shards, s, c, ideal, maxCol)
+			}
+		}
+		// Purity.
+		again := g.ShardStripes(shards)
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("shards=%d: assignment not deterministic at %d", shards, i)
+			}
+		}
+	}
+}
+
+// TestShardStripesSingleColumn: with one grid column (region no wider
+// than the radius) stripes fall back to index balancing.
+func TestShardStripesSingleColumn(t *testing.T) {
+	pts := UniformPoints(xrand.New(25), 90, 1.0)
+	g := NewGrid(pts, 1.0, 1.0, Torus)
+	got := g.ShardStripes(3)
+	counts := make([]int, 3)
+	prev := 0
+	for i, s := range got {
+		if s < prev {
+			t.Fatalf("index balancing not monotone at %d: %d after %d", i, s, prev)
+		}
+		prev = s
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != 30 {
+			t.Fatalf("stripe %d has %d points, want 30", s, c)
+		}
+	}
+}
+
+// TestShardStripesPanicsOnZero pins the constructor contract.
+func TestShardStripesPanicsOnZero(t *testing.T) {
+	g := NewGrid([]Point{{X: 0.5, Y: 0.5}}, 1, 1, Torus)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShardStripes(0) did not panic")
+		}
+	}()
+	g.ShardStripes(0)
+}

@@ -142,22 +142,30 @@ func NewGrid(pts []Point, side, maxRadius float64, metric Metric) *Grid {
 	return g
 }
 
+// cellIndex maps one coordinate to its grid cell. Coordinates outside
+// [0, side) — a point placed at exactly X == side, or an X/cell that
+// rounds up to nx in floating point — wrap on a torus (side is the
+// same torus position as 0, so the wrapped cell is the geometrically
+// correct one) and clamp on the plane. Clamping on a torus was the
+// latent bug: a point at X == side landed in the last column, two
+// cells away from the column-0 neighbors a 3x3 scan around them would
+// actually visit.
+func (g *Grid) cellIndex(x float64) int {
+	c := int(x / g.cell)
+	if c >= 0 && c < g.nx {
+		return c
+	}
+	if g.wrapping {
+		return mod(c, g.nx)
+	}
+	if c >= g.nx {
+		return g.nx - 1
+	}
+	return 0
+}
+
 func (g *Grid) bucketOf(p Point) int {
-	cx := int(p.X / g.cell)
-	cy := int(p.Y / g.cell)
-	if cx >= g.nx {
-		cx = g.nx - 1
-	}
-	if cy >= g.nx {
-		cy = g.nx - 1
-	}
-	if cx < 0 {
-		cx = 0
-	}
-	if cy < 0 {
-		cy = 0
-	}
-	return cy*g.nx + cx
+	return g.cellIndex(p.Y)*g.nx + g.cellIndex(p.X)
 }
 
 // dist2 measures squared distance under the grid's metric.
@@ -182,8 +190,11 @@ func (g *Grid) Within(dst []int32, p Point, radius float64, exclude int32) []int
 		}
 		return dst
 	}
-	cx := int(p.X / g.cell)
-	cy := int(p.Y / g.cell)
+	// Resolve the center cell exactly as bucketOf does (wrap on torus,
+	// clamp on plane), so a query at exactly X == side scans the same
+	// 3x3 block as the points bucketed there.
+	cx := g.cellIndex(p.X)
+	cy := g.cellIndex(p.Y)
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			bx, by := cx+dx, cy+dy
@@ -201,6 +212,53 @@ func (g *Grid) Within(dst []int32, p Point, radius float64, exclude int32) []int
 		}
 	}
 	return dst
+}
+
+// colOf returns the grid column of p, as bucketOf computes it.
+func (g *Grid) colOf(p Point) int { return g.cellIndex(p.X) }
+
+// ShardStripes partitions the indexed points into `shards` contiguous
+// vertical stripes of whole grid columns, greedily balanced by point
+// count, and returns each point's stripe index (values in [0, shards)).
+// Stripes of whole columns mean every point's radio disk overlaps at
+// most the two adjacent stripes, which is what keeps most deliveries
+// intra-shard when the simulator uses the stripes as its shard
+// assignment. With fewer columns than shards the trailing stripes are
+// empty; the assignment is a pure function of the indexed points.
+func (g *Grid) ShardStripes(shards int) []int {
+	if shards < 1 {
+		panic("geom: ShardStripes with shards < 1")
+	}
+	out := make([]int, len(g.pts))
+	if shards == 1 || g.nx == 1 {
+		if shards > 1 {
+			// Single column: balance by index order instead.
+			for i := range out {
+				out[i] = i * shards / len(out)
+			}
+		}
+		return out
+	}
+	colCount := make([]int, g.nx)
+	for _, p := range g.pts {
+		colCount[g.colOf(p)]++
+	}
+	// Greedy linear partition: close a stripe once its cumulative count
+	// reaches the ideal share of total points.
+	stripeOfCol := make([]int, g.nx)
+	total := len(g.pts)
+	run, stripe := 0, 0
+	for c := 0; c < g.nx; c++ {
+		stripeOfCol[c] = stripe
+		run += colCount[c]
+		for stripe < shards-1 && run*shards >= (stripe+1)*total {
+			stripe++
+		}
+	}
+	for i, p := range g.pts {
+		out[i] = stripeOfCol[g.colOf(p)]
+	}
+	return out
 }
 
 func mod(a, n int) int {

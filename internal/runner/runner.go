@@ -66,6 +66,24 @@ func Workers(n int) int {
 	return 1
 }
 
+// NestedWorkers resolves the outer (trial-pool) worker count when each
+// trial itself runs `inner` goroutines — the sharded engine's
+// trials-times-shards nesting. The total goroutine budget stays at the
+// resolved flat count: inner <= 1 passes workers through unchanged,
+// otherwise the resolved count is divided by inner (at least 1), so
+// -workers keeps meaning "total concurrency" whether or not trials are
+// sharded. Like Workers, the result is always at least 1.
+func NestedWorkers(workers, inner int) int {
+	w := Workers(workers)
+	if inner <= 1 {
+		return w
+	}
+	if w = w / inner; w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Map runs fn(i) for every i in [0, n) on at most workers concurrent
 // goroutines and returns the n results in index order.
 //

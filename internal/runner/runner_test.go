@@ -28,6 +28,39 @@ func TestWorkersResolution(t *testing.T) {
 	}
 }
 
+func TestNestedWorkersResolution(t *testing.T) {
+	cases := []struct {
+		workers, inner, want int
+	}{
+		{8, 1, 8},  // inner <= 1 passes through
+		{8, 0, 8},  // unsharded
+		{8, -3, 8}, // nonsense inner treated as unsharded
+		{8, 2, 4},  // budget divided by inner
+		{8, 3, 2},  // rounded down
+		{8, 4, 2},
+		{2, 4, 1}, // never below one outer worker
+		{1, 16, 1},
+		{3, 2, 1},
+	}
+	for _, c := range cases {
+		if got := NestedWorkers(c.workers, c.inner); got != c.want {
+			t.Errorf("NestedWorkers(%d, %d) = %d, want %d", c.workers, c.inner, got, c.want)
+		}
+	}
+	// workers <= 0 resolves through Workers first, then divides.
+	flat := Workers(0)
+	want := flat / 4
+	if want < 1 {
+		want = 1
+	}
+	if got := NestedWorkers(0, 4); got != want {
+		t.Errorf("NestedWorkers(0, 4) = %d, want %d (GOMAXPROCS=%d / 4)", got, want, flat)
+	}
+	if got := NestedWorkers(0, 1); got != flat {
+		t.Errorf("NestedWorkers(0, 1) = %d, want %d", got, flat)
+	}
+}
+
 func TestMapOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })

@@ -109,6 +109,28 @@ type Config struct {
 	// diverges, turning silent use-after-recycle bugs into loud test
 	// failures. Ignored when DisablePooling is set.
 	PoisonRecycled bool
+	// Shards, when >= 1, runs the trial on the intra-trial sharded
+	// engine: nodes are partitioned into Shards groups, each group's
+	// event heap advances on its own goroutine in conservative epochs of
+	// width PropDelay (the minimum radio latency, hence a safe
+	// lookahead), and cross-shard deliveries travel through per-epoch
+	// mailboxes. Shard mode uses a shard-count-invariant determinism
+	// contract — per-sender medium streams and a canonical
+	// (time, source lane, lane sequence) event order — so the output is
+	// byte-identical at every Shards >= 1 (Shards=1 is the serial escape
+	// hatch, running the same contract on the calling goroutine).
+	// Shards=0 (the default) keeps the legacy single-heap engine, whose
+	// output all pre-sharding golden tests pin. Switching between 0 and
+	// >=1 is output-affecting, like changing a seed salt; see
+	// docs/SCALING.md and docs/DETERMINISM.md.
+	Shards int
+	// ShardOf optionally assigns each graph node to a shard (len N(),
+	// values in [0, Shards)). Nil assigns contiguous index ranges;
+	// core.Deploy passes a spatial stripe assignment built from the
+	// deployment geometry so most radio neighborhoods stay intra-shard.
+	// The assignment affects only performance, never output: the shard
+	// contract is invariant to where the cuts fall.
+	ShardOf []int
 }
 
 // TraceEvent describes one packet delivery attempt for debugging and the
@@ -145,6 +167,18 @@ type Engine struct {
 	// under the same discipline.
 	freeEv []*event
 	pkts   pktArena
+
+	// Shard-mode state (Config.Shards >= 1; see shard.go). root is kept
+	// so per-sender medium streams can be split lazily; lookahead is the
+	// conservative epoch width (= PropDelay, the minimum cross-shard
+	// delivery latency). In shard mode e.queue holds only coordinator
+	// (global) events — Schedule/Do closures — which run between epochs.
+	sharded   bool
+	root      *xrand.RNG
+	lookahead time.Duration
+	shards    []*shard
+	shardOf   []int32
+	cbScratch []cbRec
 }
 
 // simMetrics holds the engine's counters. With observability off every
@@ -159,6 +193,12 @@ type simMetrics struct {
 	crashes    *obs.Counter
 	reboots    *obs.Counter
 	deaths     *obs.Counter
+
+	// Shard-mode instrumentation.
+	epochs *obs.Counter
+	xmsgs  *obs.Counter
+	stall  *obs.Histogram
+	util   *obs.Histogram
 }
 
 func newSimMetrics(r *obs.Registry) simMetrics {
@@ -172,6 +212,10 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		crashes:    r.Counter("sim_crashes_total", "node crashes (fault plan or scenario)"),
 		reboots:    r.Counter("sim_reboots_total", "node reboots after a crash"),
 		deaths:     r.Counter("sim_battery_deaths_total", "nodes dead of energy depletion (battery accounting or Context.Die)"),
+		epochs:     r.Counter("sim_epochs_total", "conservative epochs executed by the sharded engine"),
+		xmsgs:      r.Counter("sim_xshard_msgs_total", "cross-shard deliveries exchanged through epoch mailboxes"),
+		stall:      r.Histogram("sim_shard_stall_seconds", "wall-clock spread between the first and last shard finishing an epoch (merge stall)", []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}),
+		util:       r.Histogram("sim_shard_util", "per-epoch shard utilization: events processed divided by shards times the busiest shard's events", []float64{0.25, 0.5, 0.75, 0.9, 1}),
 	}
 }
 
@@ -179,6 +223,14 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 // label 1+i and the medium uses 0, so any label above every representable
 // node index is free.
 const faultStream = uint64(1) << 40
+
+// mediumLaneBase is the Split label base for shard mode's per-sender
+// medium streams: sender i draws its loss and jitter variates from
+// Split(mediumLaneBase + i) instead of the legacy shared Split(0) stream.
+// Per-sender streams are what make the radio randomness independent of
+// the global interleaving of transmissions — the heart of the
+// shard-count-invariance contract.
+const mediumLaneBase = uint64(1) << 41
 
 // eventKind discriminates the engine's typed events. The hot-path kinds
 // (delivery, timer, collidable reception) carry their operands in the
@@ -192,6 +244,13 @@ const (
 	evRxBegin                  // collision model: packet starts occupying h's radio
 	evRxEnd                    // collision model: airtime over, deliver if intact
 	evTimer                    // behavior timer tid on h
+
+	// Shard-mode kinds (see shard.go). They carry the canonical
+	// (at, src, seq) ordering key instead of the legacy global sequence.
+	evStart    // behavior Start on h at boot time
+	evSDeliver // shard delivery: fault-drop decided receiver-side at arrival
+	evSCrash   // fault-plan crash of h
+	evSReboot  // fault-plan reboot of h
 )
 
 type event struct {
@@ -204,6 +263,14 @@ type event struct {
 	pkt  []byte
 	rx   *reception
 	tid  node.TimerID
+
+	// Shard-mode key and payload extensions. src is the owning lane
+	// (the graph index of the host whose counter issued seq); txAt and
+	// lossLost carry a shard delivery's transmission time and sender-side
+	// Config.Loss outcome across the mailbox.
+	src      int32
+	txAt     time.Duration
+	lossLost bool
 }
 
 type eventHeap []*event
@@ -294,6 +361,15 @@ type host struct {
 	// immortal exempts the node from battery death (mains-powered base
 	// stations).
 	immortal bool
+
+	// Shard-mode state: the owning shard, the lazily split per-sender
+	// medium stream, and the per-host lane sequence counter that
+	// tie-breaks this host's events in the canonical order. lseq is only
+	// ever touched by the owning shard's goroutine (or by the
+	// coordinator while every shard is at a barrier).
+	sh   *shard
+	med  *xrand.RNG
+	lseq uint64
 }
 
 // reception is one in-progress packet arrival under the collision model.
@@ -350,6 +426,11 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 			rng:      root.Split(1 + uint64(i)),
 			alive:    b != nil,
 			timers:   make(map[node.TimerID]node.Tag),
+		}
+	}
+	if cfg.Shards > 0 {
+		if err := eng.setupShards(root); err != nil {
+			return nil, err
 		}
 	}
 	return eng, nil
@@ -415,6 +496,17 @@ func (e *Engine) Boot(t time.Duration) {
 	if e.inj != nil {
 		for _, ev := range e.inj.CrashRebootEvents() {
 			ev := ev
+			if e.sharded {
+				// Crash/reboot land on the target's own lane so their
+				// order against the node's other events is canonical.
+				h := e.hosts[ev.Node]
+				kind := evSCrash
+				if ev.Kind == faults.KindReboot {
+					kind = evSReboot
+				}
+				h.sh.pushHostEvent(ev.At, h, kind)
+				continue
+			}
 			switch ev.Kind {
 			case faults.KindCrash:
 				e.push(ev.At, func() { e.Crash(ev.Node) })
@@ -439,6 +531,10 @@ func (e *Engine) BootNode(i int, b node.Behavior, t time.Duration) {
 
 func (e *Engine) bootHost(h *host, t time.Duration) {
 	h.started = true
+	if e.sharded {
+		h.sh.pushHostEvent(t, h, evStart)
+		return
+	}
 	e.push(t, func() {
 		if h.alive {
 			h.behavior.Start(h)
@@ -467,6 +563,10 @@ func (e *Engine) dispatch(ev *event) {
 // virtual clock would exceed until. It returns the number of events
 // processed.
 func (e *Engine) Run(until time.Duration) int {
+	if e.sharded {
+		n, _ := e.runSharded(until, false, 0)
+		return n
+	}
 	processed := 0
 	for e.queue.Len() > 0 {
 		next := e.queue[0]
@@ -489,6 +589,9 @@ func (e *Engine) Run(until time.Duration) int {
 // the number processed. maxEvents guards against livelock (<=0 means no
 // limit); exceeding it returns an error.
 func (e *Engine) RunUntilIdle(maxEvents int) (int, error) {
+	if e.sharded {
+		return e.runSharded(0, true, maxEvents)
+	}
 	processed := 0
 	for e.queue.Len() > 0 {
 		next := heap.Pop(&e.queue).(*event)
@@ -504,7 +607,20 @@ func (e *Engine) RunUntilIdle(maxEvents int) (int, error) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int {
+	n := e.queue.Len()
+	for _, s := range e.shards {
+		n += s.queue.Len()
+		for _, out := range s.out {
+			n += len(out)
+		}
+	}
+	return n
+}
+
+// ShardCount returns the number of shards the engine runs on (0 for the
+// legacy single-heap engine).
+func (e *Engine) ShardCount() int { return len(e.shards) }
 
 // N returns the number of hosted nodes.
 func (e *Engine) N() int { return len(e.hosts) }
@@ -556,6 +672,11 @@ func (e *Engine) Reboot(i int) {
 	h.alive = true
 	e.m.reboots.Inc()
 	e.cfg.Obs.Emit(e.now, obs.KindReboot, i, 0, "")
+	if e.sharded {
+		// The restart callback runs with the host's Context, whose clock
+		// is the owning shard's; align it with coordinator time first.
+		e.syncShardClocks()
+	}
 	if rb, ok := h.behavior.(node.Rebooter); ok {
 		rb.Reboot(h)
 		return
@@ -589,6 +710,14 @@ func (e *Engine) Do(t time.Duration, i int, fn func(node.Context)) {
 // it spends no defender energy and reaches exactly the nodes a real radio
 // at that position would reach.
 func (e *Engine) InjectAt(at int, fakeFrom node.ID, pkt []byte) {
+	if e.sharded {
+		// Injections originate on the coordinator between epochs; the
+		// radio position's host owns the lane and the medium stream, so
+		// the fan-out is identical to a real transmission from there.
+		e.syncShardClocks()
+		e.hosts[at].sh.deliverFrom(e.hosts[at], fakeFrom, pkt)
+		return
+	}
 	e.deliverFrom(at, fakeFrom, pkt)
 }
 
@@ -599,7 +728,11 @@ func (e *Engine) broadcast(h *host, pkt []byte) {
 	h.meter.ChargeTx(e.cfg.Energy, len(pkt))
 	// The transmission itself completes even if it drains the battery;
 	// the node is dead afterwards.
-	e.deliverFrom(h.idx, h.id, pkt)
+	if e.sharded {
+		h.sh.deliverFrom(h, h.id, pkt)
+	} else {
+		e.deliverFrom(h.idx, h.id, pkt)
+	}
 	e.checkBattery(h)
 }
 
@@ -629,6 +762,12 @@ func (e *Engine) kill(h *host) {
 	h.alive = false
 	e.m.deaths.Inc()
 	if e.cfg.OnDeath != nil {
+		if h.sh != nil {
+			// Shard mode: callbacks are buffered and replayed on the
+			// coordinator in canonical order at the next barrier.
+			h.sh.bufferCallback(cbRec{kind: cbDeath, at: h.sh.now, node: int32(h.idx)})
+			return
+		}
 		e.cfg.OnDeath(h.idx, e.now)
 	}
 }
@@ -786,8 +925,14 @@ func (e *Engine) runTimer(h *host, tid node.TimerID) {
 // ID implements node.Context.
 func (h *host) ID() node.ID { return h.id }
 
-// Now implements node.Context.
-func (h *host) Now() time.Duration { return h.eng.now }
+// Now implements node.Context. In shard mode the host's clock is its
+// owning shard's (synced to coordinator time for between-epoch callbacks).
+func (h *host) Now() time.Duration {
+	if h.sh != nil {
+		return h.sh.now
+	}
+	return h.eng.now
+}
 
 // Broadcast implements node.Context.
 func (h *host) Broadcast(pkt []byte) {
@@ -802,6 +947,11 @@ func (h *host) SetTimer(d time.Duration, tag node.Tag) node.TimerID {
 	h.nextTID++
 	tid := h.nextTID
 	h.timers[tid] = tag
+	if h.sh != nil {
+		ev := h.sh.pushHostEvent(h.sh.now+d, h, evTimer)
+		ev.tid = tid
+		return tid
+	}
 	e := h.eng
 	ev := e.newEvent(e.now + d)
 	ev.kind = evTimer

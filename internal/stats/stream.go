@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance online in O(1) memory using
+// Welford's recurrence. It is the streaming counterpart of Summary for
+// the large-scale experiments, where materializing one slice entry per
+// node would defeat the sharded engine's sub-O(nodes) memory budget.
+// Unlike Summary's sum/sum² accumulator it is numerically stable on
+// long near-constant streams. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 || x < w.min {
+		w.min = x
+	}
+	if w.n == 0 || x > w.max {
+		w.max = x
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds other into w using the Chan et al. parallel update. Merge
+// is deterministic but not commutative in floating point: callers that
+// need reproducible totals must merge partials in a fixed order (the
+// experiment harness merges per-trial accumulators in trial order).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.mean += d * float64(other.n) / float64(n)
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.n = n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 if fewer than two samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// CI95 returns the half-width of the 95% normal-approximation
+// confidence interval of the mean, as Summary.CI95 does.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// MarshalJSON serializes the accumulator's complete internal state, so
+// two Welfords marshal identically iff their state is bit-identical —
+// the same byte-equivalence mechanism Summary uses for the sharded
+// engine's golden tests.
+func (w *Welford) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N    int     `json:"n"`
+		Mean float64 `json:"mean"`
+		M2   float64 `json:"m2"`
+		Min  float64 `json:"min"`
+		Max  float64 `json:"max"`
+	}{w.n, w.mean, w.m2, w.min, w.max})
+}
+
+// P2Quantile estimates a single quantile of a stream in constant memory
+// with the P² algorithm (Jain & Chlamtac, CACM 1985): five markers
+// track the minimum, the p/2, p, and (1+p)/2 quantile estimates, and
+// the maximum, adjusting heights with a piecewise-parabolic fit as
+// observations arrive. The estimate is exact up to five observations
+// and O(1) in both memory and per-observation time afterwards; like
+// every fixed-size sketch it trades exactness for the memory bound, so
+// it reports approximate quantiles on adversarial streams but is
+// accurate on the smooth per-node distributions the scale experiments
+// summarize.
+type P2Quantile struct {
+	p     float64
+	count int
+	q     [5]float64 // marker heights
+	pos   [5]float64 // actual marker positions (1-based)
+	want  [5]float64 // desired marker positions
+	dn    [5]float64 // desired-position increments per observation
+	first [5]float64 // the first five observations, until primed
+}
+
+// NewP2Quantile returns a sketch for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: NewP2Quantile needs 0 < p < 1")
+	}
+	s := &P2Quantile{p: p}
+	s.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	s.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	return s
+}
+
+// P returns the quantile the sketch estimates.
+func (s *P2Quantile) P() float64 { return s.p }
+
+// N returns the number of observations.
+func (s *P2Quantile) N() int { return s.count }
+
+// Add records one observation.
+func (s *P2Quantile) Add(x float64) {
+	if s.count < 5 {
+		s.first[s.count] = x
+		s.count++
+		if s.count == 5 {
+			copy(s.q[:], s.first[:])
+			sort.Float64s(s.q[:])
+			s.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	s.count++
+	// Locate the cell x falls into, extending the extremes.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.dn[i]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			if qn := s.parabolic(i, sign); s.q[i-1] < qn && qn < s.q[i+1] {
+				s.q[i] = qn
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+func (s *P2Quantile) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.q[i+1]-s.q[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.q[i]-s.q[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+func (s *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// Value returns the current quantile estimate (0 if empty; exact by
+// linear interpolation of the sorted sample while n <= 5).
+func (s *P2Quantile) Value() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if s.count < 5 {
+		sorted := make([]float64, s.count)
+		copy(sorted, s.first[:s.count])
+		sort.Float64s(sorted)
+		return interpQuantile(sorted, s.p)
+	}
+	return s.q[2]
+}
+
+// interpQuantile returns the p-quantile of a sorted sample by linear
+// interpolation between closest ranks.
+func interpQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	r := p * float64(len(sorted)-1)
+	lo := int(r)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := r - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// MarshalJSON serializes the sketch's complete internal state (fixed
+// size regardless of observation count).
+func (s *P2Quantile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		P     float64    `json:"p"`
+		Count int        `json:"count"`
+		Q     [5]float64 `json:"q"`
+		Pos   [5]float64 `json:"pos"`
+		Want  [5]float64 `json:"want"`
+		First [5]float64 `json:"first"`
+	}{s.p, s.count, s.q, s.pos, s.want, s.first})
+}

@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+	"unsafe"
+
+	"repro/internal/xrand"
+)
+
+// sample draws n values from a few differently-shaped deterministic
+// streams so the agreement tests cover symmetric, skewed, and
+// near-constant data.
+func sample(seed uint64, n int, shape string) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		u := rng.Float64()
+		switch shape {
+		case "uniform":
+			out[i] = u * 100
+		case "exponential":
+			out[i] = -math.Log(1 - u)
+		case "near-constant":
+			out[i] = 1e6 + u*1e-3
+		default:
+			panic("unknown shape")
+		}
+	}
+	return out
+}
+
+// TestWelfordMatchesSummary pins the streaming accumulator to the batch
+// Summary within 1e-9 relative error on fixed seeds: mean, variance,
+// stddev, min, max, and the CI half-width all agree on well-conditioned
+// streams.
+func TestWelfordMatchesSummary(t *testing.T) {
+	for _, shape := range []string{"uniform", "exponential"} {
+		for _, seed := range []uint64{1, 7, 99} {
+			xs := sample(seed, 5000, shape)
+			var w Welford
+			var s Summary
+			for _, x := range xs {
+				w.Add(x)
+				s.Add(x)
+			}
+			if w.N() != s.N() {
+				t.Fatalf("%s seed %d: n=%d want %d", shape, seed, w.N(), s.N())
+			}
+			close := func(name string, got, want float64) {
+				t.Helper()
+				tol := 1e-9 * math.Max(1, math.Abs(want))
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s seed %d %s: got %.15g want %.15g", shape, seed, name, got, want)
+				}
+			}
+			close("mean", w.Mean(), s.Mean())
+			close("var", w.Var(), s.Var())
+			close("stddev", w.StdDev(), s.StdDev())
+			close("min", w.Min(), s.Min())
+			close("max", w.Max(), s.Max())
+			close("ci95", w.CI95(), s.CI95())
+		}
+	}
+}
+
+// TestWelfordStableOnNearConstantStream is why Welford exists at all:
+// on a stream whose spread is ~1e-9 of its magnitude, the batch
+// Summary's sum-of-squares accumulator catastrophically cancels (it can
+// even report zero variance), while the recurrence must stay within
+// 1e-9 relative error of a numerically-stable two-pass reference.
+func TestWelfordStableOnNearConstantStream(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		xs := sample(seed, 5000, "near-constant")
+		var w Welford
+		mean := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			mean += x
+		}
+		mean /= float64(len(xs))
+		// Two-pass: exact mean first, then centered squares.
+		m2 := 0.0
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		wantVar := m2 / float64(len(xs)-1)
+		if math.Abs(w.Mean()-mean) > 1e-9*math.Abs(mean) {
+			t.Errorf("seed %d mean: got %.15g want %.15g", seed, w.Mean(), mean)
+		}
+		// The variance here is ~1e-13 of the squared magnitude — a
+		// condition number where even two stable algorithms only agree
+		// to ~1e-8 relative. The sum-of-squares form is off by ~1e5
+		// relative (or reports exactly 0), so 1e-6 cleanly separates
+		// stable from catastrophic.
+		if math.Abs(w.Var()-wantVar) > 1e-6*wantVar {
+			t.Errorf("seed %d var: got %.15g want %.15g", seed, w.Var(), wantVar)
+		}
+	}
+}
+
+// TestWelfordMergeMatchesSerialAdd checks the Chan et al. combination:
+// splitting a stream into chunks, accumulating each separately, and
+// merging in chunk order agrees with one serial pass to 1e-9 — the
+// property the experiment harness relies on when it folds per-trial
+// accumulators.
+func TestWelfordMergeMatchesSerialAdd(t *testing.T) {
+	xs := sample(3, 4000, "uniform")
+	var serial Welford
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	for _, chunks := range []int{2, 3, 7} {
+		var merged Welford
+		per := len(xs) / chunks
+		for c := 0; c < chunks; c++ {
+			var part Welford
+			hi := (c + 1) * per
+			if c == chunks-1 {
+				hi = len(xs)
+			}
+			for _, x := range xs[c*per : hi] {
+				part.Add(x)
+			}
+			merged.Merge(&part)
+		}
+		if merged.N() != serial.N() {
+			t.Fatalf("chunks=%d: n=%d want %d", chunks, merged.N(), serial.N())
+		}
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"mean", merged.Mean(), serial.Mean()},
+			{"var", merged.Var(), serial.Var()},
+			{"min", merged.Min(), serial.Min()},
+			{"max", merged.Max(), serial.Max()},
+		} {
+			tol := 1e-9 * math.Max(1, math.Abs(c.want))
+			if math.Abs(c.got-c.want) > tol {
+				t.Errorf("chunks=%d %s: got %.15g want %.15g", chunks, c.name, c.got, c.want)
+			}
+		}
+	}
+	// Merging into or from an empty accumulator is the identity.
+	var empty, copyOf Welford
+	copyOf = serial
+	copyOf.Merge(&empty)
+	if copyOf != serial {
+		t.Error("merging an empty accumulator changed the state")
+	}
+	empty.Merge(&serial)
+	if empty != serial {
+		t.Error("merging into an empty accumulator did not copy the state")
+	}
+}
+
+// TestP2ExactWhileSmall: up to five observations the sketch must report
+// the exact interpolated quantile, not an estimate.
+func TestP2ExactWhileSmall(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9} {
+		xs := []float64{5, 1, 4, 2}
+		s := NewP2Quantile(p)
+		for i, x := range xs {
+			s.Add(x)
+			sorted := append([]float64(nil), xs[:i+1]...)
+			sort.Float64s(sorted)
+			want := interpQuantile(sorted, p)
+			if got := s.Value(); got != want {
+				t.Fatalf("p=%g after %d adds: got %g want %g", p, i+1, got, want)
+			}
+		}
+	}
+	if v := NewP2Quantile(0.5).Value(); v != 0 {
+		t.Fatalf("empty sketch: got %g want 0", v)
+	}
+}
+
+// TestP2TracksExactQuantile bounds the sketch error against the exact
+// sample quantile on smooth streams. P² is an approximation, so the
+// tolerance is statistical (1% of the distribution's scale), far looser
+// than the 1e-9 pinning of the moment accumulators but tight enough to
+// catch any transcription error in the marker-update formulas.
+func TestP2TracksExactQuantile(t *testing.T) {
+	for _, tc := range []struct {
+		shape string
+		p     float64
+		tol   float64
+	}{
+		{"uniform", 0.5, 1.0}, // scale 100
+		{"uniform", 0.9, 1.0},
+		{"exponential", 0.5, 0.05}, // scale ~1
+		{"exponential", 0.9, 0.15}, // sparser tail
+	} {
+		for _, seed := range []uint64{2, 11} {
+			xs := sample(seed, 20000, tc.shape)
+			s := NewP2Quantile(tc.p)
+			for _, x := range xs {
+				s.Add(x)
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			want := interpQuantile(sorted, tc.p)
+			if got := s.Value(); math.Abs(got-want) > tc.tol {
+				t.Errorf("%s p=%g seed %d: sketch %g, exact %g (tol %g)",
+					tc.shape, tc.p, seed, got, want, tc.tol)
+			}
+			if s.N() != len(xs) {
+				t.Errorf("n=%d want %d", s.N(), len(xs))
+			}
+		}
+	}
+}
+
+// TestP2PanicsOnBadP pins the constructor contract.
+func TestP2PanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%g) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+// TestStreamAccumulatorsAreConstantSize is the memory-bound test: the
+// accumulators' in-memory footprint is a compile-time constant (no
+// slices, no maps, no pointers to growing state), adds allocate
+// nothing, and the serialized state does not grow with the observation
+// count. This is what makes the scale experiments sub-O(nodes).
+func TestStreamAccumulatorsAreConstantSize(t *testing.T) {
+	// Compile-time footprint: flat structs of scalars/arrays only.
+	if sz := unsafe.Sizeof(Welford{}); sz != 5*8 {
+		t.Errorf("Welford is %d bytes, want the 5 float/int words", sz)
+	}
+	if sz := unsafe.Sizeof(P2Quantile{}); sz != (2+5*5)*8 {
+		t.Errorf("P2Quantile is %d bytes, want 2 words + 5 five-wide arrays", sz)
+	}
+	// No per-observation allocation.
+	var w Welford
+	q := NewP2Quantile(0.9)
+	rng := xrand.New(5)
+	if avg := testing.AllocsPerRun(1000, func() {
+		x := rng.Float64()
+		w.Add(x)
+		q.Add(x)
+	}); avg != 0 {
+		t.Errorf("Add allocates %.1f times per observation, want 0", avg)
+	}
+	// Serialized size is flat in n.
+	sizeAt := func(n int) int {
+		var w Welford
+		q := NewP2Quantile(0.9)
+		rng := xrand.New(6)
+		for i := 0; i < n; i++ {
+			x := rng.Float64()
+			w.Add(x)
+			q.Add(x)
+		}
+		bw, err := json.Marshal(&w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bq, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(bw) + len(bq)
+	}
+	small, large := sizeAt(10), sizeAt(100000)
+	// Allow a few bytes of drift for digit-count differences.
+	if large > small+32 {
+		t.Errorf("serialized state grew with n: %d bytes at n=10, %d at n=1e5", small, large)
+	}
+}

@@ -133,6 +133,16 @@ func (g *Graph) Neighbors(i int) []int32 { return g.adj[i] }
 // Degree returns the number of neighbors of node i.
 func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
 
+// ShardStripes partitions the nodes into `shards` contiguous spatial
+// stripes balanced by node count, using the same grid-column geometry
+// the adjacency build uses. The result is the shard assignment the
+// simulator's intra-trial sharded engine consumes: stripes of whole
+// radio-radius columns keep most deliveries within a shard or its
+// immediate neighbor. The assignment is a pure function of the graph.
+func (g *Graph) ShardStripes(shards int) []int {
+	return geom.NewGrid(g.pos, g.side, g.radius, g.metric).ShardStripes(shards)
+}
+
 // Adjacent reports whether u and v are within communication range.
 func (g *Graph) Adjacent(u, v int) bool {
 	// Neighbor lists are short (the density), so a linear scan wins over
