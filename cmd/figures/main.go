@@ -4,7 +4,8 @@
 // Usage:
 //
 //	figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards 0]
-//	        [-scale-sizes 25000,100000] [-format text] [-obs :9090]
+//	        [-scale-sizes 25000,100000] [-memlimit 0] [-format text]
+//	        [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
 //	               setupcost,chaos,arq]
@@ -25,6 +26,13 @@
 //
 //	figures -only scale -shards 8 -trials 1 -scale-sizes 1000000
 //
+// -memlimit sets a soft Go heap limit (runtime/debug.SetMemoryLimit)
+// before any experiment runs, accepting plain bytes or KiB/MiB/GiB
+// suffixes (e.g. -memlimit 2GiB). The scale step's ScaleSweep table
+// reports the process's peak RSS, so limit and measurement pair up for
+// the ROADMAP's 1M-nodes-in-2GB target; 0 (the default) leaves the
+// runtime unbounded as before.
+//
 // -obs serves live observability endpoints (/metrics, /events,
 // /debug/pprof) while the experiments run: worker-pool utilization and
 // queue-wait histograms, protocol counters across every trial, and CPU
@@ -37,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -51,7 +60,8 @@ import (
 // registered flag appears here and that the doc comment carries these
 // exact lines.
 const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards 0]
-        [-scale-sizes 25000,100000] [-format text] [-obs :9090]
+        [-scale-sizes 25000,100000] [-memlimit 0] [-format text]
+        [-obs :9090]
         [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
                setup,storage,election,routing,freshness,mac,lifetime,
                setupcost,chaos,arq]`
@@ -66,6 +76,7 @@ type options struct {
 	workers    *int
 	shards     *int
 	scaleSizes *string
+	memLimit   *string
 	only       *string
 	format     *string
 	obsAddr    *string
@@ -79,6 +90,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		workers:    fs.Int("workers", 0, "concurrent trials (0 = one per CPU, 1 = serial)"),
 		shards:     fs.Int("shards", 0, "intra-trial simulation shards (0 = legacy serial engine, >=1 = sharded; see docs/SCALING.md)"),
 		scaleSizes: fs.String("scale-sizes", "25000,100000", "comma-separated network sizes for the scale step's ScaleSweep"),
+		memLimit:   fs.String("memlimit", "0", "soft Go heap limit via debug.SetMemoryLimit (bytes or KiB/MiB/GiB suffix, e.g. 2GiB); 0 = unbounded"),
 		only:       fs.String("only", "", "comma-separated subset of experiments to run"),
 		format:     fs.String("format", "text", "output format: text or markdown"),
 		obsAddr:    fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
@@ -107,6 +119,36 @@ type scaleTables struct {
 }
 
 func (s scaleTables) Table() string { return s.inv.Table() + "\n" + s.sweep.Table() }
+
+// parseMemLimit parses the -memlimit value: a non-negative byte count
+// with an optional KiB/MiB/GiB suffix (case-insensitive; a bare K/M/G
+// also works). 0 means "leave the runtime unbounded".
+func parseMemLimit(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSpace(s[:len(s)-len(u.suffix)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -memlimit %q (want bytes, optionally with KiB/MiB/GiB suffix)", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("-memlimit overflows")
+	}
+	return n * mult, nil
+}
 
 // parseSizes parses the -scale-sizes list.
 func parseSizes(s string) ([]int, error) {
@@ -145,6 +187,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(2)
+	}
+	memLimit, err := parseMemLimit(*o.memLimit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	if memLimit > 0 {
+		// A soft heap ceiling for the large-deployment steps: the GC works
+		// harder near the limit instead of letting a 10^6-node sweep's heap
+		// run away. Set before any experiment so the whole run is governed.
+		debug.SetMemoryLimit(memLimit)
 	}
 	if *o.obsAddr != "" {
 		reg := obs.NewRegistry()

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseMemLimit(t *testing.T) {
+	good := map[string]int64{
+		"0":          0,
+		"1024":       1024,
+		"2KiB":       2 << 10,
+		"2k":         2 << 10,
+		"512MiB":     512 << 20,
+		"2GiB":       2 << 30,
+		"2g":         2 << 30,
+		" 3 GiB ":    3 << 30,
+		"2147483648": 2 << 30,
+	}
+	for in, want := range good {
+		got, err := parseMemLimit(in)
+		if err != nil || got != want {
+			t.Errorf("parseMemLimit(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "two", "2TBB", "9223372036854775807GiB"} {
+		if _, err := parseMemLimit(bad); err == nil {
+			t.Errorf("parseMemLimit(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Command fleetd is the fleet coordinator daemon: a long-lived,
+// crash-safe service that supervises pools of protocol-node OS
+// processes (deployments) over real UDP transport and exposes an
+// HTTP/JSON control API to create, inspect, fault, query, and stop
+// them. It is the operational counterpart of wsnsim's one-shot live
+// mode — the network outlives any single process, including the
+// coordinator itself.
+//
+// Usage:
+//
+//	fleetd [-dir fleet-state] [-api 127.0.0.1:7700]
+//	       [-snapshot-every 64] [-drain-timeout 5s]
+//	       [-drive] [-drive-n 3] [-drive-port 7750]
+//	       [-drive-readings 50] [-seed 1] [-node]
+//
+// Without -drive, fleetd runs the coordinator: it replays its durable
+// state (snapshot + WAL) from -dir, reaps node processes orphaned by a
+// previous incarnation, resumes every deployment that was not
+// explicitly stopped, and serves the control API on -api (plus the obs
+// exposition surface: /metrics, /events, /debug/pprof). SIGTERM and
+// SIGINT drain gracefully: nodes erase key material and flush state,
+// the WAL folds into a final snapshot, and a later fleetd resumes the
+// deployments. A SIGKILLed coordinator recovers the same way, from the
+// WAL alone. See docs/FLEET.md for the API and recovery semantics.
+//
+// -drive runs the control-plane load driver instead: it creates a
+// -drive-n node deployment through the API at -api, waits for it to
+// reach running, pushes -drive-readings encrypted readings through
+// rotating sender nodes while timing every control round trip, prints
+// a JSON latency summary, and drains the deployment.
+//
+// -node is internal: the coordinator re-execs fleetd with -node as the
+// first argument to host one protocol node; the remaining flags are
+// fleet.NodeMain's.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// usageText is the synopsis printed by -h. Keep it in sync with the
+// package doc comment above; usage_test.go enforces that every
+// registered flag appears here and that the doc comment carries these
+// exact lines.
+const usageText = `fleetd [-dir fleet-state] [-api 127.0.0.1:7700]
+       [-snapshot-every 64] [-drain-timeout 5s]
+       [-drive] [-drive-n 3] [-drive-port 7750]
+       [-drive-readings 50] [-seed 1] [-node]`
+
+// options holds every fleetd flag; registerFlags binds them to a
+// FlagSet so tests can exercise flag registration and usage output
+// without touching the process-global flag.CommandLine.
+type options struct {
+	dir           *string
+	api           *string
+	snapshotEvery *int
+	drainTimeout  *time.Duration
+	drive         *bool
+	driveN        *int
+	drivePort     *int
+	driveReadings *int
+	seed          *uint64
+	node          *bool
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{
+		dir:           fs.String("dir", "fleet-state", "durable state directory (WAL, snapshot, node state files)"),
+		api:           fs.String("api", "127.0.0.1:7700", "control API listen address"),
+		snapshotEvery: fs.Int("snapshot-every", 64, "fold the WAL into a snapshot after this many appends"),
+		drainTimeout:  fs.Duration("drain-timeout", 5*time.Second, "how long a graceful stop waits before killing nodes"),
+		drive:         fs.Bool("drive", false, "run the control-plane load driver against -api instead of the coordinator"),
+		driveN:        fs.Int("drive-n", 3, "driver: deployment size (base station included)"),
+		drivePort:     fs.Int("drive-port", 7750, "driver: deployment base port"),
+		driveReadings: fs.Int("drive-readings", 50, "driver: reading round trips to push"),
+		seed:          fs.Uint64("seed", 1, "driver: deployment seed"),
+		node:          fs.Bool("node", false, "internal: host one protocol node (must be the first argument; set by the coordinator)"),
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage:\n\n\t%s\n\nFlags:\n", usageText)
+		fs.PrintDefaults()
+	}
+	return o
+}
+
+func main() {
+	// Node mode bypasses the coordinator flag set entirely: the
+	// remaining arguments belong to fleet.NodeMain.
+	if len(os.Args) > 1 && os.Args[1] == "-node" {
+		os.Exit(fleet.NodeMain(os.Args[2:]))
+	}
+
+	o := registerFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *o.drive {
+		res, err := fleet.Drive(fleet.DriveConfig{
+			APIAddr:  *o.api,
+			N:        *o.driveN,
+			BasePort: *o.drivePort,
+			Seed:     *o.seed,
+			Readings: *o.driveReadings,
+		})
+		if err != nil {
+			fail(err)
+		}
+		out, _ := json.MarshalIndent(res, "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fail(err)
+	}
+	reg := obs.NewRegistry()
+	c, err := fleet.New(fleet.Config{
+		Dir:           *o.dir,
+		Exec:          []string{exe, "-node"},
+		Registry:      reg,
+		SnapshotEvery: *o.snapshotEvery,
+		DrainTimeout:  *o.drainTimeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	api, err := fleet.ServeAPI(c, *o.api)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fleetd: coordinator on http://%s (state in %s)\n", api.Addr(), *o.dir)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	<-sigCh
+	fmt.Println("fleetd: draining")
+	_ = api.Close()
+	if err := c.Shutdown(); err != nil {
+		fail(err)
+	}
+	fmt.Println("fleetd: drained")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/usage.golden")
+
+func usageOutput() string {
+	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	registerFlags(fs)
+	fs.Usage()
+	return buf.String()
+}
+
+// TestUsageGolden pins the full -h output (synopsis plus every flag
+// with its default) so any flag change shows up in review.
+func TestUsageGolden(t *testing.T) {
+	got := usageOutput()
+	const golden = "testdata/usage.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to regenerate): %v", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("usage output differs from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// listsFlag reports whether the synopsis mentions -name as a whole
+// word (so -drive is not satisfied by -drive-n).
+func listsFlag(synopsis, name string) bool {
+	for at := 0; ; {
+		i := strings.Index(synopsis[at:], "-"+name)
+		if i < 0 {
+			return false
+		}
+		rest := synopsis[at+i+1+len(name):]
+		if rest == "" || rest[0] == ' ' || rest[0] == ']' || rest[0] == '\n' {
+			return true
+		}
+		at += i + 1
+	}
+}
+
+// TestSynopsisListsEveryFlag catches a flag registered in code but
+// absent from the one-line usage synopsis.
+func TestSynopsisListsEveryFlag(t *testing.T) {
+	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
+	registerFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !listsFlag(usageText, f.Name) {
+			t.Errorf("flag -%s is registered but missing from the usage synopsis", f.Name)
+		}
+	})
+}
+
+// TestDocCommentMatchesSynopsis keeps the package doc comment's usage
+// block byte-identical to the synopsis the binary prints.
+func TestDocCommentMatchesSynopsis(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(usageText, "\n") {
+		if !strings.Contains(string(src), "//\t"+line+"\n") {
+			t.Errorf("doc comment is missing the synopsis line %q", line)
+		}
+	}
+}

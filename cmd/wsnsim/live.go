@@ -22,12 +22,15 @@ package main
 import (
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/crypt"
 	"repro/internal/geom"
 	"repro/internal/live"
 	"repro/internal/node"
@@ -140,10 +143,30 @@ func runLive(o *options) {
 			fail(err)
 		}
 	}
+	// An interrupted live node must not leak its UDP port or leave key
+	// material behind: catch SIGINT/SIGTERM at every blocking point.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
 	fmt.Printf("wsnsim: node %d listening on %s, waiting for %d peer(s)\n",
 		local, carrier.Addr(), len(peers))
-	if err := carrier.WaitReady(30 * time.Second); err != nil {
-		fail(err)
+	readyErr := make(chan error, 1)
+	go func() { readyErr <- carrier.WaitReady(30 * time.Second) }()
+	select {
+	case err := <-readyErr:
+		if err != nil {
+			fail(err)
+		}
+	case sg := <-sig:
+		// The runtime has not started: the keystore is ours to scrub
+		// directly.
+		ks := s.KeyStore()
+		ks.Master = crypt.Key{}
+		ks.AddMaster = crypt.Key{}
+		carrier.Close()
+		fmt.Printf("wsnsim: node %d: %v while waiting for peers: Km erased: %v\n",
+			local, sg, ks.Master.IsZero())
+		os.Exit(0)
 	}
 	fmt.Printf("wsnsim: node %d: all peers reachable, starting key setup\n", local)
 
@@ -162,6 +185,34 @@ func runLive(o *options) {
 			fmt.Printf("wsnsim: node 0: delivered reading origin=%d bytes=%d encrypted=%v\n",
 				d.Origin, len(d.Data), d.Encrypted)
 		})
+	}
+
+	// interruptExit is the SIGINT/SIGTERM path once the runtime is live:
+	// scrub key material on the node's own goroutine, print the same
+	// final state line the success path prints, and release the socket
+	// before exiting. Without this an interrupted process left Km in
+	// memory and its UDP port bound until the OS reaped it.
+	interruptExit := func(cause os.Signal) {
+		done := make(chan struct{}, 1)
+		net.Do(local, func(node.Context) {
+			ks := s.KeyStore()
+			ks.Master = crypt.Key{}
+			ks.AddMaster = crypt.Key{}
+			done <- struct{}{}
+		})
+		erased := false
+		select {
+		case <-done:
+			erased = true
+		case <-time.After(2 * time.Second):
+		}
+		net.Stop()
+		carrier.Close()
+		fmt.Printf("wsnsim: node %d: %v: Km erased: %v\n", local, cause, erased)
+		if !erased {
+			os.Exit(1)
+		}
+		os.Exit(0)
 	}
 
 	// Poll protocol state on the node's own goroutine until it is
@@ -191,6 +242,11 @@ func runLive(o *options) {
 	deadline := time.Now().Add(45 * time.Second)
 	var st snap
 	for {
+		select {
+		case sg := <-sig:
+			interruptExit(sg)
+		default:
+		}
 		v, ok := poll()
 		if ok {
 			st = v
@@ -224,7 +280,11 @@ func runLive(o *options) {
 
 	// Hold so peers can finish their own setup against our live radio
 	// (and so in-flight acks and readings drain) before tearing down.
-	time.Sleep(*o.hold)
+	select {
+	case <-time.After(*o.hold):
+	case sg := <-sig:
+		interruptExit(sg)
+	}
 	fmt.Printf("wsnsim: node %d: Km erased: %v\n", local, st.kmGone)
 	if !st.kmGone {
 		os.Exit(1)

@@ -1,0 +1,29 @@
+package crypt
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// MarshalText encodes the key as lowercase hex, making crypt.Key usable
+// directly in JSON documents (encoding/json consults TextMarshaler).
+// Durable state files (internal/fleet node persistence) rely on this;
+// note that serializing key material to disk is exactly the "stable
+// storage" the warm-reboot path of docs/FAULTS.md assumes, and such
+// files must be protected like the keys themselves.
+func (k Key) MarshalText() ([]byte, error) {
+	out := make([]byte, hex.EncodedLen(len(k)))
+	hex.Encode(out, k[:])
+	return out, nil
+}
+
+// UnmarshalText decodes a hex-encoded key written by MarshalText.
+func (k *Key) UnmarshalText(text []byte) error {
+	if hex.DecodedLen(len(text)) != len(k) {
+		return fmt.Errorf("crypt: key text has %d hex digits, want %d", len(text), 2*len(k))
+	}
+	if _, err := hex.Decode(k[:], text); err != nil {
+		return fmt.Errorf("crypt: bad key text: %w", err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -98,6 +99,11 @@ type ScaleSweepResult struct {
 	// Excluded from JSON: the invariance contract is precisely that the
 	// serialized result does not depend on the shard count.
 	Shards int `json:"-"`
+	// PeakRSSBytes is the process's resident-memory high-water mark
+	// (VmHWM) sampled when the sweep finishes — the number the ROADMAP's
+	// 1M-nodes-in-2GB target is measured against. Machine-dependent, so
+	// like the throughput fields it stays out of the serialized result.
+	PeakRSSBytes int64 `json:"-"`
 }
 
 // ScaleSweep reproduces the Figure 1/6/7/8 measurements at large
@@ -128,6 +134,7 @@ func ScaleSweep(o Options, sizes []int, density float64) (*ScaleSweepResult, err
 		}
 		res.Points = append(res.Points, mergeScaleTrials(trials))
 	}
+	res.PeakRSSBytes = obs.PeakRSSBytes()
 	return res, nil
 }
 
@@ -219,6 +226,10 @@ func mergeScaleTrials(trials []*ScalePoint) *ScalePoint {
 func (r *ScaleSweepResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scale sweep, density=%g, shards=%d (Figures 1, 6, 7, 8 at 1e5-1e6 nodes)\n", r.Density, r.Shards)
+	if r.PeakRSSBytes > 0 {
+		fmt.Fprintf(&b, "peak RSS: %.1f MiB (process high-water mark incl. earlier steps)\n",
+			float64(r.PeakRSSBytes)/(1<<20))
+	}
 	fmt.Fprintf(&b, "%10s %10s %9s %12s %12s %10s %9s %14s\n",
 		"n", "clusters", "size", "heads/n", "keys/node", "keys ci95", "keys p90", "events/s/core")
 	for _, p := range r.Points {

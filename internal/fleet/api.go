@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// API is the coordinator's HTTP/JSON control surface.
+//
+//	GET    /v1/healthz                    liveness
+//	POST   /v1/deployments                create (body: Spec; Idempotency-Key honored)
+//	GET    /v1/deployments                list
+//	GET    /v1/deployments/{id}           one deployment
+//	DELETE /v1/deployments/{id}           drain + stop (Idempotency-Key honored)
+//	POST   /v1/deployments/{id}/faults    inject a fault plan (text body)
+//	GET    /v1/deployments/{id}/readings  base-station deliveries
+//	POST   /v1/deployments/{id}/send      push a reading from ?node=i (body = payload)
+//
+// plus the obs exposition surface (/metrics, /events, /debug/*) when
+// the coordinator has a registry. Every handler runs under a server-
+// side timeout; mutating handlers replay stored responses for repeated
+// Idempotency-Key values instead of executing twice.
+type API struct {
+	c   *Coordinator
+	srv *http.Server
+	ln  net.Listener
+}
+
+// apiTimeout bounds one control request end to end. Stop is the slow
+// path (graceful drain), so the bound is DrainTimeout plus headroom.
+func (c *Coordinator) apiTimeout() time.Duration { return c.cfg.DrainTimeout + 10*time.Second }
+
+// ServeAPI binds addr and serves the control API until Close.
+func ServeAPI(c *Coordinator, addr string) (*API, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: api listen %s: %w", addr, err)
+	}
+	a := &API{c: c, ln: ln}
+	a.srv = &http.Server{
+		Handler:           http.TimeoutHandler(a.mux(), c.apiTimeout(), "fleet: request timed out\n"),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (a *API) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener. It does not drain deployments; that is
+// Coordinator.Shutdown's job.
+func (a *API) Close() error { return a.srv.Close() }
+
+func (a *API) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	if a.c.cfg.Registry != nil {
+		mux.Handle("/", obs.NewMux(a.c.cfg.Registry))
+	}
+	mux.HandleFunc("GET /v1/healthz", a.counted(a.handleHealthz))
+	mux.HandleFunc("POST /v1/deployments", a.counted(a.idempotent(a.handleCreate)))
+	mux.HandleFunc("GET /v1/deployments", a.counted(a.handleList))
+	mux.HandleFunc("GET /v1/deployments/{id}", a.counted(a.handleGet))
+	mux.HandleFunc("DELETE /v1/deployments/{id}", a.counted(a.idempotent(a.handleStop)))
+	mux.HandleFunc("POST /v1/deployments/{id}/faults", a.counted(a.handleFaults))
+	mux.HandleFunc("GET /v1/deployments/{id}/readings", a.counted(a.handleReadings))
+	mux.HandleFunc("POST /v1/deployments/{id}/send", a.counted(a.handleSend))
+	return mux
+}
+
+// statusWriter captures the reply status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps a handler with the request/error counters.
+func (a *API) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		a.c.met.apiRequests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		if sw.status >= 400 {
+			a.c.met.apiErrors.Inc()
+		}
+	}
+}
+
+// idemHandler is a mutating handler that returns its reply for storage.
+type idemHandler func(w http.ResponseWriter, r *http.Request, idemKey string) (status int, body string)
+
+// idempotent replays the stored response when the Idempotency-Key was
+// seen before; otherwise it executes the handler and stores the reply.
+func (a *API) idempotent(h idemHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("Idempotency-Key")
+		if key != "" {
+			if status, body, ok := a.c.IdemLookup(key); ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Idempotent-Replay", "true")
+				w.WriteHeader(status)
+				io.WriteString(w, body)
+				return
+			}
+		}
+		status, body := h(w, r, key)
+		a.c.IdemStore(key, status, body)
+	}
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (a *API) handleCreate(w http.ResponseWriter, r *http.Request, idemKey string) (int, string) {
+	var spec Spec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		return apiError(w, http.StatusBadRequest, err)
+	}
+	created, err := a.c.Create(spec, idemKey)
+	if err != nil {
+		return apiError(w, http.StatusBadRequest, err)
+	}
+	return apiJSON(w, http.StatusCreated, map[string]any{"spec": created, "state": StateCreating.String()})
+}
+
+func (a *API) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.c.List())
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := a.c.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, errNotFound.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (a *API) handleStop(w http.ResponseWriter, r *http.Request, idemKey string) (int, string) {
+	id := r.PathValue("id")
+	err := a.c.Stop(id, idemKey)
+	switch {
+	case errors.Is(err, errNotFound):
+		return apiError(w, http.StatusNotFound, err)
+	case err != nil:
+		return apiError(w, http.StatusConflict, err)
+	}
+	return apiJSON(w, http.StatusOK, map[string]string{"id": id, "state": StateStopped.String()})
+}
+
+func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
+	plan, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	err = a.c.InjectFaults(r.PathValue("id"), string(plan))
+	switch {
+	case errors.Is(err, errNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}
+}
+
+func (a *API) handleReadings(w http.ResponseWriter, r *http.Request) {
+	data, err := a.c.Readings(r.PathValue("id"))
+	switch {
+	case errors.Is(err, errNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	}
+}
+
+func (a *API) handleSend(w http.ResponseWriter, r *http.Request) {
+	nodeIdx, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		http.Error(w, "fleet: send needs ?node=<index>", http.StatusBadRequest)
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := a.c.SendReading(r.PathValue("id"), nodeIdx, payload)
+	switch {
+	case errors.Is(err, errNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	}
+}
+
+// apiError writes an error reply and returns it for idempotent storage.
+func apiError(w http.ResponseWriter, status int, err error) (int, string) {
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	return status, string(body)
+}
+
+// apiJSON writes a success reply and returns it for idempotent storage.
+func apiJSON(w http.ResponseWriter, status int, v any) (int, string) {
+	body, _ := json.Marshal(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	return status, string(body)
+}

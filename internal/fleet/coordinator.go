@@ -1,0 +1,798 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Dir is the durable state directory (WAL, snapshot, per-deployment
+	// node state files, pid files, logs).
+	Dir string
+	// Exec is the argv prefix that launches one node process; the
+	// coordinator appends the NodeMain flag vector. cmd/fleetd re-execs
+	// itself ([self, "-node"]); tests use the test binary.
+	Exec []string
+	// Registry receives the coordinator's metrics (nil = unobserved).
+	Registry *obs.Registry
+	// SnapshotEvery folds the WAL into a snapshot after this many
+	// appends (default 64).
+	SnapshotEvery int
+	// DrainTimeout bounds how long a graceful stop waits for nodes to
+	// exit on their own before killing them (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 64
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
+// deployment is one supervised node pool.
+type deployment struct {
+	spec   Spec
+	state  State
+	reason string // why degraded, for the API
+	sups   []*supervisor
+	boots  []int // mirror of supervisor boot counts, under the coordinator mutex
+	timers []*time.Timer
+}
+
+// Coordinator supervises deployments and survives its own death: every
+// mutation is WAL'd before it takes effect, so a recovered coordinator
+// resumes each non-stopped deployment where it left off.
+type Coordinator struct {
+	cfg Config
+	met metrics
+
+	mu     sync.Mutex
+	wal    *wal
+	deps   map[string]*deployment
+	idem   map[string]idemEntry
+	nextID int
+	closed bool
+}
+
+// ctrlClient talks to node control endpoints; the timeout is the
+// coordinator-wide request deadline toward nodes.
+var ctrlClient = &http.Client{Timeout: 3 * time.Second}
+
+// New opens (or creates) the state directory, replays snapshot + WAL,
+// reaps stale node processes from a previous incarnation, and resumes
+// every non-stopped deployment.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("fleet: coordinator needs a state dir")
+	}
+	if len(cfg.Exec) == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs an exec prefix for node processes")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
+		return nil, fmt.Errorf("fleet: state dir: %w", err)
+	}
+	met := newMetrics(cfg.Registry)
+	img, err := loadDurableState(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(cfg.Dir, "wal.jsonl"), met.walFsync)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:  cfg,
+		met:  met,
+		wal:  w,
+		deps: map[string]*deployment{},
+		idem: img.Idem,
+	}
+	for _, pd := range img.Deployments {
+		st, err := ParseState(pd.State)
+		if err != nil {
+			w.close()
+			return nil, err
+		}
+		d := &deployment{spec: pd.Spec.withDefaults(), state: st, boots: append([]int(nil), pd.Boots...)}
+		if len(d.boots) < d.spec.N {
+			d.boots = append(d.boots, make([]int, d.spec.N-len(d.boots))...)
+		}
+		c.deps[pd.Spec.ID] = d
+		if k, ok := parseAssignedID(pd.Spec.ID); ok && k >= c.nextID {
+			c.nextID = k
+		}
+		c.reapStalePids(d)
+		switch st {
+		case StateStopped:
+			// Terminal; never resumed.
+		case StateDraining:
+			// The previous incarnation died mid-drain: its nodes are
+			// already reaped, so finish the stop.
+			if err := c.record(walRecord{Op: "stop", ID: d.spec.ID}); err != nil {
+				w.close()
+				return nil, err
+			}
+			d.state = StateStopped
+		default:
+			// Recovery re-grants restart budgets, so a degraded
+			// deployment gets another chance to converge; the monitor
+			// promotes it back to running if it does.
+			c.met.recoveries.Inc()
+			c.launch(d)
+		}
+	}
+	c.updateGaugesLocked()
+	return c, nil
+}
+
+// parseAssignedID recognizes coordinator-assigned "d<k>" ids.
+func parseAssignedID(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "d")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest)
+	return k, err == nil && k > 0
+}
+
+// depDir is the per-deployment scratch directory.
+func (c *Coordinator) depDir(id string) string { return filepath.Join(c.cfg.Dir, id) }
+
+// reapStalePids kills node processes left over from a previous
+// coordinator incarnation, so relaunched nodes can rebind their ports.
+func (c *Coordinator) reapStalePids(d *deployment) {
+	for i := 0; i < d.spec.N; i++ {
+		path := filepath.Join(c.depDir(d.spec.ID), fmt.Sprintf("node%d.pid", i))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if pid, err := strconv.Atoi(strings.TrimSpace(string(data))); err == nil && pid > 1 {
+			if syscall.Kill(pid, 0) == nil {
+				_ = syscall.Kill(pid, syscall.SIGKILL)
+			}
+		}
+		_ = os.Remove(path)
+	}
+}
+
+// record appends one WAL record and folds the log into a snapshot when
+// it has grown past the configured threshold. Caller holds c.mu.
+func (c *Coordinator) record(rec walRecord) error {
+	if err := c.wal.append(rec); err != nil {
+		return err
+	}
+	c.met.walAppends.Inc()
+	if c.wal.appends >= c.cfg.SnapshotEvery {
+		if err := writeSnapshot(c.cfg.Dir, c.imageLocked()); err != nil {
+			return err
+		}
+		if err := c.wal.rotate(); err != nil {
+			return err
+		}
+		c.met.snapshots.Inc()
+	}
+	return nil
+}
+
+// imageLocked builds the durable image of current state. Caller holds c.mu.
+func (c *Coordinator) imageLocked() snapshotImage {
+	img := snapshotImage{Idem: c.idem}
+	ids := make([]string, 0, len(c.deps))
+	for id := range c.deps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := c.deps[id]
+		img.Deployments = append(img.Deployments, persistedDeployment{
+			Spec:  d.spec,
+			State: d.state.String(),
+			Boots: append([]int(nil), d.boots...),
+		})
+	}
+	return img
+}
+
+// updateGaugesLocked refreshes the deployment gauges. Caller holds c.mu.
+func (c *Coordinator) updateGaugesLocked() {
+	var live, degraded int64
+	for _, d := range c.deps {
+		if d.state != StateStopped {
+			live++
+		}
+		if d.state == StateDegraded {
+			degraded++
+		}
+	}
+	c.met.deployments.Set(live)
+	c.met.degraded.Set(degraded)
+}
+
+// transitionLocked moves d through the lifecycle, WAL-first. Caller
+// holds c.mu. Illegal edges are an error (a programming bug or a race
+// the API must surface, never silently absorbed).
+func (c *Coordinator) transitionLocked(d *deployment, to State, reason string) error {
+	if d.state == to {
+		return nil
+	}
+	if !d.state.CanTransition(to) {
+		return fmt.Errorf("fleet: deployment %s cannot move %v -> %v", d.spec.ID, d.state, to)
+	}
+	if err := c.record(walRecord{Op: "state", ID: d.spec.ID, State: to.String()}); err != nil {
+		return err
+	}
+	d.state = to
+	d.reason = reason
+	c.updateGaugesLocked()
+	return nil
+}
+
+// nodeArgs builds the NodeMain flag vector for node i of d.
+func (c *Coordinator) nodeArgs(d *deployment, i int) []string {
+	peers := make(map[int]string, d.spec.N-1)
+	for p := 0; p < d.spec.N; p++ {
+		if p != i {
+			peers[p] = d.spec.DataAddr(p)
+		}
+	}
+	args := []string{
+		"-dep", d.spec.ID,
+		"-id", strconv.Itoa(i),
+		"-n", strconv.Itoa(d.spec.N),
+		"-seed", strconv.FormatUint(d.spec.Seed, 10),
+		"-listen", d.spec.DataAddr(i),
+		"-ctrl", d.spec.CtrlAddr(i),
+		"-state", filepath.Join(c.depDir(d.spec.ID), fmt.Sprintf("node%d.state", i)),
+		"-epoch", strconv.FormatInt(d.spec.CreatedUnixNano, 10),
+		// Always resume: a node with no state file cold-starts, one with
+		// a state file warm-boots — exactly the right behavior for both
+		// first launches and supervisor restarts.
+		"-resume",
+	}
+	if len(peers) > 0 {
+		args = append(args, "-peers", peerList(peers))
+	}
+	return args
+}
+
+// osProcess adapts *exec.Cmd to the supervisor's process interface.
+type osProcess struct{ cmd *exec.Cmd }
+
+func (p osProcess) Wait() error { return p.cmd.Wait() }
+func (p osProcess) Kill() error { return p.cmd.Process.Kill() }
+func (p osProcess) Pid() int    { return p.cmd.Process.Pid }
+
+// startNode launches one incarnation of node i as an OS process.
+func (c *Coordinator) startNode(d *deployment, i, boot int) (process, error) {
+	dir := c.depDir(d.spec.ID)
+	logf, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("node%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	argv := append(append([]string(nil), c.cfg.Exec...), c.nodeArgs(d, i)...)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	cmd.SysProcAttr = nodeSysProcAttr()
+	fmt.Fprintf(logf, "--- boot %d ---\n", boot)
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, fmt.Errorf("fleet: start node %d of %s: %w", i, d.spec.ID, err)
+	}
+	logf.Close() // the child holds its own descriptor
+	pidPath := filepath.Join(dir, fmt.Sprintf("node%d.pid", i))
+	_ = os.WriteFile(pidPath, []byte(strconv.Itoa(cmd.Process.Pid)), 0o600)
+	return osProcess{cmd: cmd}, nil
+}
+
+// launch starts (or resumes) every node of d under supervision and the
+// readiness monitor. Caller holds c.mu (or is inside New, pre-serve).
+func (c *Coordinator) launch(d *deployment) {
+	if err := os.MkdirAll(c.depDir(d.spec.ID), 0o700); err != nil {
+		d.state = StateDegraded
+		d.reason = err.Error()
+		return
+	}
+	d.sups = make([]*supervisor, d.spec.N)
+	for i := 0; i < d.spec.N; i++ {
+		i := i
+		sup := newSupervisor(i, d.boots[i], d.spec,
+			func(boot int) (process, error) { return c.startNode(d, i, boot) }, c.met)
+		sup.onRestart = func(nodeIdx, boot int) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			d.boots[nodeIdx] = boot
+			if err := c.record(walRecord{Op: "boot", ID: d.spec.ID, Node: nodeIdx, Boot: boot}); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: wal boot record: %v\n", err)
+			}
+		}
+		sup.onGiveUp = func(nodeIdx int, err error) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if d.state == StateDraining || d.state == StateStopped {
+				return
+			}
+			reason := fmt.Sprintf("node %d: %v", nodeIdx, err)
+			if terr := c.transitionLocked(d, StateDegraded, reason); terr != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", terr)
+			}
+		}
+		d.sups[i] = sup
+		go sup.run()
+	}
+	go c.monitor(d)
+}
+
+// monitor polls node control endpoints and drives the creating→running
+// and degraded→running edges; it exits once the deployment drains.
+func (c *Coordinator) monitor(d *deployment) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		time.Sleep(300 * time.Millisecond)
+		c.mu.Lock()
+		st := d.state
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		switch st {
+		case StateDraining, StateStopped:
+			return
+		}
+		ready := true
+		for i := 0; i < d.spec.N; i++ {
+			var ns nodeStatus
+			if err := ctrlGetJSON(d.spec.CtrlAddr(i), "/status", &ns); err != nil || !ns.Ready {
+				ready = false
+				break
+			}
+		}
+		c.mu.Lock()
+		switch {
+		case ready && (d.state == StateCreating || d.state == StateDegraded):
+			if err := c.transitionLocked(d, StateRunning, ""); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			}
+		case !ready && d.state == StateCreating && time.Now().After(deadline):
+			if err := c.transitionLocked(d, StateDegraded, "setup did not converge"); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func ctrlGetJSON(addr, path string, v any) error {
+	resp, err := ctrlClient.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: node %s%s: %s", addr, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func ctrlPost(addr, path string, body []byte) ([]byte, error) {
+	resp, err := ctrlClient.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: node %s%s: %s", addr, path, resp.Status)
+	}
+	return data, nil
+}
+
+// Create registers, persists, and launches a new deployment. The
+// returned spec has defaults and the assigned ID filled in. idemKey
+// (may be empty) rides the WAL record so a replayed log knows the
+// mutation already executed.
+func (c *Coordinator) Create(spec Spec, idemKey string) (Spec, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	if spec.CreatedUnixNano == 0 {
+		spec.CreatedUnixNano = time.Now().UnixNano()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Spec{}, fmt.Errorf("fleet: coordinator is shut down")
+	}
+	if spec.ID == "" {
+		c.nextID++
+		spec.ID = fmt.Sprintf("d%d", c.nextID)
+	} else if err := validateID(spec.ID); err != nil {
+		return Spec{}, err
+	}
+	if _, dup := c.deps[spec.ID]; dup {
+		return Spec{}, fmt.Errorf("fleet: deployment %s already exists", spec.ID)
+	}
+	for _, d := range c.deps {
+		if d.state != StateStopped && portsOverlap(d.spec, spec) {
+			return Spec{}, fmt.Errorf("fleet: port range clashes with deployment %s", d.spec.ID)
+		}
+	}
+	if err := c.record(walRecord{Op: "create", ID: spec.ID, Spec: &spec, Idem: idemKey}); err != nil {
+		return Spec{}, err
+	}
+	d := &deployment{spec: spec, state: StateCreating, boots: make([]int, spec.N)}
+	c.deps[spec.ID] = d
+	c.launch(d)
+	c.updateGaugesLocked()
+	return spec, nil
+}
+
+// validateID keeps user-chosen ids safe as directory names.
+func validateID(id string) error {
+	if len(id) == 0 || len(id) > 32 {
+		return fmt.Errorf("fleet: deployment id must be 1..32 characters")
+	}
+	for _, r := range id {
+		ok := r == '-' || r == '_' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return fmt.Errorf("fleet: deployment id %q may only contain [a-zA-Z0-9_-]", id)
+		}
+	}
+	return nil
+}
+
+func portsOverlap(a, b Spec) bool {
+	aEnd := a.BasePort + 2*a.N
+	bEnd := b.BasePort + 2*b.N
+	return a.BasePort < bEnd && b.BasePort < aEnd
+}
+
+// Info is one deployment's API view.
+type Info struct {
+	Spec   Spec   `json:"spec"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	Boots  []int  `json:"boots"`
+	Pids   []int  `json:"pids"`
+}
+
+func (c *Coordinator) infoLocked(d *deployment) Info {
+	info := Info{
+		Spec:   d.spec,
+		State:  d.state.String(),
+		Reason: d.reason,
+		Boots:  append([]int(nil), d.boots...),
+		Pids:   make([]int, d.spec.N),
+	}
+	for i, sup := range d.sups {
+		if sup != nil {
+			info.Pids[i] = sup.pid()
+		}
+	}
+	return info
+}
+
+// List returns every deployment, stopped included, sorted by id.
+func (c *Coordinator) List() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, len(c.deps))
+	for _, d := range c.deps {
+		out = append(out, c.infoLocked(d))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// Get returns one deployment's view.
+func (c *Coordinator) Get(id string) (Info, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.deps[id]
+	if !ok {
+		return Info{}, false
+	}
+	return c.infoLocked(d), true
+}
+
+// Stop drains a deployment: supervisors stop restarting, nodes are
+// asked to exit gracefully (erasing key material and flushing state),
+// stragglers are killed after DrainTimeout, and the stop is made
+// durable. A stopped deployment is never resumed.
+func (c *Coordinator) Stop(id, idemKey string) error {
+	c.mu.Lock()
+	d, ok := c.deps[id]
+	if !ok {
+		c.mu.Unlock()
+		return errNotFound
+	}
+	if d.state == StateStopped {
+		c.mu.Unlock()
+		return nil
+	}
+	if err := c.transitionLocked(d, StateDraining, ""); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	timers := d.timers
+	d.timers = nil
+	c.mu.Unlock()
+
+	for _, t := range timers {
+		t.Stop()
+	}
+	c.drainNodes(d)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.record(walRecord{Op: "stop", ID: id, Idem: idemKey}); err != nil {
+		return err
+	}
+	d.state = StateStopped
+	d.reason = ""
+	c.updateGaugesLocked()
+	return nil
+}
+
+// drainNodes stops supervision, asks every node to exit, and kills the
+// ones that do not within DrainTimeout.
+func (c *Coordinator) drainNodes(d *deployment) {
+	for _, sup := range d.sups {
+		if sup != nil {
+			sup.disable()
+		}
+	}
+	for i, sup := range d.sups {
+		if sup == nil {
+			continue
+		}
+		_, _ = ctrlPost(d.spec.CtrlAddr(i), "/quit", nil)
+	}
+	deadline := time.After(c.cfg.DrainTimeout)
+	for _, sup := range d.sups {
+		if sup == nil {
+			continue
+		}
+		select {
+		case <-sup.done:
+		case <-deadline:
+			sup.stop()
+			sup.wait()
+		}
+	}
+	for i := range d.sups {
+		_ = os.Remove(filepath.Join(c.depDir(d.spec.ID), fmt.Sprintf("node%d.pid", i)))
+	}
+}
+
+// errNotFound distinguishes a missing deployment for the API layer.
+var errNotFound = notFoundError{}
+
+type notFoundError struct{}
+
+func (notFoundError) Error() string { return "fleet: no such deployment" }
+
+// Readings proxies the base station's delivered-readings list.
+func (c *Coordinator) Readings(id string) ([]byte, error) {
+	c.mu.Lock()
+	d, ok := c.deps[id]
+	var addr string
+	if ok {
+		addr = d.spec.CtrlAddr(0)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, errNotFound
+	}
+	resp, err := ctrlClient.Get("http://" + addr + "/readings")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: base station: %s", resp.Status)
+	}
+	return data, nil
+}
+
+// SendReading asks node nodeIdx to push one end-to-end encrypted
+// reading toward the base station, returning the node's reply.
+func (c *Coordinator) SendReading(id string, nodeIdx int, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	d, ok := c.deps[id]
+	var addr string
+	if ok && nodeIdx >= 0 && nodeIdx < d.spec.N {
+		addr = d.spec.CtrlAddr(nodeIdx)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, errNotFound
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("fleet: node %d out of range", nodeIdx)
+	}
+	return ctrlPost(addr, "/send", payload)
+}
+
+// InjectFaults schedules a fault plan (the internal/faults text format)
+// against a live deployment. Event times are offsets from injection.
+// Supported kinds: crash (SIGKILL the node's process — the supervisor
+// then exercises the restart path) and partition (data-plane drop
+// filters at every node, healed at until=). reboot lines are accepted
+// and ignored — process revival is the supervisor's job here. The
+// medium-model kinds (burst, ramp, jitter) only exist inside the
+// simulator's virtual radio and are rejected.
+func (c *Coordinator) InjectFaults(id string, planText string) error {
+	plan, err := faults.ParsePlan(planText)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.deps[id]
+	if !ok {
+		return errNotFound
+	}
+	if d.state != StateRunning && d.state != StateDegraded && d.state != StateCreating {
+		return fmt.Errorf("fleet: deployment %s is %v; faults need a live deployment", id, d.state)
+	}
+	if err := plan.Validate(d.spec.N); err != nil {
+		return err
+	}
+	for _, e := range plan.Events {
+		e := e
+		switch e.Kind {
+		case faults.KindCrash:
+			t := time.AfterFunc(e.At, func() { c.killNode(d, e.Node) })
+			d.timers = append(d.timers, t)
+		case faults.KindReboot:
+			// Supervisors revive crashed nodes; nothing to schedule.
+		case faults.KindPartition:
+			start := time.AfterFunc(e.At, func() { c.applyPartition(d, e.Nodes) })
+			heal := time.AfterFunc(e.Until, func() { c.healPartition(d) })
+			d.timers = append(d.timers, start, heal)
+		default:
+			return fmt.Errorf("fleet: fault kind %v needs the simulator's virtual radio; fleet deployments support crash and partition", e.Kind)
+		}
+	}
+	return nil
+}
+
+// killNode SIGKILLs node i's current incarnation (fault injection).
+func (c *Coordinator) killNode(d *deployment, i int) {
+	c.mu.Lock()
+	var sup *supervisor
+	if i >= 0 && i < len(d.sups) {
+		sup = d.sups[i]
+	}
+	c.mu.Unlock()
+	if sup == nil {
+		return
+	}
+	if pid := sup.pid(); pid > 1 {
+		_ = syscall.Kill(pid, syscall.SIGKILL)
+	}
+}
+
+// applyPartition tells every node to drop data-plane traffic crossing
+// the boundary between group and its complement.
+func (c *Coordinator) applyPartition(d *deployment, group []int) {
+	in := map[int]bool{}
+	for _, i := range group {
+		in[i] = true
+	}
+	for i := 0; i < d.spec.N; i++ {
+		var far []int
+		for p := 0; p < d.spec.N; p++ {
+			if p != i && in[p] != in[i] {
+				far = append(far, p)
+			}
+		}
+		if len(far) == 0 {
+			continue
+		}
+		body, _ := json.Marshal(map[string][]int{"peers": far})
+		_, _ = ctrlPost(d.spec.CtrlAddr(i), "/partition", body)
+	}
+}
+
+// healPartition clears every node's drop filter.
+func (c *Coordinator) healPartition(d *deployment) {
+	for i := 0; i < d.spec.N; i++ {
+		_, _ = ctrlPost(d.spec.CtrlAddr(i), "/heal", nil)
+	}
+}
+
+// IdemLookup returns a previously stored idempotent response.
+func (c *Coordinator) IdemLookup(key string) (int, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.idem[key]
+	return e.Status, e.Body, ok
+}
+
+// IdemStore remembers the response to an idempotent mutation. The key
+// already rode the mutation's own WAL record, which guarantees
+// at-most-once execution across coordinator restarts; the stored reply
+// becomes durable with the next snapshot.
+func (c *Coordinator) IdemStore(key string, status int, body string) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idem[key] = idemEntry{Status: status, Body: body}
+}
+
+// Shutdown drains the coordinator for exit WITHOUT stopping the
+// deployments' durable state: nodes exit gracefully, the WAL is folded
+// into a final snapshot, and a future coordinator resumes everything
+// that was not explicitly stopped.
+func (c *Coordinator) Shutdown() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var live []*deployment
+	for _, d := range c.deps {
+		if d.state != StateStopped {
+			live = append(live, d)
+		}
+		for _, t := range d.timers {
+			t.Stop()
+		}
+		d.timers = nil
+	}
+	c.mu.Unlock()
+
+	for _, d := range live {
+		c.drainNodes(d)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := writeSnapshot(c.cfg.Dir, c.imageLocked())
+	if err == nil {
+		err = c.wal.rotate()
+		c.met.snapshots.Inc()
+	}
+	if cerr := c.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}

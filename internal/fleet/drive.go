@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// DriveConfig parameterizes the control-plane load driver (fleetd
+// -drive): the first benchmark of the coordinator itself rather than
+// the protocol it hosts.
+type DriveConfig struct {
+	// APIAddr is the coordinator's control API ("host:port").
+	APIAddr string
+	// N is the deployment size to create; BasePort its port range.
+	N        int
+	BasePort int
+	Seed     uint64
+	// Readings is how many reading-send round trips to push through the
+	// deployment once it is running.
+	Readings int
+	// SetupTimeout bounds how long the driver waits for the deployment
+	// to reach running.
+	SetupTimeout time.Duration
+}
+
+// DriveResult summarizes one driver run. Latencies are seconds.
+type DriveResult struct {
+	Deployment   string  `json:"deployment"`
+	SetupSeconds float64 `json:"setup_seconds"`
+	Readings     int     `json:"readings"`
+	SendMean     float64 `json:"send_mean_seconds"`
+	SendP99      float64 `json:"send_p99_seconds"`
+	SendMax      float64 `json:"send_max_seconds"`
+	Delivered    int     `json:"delivered"`
+}
+
+// Drive creates a deployment through the API, waits for it to become
+// running, pushes cfg.Readings reading round trips through rotating
+// sender nodes while timing each control round trip, then drains the
+// deployment. It exercises exactly the surface an operator's tooling
+// would: nothing here calls into the coordinator in-process.
+func Drive(cfg DriveConfig) (DriveResult, error) {
+	if cfg.N < 2 {
+		return DriveResult{}, fmt.Errorf("fleet: drive needs n >= 2 (a base station and a sender)")
+	}
+	if cfg.Readings <= 0 {
+		cfg.Readings = 50
+	}
+	if cfg.SetupTimeout <= 0 {
+		cfg.SetupTimeout = 60 * time.Second
+	}
+	base := "http://" + cfg.APIAddr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	specBody, _ := json.Marshal(Spec{N: cfg.N, Seed: cfg.Seed, BasePort: cfg.BasePort})
+	setupStart := time.Now()
+	resp, err := client.Post(base+"/v1/deployments", "application/json", bytes.NewReader(specBody))
+	if err != nil {
+		return DriveResult{}, err
+	}
+	var created struct {
+		Spec Spec `json:"spec"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil {
+		return DriveResult{}, err
+	}
+	if created.Spec.ID == "" {
+		return DriveResult{}, fmt.Errorf("fleet: drive: create failed (HTTP %d)", resp.StatusCode)
+	}
+	id := created.Spec.ID
+	res := DriveResult{Deployment: id}
+
+	deadline := time.Now().Add(cfg.SetupTimeout)
+	for {
+		var info Info
+		if err := getJSON(client, base+"/v1/deployments/"+id, &info); err == nil && info.State == StateRunning.String() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("fleet: drive: deployment %s not running within %v", id, cfg.SetupTimeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	res.SetupSeconds = time.Since(setupStart).Seconds()
+
+	var lat stats.Welford
+	p99 := stats.NewP2Quantile(0.99)
+	for k := 0; k < cfg.Readings; k++ {
+		sender := 1 + k%(cfg.N-1)
+		start := time.Now()
+		r, err := client.Post(fmt.Sprintf("%s/v1/deployments/%s/send?node=%d", base, id, sender),
+			"application/octet-stream", bytes.NewReader([]byte{byte(k)}))
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			continue
+		}
+		d := time.Since(start).Seconds()
+		lat.Add(d)
+		p99.Add(d)
+		res.Readings++
+	}
+	res.SendMean = lat.Mean()
+	res.SendP99 = p99.Value()
+	res.SendMax = lat.Max()
+
+	// Give in-flight readings a moment to land, then count deliveries.
+	time.Sleep(time.Second)
+	var readings []struct {
+		Encrypted bool `json:"encrypted"`
+	}
+	if err := getJSON(client, base+"/v1/deployments/"+id+"/readings", &readings); err == nil {
+		res.Delivered = len(readings)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/deployments/"+id, nil)
+	if r, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	return res, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,176 @@
+// Package fleet is the long-lived coordinator/node service that
+// promotes the one-shot wsnsim live/UDP mode into a crash-safe fleet
+// daemon: a coordinator process with an HTTP/JSON control API
+// supervising pools of protocol-node OS processes over the reliable
+// transport (internal/transport UDP carriers).
+//
+// Robustness is the design center:
+//
+//   - every deployment moves through an explicit lifecycle state
+//     machine (creating → running → degraded → draining → stopped)
+//     with validated transitions;
+//   - each node runs under a per-node supervisor that restarts crashed
+//     processes with capped exponential backoff and gives the
+//     deployment up into degraded once a restart budget is exhausted;
+//   - coordinator state is durable — an append-only JSONL WAL plus a
+//     periodic snapshot — so a SIGKILLed coordinator resumes every
+//     deployment on restart, and node protocol state is persisted by
+//     each node process so restarts take the warm-reboot path
+//     (core.RestoreSensor + live.Config.WarmBoot) with a fresh
+//     transport boot epoch;
+//   - mutating API calls honor Idempotency-Key headers, requests carry
+//     timeouts, and SIGTERM drains gracefully (nodes erase Km, state is
+//     flushed, in-flight queries answered).
+//
+// See docs/FLEET.md for the API, state-file formats, and recovery
+// semantics.
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is a deployment's position in the fleet lifecycle.
+type State int
+
+// Deployment lifecycle states.
+const (
+	// StateCreating: node processes are launching and running key setup;
+	// the deployment is not yet serving.
+	StateCreating State = iota
+	// StateRunning: every node is operational with Km erased.
+	StateRunning
+	// StateDegraded: at least one node exhausted its supervisor's
+	// restart budget (or the deployment failed to become ready). The
+	// surviving nodes keep serving.
+	StateDegraded
+	// StateDraining: a stop was requested; nodes are shutting down
+	// gracefully (erasing key material, flushing state).
+	StateDraining
+	// StateStopped: terminal. A stopped deployment is never resumed.
+	StateStopped
+)
+
+// String returns the state mnemonic used in the API and the WAL.
+func (s State) String() string {
+	switch s {
+	case StateCreating:
+		return "creating"
+	case StateRunning:
+		return "running"
+	case StateDegraded:
+		return "degraded"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseState inverts String.
+func ParseState(s string) (State, error) {
+	for st := StateCreating; st <= StateStopped; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown state %q", s)
+}
+
+// validNext is the lifecycle transition relation. Creating may degrade
+// directly (setup never converged); degraded may recover to running
+// (a coordinator restart re-grants restart budgets); both running and
+// degraded drain; draining only stops.
+var validNext = map[State][]State{
+	StateCreating: {StateRunning, StateDegraded, StateDraining},
+	StateRunning:  {StateDegraded, StateDraining},
+	StateDegraded: {StateRunning, StateDraining},
+	StateDraining: {StateStopped},
+	StateStopped:  {},
+}
+
+// CanTransition reports whether s → to is a legal lifecycle edge.
+func (s State) CanTransition(to State) bool {
+	for _, n := range validNext[s] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Spec describes one deployment: a pool of Spec.N protocol nodes (node
+// 0 is the base station) on loopback UDP ports. It is immutable once
+// created and is the unit of WAL/snapshot durability.
+type Spec struct {
+	// ID names the deployment; assigned by the coordinator when empty.
+	ID string `json:"id"`
+	// N is the number of nodes, base station included. At least 1.
+	N int `json:"n"`
+	// Seed derives the deployment's key hierarchy and every node's
+	// random stream; all nodes share it (like wsnsim -seed).
+	Seed uint64 `json:"seed"`
+	// BasePort is the start of the loopback port range: node i binds
+	// UDP 127.0.0.1:BasePort+2i for protocol frames and TCP
+	// 127.0.0.1:BasePort+2i+1 for its control endpoint. Ports are part
+	// of the spec so a recovered coordinator relaunches nodes at the
+	// addresses their peers still hold.
+	BasePort int `json:"base_port"`
+	// RestartBudget is how many consecutive fast failures a node's
+	// supervisor tolerates before giving up into degraded. Default 5.
+	RestartBudget int `json:"restart_budget,omitempty"`
+	// BackoffBase and BackoffCap bound the supervisor's exponential
+	// restart backoff (attempt k waits base<<k, capped). Defaults
+	// 200ms / 5s.
+	BackoffBase time.Duration `json:"backoff_base,omitempty"`
+	BackoffCap  time.Duration `json:"backoff_cap,omitempty"`
+	// CreatedUnixNano is the deployment's clock epoch: every node
+	// process, including ones started minutes later by a supervisor or
+	// a recovered coordinator, measures protocol time from this instant
+	// so envelope freshness holds across restarts. Stamped at creation.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+}
+
+// withDefaults fills the zero knobs.
+func (sp Spec) withDefaults() Spec {
+	if sp.RestartBudget == 0 {
+		sp.RestartBudget = 5
+	}
+	if sp.BackoffBase == 0 {
+		sp.BackoffBase = 200 * time.Millisecond
+	}
+	if sp.BackoffCap == 0 {
+		sp.BackoffCap = 5 * time.Second
+	}
+	return sp
+}
+
+// Validate checks the caller-settable fields.
+func (sp Spec) Validate() error {
+	if sp.N < 1 {
+		return fmt.Errorf("fleet: spec needs n >= 1, got %d", sp.N)
+	}
+	if sp.N > 64 {
+		return fmt.Errorf("fleet: spec n = %d exceeds the per-deployment cap of 64 processes", sp.N)
+	}
+	if sp.BasePort <= 0 || sp.BasePort+2*sp.N > 65535 {
+		return fmt.Errorf("fleet: base_port %d cannot host %d nodes below port 65536", sp.BasePort, sp.N)
+	}
+	if sp.RestartBudget < 0 || sp.BackoffBase < 0 || sp.BackoffCap < 0 {
+		return fmt.Errorf("fleet: negative supervision knobs")
+	}
+	return nil
+}
+
+// DataAddr returns node i's UDP protocol address.
+func (sp Spec) DataAddr(i int) string {
+	return fmt.Sprintf("127.0.0.1:%d", sp.BasePort+2*i)
+}
+
+// CtrlAddr returns node i's TCP control-endpoint address.
+func (sp Spec) CtrlAddr(i int) string {
+	return fmt.Sprintf("127.0.0.1:%d", sp.BasePort+2*i+1)
+}

@@ -1,0 +1,416 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the node-process helper: the coordinator under
+// test launches this same test binary with "fleet-node" as the first
+// argument, which routes into NodeMain instead of the test runner —
+// giving the integration tests real OS processes to SIGKILL without
+// building a separate binary.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "fleet-node" {
+		os.Exit(NodeMain(os.Args[2:]))
+	}
+	os.Exit(m.Run())
+}
+
+// testExec is the coordinator exec prefix that re-enters this binary.
+func testExec() []string { return []string{os.Args[0], "fleet-node"} }
+
+// nextProbeBase spreads concurrent tests across the port space.
+var nextProbeBase atomic.Int32
+
+func init() { nextProbeBase.Store(43000) }
+
+// freeBasePort reserves a base port whose 2n-slot range is currently
+// free (both UDP data and TCP ctrl slots).
+func freeBasePort(t *testing.T, n int) int {
+	t.Helper()
+probe:
+	for tries := 0; tries < 50; tries++ {
+		base := int(nextProbeBase.Add(int32(2*n + 16)))
+		for i := 0; i < 2*n; i += 2 {
+			uc, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", base+i))
+			if err != nil {
+				continue probe
+			}
+			uc.Close()
+			tc, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", base+i+1))
+			if err != nil {
+				continue probe
+			}
+			tc.Close()
+		}
+		return base
+	}
+	t.Fatal("no free port range found")
+	return 0
+}
+
+// abandon simulates a coordinator kill -9 for in-process tests: node
+// supervision dies with it (no WAL records, no drain, no snapshot) but
+// the node processes themselves are killed, standing in for Pdeathsig.
+func (c *Coordinator) abandon() {
+	c.mu.Lock()
+	c.closed = true
+	deps := make([]*deployment, 0, len(c.deps))
+	for _, d := range c.deps {
+		deps = append(deps, d)
+	}
+	c.mu.Unlock()
+	for _, d := range deps {
+		for _, t := range d.timers {
+			t.Stop()
+		}
+		for _, sup := range d.sups {
+			if sup != nil {
+				sup.stop()
+				sup.wait()
+			}
+		}
+	}
+	c.wal.close()
+}
+
+func waitState(t *testing.T, c *Coordinator, id, want string, timeout time.Duration) Info {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last Info
+	for time.Now().Before(deadline) {
+		info, ok := c.Get(id)
+		if ok {
+			last = info
+			if info.State == want {
+				return info
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("deployment %s never reached %s (last: %+v)", id, want, last)
+	return Info{}
+}
+
+// TestSingletonDeploymentLifecycle runs the cheapest real deployment —
+// one base station process — through create → running → stop.
+func TestSingletonDeploymentLifecycle(t *testing.T) {
+	base := freeBasePort(t, 1)
+	c, err := New(Config{Dir: t.TempDir(), Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	spec, err := c.Create(Spec{N: 1, Seed: 5, BasePort: base}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ID != "d1" {
+		t.Errorf("assigned id = %s, want d1", spec.ID)
+	}
+	waitState(t, c, spec.ID, "running", 30*time.Second)
+
+	if err := c.Stop(spec.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Get(spec.ID)
+	if info.State != "stopped" {
+		t.Errorf("state after stop = %s", info.State)
+	}
+	// Stop is terminal and idempotent.
+	if err := c.Stop(spec.ID, ""); err != nil {
+		t.Errorf("second stop errored: %v", err)
+	}
+}
+
+// TestCrashRecovery is the acceptance scenario: a 2-node deployment
+// serves an encrypted reading; a SIGKILLed node is restarted by its
+// supervisor and the deployment still serves; a SIGKILLed coordinator
+// is replaced by a new one that recovers the deployment from the WAL
+// and it STILL serves.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	dir := t.TempDir()
+	base := freeBasePort(t, 2)
+	c, err := New(Config{Dir: dir, Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := c.Create(Spec{N: 2, Seed: 7, BasePort: base}, "create-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := spec.ID
+	waitState(t, c, id, "running", 45*time.Second)
+
+	sendAndAwaitDelivery := func(c *Coordinator, minDelivered int) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			if _, err := c.SendReading(id, 1, []byte("ping")); err == nil {
+				if n, enc := countDeliveries(t, c, id); n >= minDelivered {
+					if !enc {
+						t.Fatalf("deliveries not end-to-end encrypted")
+					}
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no delivery reached the base station (want >= %d)", minDelivered)
+			}
+			time.Sleep(300 * time.Millisecond)
+		}
+	}
+	sendAndAwaitDelivery(c, 1)
+
+	// Phase 1: SIGKILL the sensor node; its supervisor must restart it
+	// (warm boot) and the deployment must serve again.
+	info, _ := c.Get(id)
+	pid := info.Pids[1]
+	if pid <= 1 {
+		t.Fatalf("no pid for node 1: %+v", info)
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		info, _ = c.Get(id)
+		if info.Boots[1] >= 1 && info.Pids[1] > 1 && info.Pids[1] != pid {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never restarted node 1: %+v", info)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	sendAndAwaitDelivery(c, 2)
+
+	// Phase 2: kill the coordinator without any graceful path, then
+	// start a replacement over the same state directory. It must resume
+	// the deployment (boots intact) and serve a fresh reading.
+	c.abandon()
+	c2, err := New(Config{Dir: dir, Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Shutdown()
+
+	info2, ok := c2.Get(id)
+	if !ok {
+		t.Fatal("recovered coordinator lost the deployment")
+	}
+	if info2.Boots[1] < 1 {
+		t.Errorf("recovered boots = %v, want node 1 >= 1", info2.Boots)
+	}
+	waitState(t, c2, id, "running", 45*time.Second)
+	sendAndAwaitDelivery(c2, 1) // fresh BS process: deliveries list restarts
+
+	// Phase 3: explicit stop is durable — a third coordinator must NOT
+	// resurrect the deployment.
+	if err := c2.Stop(id, "stop-1"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Shutdown()
+	c3, err := New(Config{Dir: dir, Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Shutdown()
+	info3, ok := c3.Get(id)
+	if !ok || info3.State != "stopped" {
+		t.Fatalf("stopped deployment resurrected: %+v (ok=%v)", info3, ok)
+	}
+	if len(info3.Pids) > 1 && info3.Pids[1] > 1 {
+		t.Errorf("stopped deployment has a live pid: %+v", info3)
+	}
+}
+
+func countDeliveries(t *testing.T, c *Coordinator, id string) (int, bool) {
+	t.Helper()
+	data, err := c.Readings(id)
+	if err != nil {
+		return 0, false
+	}
+	var readings []struct {
+		Encrypted bool `json:"encrypted"`
+	}
+	if err := json.Unmarshal(data, &readings); err != nil {
+		t.Fatalf("readings reply not JSON: %v (%s)", err, data)
+	}
+	allEnc := true
+	for _, r := range readings {
+		allEnc = allEnc && r.Encrypted
+	}
+	return len(readings), allEnc
+}
+
+// TestAPIEndToEnd exercises the HTTP surface against a singleton
+// deployment: create (idempotent), list, get, faults validation,
+// readings proxy, stop (idempotent).
+func TestAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	base := freeBasePort(t, 1)
+	c, err := New(Config{Dir: t.TempDir(), Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	api, err := ServeAPI(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	url := "http://" + api.Addr()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Health.
+	resp, err := client.Get(url + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// Create with an Idempotency-Key, twice: one deployment, replayed
+	// response the second time.
+	specJSON, _ := json.Marshal(Spec{N: 1, Seed: 3, BasePort: base})
+	post := func() (*http.Response, string) {
+		req, _ := http.NewRequest(http.MethodPost, url+"/v1/deployments", bytes.NewReader(specJSON))
+		req.Header.Set("Idempotency-Key", "create-once")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+	r1, b1 := post()
+	if r1.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", r1.StatusCode, b1)
+	}
+	r2, b2 := post()
+	if r2.Header.Get("Idempotent-Replay") != "true" || b1 != b2 {
+		t.Errorf("second create not replayed: %d %s (replay=%q)", r2.StatusCode, b2, r2.Header.Get("Idempotent-Replay"))
+	}
+	var created struct {
+		Spec Spec `json:"spec"`
+	}
+	if err := json.Unmarshal([]byte(b1), &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.Spec.ID
+
+	var infos []Info
+	if err := getJSON(client, url+"/v1/deployments", &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("idempotent create produced %d deployments", len(infos))
+	}
+
+	waitState(t, c, id, "running", 30*time.Second)
+
+	// The medium-model fault kinds need the simulator; the API must say
+	// so rather than accept and ignore them.
+	resp, err = client.Post(url+"/v1/deployments/"+id+"/faults", "text/plain",
+		bytes.NewReader([]byte("burst t=1ms until=10ms nodes=*\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("burst fault accepted: %d", resp.StatusCode)
+	}
+
+	// Unknown deployment → 404.
+	resp, err = client.Get(url + "/v1/deployments/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing deployment: %d, want 404", resp.StatusCode)
+	}
+
+	// Readings proxy answers (empty list: no senders in a singleton).
+	var readings []struct{}
+	if err := getJSON(client, url+"/v1/deployments/"+id+"/readings", &readings); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop through DELETE, idempotently.
+	del := func() *http.Response {
+		req, _ := http.NewRequest(http.MethodDelete, url+"/v1/deployments/"+id, nil)
+		req.Header.Set("Idempotency-Key", "stop-once")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	if r := del(); r.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", r.StatusCode)
+	}
+	if r := del(); r.Header.Get("Idempotent-Replay") != "true" {
+		t.Error("second delete not replayed")
+	}
+	info, _ := c.Get(id)
+	if info.State != "stopped" {
+		t.Errorf("state after delete = %s", info.State)
+	}
+}
+
+// TestFaultCrashTriggersSupervisedRestart injects a crash fault via
+// the plan format and checks the supervisor path picks it up.
+func TestFaultCrashTriggersSupervisedRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	base := freeBasePort(t, 1)
+	c, err := New(Config{Dir: t.TempDir(), Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	spec, err := c.Create(Spec{N: 1, Seed: 11, BasePort: base}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, spec.ID, "running", 30*time.Second)
+
+	if err := c.InjectFaults(spec.ID, "crash t=1ms node=0\n"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		info, _ := c.Get(spec.ID)
+		if info.Boots[0] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("crash fault never produced a supervised restart: %+v", info)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// The restarted base station must converge back to ready.
+	waitState(t, c, spec.ID, "running", 30*time.Second)
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStateStringRoundtrip(t *testing.T) {
+	for st := StateCreating; st <= StateStopped; st++ {
+		got, err := ParseState(st.String())
+		if err != nil || got != st {
+			t.Errorf("ParseState(%q) = %v, %v; want %v", st.String(), got, err, st)
+		}
+	}
+	if _, err := ParseState("bogus"); err == nil {
+		t.Error("ParseState accepted an unknown state")
+	}
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	legal := []struct{ from, to State }{
+		{StateCreating, StateRunning},
+		{StateCreating, StateDegraded},
+		{StateCreating, StateDraining},
+		{StateRunning, StateDegraded},
+		{StateRunning, StateDraining},
+		{StateDegraded, StateRunning},
+		{StateDegraded, StateDraining},
+		{StateDraining, StateStopped},
+	}
+	for _, e := range legal {
+		if !e.from.CanTransition(e.to) {
+			t.Errorf("%v -> %v must be legal", e.from, e.to)
+		}
+	}
+	illegal := []struct{ from, to State }{
+		{StateRunning, StateCreating},
+		{StateStopped, StateRunning},
+		{StateStopped, StateCreating},
+		{StateDraining, StateRunning},
+		{StateCreating, StateStopped}, // must pass through draining
+		{StateRunning, StateStopped},
+	}
+	for _, e := range illegal {
+		if e.from.CanTransition(e.to) {
+			t.Errorf("%v -> %v must be illegal", e.from, e.to)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{N: 4, Seed: 1, BasePort: 9000}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{N: 0, BasePort: 9000},
+		{N: 65, BasePort: 9000},
+		{N: 4, BasePort: 0},
+		{N: 4, BasePort: 65530}, // ports run past 65535
+		{N: 4, BasePort: 9000, RestartBudget: -1},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, sp)
+		}
+	}
+}
+
+func TestSpecAddrs(t *testing.T) {
+	sp := Spec{N: 3, BasePort: 9000}
+	if got := sp.DataAddr(2); got != "127.0.0.1:9004" {
+		t.Errorf("DataAddr(2) = %s", got)
+	}
+	if got := sp.CtrlAddr(2); got != "127.0.0.1:9005" {
+		t.Errorf("CtrlAddr(2) = %s", got)
+	}
+}
+
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"d1", "my-dep_2", "A"} {
+		if err := validateID(ok); err != nil {
+			t.Errorf("validateID(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "a b", "../../etc", "x\x00y", "waaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaay-too-long"} {
+		if err := validateID(bad); err == nil {
+			t.Errorf("validateID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPortsOverlap(t *testing.T) {
+	a := Spec{N: 3, BasePort: 9000} // 9000..9005
+	if !portsOverlap(a, Spec{N: 2, BasePort: 9004}) {
+		t.Error("overlapping ranges not detected")
+	}
+	if portsOverlap(a, Spec{N: 2, BasePort: 9006}) {
+		t.Error("adjacent ranges flagged as overlapping")
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	base, cap := 100*time.Millisecond, time.Second
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for k, w := range want {
+		if got := backoff(base, cap, k); got != w {
+			t.Errorf("backoff(attempt %d) = %v, want %v", k, got, w)
+		}
+	}
+	// Deep attempts must not overflow past the cap.
+	if got := backoff(base, cap, 500); got != cap {
+		t.Errorf("backoff(attempt 500) = %v, want cap", got)
+	}
+}

@@ -1,0 +1,36 @@
+package fleet
+
+import "repro/internal/obs"
+
+// metrics is the coordinator's obs instrumentation. All fields are
+// nil-safe (the obs API treats nil receivers as no-ops), so an
+// unobserved coordinator pays only nil checks.
+type metrics struct {
+	restarts    *obs.Counter
+	giveups     *obs.Counter
+	backoffMS   *obs.Gauge
+	walAppends  *obs.Counter
+	walFsync    *obs.Histogram
+	snapshots   *obs.Counter
+	apiRequests *obs.Counter
+	apiErrors   *obs.Counter
+	deployments *obs.Gauge
+	degraded    *obs.Gauge
+	recoveries  *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		restarts:    r.Counter("fleet_node_restarts_total", "node processes restarted by supervisors"),
+		giveups:     r.Counter("fleet_supervisor_giveups_total", "supervisors that exhausted their restart budget"),
+		backoffMS:   r.Gauge("fleet_supervisor_backoff_ms", "most recent supervisor restart backoff in milliseconds"),
+		walAppends:  r.Counter("fleet_wal_appends_total", "records appended to the coordinator WAL"),
+		walFsync:    r.Histogram("fleet_wal_fsync_seconds", "WAL fsync latency", []float64{.0001, .0005, .001, .005, .01, .05, .1, .5}),
+		snapshots:   r.Counter("fleet_snapshots_total", "coordinator state snapshots written"),
+		apiRequests: r.Counter("fleet_api_requests_total", "control API requests served"),
+		apiErrors:   r.Counter("fleet_api_errors_total", "control API requests answered with a 4xx/5xx status"),
+		deployments: r.Gauge("fleet_deployments", "deployments currently not stopped"),
+		degraded:    r.Gauge("fleet_deployments_degraded", "deployments currently degraded"),
+		recoveries:  r.Counter("fleet_recoveries_total", "deployments resumed from durable state at coordinator startup"),
+	}
+}

@@ -1,0 +1,531 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/geom"
+	"repro/internal/live"
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// NodeConfig parameterizes one node process. The coordinator passes it
+// on the command line (see NodeMain); every value derives from the
+// deployment Spec plus the node's index.
+type NodeConfig struct {
+	// DepID is the owning deployment (labels log lines).
+	DepID string
+	// ID is this node's index; 0 is the base station. N is the
+	// deployment size.
+	ID, N int
+	// Seed is the deployment seed: every node derives the same key
+	// authority from it, exactly like wsnsim -seed.
+	Seed uint64
+	// Listen is the UDP protocol address; Peers maps every other node's
+	// index to its UDP address; Ctrl is the TCP address of this node's
+	// control endpoint.
+	Listen string
+	Peers  map[int]string
+	Ctrl   string
+	// StateFile is where durable protocol state is persisted. Resume
+	// restores from it (warm boot) instead of cold-starting.
+	StateFile string
+	Resume    bool
+	// EpochUnixNano is the deployment's shared clock origin
+	// (Spec.CreatedUnixNano); zero keeps a per-process origin.
+	EpochUnixNano int64
+}
+
+// fleetConfig is the protocol parameterization for fleet nodes: the
+// same real-time compression wsnsim's live mode uses, with the skew
+// allowance tightened because fleet nodes share a deployment Epoch (the
+// residual skew is host wall-clock jitter, not process boot order).
+func fleetConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.HelloMeanDelay = 20 * time.Millisecond
+	cfg.ClusterPhaseEnd = 400 * time.Millisecond
+	cfg.LinkSpread = 200 * time.Millisecond
+	cfg.FreshWindow = 2 * time.Second
+	cfg.BeaconPeriod = 500 * time.Millisecond
+	cfg.SkewTolerance = time.Second
+	return cfg
+}
+
+// nodeStatus is the GET /status reply, the coordinator's health probe.
+type nodeStatus struct {
+	Dep      string `json:"dep"`
+	ID       int    `json:"id"`
+	Phase    string `json:"phase"`
+	Hop      uint16 `json:"hop"`
+	KmErased bool   `json:"km_erased"`
+	Cluster  uint32 `json:"cluster"`
+	InClust  bool   `json:"in_cluster"`
+	// Ready means operational with Km destroyed (and, off the base
+	// station, a beacon-acquired hop gradient).
+	Ready bool `json:"ready"`
+}
+
+// nodeReading is one delivered reading in the GET /readings reply.
+type nodeReading struct {
+	Origin    uint32 `json:"origin"`
+	Seq       uint32 `json:"seq"`
+	Bytes     int    `json:"bytes"`
+	Encrypted bool   `json:"encrypted"`
+}
+
+// nodeRunner is the per-process node host.
+type nodeRunner struct {
+	cfg     NodeConfig
+	sensor  *core.Sensor
+	net     *live.Network
+	carrier *transport.UDP
+
+	partMu sync.Mutex
+	parted map[int]bool // peers currently partitioned away
+
+	quitOnce sync.Once
+	quit     chan struct{}
+}
+
+// RunNode hosts one protocol node until SIGTERM, SIGINT, or a ctrl
+// POST /quit, then drains gracefully: remaining master-key material is
+// erased, protocol state is flushed to StateFile, and the sockets
+// close. It returns nil only on a clean drain.
+func RunNode(cfg NodeConfig) error {
+	if cfg.N < 1 || cfg.ID < 0 || cfg.ID >= cfg.N {
+		return fmt.Errorf("fleet: node id %d out of range for n=%d", cfg.ID, cfg.N)
+	}
+
+	// One radio cell split across processes, as in wsnsim live mode.
+	pos := make([]geom.Point, cfg.N)
+	for i := range pos {
+		pos[i] = geom.Point{X: 0.45 + 0.01*float64(i), Y: 0.5}
+	}
+	graph := topology.FromPositions(pos, 1, 0.5, geom.Planar)
+
+	ccfg := fleetConfig()
+	auth := core.AuthorityFromSeed(cfg.Seed, ccfg.ChainLength)
+
+	var sensor *core.Sensor
+	warm := false
+	if cfg.Resume && cfg.StateFile != "" {
+		st, err := readNodeState(cfg.StateFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First boot never persisted (crashed during setup): cold
+			// start is the correct recovery.
+		case err != nil:
+			return err
+		default:
+			if cfg.ID == 0 {
+				sensor = core.RestoreBaseStation(ccfg, st, auth)
+			} else {
+				sensor = core.RestoreSensor(ccfg, st)
+			}
+			warm = true
+		}
+	}
+	if sensor == nil {
+		m := auth.MaterialFor(node.ID(cfg.ID))
+		if cfg.ID == 0 {
+			sensor = core.NewBaseStation(ccfg, m, auth)
+		} else {
+			sensor = core.NewSensor(ccfg, m)
+		}
+	}
+
+	carrier, err := transport.ListenUDP(cfg.ID, cfg.Listen)
+	if err != nil {
+		return err
+	}
+	defer carrier.Close()
+	for id, addr := range cfg.Peers {
+		if err := carrier.AddPeer(id, addr); err != nil {
+			return err
+		}
+	}
+	// Best-effort barrier: on a cold deployment every peer comes up
+	// within the window; on a restart into a degraded deployment a dead
+	// peer must not wedge this node, so an incomplete barrier proceeds
+	// and the ARQ layer carries the reachable links.
+	if len(cfg.Peers) > 0 {
+		if err := carrier.WaitReady(20 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet node %d: proceeding past barrier: %v\n", cfg.ID, err)
+		}
+	}
+
+	behaviors := make([]node.Behavior, cfg.N)
+	behaviors[cfg.ID] = sensor
+	var epoch time.Time
+	if cfg.EpochUnixNano != 0 {
+		epoch = time.Unix(0, cfg.EpochUnixNano)
+	}
+	r := &nodeRunner{
+		cfg:     cfg,
+		sensor:  sensor,
+		carrier: carrier,
+		parted:  map[int]bool{},
+		quit:    make(chan struct{}),
+	}
+	r.net = live.Start(live.Config{
+		Graph:     graph,
+		Seed:      cfg.Seed,
+		Transport: transport.Config{ARQ: true, MaxRetries: 8},
+		Carrier:   carrier,
+		Epoch:     epoch,
+		WarmBoot:  warm,
+	}, behaviors)
+	defer r.net.Stop()
+
+	srv := &http.Server{Handler: r.ctrlMux(), ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", cfg.Ctrl)
+	if err != nil {
+		return fmt.Errorf("fleet: node ctrl listen %q: %w", cfg.Ctrl, err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+
+	// Persist on a short cadence: the base station's Step-1 counters and
+	// chain cursor advance on *receives*, which no send-side hook sees.
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+
+	for {
+		select {
+		case <-tick.C:
+			if err := r.persist(); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet node %d: persist: %v\n", cfg.ID, err)
+			}
+		case <-sigCh:
+			r.requestQuit()
+		case <-r.quit:
+			return r.drain(srv)
+		}
+	}
+}
+
+func (r *nodeRunner) requestQuit() {
+	r.quitOnce.Do(func() { close(r.quit) })
+}
+
+// drain is the graceful exit: erase any master-key material still held
+// (a node killed mid-setup may hold Km), flush final state, let the
+// ctrl server answer in-flight queries, and release the sockets.
+func (r *nodeRunner) drain(srv *http.Server) error {
+	done := make(chan struct{}, 1)
+	r.net.Do(r.cfg.ID, func(node.Context) {
+		ks := r.sensor.KeyStore()
+		ks.Master = crypt.Key{}
+		ks.AddMaster = crypt.Key{}
+		done <- struct{}{}
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+	err := r.persist()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	r.net.Stop()
+	if cerr := r.carrier.Close(); err == nil {
+		err = cerr
+	}
+	fmt.Printf("fleet node %d: drained (dep %s)\n", r.cfg.ID, r.cfg.DepID)
+	return err
+}
+
+// snapshotState exports protocol state on the node's own goroutine.
+func (r *nodeRunner) snapshotState() (*core.SensorState, error) {
+	ch := make(chan *core.SensorState, 1)
+	r.net.Do(r.cfg.ID, func(node.Context) { ch <- r.sensor.ExportState() })
+	select {
+	case st := <-ch:
+		return st, nil
+	case <-time.After(2 * time.Second):
+		return nil, fmt.Errorf("fleet: node %d unresponsive to state export", r.cfg.ID)
+	}
+}
+
+// persist writes the node's durable state file atomically (tmp + fsync
+// + rename), so a kill -9 leaves either the old image or the new one.
+func (r *nodeRunner) persist() error {
+	if r.cfg.StateFile == "" {
+		return nil
+	}
+	st, err := r.snapshotState()
+	if err != nil {
+		return err
+	}
+	return writeNodeState(r.cfg.StateFile, st)
+}
+
+func writeNodeState(path string, st *core.SensorState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal node state: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("fleet: write node state: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: write node state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: fsync node state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fleet: close node state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fleet: install node state: %w", err)
+	}
+	return nil
+}
+
+func readNodeState(path string) (*core.SensorState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st core.SensorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("fleet: corrupt node state %s: %w", path, err)
+	}
+	return &st, nil
+}
+
+// ctrlMux is the node's control API, consumed by the coordinator.
+func (r *nodeRunner) ctrlMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", r.handleStatus)
+	mux.HandleFunc("GET /readings", r.handleReadings)
+	mux.HandleFunc("POST /send", r.handleSend)
+	mux.HandleFunc("POST /partition", r.handlePartition)
+	mux.HandleFunc("POST /heal", r.handleHeal)
+	mux.HandleFunc("POST /quit", r.handleQuit)
+	return mux
+}
+
+func (r *nodeRunner) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	type snap struct {
+		phase  core.Phase
+		hop    uint16
+		kmGone bool
+		cid    uint32
+		inC    bool
+	}
+	ch := make(chan snap, 1)
+	r.net.Do(r.cfg.ID, func(node.Context) {
+		cid, in := r.sensor.Cluster()
+		ch <- snap{r.sensor.Phase(), r.sensor.Hop(), r.sensor.KeyStore().Master.IsZero(), cid, in}
+	})
+	select {
+	case v := <-ch:
+		ready := v.phase == core.PhaseOperational && v.kmGone
+		if r.cfg.ID != 0 {
+			ready = ready && v.hop != core.HopUnknown
+		}
+		writeJSON(w, http.StatusOK, nodeStatus{
+			Dep: r.cfg.DepID, ID: r.cfg.ID, Phase: v.phase.String(), Hop: v.hop,
+			KmErased: v.kmGone, Cluster: v.cid, InClust: v.inC, Ready: ready,
+		})
+	case <-time.After(2 * time.Second):
+		http.Error(w, "node goroutine unresponsive", http.StatusServiceUnavailable)
+	}
+}
+
+func (r *nodeRunner) handleReadings(w http.ResponseWriter, _ *http.Request) {
+	ch := make(chan []core.Delivery, 1)
+	r.net.Do(r.cfg.ID, func(node.Context) { ch <- r.sensor.Deliveries() })
+	select {
+	case ds := <-ch:
+		out := make([]nodeReading, len(ds))
+		for i, d := range ds {
+			out[i] = nodeReading{Origin: uint32(d.Origin), Seq: d.Seq, Bytes: len(d.Data), Encrypted: d.Encrypted}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case <-time.After(2 * time.Second):
+		http.Error(w, "node goroutine unresponsive", http.StatusServiceUnavailable)
+	}
+}
+
+func (r *nodeRunner) handleSend(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<16))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		body = []byte{byte(r.cfg.ID)}
+	}
+	type result struct {
+		Seq uint32 `json:"seq"`
+		OK  bool   `json:"ok"`
+	}
+	ch := make(chan result, 1)
+	r.net.Do(r.cfg.ID, func(ctx node.Context) {
+		seq, ok := r.sensor.SendReading(ctx, body)
+		ch <- result{Seq: seq, OK: ok}
+	})
+	select {
+	case v := <-ch:
+		if v.OK {
+			// The counter advanced; make it durable before acknowledging,
+			// or a crash right after this send would restore a stale
+			// counter and the base station would flag the reuse.
+			if err := r.persist(); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet node %d: persist after send: %v\n", r.cfg.ID, err)
+			}
+		}
+		writeJSON(w, http.StatusOK, v)
+	case <-time.After(2 * time.Second):
+		http.Error(w, "node goroutine unresponsive", http.StatusServiceUnavailable)
+	}
+}
+
+// handlePartition installs a data-plane drop filter toward the listed
+// peers (body: {"peers":[1,2]}). Probe traffic stays exempt inside the
+// carrier, so the fault models a network partition, not a dead address.
+func (r *nodeRunner) handlePartition(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Peers []int `json:"peers"`
+	}
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.partMu.Lock()
+	for _, p := range body.Peers {
+		r.parted[p] = true
+	}
+	r.partMu.Unlock()
+	r.carrier.SetDrop(func(peer int) bool {
+		r.partMu.Lock()
+		defer r.partMu.Unlock()
+		return r.parted[peer]
+	})
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (r *nodeRunner) handleHeal(w http.ResponseWriter, _ *http.Request) {
+	r.partMu.Lock()
+	r.parted = map[int]bool{}
+	r.partMu.Unlock()
+	r.carrier.SetDrop(nil)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (r *nodeRunner) handleQuit(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	r.requestQuit()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- command-line entry ---
+
+// NodeMain is the node-process entry point: the coordinator (and the
+// fleet test binary) re-exec themselves with a flag vector NodeMain
+// parses back into a NodeConfig. Returns the process exit code.
+func NodeMain(args []string) int {
+	fs := flag.NewFlagSet("fleet-node", flag.ContinueOnError)
+	var (
+		dep    = fs.String("dep", "", "deployment id")
+		id     = fs.Int("id", -1, "node index (0 = base station)")
+		n      = fs.Int("n", 0, "deployment size")
+		seed   = fs.Uint64("seed", 1, "deployment seed")
+		listen = fs.String("listen", "", "UDP protocol address")
+		ctrl   = fs.String("ctrl", "", "TCP control-endpoint address")
+		peers  = fs.String("peers", "", "peer map id=addr,id=addr")
+		state  = fs.String("state", "", "durable state file")
+		resume = fs.Bool("resume", false, "warm-boot from the state file if present")
+		epoch  = fs.Int64("epoch", 0, "deployment clock origin (unix nanoseconds)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	peerMap, err := parsePeerList(*peers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cfg := NodeConfig{
+		DepID: *dep, ID: *id, N: *n, Seed: *seed,
+		Listen: *listen, Peers: peerMap, Ctrl: *ctrl,
+		StateFile: *state, Resume: *resume, EpochUnixNano: *epoch,
+	}
+	if err := RunNode(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet node %d: %v\n", cfg.ID, err)
+		return 1
+	}
+	return 0
+}
+
+// parsePeerList parses "id=addr,id=addr" (empty is a singleton node).
+func parsePeerList(s string) (map[int]string, error) {
+	peers := map[int]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: bad peer entry %q (want id=addr)", part)
+		}
+		v, err := strconv.Atoi(id)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("fleet: bad peer node id %q", id)
+		}
+		if _, dup := peers[v]; dup {
+			return nil, fmt.Errorf("fleet: duplicate peer node id %d", v)
+		}
+		peers[v] = addr
+	}
+	return peers, nil
+}
+
+// peerList renders the inverse of parsePeerList deterministically.
+func peerList(peers map[int]string) string {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d=%s", id, peers[id])
+	}
+	return strings.Join(parts, ",")
+}

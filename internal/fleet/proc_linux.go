@@ -1,0 +1,15 @@
+//go:build linux
+
+package fleet
+
+import "syscall"
+
+// nodeSysProcAttr ties each node's lifetime to its parent: if the
+// coordinator dies — SIGKILL included — the kernel kills the node too.
+// Recovery then relaunches every node from durable state, which is
+// strictly simpler than adopting orphans whose stdio and supervision
+// were lost with the old coordinator; the warm-reboot path makes the
+// relaunch cheap.
+func nodeSysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

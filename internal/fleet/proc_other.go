@@ -1,0 +1,9 @@
+//go:build !linux
+
+package fleet
+
+import "syscall"
+
+// nodeSysProcAttr: parent-death signaling is Linux-only; elsewhere the
+// pid-file reaping at coordinator startup is the only orphan defense.
+func nodeSysProcAttr() *syscall.SysProcAttr { return nil }

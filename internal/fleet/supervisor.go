@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// process is the supervisor's view of a running node: enough to wait
+// for its death, kill it, and identify it. *exec.Cmd satisfies it via
+// the osProcess wrapper in coordinator.go; tests substitute fakes.
+type process interface {
+	// Wait blocks until the process exits. The error (if any) carries
+	// the exit status; the supervisor only cares that it returned.
+	Wait() error
+	// Kill terminates the process immediately (SIGKILL).
+	Kill() error
+	// Pid identifies the OS process (0 for fakes).
+	Pid() int
+}
+
+// startFunc launches one incarnation of a node. boot is the absolute
+// incarnation number (0 = original launch); implementations use it to
+// decide cold start vs warm resume and to name log files.
+type startFunc func(boot int) (process, error)
+
+// supervisor keeps one node alive: it launches the node, waits for the
+// process to die, and restarts it with capped exponential backoff.
+// Consecutive fast failures (uptime below healthyUptime) escalate the
+// backoff and count against the restart budget; a healthy run resets
+// both. When the budget is exhausted the supervisor stops restarting
+// and reports via onGiveUp, degrading the deployment.
+type supervisor struct {
+	node   int
+	start  startFunc
+	budget int // restarts tolerated per unhealthy streak
+
+	backoffBase   time.Duration
+	backoffCap    time.Duration
+	healthyUptime time.Duration // uptime that clears the failure streak
+
+	// onRestart is called (before the relaunch) each time the node is
+	// about to be restarted; boot is the new incarnation number. It is
+	// the WAL-append hook.
+	onRestart func(node, boot int)
+	// onExit is called when the supervisor stops restarting: budget
+	// exhausted or a launch itself failed. The coordinator degrades the
+	// deployment.
+	onGiveUp func(node int, err error)
+	// met is shared coordinator instrumentation (zero value = no-op).
+	met metrics
+
+	mu      sync.Mutex
+	proc    process
+	boot    int
+	stopped bool
+	stopCh  chan struct{}
+	done    chan struct{}
+}
+
+// newSupervisor wires a supervisor for one node; call run to launch.
+// firstBoot is the incarnation to start at (non-zero when a recovered
+// coordinator resumes a node that had already been restarted).
+func newSupervisor(node, firstBoot int, sp Spec, start startFunc, met metrics) *supervisor {
+	return &supervisor{
+		node:          node,
+		start:         start,
+		budget:        sp.RestartBudget,
+		backoffBase:   sp.BackoffBase,
+		backoffCap:    sp.BackoffCap,
+		healthyUptime: 3 * sp.BackoffBase,
+		met:           met,
+		boot:          firstBoot,
+		stopCh:        make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+}
+
+// run is the supervision loop. It blocks until stop is called or the
+// budget is exhausted, so callers launch it in a goroutine.
+func (s *supervisor) run() {
+	defer close(s.done)
+	attempts := 0
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		boot := s.boot
+		proc, err := s.start(boot)
+		if err != nil {
+			s.mu.Unlock()
+			s.met.giveups.Inc()
+			if s.onGiveUp != nil {
+				s.onGiveUp(s.node, err)
+			}
+			return
+		}
+		s.proc = proc
+		s.mu.Unlock()
+
+		launched := time.Now()
+		_ = proc.Wait()
+		uptime := time.Since(launched)
+
+		s.mu.Lock()
+		s.proc = nil
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		s.boot++
+		next := s.boot
+		s.mu.Unlock()
+
+		if uptime >= s.healthyUptime {
+			attempts = 0
+		}
+		attempts++
+		if attempts > s.budget {
+			s.met.giveups.Inc()
+			if s.onGiveUp != nil {
+				s.onGiveUp(s.node, errRestartBudget)
+			}
+			return
+		}
+
+		delay := backoff(s.backoffBase, s.backoffCap, attempts-1)
+		s.met.backoffMS.Set(delay.Milliseconds())
+		if !s.sleep(delay) {
+			return
+		}
+		s.met.restarts.Inc()
+		if s.onRestart != nil {
+			s.onRestart(s.node, next)
+		}
+	}
+}
+
+// backoff returns base<<attempt capped at cap, shift-overflow safe.
+func backoff(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		base *= 2
+		if base >= cap {
+			return cap
+		}
+	}
+	if base > cap {
+		return cap
+	}
+	return base
+}
+
+// sleep waits for d unless the supervisor is stopped first; reports
+// whether the full delay elapsed.
+func (s *supervisor) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-s.stopCh:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stopCh:
+		return false
+	}
+}
+
+// disable halts restarts without killing the running incarnation — the
+// graceful-drain path asks nodes to exit themselves before escalating.
+// Safe to call more than once.
+func (s *supervisor) disable() {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stopCh)
+	}
+	s.mu.Unlock()
+}
+
+// stop halts supervision and kills the current incarnation if one is
+// running. It does not wait for the process to be reaped; use wait.
+// Safe to call more than once.
+func (s *supervisor) stop() {
+	s.disable()
+	s.mu.Lock()
+	proc := s.proc
+	s.mu.Unlock()
+	if proc != nil {
+		_ = proc.Kill()
+	}
+}
+
+// wait blocks until the supervision loop has exited.
+func (s *supervisor) wait() { <-s.done }
+
+// pid returns the current incarnation's pid (0 if none running).
+func (s *supervisor) pid() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.proc == nil {
+		return 0
+	}
+	return s.proc.Pid()
+}
+
+// currentBoot returns the incarnation number of the running (or next)
+// process.
+func (s *supervisor) currentBoot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.boot
+}
+
+// errRestartBudget is the give-up cause for an exhausted budget.
+var errRestartBudget = budgetError{}
+
+type budgetError struct{}
+
+func (budgetError) Error() string { return "fleet: restart budget exhausted" }

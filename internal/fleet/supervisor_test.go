@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeProc is a process whose death the test controls.
+type fakeProc struct {
+	died chan struct{}
+	once sync.Once
+}
+
+func newFakeProc() *fakeProc { return &fakeProc{died: make(chan struct{})} }
+
+func (p *fakeProc) Wait() error { <-p.died; return nil }
+func (p *fakeProc) Kill() error { p.die(); return nil }
+func (p *fakeProc) Pid() int    { return 0 }
+func (p *fakeProc) die()        { p.once.Do(func() { close(p.died) }) }
+
+// fastSpec keeps supervisor timing tight for tests.
+func fastSpec() Spec {
+	return Spec{
+		N: 1, BasePort: 9000,
+		RestartBudget: 3,
+		BackoffBase:   time.Millisecond,
+		BackoffCap:    4 * time.Millisecond,
+	}.withDefaults()
+}
+
+func TestSupervisorRestartsAndGivesUp(t *testing.T) {
+	var starts atomic.Int32
+	var boots []int
+	var bootMu sync.Mutex
+	gaveUp := make(chan error, 1)
+
+	start := func(boot int) (process, error) {
+		starts.Add(1)
+		p := newFakeProc()
+		p.die() // every incarnation dies immediately: an unhealthy streak
+		return p, nil
+	}
+	sup := newSupervisor(0, 0, fastSpec(), start, metrics{})
+	sup.onRestart = func(node, boot int) {
+		bootMu.Lock()
+		boots = append(boots, boot)
+		bootMu.Unlock()
+	}
+	sup.onGiveUp = func(node int, err error) { gaveUp <- err }
+	go sup.run()
+
+	select {
+	case err := <-gaveUp:
+		if !errors.Is(err, errRestartBudget) {
+			t.Errorf("give-up error = %v, want restart budget", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor never gave up")
+	}
+	// Budget 3 tolerates 3 restarts: launch + 3 relaunches = 4 starts,
+	// then the 4th failure exhausts the budget.
+	if got := starts.Load(); got != 4 {
+		t.Errorf("starts = %d, want 4 (1 launch + budget 3 restarts)", got)
+	}
+	bootMu.Lock()
+	defer bootMu.Unlock()
+	if len(boots) != 3 || boots[0] != 1 || boots[2] != 3 {
+		t.Errorf("restart boots = %v, want [1 2 3]", boots)
+	}
+}
+
+func TestSupervisorStopKillsAndExits(t *testing.T) {
+	procCh := make(chan *fakeProc, 16)
+	start := func(boot int) (process, error) {
+		p := newFakeProc()
+		procCh <- p
+		return p, nil
+	}
+	sup := newSupervisor(0, 0, fastSpec(), start, metrics{})
+	go sup.run()
+
+	var p *fakeProc
+	select {
+	case p = <-procCh:
+	case <-time.After(time.Second):
+		t.Fatal("node never launched")
+	}
+	sup.stop()
+	done := make(chan struct{})
+	go func() { sup.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervisor did not exit after stop")
+	}
+	select {
+	case <-p.died:
+	default:
+		t.Error("stop did not kill the running incarnation")
+	}
+}
+
+func TestSupervisorDisableStopsRestartsWithoutKilling(t *testing.T) {
+	procCh := make(chan *fakeProc, 16)
+	start := func(boot int) (process, error) {
+		p := newFakeProc()
+		procCh <- p
+		return p, nil
+	}
+	sup := newSupervisor(0, 0, fastSpec(), start, metrics{})
+	go sup.run()
+
+	p := <-procCh
+	sup.disable()
+	select {
+	case <-p.died:
+		t.Fatal("disable must not kill the incarnation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The node now exits on its own (the drain path): no restart follows.
+	p.die()
+	done := make(chan struct{})
+	go func() { sup.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervisor did not exit after a disabled node quit")
+	}
+	select {
+	case <-procCh:
+		t.Error("disabled supervisor restarted the node")
+	default:
+	}
+}
+
+func TestSupervisorHealthyUptimeResetsBudget(t *testing.T) {
+	// healthyUptime = 3 * BackoffBase; with a 1ms base, a 50ms-lived
+	// incarnation is healthy and must reset the failure streak, so the
+	// supervisor survives budget+2 total deaths of healthy processes.
+	spec := fastSpec()
+	var starts atomic.Int32
+	gaveUp := make(chan error, 1)
+	start := func(boot int) (process, error) {
+		starts.Add(1)
+		p := newFakeProc()
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			p.die()
+		}()
+		return p, nil
+	}
+	sup := newSupervisor(0, 0, spec, start, metrics{})
+	sup.onGiveUp = func(node int, err error) { gaveUp <- err }
+	go sup.run()
+	defer sup.stop()
+
+	deadline := time.After(3 * time.Second)
+	for starts.Load() < int32(spec.RestartBudget)+2 {
+		select {
+		case err := <-gaveUp:
+			t.Fatalf("supervisor gave up (%v) despite healthy uptimes (%d starts)", err, starts.Load())
+		case <-deadline:
+			t.Fatalf("only %d starts before deadline", starts.Load())
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestSupervisorStartErrorGivesUp(t *testing.T) {
+	boom := errors.New("exec failed")
+	gaveUp := make(chan error, 1)
+	sup := newSupervisor(0, 0, fastSpec(),
+		func(boot int) (process, error) { return nil, boom }, metrics{})
+	sup.onGiveUp = func(node int, err error) { gaveUp <- err }
+	go sup.run()
+	select {
+	case err := <-gaveUp:
+		if !errors.Is(err, boom) {
+			t.Errorf("give-up error = %v, want launch error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("launch failure did not give up")
+	}
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Durability layout inside the coordinator's state directory:
+//
+//	wal.jsonl       append-only record log, fsync'd per append
+//	snapshot.json   periodic full-state image (atomic rename)
+//	<dep-id>/       per-deployment scratch: node state files, pids, logs
+//
+// Recovery loads snapshot.json (if any) and replays wal.jsonl on top.
+// Every record carries absolute values (a state, a boot number) rather
+// than deltas, so replaying a record that was already folded into the
+// snapshot — possible when a crash lands between snapshot write and WAL
+// rotation — is idempotent. A torn final line (the classic kill -9
+// artifact) is detected and ignored.
+
+// walRecord is one WAL line.
+type walRecord struct {
+	// Op is "create", "state", "boot", or "stop".
+	Op string `json:"op"`
+	// ID is the deployment the record concerns (all ops).
+	ID string `json:"id,omitempty"`
+	// Spec accompanies "create".
+	Spec *Spec `json:"spec,omitempty"`
+	// State accompanies "state" (lifecycle transition).
+	State string `json:"state,omitempty"`
+	// Node and Boot accompany "boot": node Node is on its Boot'th
+	// incarnation (absolute, 0 = original launch).
+	Node int `json:"node,omitempty"`
+	Boot int `json:"boot,omitempty"`
+	// Idem is the caller's Idempotency-Key ("create" and "stop").
+	Idem string `json:"idem,omitempty"`
+}
+
+// wal is the append-only log. Safe for one writer; the coordinator
+// serializes appends under its own lock.
+type wal struct {
+	f       *os.File
+	path    string
+	appends int
+	fsyncH  *obs.Histogram // seconds; nil-safe
+}
+
+func openWAL(path string, fsyncH *obs.Histogram) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open wal: %w", err)
+	}
+	return &wal{f: f, path: path, fsyncH: fsyncH}, nil
+}
+
+// append writes one record and fsyncs, timing the fsync.
+func (w *wal) append(rec walRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal wal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("fleet: append wal: %w", err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: fsync wal: %w", err)
+	}
+	w.fsyncH.Observe(time.Since(start).Seconds())
+	w.appends++
+	return nil
+}
+
+// rotate truncates the log after its contents were folded into a
+// snapshot. The snapshot rename happens first (see writeSnapshot), so a
+// crash at any point leaves either the old snapshot plus a full WAL or
+// the new snapshot plus a possibly-untruncated WAL — both replay to the
+// same state because records are absolute.
+func (w *wal) rotate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("fleet: rotate wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("fleet: rotate wal: %w", err)
+	}
+	w.appends = 0
+	return w.f.Sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// readWAL returns every intact record in the log. A final line without
+// a trailing newline, or one that fails to decode, is treated as torn
+// and dropped; a malformed line in the middle is an error (that is
+// corruption, not a crash artifact).
+func readWAL(path string) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read wal: %w", err)
+	}
+	defer f.Close()
+	var recs []walRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return nil, pendingErr // a decode failure that was NOT the last line
+		}
+		var rec walRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("fleet: corrupt wal record %q: %w", sc.Text(), err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: scan wal: %w", err)
+	}
+	// pendingErr still set here means the failure was on the final line:
+	// a torn append from a crash mid-write. Ignore it.
+	return recs, nil
+}
+
+// persistedDeployment is one deployment's durable image.
+type persistedDeployment struct {
+	Spec  Spec   `json:"spec"`
+	State string `json:"state"`
+	// Boots[i] is node i's incarnation number (restart count).
+	Boots []int `json:"boots"`
+}
+
+// idemEntry is a stored idempotent response.
+type idemEntry struct {
+	Status int    `json:"status"`
+	Body   string `json:"body"`
+}
+
+// snapshotImage is the full durable coordinator state.
+type snapshotImage struct {
+	Deployments []persistedDeployment `json:"deployments"`
+	Idem        map[string]idemEntry  `json:"idem,omitempty"`
+}
+
+// writeSnapshot atomically replaces dir/snapshot.json.
+func writeSnapshot(dir string, img snapshotImage) error {
+	data, err := json.MarshalIndent(img, "", " ")
+	if err != nil {
+		return fmt.Errorf("fleet: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, "snapshot.json.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("fleet: write snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fleet: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "snapshot.json")); err != nil {
+		return fmt.Errorf("fleet: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadDurableState reconstructs coordinator state from snapshot + WAL.
+func loadDurableState(dir string) (snapshotImage, error) {
+	img := snapshotImage{Idem: map[string]idemEntry{}}
+	data, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return img, fmt.Errorf("fleet: read snapshot: %w", err)
+	default:
+		if err := json.Unmarshal(data, &img); err != nil {
+			return img, fmt.Errorf("fleet: corrupt snapshot: %w", err)
+		}
+		if img.Idem == nil {
+			img.Idem = map[string]idemEntry{}
+		}
+	}
+	recs, err := readWAL(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		return img, err
+	}
+	byID := make(map[string]int, len(img.Deployments))
+	for i := range img.Deployments {
+		byID[img.Deployments[i].Spec.ID] = i
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case "create":
+			if rec.Spec == nil {
+				return img, fmt.Errorf("fleet: wal create record without spec")
+			}
+			if _, dup := byID[rec.Spec.ID]; dup {
+				continue // already folded into the snapshot
+			}
+			byID[rec.Spec.ID] = len(img.Deployments)
+			img.Deployments = append(img.Deployments, persistedDeployment{
+				Spec:  *rec.Spec,
+				State: StateCreating.String(),
+				Boots: make([]int, rec.Spec.N),
+			})
+		case "state":
+			if i, ok := byID[rec.ID]; ok {
+				img.Deployments[i].State = rec.State
+			}
+		case "boot":
+			if i, ok := byID[rec.ID]; ok && rec.Node >= 0 && rec.Node < len(img.Deployments[i].Boots) {
+				if rec.Boot > img.Deployments[i].Boots[rec.Node] {
+					img.Deployments[i].Boots[rec.Node] = rec.Boot
+				}
+			}
+		case "stop":
+			if i, ok := byID[rec.ID]; ok {
+				img.Deployments[i].State = StateStopped.String()
+			}
+		default:
+			return img, fmt.Errorf("fleet: unknown wal op %q", rec.Op)
+		}
+		if rec.Idem != "" {
+			// The replayed response body is reconstructed minimally; the
+			// contract is "same key → not executed twice", not byte-equal
+			// replies across coordinator restarts.
+			img.Idem[rec.Idem] = idemEntry{Status: 200, Body: fmt.Sprintf("{\"id\":%q,\"replayed\":true}", rec.ID)}
+		}
+	}
+	return img, nil
+}

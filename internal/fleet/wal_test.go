@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWALAppendReadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.jsonl")
+	w, err := openWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{ID: "d1", N: 3, Seed: 7, BasePort: 9000}
+	recs := []walRecord{
+		{Op: "create", ID: "d1", Spec: &spec, Idem: "k1"},
+		{Op: "state", ID: "d1", State: "running"},
+		{Op: "boot", ID: "d1", Node: 2, Boot: 1},
+		{Op: "stop", ID: "d1"},
+	}
+	for _, rec := range recs {
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	if got[0].Spec == nil || got[0].Spec.ID != "d1" || got[0].Idem != "k1" {
+		t.Errorf("create record mangled: %+v", got[0])
+	}
+	if got[2].Node != 2 || got[2].Boot != 1 {
+		t.Errorf("boot record mangled: %+v", got[2])
+	}
+}
+
+func TestWALTornFinalLineIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	content := `{"op":"create","id":"d1","spec":{"id":"d1","n":1,"seed":1,"base_port":9000,"created_unix_nano":1}}
+{"op":"state","id":"d1","state":"running"}
+{"op":"boot","id":"d1","no`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readWAL(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (torn line dropped)", len(recs))
+	}
+}
+
+func TestWALMidFileCorruptionIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	content := `{"op":"create","id":"d1","spec":{"id":"d1","n":1,"seed":1,"base_port":9000,"created_unix_nano":1}}
+garbage not json
+{"op":"state","id":"d1","state":"running"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption must error, got %v", err)
+	}
+}
+
+func TestWALMissingFileIsEmpty(t *testing.T) {
+	recs, err := readWAL(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing WAL must read as empty, got %v, %v", recs, err)
+	}
+}
+
+func TestLoadDurableStateReplaysIdempotently(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{ID: "d1", N: 2, Seed: 7, BasePort: 9100, CreatedUnixNano: 42}
+	// Snapshot already holds d1 running with node 1 on boot 2.
+	img := snapshotImage{
+		Deployments: []persistedDeployment{{Spec: spec, State: "running", Boots: []int{0, 2}}},
+		Idem:        map[string]idemEntry{"k0": {Status: 201, Body: "{}"}},
+	}
+	if err := writeSnapshot(dir, img); err != nil {
+		t.Fatal(err)
+	}
+	// The WAL replays records that were already folded into the
+	// snapshot (the crash-between-snapshot-and-rotate case), plus newer
+	// ones.
+	w, err := openWAL(filepath.Join(dir, "wal.jsonl"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []walRecord{
+		{Op: "create", ID: "d1", Spec: &spec},      // duplicate of the snapshot
+		{Op: "boot", ID: "d1", Node: 1, Boot: 1},   // stale: snapshot already has 2
+		{Op: "boot", ID: "d1", Node: 1, Boot: 3},   // newer: must win
+		{Op: "state", ID: "d1", State: "degraded"}, // newer state
+		{Op: "create", ID: "d2", Spec: &Spec{ID: "d2", N: 1, Seed: 1, BasePort: 9200}},
+	} {
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+
+	got, err := loadDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Deployments) != 2 {
+		t.Fatalf("got %d deployments, want 2", len(got.Deployments))
+	}
+	d1 := got.Deployments[0]
+	if d1.State != "degraded" {
+		t.Errorf("d1 state = %s, want degraded", d1.State)
+	}
+	if d1.Boots[1] != 3 {
+		t.Errorf("d1 node 1 boot = %d, want 3 (max of snapshot and WAL)", d1.Boots[1])
+	}
+	if got.Deployments[1].State != "creating" {
+		t.Errorf("d2 state = %s, want creating", got.Deployments[1].State)
+	}
+	if _, ok := got.Idem["k0"]; !ok {
+		t.Error("snapshot idempotency entry lost")
+	}
+}
+
+func TestWALRotateAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, "wal.jsonl"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{ID: "d1", N: 1, Seed: 1, BasePort: 9300}
+	if err := w.append(walRecord{Op: "create", ID: "d1", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	img := snapshotImage{Deployments: []persistedDeployment{{Spec: spec, State: "creating", Boots: []int{0}}}}
+	if err := writeSnapshot(dir, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.appends != 0 {
+		t.Errorf("appends = %d after rotate, want 0", w.appends)
+	}
+	// Post-rotate appends land in the truncated log.
+	if err := w.append(walRecord{Op: "state", ID: "d1", State: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	got, err := loadDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Deployments) != 1 || got.Deployments[0].State != "running" {
+		t.Fatalf("unexpected state after rotate+append: %+v", got.Deployments)
+	}
+}

@@ -63,6 +63,21 @@ type Config struct {
 	// non-concurrency-safe injector is fine. Returning true discards the
 	// frame before it reaches any inbox or the carrier.
 	Drop func(now time.Duration, from, to int) bool
+
+	// Epoch, if non-zero, is the network's time origin: Context.Now
+	// reads time.Since(Epoch) instead of time-since-Start. Multi-process
+	// deployments (internal/fleet) share one Epoch — the deployment's
+	// creation instant — so a node process restarted minutes into a run
+	// resumes the deployment clock rather than restarting at zero, which
+	// would push every envelope it stamps outside the peers' freshness
+	// window. The zero value keeps the legacy per-process origin.
+	Epoch time.Time
+	// WarmBoot routes the boot callback of behaviors implementing
+	// node.Rebooter through Reboot instead of Start — the process-level
+	// analogue of the fault injector's warm reboot, for behaviors
+	// restored from persisted state (core.RestoreSensor). Behaviors
+	// without Reboot are Started normally.
+	WarmBoot bool
 }
 
 // framed reports whether packets travel inside transport frames.
@@ -188,6 +203,9 @@ func Start(cfg Config, behaviors []node.Behavior) *Network {
 	}
 	n.hosts = make([]*lhost, len(behaviors))
 	now := time.Now()
+	if !cfg.Epoch.IsZero() {
+		now = cfg.Epoch
+	}
 	n.start = now
 	for i, b := range behaviors {
 		h := &lhost{
@@ -434,7 +452,11 @@ func (h *lhost) run() {
 	}
 	defer h.arq.Stop()
 
-	h.behavior.Start(h)
+	if rb, ok := h.behavior.(node.Rebooter); ok && h.net.cfg.WarmBoot {
+		rb.Reboot(h)
+	} else {
+		h.behavior.Start(h)
+	}
 	for {
 		h.rearmClock()
 		h.rearmARQ()

@@ -1,0 +1,59 @@
+package node
+
+import "repro/internal/crypt"
+
+// KeyStoreState is the serializable image of a KeyStore — the "stable
+// storage" contents the warm-reboot path (Rebooter) assumes survive a
+// crash. It holds raw key material; files written from it must be
+// protected like the keys themselves. Erased keys stay erased: a zero
+// Master round-trips to a zero Master, so persistence cannot resurrect
+// Km (the paper's security argument depends on that).
+type KeyStoreState struct {
+	NodeKey             crypt.Key            `json:"node_key"`
+	CandidateClusterKey crypt.Key            `json:"candidate_cluster_key"`
+	Master              crypt.Key            `json:"master"`
+	AddMaster           crypt.Key            `json:"add_master"`
+	CID                 uint32               `json:"cid"`
+	ClusterKey          crypt.Key            `json:"cluster_key"`
+	InCluster           bool                 `json:"in_cluster"`
+	Neighbors           map[uint32]crypt.Key `json:"neighbors,omitempty"`
+	ChainCommit         crypt.Key            `json:"chain_commit"`
+	ChainMaxSkip        int                  `json:"chain_max_skip"`
+}
+
+// Export captures the store's full state for durable storage.
+func (s *KeyStore) Export() KeyStoreState {
+	st := KeyStoreState{
+		NodeKey:             s.NodeKey,
+		CandidateClusterKey: s.CandidateClusterKey,
+		Master:              s.Master,
+		AddMaster:           s.AddMaster,
+		CID:                 s.CID,
+		ClusterKey:          s.ClusterKey,
+		InCluster:           s.InCluster,
+		ChainCommit:         s.Chain.Commit,
+		ChainMaxSkip:        s.Chain.MaxSkip,
+	}
+	if len(s.neighbors) > 0 {
+		st.Neighbors = make(map[uint32]crypt.Key, len(s.neighbors))
+		for cid, k := range s.neighbors {
+			st.Neighbors[cid] = k
+		}
+	}
+	return st
+}
+
+// RestoreKeyStore rebuilds a KeyStore from an exported state. The chain
+// verifier resumes at the persisted commitment, so revocation commands
+// accepted before the crash stay consumed.
+func RestoreKeyStore(st KeyStoreState) *KeyStore {
+	ks := NewKeyStore(st.NodeKey, st.CandidateClusterKey, st.Master, st.ChainCommit, st.ChainMaxSkip)
+	ks.AddMaster = st.AddMaster
+	ks.CID = st.CID
+	ks.ClusterKey = st.ClusterKey
+	ks.InCluster = st.InCluster
+	for cid, k := range st.Neighbors {
+		ks.neighbors[cid] = k
+	}
+	return ks
+}

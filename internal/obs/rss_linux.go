@@ -1,0 +1,39 @@
+//go:build linux
+
+package obs
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes reports this process's peak resident set size (VmHWM
+// from /proc/self/status) in bytes, or 0 if it cannot be read. The
+// kernel tracks the high-water mark itself, so one read at the end of a
+// run captures the whole run's peak.
+func PeakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line) // "VmHWM:  123456 kB"
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

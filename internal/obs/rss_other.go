@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// PeakRSSBytes reports 0 on platforms without /proc/self/status; the
+// ScaleSweep table prints the column as absent rather than guessing.
+func PeakRSSBytes() int64 { return 0 }

@@ -447,8 +447,15 @@ func (l *link) accept(epoch, seq uint32) bool {
 		l.rcvMask = 1
 		return true
 	}
-	if seq > l.rcvHigh {
-		shift := seq - l.rcvHigh
+	// Serial-number arithmetic (RFC 1982 style): compare through the
+	// signed difference so the window keeps sliding across the uint32
+	// wraparound. Without it, the first frame after seq 0xFFFFFFFF would
+	// read as 2^32 "behind" the window head and every subsequent frame
+	// on the link would be eaten as a duplicate until the next reboot
+	// epoch.
+	diff := int32(seq - l.rcvHigh)
+	if diff > 0 {
+		shift := uint32(diff)
 		if shift >= 64 {
 			l.rcvMask = 0
 		} else {
@@ -458,7 +465,7 @@ func (l *link) accept(epoch, seq uint32) bool {
 		l.rcvHigh = seq
 		return true
 	}
-	delta := l.rcvHigh - seq
+	delta := uint32(-diff)
 	if delta >= 64 {
 		return false // too old to judge: assume duplicate
 	}

@@ -41,6 +41,7 @@ type UDP struct {
 	peers map[int]*net.UDPAddr // node index → address
 	addrs map[string]int       // address string → node index
 	ready map[int]bool         // peers that answered a probe
+	drop  func(peer int) bool  // data-plane partition filter (may be nil)
 
 	inbound chan Inbound
 	wg      sync.WaitGroup
@@ -97,11 +98,32 @@ func (u *UDP) AddPeer(id int, addr string) error {
 // Inbound implements Carrier.
 func (u *UDP) Inbound() <-chan Inbound { return u.inbound }
 
+// SetDrop installs (or, with nil, clears) a data-plane partition filter:
+// while fn(peer) returns true, protocol frames to and from that peer are
+// discarded at this carrier. Probe traffic is deliberately exempt — the
+// WaitReady barrier stays usable — so the filter models a partition of
+// the deployed network, not an unreachable address. This is the
+// injection seam internal/fleet's fault API drives; it may be called
+// concurrently with Send and the read loop.
+func (u *UDP) SetDrop(fn func(peer int) bool) {
+	u.mu.Lock()
+	u.drop = fn
+	u.mu.Unlock()
+}
+
+// dropped consults the partition filter.
+func (u *UDP) dropped(peer int) bool {
+	u.mu.Lock()
+	fn := u.drop
+	u.mu.Unlock()
+	return fn != nil && fn(peer)
+}
+
 // Send implements Carrier. Unknown peers and socket errors are counted
 // and dropped: UDP is lossy by contract and the ARQ layer above owns
 // recovery.
 func (u *UDP) Send(to int, frame []byte) {
-	if u.closed.Load() {
+	if u.closed.Load() || u.dropped(to) {
 		return
 	}
 	u.mu.Lock()
@@ -146,6 +168,9 @@ func (u *UDP) readLoop() {
 			u.mu.Lock()
 			u.ready[id] = true
 			u.mu.Unlock()
+			continue
+		}
+		if u.dropped(id) {
 			continue
 		}
 		frame := make([]byte, n)
