@@ -103,21 +103,41 @@ func (a *API) counted(h http.HandlerFunc) http.HandlerFunc {
 type idemHandler func(w http.ResponseWriter, r *http.Request, idemKey string) (status int, body string)
 
 // idempotent replays the stored response when the Idempotency-Key was
-// seen before; otherwise it executes the handler and stores the reply.
+// seen before; otherwise it atomically reserves the key, executes the
+// handler, and stores the reply. Concurrent requests carrying the same
+// key wait for the first execution instead of running the mutation
+// twice.
 func (a *API) idempotent(h idemHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.Header.Get("Idempotency-Key")
 		if key != "" {
-			if status, body, ok := a.c.IdemLookup(key); ok {
-				w.Header().Set("Content-Type", "application/json")
-				w.Header().Set("Idempotent-Replay", "true")
-				w.WriteHeader(status)
-				io.WriteString(w, body)
-				return
+			for {
+				status, body, done, wait := a.c.IdemBegin(key)
+				if done {
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("Idempotent-Replay", "true")
+					w.WriteHeader(status)
+					io.WriteString(w, body)
+					return
+				}
+				if wait == nil {
+					break // key reserved for this request
+				}
+				select {
+				case <-wait:
+					// First execution finished; loop to replay its reply (or
+					// re-reserve, if it failed and nothing was cached).
+				case <-r.Context().Done():
+					http.Error(w, "fleet: duplicate request still in flight", http.StatusServiceUnavailable)
+					return
+				}
 			}
 		}
-		status, body := h(w, r, key)
-		a.c.IdemStore(key, status, body)
+		// The deferred store releases the reservation even if the handler
+		// panics (500 default is never cached, so a retry re-executes).
+		status, body := http.StatusInternalServerError, ""
+		defer func() { a.c.IdemStore(key, status, body) }()
+		status, body = h(w, r, key)
 	}
 }
 

@@ -66,13 +66,22 @@ type Coordinator struct {
 	cfg Config
 	met metrics
 
-	mu     sync.Mutex
-	wal    *wal
-	deps   map[string]*deployment
-	idem   map[string]idemEntry
-	nextID int
-	closed bool
+	mu        sync.Mutex
+	wal       *wal
+	deps      map[string]*deployment
+	idem      map[string]idemEntry
+	idemOrder []string                 // idem keys, oldest first, for eviction
+	idemBusy  map[string]chan struct{} // keys reserved by in-flight requests
+	nextID    int
+	closed    bool
 }
+
+// idemMaxEntries bounds the idempotency store: entries only need to
+// outlive a client's retry window, so once the cap is reached the
+// oldest entry is evicted for each new one. Keeps a long-lived
+// coordinator's memory — and its snapshots — from growing with total
+// client traffic.
+const idemMaxEntries = 1024
 
 // ctrlClient talks to node control endpoints; the timeout is the
 // coordinator-wide request deadline toward nodes.
@@ -102,11 +111,20 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:  cfg,
-		met:  met,
-		wal:  w,
-		deps: map[string]*deployment{},
-		idem: img.Idem,
+		cfg:      cfg,
+		met:      met,
+		wal:      w,
+		deps:     map[string]*deployment{},
+		idem:     img.Idem,
+		idemBusy: map[string]chan struct{}{},
+	}
+	for k := range c.idem {
+		c.idemOrder = append(c.idemOrder, k)
+	}
+	sort.Strings(c.idemOrder)
+	for len(c.idemOrder) > idemMaxEntries {
+		delete(c.idem, c.idemOrder[0])
+		c.idemOrder = c.idemOrder[1:]
 	}
 	for _, pd := range img.Deployments {
 		st, err := ParseState(pd.State)
@@ -134,6 +152,7 @@ func New(cfg Config) (*Coordinator, error) {
 				return nil, err
 			}
 			d.state = StateStopped
+			c.maybeSnapshotLocked()
 		default:
 			// Recovery re-grants restart budgets, so a degraded
 			// deployment gets another chance to converge; the monitor
@@ -177,23 +196,37 @@ func (c *Coordinator) reapStalePids(d *deployment) {
 	}
 }
 
-// record appends one WAL record and folds the log into a snapshot when
-// it has grown past the configured threshold. Caller holds c.mu.
+// record appends one WAL record. Caller holds c.mu, applies the
+// mutation the record describes, and then calls maybeSnapshotLocked —
+// in that order, so a snapshot taken at the threshold always includes
+// the record being folded in.
 func (c *Coordinator) record(rec walRecord) error {
 	if err := c.wal.append(rec); err != nil {
 		return err
 	}
 	c.met.walAppends.Inc()
-	if c.wal.appends >= c.cfg.SnapshotEvery {
-		if err := writeSnapshot(c.cfg.Dir, c.imageLocked()); err != nil {
-			return err
-		}
-		if err := c.wal.rotate(); err != nil {
-			return err
-		}
-		c.met.snapshots.Inc()
-	}
 	return nil
+}
+
+// maybeSnapshotLocked folds the WAL into a snapshot once it has grown
+// past the configured threshold. It must run AFTER the in-memory state
+// reflects every appended record: rotate() truncates the WAL, so a
+// snapshot missing the latest record would erase its only durable
+// trace. A failed snapshot is logged, not fatal — the records stay in
+// the WAL and the next threshold crossing retries. Caller holds c.mu.
+func (c *Coordinator) maybeSnapshotLocked() {
+	if c.wal.appends < c.cfg.SnapshotEvery {
+		return
+	}
+	if err := writeSnapshot(c.cfg.Dir, c.imageLocked()); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: snapshot: %v\n", err)
+		return
+	}
+	if err := c.wal.rotate(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: wal rotate: %v\n", err)
+		return
+	}
+	c.met.snapshots.Inc()
 }
 
 // imageLocked builds the durable image of current state. Caller holds c.mu.
@@ -246,6 +279,7 @@ func (c *Coordinator) transitionLocked(d *deployment, to State, reason string) e
 	d.state = to
 	d.reason = reason
 	c.updateGaugesLocked()
+	c.maybeSnapshotLocked()
 	return nil
 }
 
@@ -328,6 +362,7 @@ func (c *Coordinator) launch(d *deployment) {
 			if err := c.record(walRecord{Op: "boot", ID: d.spec.ID, Node: nodeIdx, Boot: boot}); err != nil {
 				fmt.Fprintf(os.Stderr, "fleet: wal boot record: %v\n", err)
 			}
+			c.maybeSnapshotLocked()
 		}
 		sup.onGiveUp = func(nodeIdx int, err error) {
 			c.mu.Lock()
@@ -452,6 +487,7 @@ func (c *Coordinator) Create(spec Spec, idemKey string) (Spec, error) {
 	c.deps[spec.ID] = d
 	c.launch(d)
 	c.updateGaugesLocked()
+	c.maybeSnapshotLocked()
 	return spec, nil
 }
 
@@ -560,6 +596,7 @@ func (c *Coordinator) Stop(id, idemKey string) error {
 	d.state = StateStopped
 	d.reason = ""
 	c.updateGaugesLocked()
+	c.maybeSnapshotLocked()
 	return nil
 }
 
@@ -577,14 +614,20 @@ func (c *Coordinator) drainNodes(d *deployment) {
 		}
 		_, _ = ctrlPost(d.spec.CtrlAddr(i), "/quit", nil)
 	}
-	deadline := time.After(c.cfg.DrainTimeout)
+	// One absolute deadline shared by all supervisors, but a fresh timer
+	// per wait: a channel from time.After fires exactly once, so sharing
+	// it would leave every supervisor after the first timeout blocked
+	// forever on a hung node.
+	deadline := time.Now().Add(c.cfg.DrainTimeout)
 	for _, sup := range d.sups {
 		if sup == nil {
 			continue
 		}
+		t := time.NewTimer(time.Until(deadline))
 		select {
 		case <-sup.done:
-		case <-deadline:
+			t.Stop()
+		case <-t.C:
 			sup.stop()
 			sup.wait()
 		}
@@ -736,25 +779,53 @@ func (c *Coordinator) healPartition(d *deployment) {
 	}
 }
 
-// IdemLookup returns a previously stored idempotent response.
-func (c *Coordinator) IdemLookup(key string) (int, string, bool) {
+// IdemBegin atomically claims an Idempotency-Key. Exactly one of three
+// outcomes: the key already completed (done=true with the stored
+// reply), another request holds it in flight (wait non-nil — receive
+// from it, then call IdemBegin again), or the key is now reserved for
+// this caller (done=false, wait nil), who MUST release it with
+// IdemStore. The reservation is what makes concurrent duplicates
+// wait for the first execution instead of both running.
+func (c *Coordinator) IdemBegin(key string) (status int, body string, done bool, wait <-chan struct{}) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.idem[key]
-	return e.Status, e.Body, ok
+	if e, ok := c.idem[key]; ok {
+		return e.Status, e.Body, true, nil
+	}
+	if ch, ok := c.idemBusy[key]; ok {
+		return 0, "", false, ch
+	}
+	c.idemBusy[key] = make(chan struct{})
+	return 0, "", false, nil
 }
 
-// IdemStore remembers the response to an idempotent mutation. The key
-// already rode the mutation's own WAL record, which guarantees
-// at-most-once execution across coordinator restarts; the stored reply
-// becomes durable with the next snapshot.
+// IdemStore completes a reservation made by IdemBegin: waiters holding
+// the reservation channel are woken, and the reply is cached for
+// replay iff it was a success — a failed call may legitimately be
+// retried with the same key. The key already rode the mutation's own
+// WAL record, which guarantees at-most-once execution across
+// coordinator restarts; the cached reply becomes durable with the next
+// snapshot.
 func (c *Coordinator) IdemStore(key string, status int, body string) {
 	if key == "" {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.idem[key] = idemEntry{Status: status, Body: body}
+	if ch, ok := c.idemBusy[key]; ok {
+		close(ch)
+		delete(c.idemBusy, key)
+	}
+	if status >= 200 && status < 300 {
+		if _, exists := c.idem[key]; !exists {
+			c.idemOrder = append(c.idemOrder, key)
+		}
+		c.idem[key] = idemEntry{Status: status, Body: body}
+		for len(c.idemOrder) > idemMaxEntries {
+			delete(c.idem, c.idemOrder[0])
+			c.idemOrder = c.idemOrder[1:]
+		}
+	}
 }
 
 // Shutdown drains the coordinator for exit WITHOUT stopping the

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,6 +101,8 @@ type nodeRunner struct {
 
 	partMu sync.Mutex
 	parted map[int]bool // peers currently partitioned away
+
+	persistMu sync.Mutex // serializes persist (ticker vs /send handler)
 
 	quitOnce sync.Once
 	quit     chan struct{}
@@ -271,10 +274,14 @@ func (r *nodeRunner) snapshotState() (*core.SensorState, error) {
 
 // persist writes the node's durable state file atomically (tmp + fsync
 // + rename), so a kill -9 leaves either the old image or the new one.
+// Serialized: both the main loop's ticker and the /send handler call
+// it, and interleaved writes could install a torn image.
 func (r *nodeRunner) persist() error {
 	if r.cfg.StateFile == "" {
 		return nil
 	}
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
 	st, err := r.snapshotState()
 	if err != nil {
 		return err
@@ -287,23 +294,30 @@ func writeNodeState(path string, st *core.SensorState) error {
 	if err != nil {
 		return fmt.Errorf("fleet: marshal node state: %w", err)
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	// A unique temp file (not a fixed path+".tmp") keeps a concurrent
+	// writer from truncating an image another writer is about to rename
+	// into place.
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
 	if err != nil {
 		return fmt.Errorf("fleet: write node state: %w", err)
 	}
+	tmp := f.Name()
 	if _, err := f.Write(data); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("fleet: write node state: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("fleet: fsync node state: %w", err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("fleet: close node state: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("fleet: install node state: %w", err)
 	}
 	return nil

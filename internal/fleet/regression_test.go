@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSnapshotAtThresholdIncludesLatestRecord pins the WAL/snapshot
+// ordering bug: with SnapshotEvery=1 the very first create crosses the
+// snapshot threshold, and the snapshot taken at that moment must
+// already contain the deployment being created — otherwise the rotate
+// that follows erases the only durable trace of an acknowledged
+// create, and a crash loses the deployment.
+func TestSnapshotAtThresholdIncludesLatestRecord(t *testing.T) {
+	base := freeBasePort(t, 1)
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir, Exec: testExec(), SnapshotEvery: 1, DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := c.Create(Spec{N: 1, Seed: 3, BasePort: base}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash immediately: nothing beyond the create itself was flushed.
+	c.abandon()
+
+	img, err := loadDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pd := range img.Deployments {
+		if pd.Spec.ID == spec.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deployment %s lost across snapshot-at-threshold + crash (image: %+v)", spec.ID, img.Deployments)
+	}
+}
+
+// TestIdemReservation pins the idempotency check-then-act race fix:
+// IdemBegin must hand the key to exactly one caller, park concurrent
+// duplicates on the reservation channel, replay cached successes, and
+// release (without caching) failed replies so a retry re-executes.
+func TestIdemReservation(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir(), Exec: []string{"unused"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	// First caller reserves the key.
+	_, _, done, wait := c.IdemBegin("k")
+	if done || wait != nil {
+		t.Fatalf("first IdemBegin: done=%v wait=%v, want fresh reservation", done, wait != nil)
+	}
+	// A concurrent duplicate must be told to wait, not execute.
+	_, _, done, wait = c.IdemBegin("k")
+	if done || wait == nil {
+		t.Fatalf("duplicate IdemBegin: done=%v wait=%v, want in-flight wait", done, wait != nil)
+	}
+	c.IdemStore("k", 201, `{"id":"d1"}`)
+	select {
+	case <-wait:
+	case <-time.After(time.Second):
+		t.Fatal("IdemStore never woke the waiting duplicate")
+	}
+	status, body, done, _ := c.IdemBegin("k")
+	if !done || status != 201 || body != `{"id":"d1"}` {
+		t.Fatalf("completed key replays %d %q done=%v, want 201 cached body", status, body, done)
+	}
+
+	// Failed replies release the reservation but are not cached: the
+	// retry gets a fresh reservation and re-executes.
+	if _, _, done, wait := c.IdemBegin("f"); done || wait != nil {
+		t.Fatal("key f should start fresh")
+	}
+	c.IdemStore("f", 400, `{"error":"bad spec"}`)
+	if _, _, done, wait := c.IdemBegin("f"); done || wait != nil {
+		t.Fatalf("failed reply must not be cached: done=%v wait=%v", done, wait != nil)
+	}
+	c.IdemStore("f", 0, "") // release the test's own reservation
+}
+
+// TestIdemStoreBounded pins the unbounded-growth fix: the store evicts
+// oldest-first once past idemMaxEntries.
+func TestIdemStoreBounded(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir(), Exec: []string{"unused"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	total := idemMaxEntries + 10
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("k%06d", i)
+		c.IdemBegin(key)
+		c.IdemStore(key, 200, "{}")
+	}
+	c.mu.Lock()
+	n := len(c.idem)
+	_, oldestAlive := c.idem["k000000"]
+	_, newestAlive := c.idem[fmt.Sprintf("k%06d", total-1)]
+	c.mu.Unlock()
+	if n != idemMaxEntries {
+		t.Errorf("idem store holds %d entries, want cap %d", n, idemMaxEntries)
+	}
+	if oldestAlive {
+		t.Error("oldest entry survived past the cap")
+	}
+	if !newestAlive {
+		t.Error("newest entry was evicted")
+	}
+}
+
+// TestDrainTimeoutWithTwoHungNodes pins the shared time.After bug: two
+// nodes that ignore the graceful quit must BOTH be killed once the
+// drain deadline passes, instead of the second wait blocking forever
+// on an already-drained timer channel.
+func TestDrainTimeoutWithTwoHungNodes(t *testing.T) {
+	base := freeBasePort(t, 2) // nothing listens: /quit posts fail fast
+	spec := Spec{ID: "dx", N: 2, Seed: 1, BasePort: base}.withDefaults()
+	c := &Coordinator{cfg: Config{Dir: t.TempDir(), Exec: []string{"unused"}, DrainTimeout: 300 * time.Millisecond}.withDefaults()}
+	d := &deployment{spec: spec, state: StateRunning, boots: []int{0, 0}}
+	d.sups = make([]*supervisor, spec.N)
+	for i := range d.sups {
+		// Each fake incarnation hangs in Wait until killed.
+		sup := newSupervisor(i, 0, spec, func(int) (process, error) { return newFakeProc(), nil }, metrics{})
+		d.sups[i] = sup
+		go sup.run()
+	}
+	drained := make(chan struct{})
+	go func() {
+		c.drainNodes(d)
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drainNodes hung with two nodes past the deadline")
+	}
+}
+
+// TestWriteNodeStateConcurrent pins the torn-state-file fix: parallel
+// writers (the persist ticker racing the /send handler) must never
+// install a truncated image, because each write goes through its own
+// unique temp file.
+func TestWriteNodeStateConcurrent(t *testing.T) {
+	path := t.TempDir() + "/node0.state"
+	st := &core.SensorState{ID: 1, Hop: 2, Round: 3, ReadingSeq: 7}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := writeNodeState(path, st); err != nil {
+					t.Errorf("writeNodeState: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := readNodeState(path); err != nil {
+		t.Fatalf("state file torn by concurrent writers: %v", err)
+	}
+}
