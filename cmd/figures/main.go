@@ -8,7 +8,7 @@
 //	        [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
-//	               setupcost,chaos,arq]
+//	               setupcost,chaos,arq,authority]
 //
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
@@ -64,7 +64,7 @@ const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards
         [-obs :9090]
         [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
                setup,storage,election,routing,freshness,mac,lifetime,
-               setupcost,chaos,arq]`
+               setupcost,chaos,arq,authority]`
 
 // options holds every figures flag; registerFlags binds them to a
 // FlagSet so tests can exercise flag registration and usage output
@@ -295,6 +295,9 @@ func main() {
 		}},
 		{"arq", func() (interface{ Table() string }, error) {
 			return experiments.ARQBurst(capped("arq"), nil)
+		}},
+		{"authority", func() (interface{ Table() string }, error) {
+			return experiments.AuthorityResilience(capped("authority"), 2, 3, nil)
 		}},
 	}
 

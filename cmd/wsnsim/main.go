@@ -7,8 +7,8 @@
 //
 //	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
 //	       [-shards 0] [-readings 100] [-fusion] [-refresh none]
-//	       [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
-//	       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+//	       [-refresh-period 0] [-evict 0] [-authority t/n] [-add 0]
+//	       [-battery 0] [-faults plan.txt] [-heal] [-trace] [-map] [-v]
 //	       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
 //	       [-listen addr] [-node 0] [-peers id=addr,...] [-hold 2s]
 //
@@ -55,6 +55,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/viz"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -64,8 +65,8 @@ import (
 // exact lines.
 const usageText = `wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
        [-shards 0] [-readings 100] [-fusion] [-refresh none]
-       [-refresh-period 0] [-evict 0] [-add 0] [-battery 0]
-       [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+       [-refresh-period 0] [-evict 0] [-authority t/n] [-add 0]
+       [-battery 0] [-faults plan.txt] [-heal] [-trace] [-map] [-v]
        [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
        [-listen addr] [-node 0] [-peers id=addr,...] [-hold 2s]`
 
@@ -82,6 +83,7 @@ type options struct {
 	fusion    *bool
 	refresh   *string
 	evict     *int
+	auth      *string
 	add       *int
 	verbose   *bool
 	traceOn   *bool
@@ -110,6 +112,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		fusion:    fs.Bool("fusion", false, "data-fusion mode: disable Step-1 encryption"),
 		refresh:   fs.String("refresh", "none", "key refresh after setup: hash, rekey, or none"),
 		evict:     fs.Int("evict", 0, "revoke this many random clusters after setup"),
+		auth:      fs.String("authority", "", "issue -evict through a t-of-n base-station committee (e.g. 2/3): DKG plus threshold signing on the transport Lab; empty = single base station"),
 		add:       fs.Int("add", 0, "deploy this many additional nodes after setup"),
 		verbose:   fs.Bool("v", false, "print every delivery"),
 		traceOn:   fs.Bool("trace", false, "print per-phase traffic accounting by message type"),
@@ -325,10 +328,33 @@ func main() {
 		if *o.evict < len(cids) {
 			cids = cids[:*o.evict]
 		}
-		bs := d.BS()
-		d.Eng.Do(d.Eng.Now()+10*time.Millisecond, d.BSIndex, func(ctx node.Context) {
-			bs.RevokeClusters(ctx, cids)
-		})
+		if *o.auth != "" {
+			// Threshold path: a t-of-n committee authorizes the eviction;
+			// the combined command enters the network at the base station
+			// and verifies against the same chain commitment.
+			at, an, err := parseAuthority(*o.auth)
+			if err != nil {
+				fail(err)
+			}
+			sc, err := runAuthorityEviction(*o.seed, at, an, d.Auth, cids)
+			if err != nil {
+				fail(err)
+			}
+			pkt, err := (&wire.Frame{Type: wire.TRevoke, Payload: sc.Revoke().Marshal()}).Marshal()
+			if err != nil {
+				fail(err)
+			}
+			when := d.Eng.Now() + 10*time.Millisecond
+			d.Eng.Schedule(when, func() {
+				d.Eng.InjectAt(d.BSIndex, node.ID(d.BSIndex), pkt)
+			})
+			fmt.Printf("\n-- authority %d/%d: DKG converged, eviction threshold-signed --\n", at, an)
+		} else {
+			bs := d.BS()
+			d.Eng.Do(d.Eng.Now()+10*time.Millisecond, d.BSIndex, func(ctx node.Context) {
+				bs.RevokeClusters(ctx, cids)
+			})
+		}
 		d.Eng.Run(d.Eng.Now() + time.Second)
 		evicted := 0
 		for _, s := range d.Sensors {

@@ -1,0 +1,612 @@
+package authority
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/crypt"
+	"repro/internal/wire"
+)
+
+func testSeed(b byte) crypt.Key {
+	var k crypt.Key
+	for i := range k {
+		k[i] = b ^ byte(i*37)
+	}
+	return k
+}
+
+// --- group parameters ---
+
+func TestGroupParameters(t *testing.T) {
+	if !groupP.ProbablyPrime(64) || !groupQ.ProbablyPrime(64) {
+		t.Fatal("group modulus or order not prime")
+	}
+	// p = 2q + 1 (safe prime).
+	want := new(big.Int).Add(new(big.Int).Lsh(groupQ, 1), big.NewInt(1))
+	if groupP.Cmp(want) != 0 {
+		t.Fatal("p != 2q+1")
+	}
+	for _, v := range []*big.Int{groupG, groupH} {
+		if !validElement(v) {
+			t.Fatalf("generator %v not a valid order-q element", v)
+		}
+	}
+	if groupG.Cmp(groupH) == 0 {
+		t.Fatal("g == h (Pedersen hiding void)")
+	}
+}
+
+func TestElementRoundTrip(t *testing.T) {
+	v := exp(groupG, big.NewInt(123456789))
+	enc := appendElement(nil, v)
+	if len(enc) != elementSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), elementSize)
+	}
+	got, rest, ok := parseElement(enc)
+	if !ok || len(rest) != 0 || got.Cmp(v) != 0 {
+		t.Fatal("element did not round-trip")
+	}
+	if _, _, ok := parseElement(enc[:elementSize-1]); ok {
+		t.Fatal("truncated element accepted")
+	}
+}
+
+func TestValidElementRejectsLowOrder(t *testing.T) {
+	cases := []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Set(groupP),
+		new(big.Int).Sub(groupP, big.NewInt(1)), // order 2, not in QR subgroup
+		new(big.Int).Sub(groupP, big.NewInt(2)), // −2: non-residue since p ≡ 7 (mod 8)
+	}
+	for i, v := range cases {
+		if validElement(v) {
+			t.Fatalf("case %d: invalid element accepted", i)
+		}
+	}
+}
+
+// --- GF(256) sharing ---
+
+func TestSplitCombineKey(t *testing.T) {
+	k := testSeed(0xA5)
+	shares := splitKey(k, 2, 3, testSeed(1), []byte("ctx"))
+	for _, pick := range [][]int{{1, 2}, {1, 3}, {2, 3}, {1, 2, 3}} {
+		sh := make([][]byte, len(pick))
+		for i, x := range pick {
+			sh[i] = shares[x-1]
+		}
+		got, err := combineKey(pick, sh)
+		if err != nil || got != k {
+			t.Fatalf("combine %v: got %x err %v", pick, got, err)
+		}
+	}
+	// A single share (t−1 colluders at t=2) reconstructs garbage.
+	if got, err := combineKey([]int{2}, [][]byte{shares[1]}); err == nil && got == k {
+		t.Fatal("single share reconstructed the key")
+	}
+	if _, err := combineKey([]int{1, 1}, [][]byte{shares[0], shares[0]}); err == nil {
+		t.Fatal("duplicate coordinates accepted")
+	}
+	if _, err := combineKey([]int{1}, [][]byte{{1, 2, 3}}); err == nil {
+		t.Fatal("short share accepted")
+	}
+}
+
+func TestSplitChainShares(t *testing.T) {
+	chain := crypt.NewChain(testSeed(9), 8)
+	css := SplitChain(chain, 2, 3, testSeed(2))
+	if len(css) != 3 || css[0].Len() != 8 {
+		t.Fatalf("SplitChain shape: %d shares, len %d", len(css), css[0].Len())
+	}
+	for l := 1; l <= 8; l++ {
+		want, _ := chain.Reveal(l)
+		s1, _ := css[0].Share(l)
+		s3, _ := css[2].Share(l)
+		got, err := combineKey([]int{1, 3}, [][]byte{s1, s3})
+		if err != nil || got != want {
+			t.Fatalf("chain value %d did not reconstruct", l)
+		}
+	}
+	if _, err := css[0].Share(0); err == nil {
+		t.Fatal("share index 0 accepted")
+	}
+	if _, err := css[0].Share(9); err == nil {
+		t.Fatal("share index past chain end accepted")
+	}
+}
+
+// --- DKG ---
+
+func freshDKGs(tt, n int) []*DKG {
+	ds := make([]*DKG, n)
+	for i := range ds {
+		ds[i] = NewDKG(DKGConfig{T: tt, N: n, Self: i + 1, Seed: testSeed(byte(10 + i)), Session: 7})
+	}
+	return ds
+}
+
+// runHonestDKG drives a full honest exchange and returns the results.
+func runHonestDKG(t *testing.T, tt, n int) []*Result {
+	t.Helper()
+	ds := freshDKGs(tt, n)
+	for i, d := range ds {
+		row, shares := d.Deal()
+		for j, dj := range ds {
+			if dj.HandleDeal(i+1, row, shares[j][0], shares[j][1]) {
+				t.Fatalf("honest deal %d->%d drew a complaint", i+1, j+1)
+			}
+		}
+	}
+	for _, d := range ds {
+		if qual := d.FinishSharing(); len(qual) != n {
+			t.Fatalf("honest QUAL = %v", qual)
+		}
+	}
+	for i, d := range ds {
+		row := d.Extract()
+		for _, dj := range ds {
+			if dj.HandleExtract(i+1, row) {
+				t.Fatalf("honest extract row of %d drew a complaint", i+1)
+			}
+		}
+	}
+	out := make([]*Result, n)
+	for i, d := range ds {
+		if err := d.FinishDKG(); err != nil {
+			t.Fatalf("FinishDKG replica %d: %v", i+1, err)
+		}
+		out[i] = d.Result()
+	}
+	return out
+}
+
+func checkConsistent(t *testing.T, res []*Result) {
+	t.Helper()
+	for i, r := range res {
+		if r.Y.Cmp(res[0].Y) != 0 {
+			t.Fatalf("replica %d disagrees on y", i+1)
+		}
+		if exp(groupG, r.X).Cmp(r.Pub[r.Self-1]) != 0 {
+			t.Fatalf("replica %d share does not match its verification key", i+1)
+		}
+		for j := range r.Pub {
+			if r.Pub[j].Cmp(res[0].Pub[j]) != 0 {
+				t.Fatalf("replica %d disagrees on pub[%d]", i+1, j)
+			}
+		}
+	}
+}
+
+func TestDKGHonest(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	checkConsistent(t, res)
+	// The shared secret interpolates from any t shares to x with y = g^x.
+	for _, pick := range [][]int{{1, 2}, {2, 3}, {1, 3}} {
+		x := new(big.Int)
+		for i := range pick {
+			x = addQ(x, mulQ(lagrangeAtZero(pick, i), res[pick[i]-1].X))
+		}
+		if exp(groupG, x).Cmp(res[0].Y) != 0 {
+			t.Fatalf("shares %v do not interpolate to the secret key", pick)
+		}
+	}
+}
+
+func TestDKGComplaintJustified(t *testing.T) {
+	ds := freshDKGs(2, 3)
+	for i, d := range ds {
+		row, shares := d.Deal()
+		for j, dj := range ds {
+			s, sp := shares[j][0], shares[j][1]
+			if i == 0 && j == 1 {
+				s = addQ(s, big.NewInt(1)) // dealer 1 cheats node 2
+			}
+			complain := dj.HandleDeal(i+1, row, s, sp)
+			if complain != (i == 0 && j == 1) {
+				t.Fatalf("deal %d->%d: complain=%v", i+1, j+1, complain)
+			}
+		}
+	}
+	// Node 2's public complaint against dealer 1; dealer 1 justifies.
+	for _, d := range ds {
+		d.HandleComplaint(1, 2)
+	}
+	s, sp := ds[0].JustifyFor(2)
+	for _, d := range ds {
+		d.HandleJustify(1, 2, s, sp)
+	}
+	for i, d := range ds {
+		if qual := d.FinishSharing(); len(qual) != 3 {
+			t.Fatalf("replica %d QUAL after justification = %v", i+1, qual)
+		}
+	}
+	for i, d := range ds {
+		row := d.Extract()
+		for _, dj := range ds {
+			dj.HandleExtract(i+1, row)
+		}
+	}
+	res := make([]*Result, 3)
+	for i, d := range ds {
+		if err := d.FinishDKG(); err != nil {
+			t.Fatalf("FinishDKG: %v", err)
+		}
+		res[i] = d.Result()
+	}
+	checkConsistent(t, res)
+}
+
+func TestDKGDisqualifiesSilentCheater(t *testing.T) {
+	ds := freshDKGs(2, 3)
+	for i, d := range ds {
+		row, shares := d.Deal()
+		for j, dj := range ds {
+			s := shares[j][0]
+			if i == 0 && j == 1 {
+				s = addQ(s, big.NewInt(1))
+			}
+			dj.HandleDeal(i+1, row, s, shares[j][1])
+		}
+	}
+	for _, d := range ds {
+		d.HandleComplaint(1, 2) // never justified
+	}
+	for i, d := range ds {
+		qual := d.FinishSharing()
+		if len(qual) != 2 || qual[0] != 2 || qual[1] != 3 {
+			t.Fatalf("replica %d QUAL = %v, want [2 3]", i+1, qual)
+		}
+	}
+	for i, d := range ds {
+		if i == 0 {
+			continue // disqualified dealers do not extract
+		}
+		row := d.Extract()
+		for _, dj := range ds {
+			dj.HandleExtract(i+1, row)
+		}
+	}
+	res := make([]*Result, 0, 2)
+	for i, d := range ds {
+		if i == 0 {
+			continue
+		}
+		if err := d.FinishDKG(); err != nil {
+			t.Fatalf("FinishDKG: %v", err)
+		}
+		res = append(res, d.Result())
+	}
+	if res[0].Y.Cmp(res[1].Y) != 0 {
+		t.Fatal("surviving replicas disagree on y")
+	}
+}
+
+func TestDKGReconstructsLyingExtractor(t *testing.T) {
+	ds := freshDKGs(2, 3)
+	for i, d := range ds {
+		row, shares := d.Deal()
+		for j, dj := range ds {
+			dj.HandleDeal(i+1, row, shares[j][0], shares[j][1])
+		}
+	}
+	for _, d := range ds {
+		d.FinishSharing()
+	}
+	for i, d := range ds {
+		row := d.Extract()
+		if i == 0 {
+			row[0] = mulP(row[0], groupG) // dealer 1 lies about A_10
+		}
+		for j, dj := range ds {
+			complain := dj.HandleExtract(i+1, row)
+			if complain {
+				if i != 0 {
+					t.Fatalf("honest row of %d drew a complaint", i+1)
+				}
+				// Phase-4 reveal: broadcast the Pedersen-verified share.
+				s, sp := dj.RevealFor(1)
+				for _, dk := range ds {
+					dk.HandleReveal(1, j+1, s, sp)
+				}
+			}
+		}
+	}
+	res := make([]*Result, 3)
+	for i, d := range ds {
+		if err := d.FinishDKG(); err != nil {
+			t.Fatalf("FinishDKG replica %d: %v", i+1, err)
+		}
+		res[i] = d.Result()
+	}
+	checkConsistent(t, res)
+	// The lie must not have biased the key: same y as the honest run with
+	// identical seeds (the reconstruction recovers the dealt polynomial).
+	honest := runHonestDKG(t, 2, 3)
+	if res[1].Y.Cmp(honest[1].Y) != 0 {
+		t.Fatal("lying extractor biased the public key")
+	}
+}
+
+// --- threshold commands ---
+
+func TestThresholdCommandSigning(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	chain := crypt.NewChain(testSeed(50), 8)
+	css := SplitChain(chain, 2, 3, testSeed(51))
+	cmd := &wire.AuthorityCommand{Kind: wire.CmdEvict, Session: 1, Index: 1, CIDs: []uint32{42}}
+	signers := []int{1, 3}
+
+	sess := make(map[int]*Session)
+	for _, i := range signers {
+		s, err := NewSession(res[i-1], css[i-1], cmd, signers)
+		if err != nil {
+			t.Fatalf("NewSession(%d): %v", i, err)
+		}
+		sess[i] = s
+	}
+	for _, i := range signers {
+		ri, share, err := sess[i].Partial()
+		if err != nil {
+			t.Fatalf("Partial(%d): %v", i, err)
+		}
+		for _, j := range signers {
+			sess[j].HandlePartial(i, ri, share)
+		}
+	}
+	for _, i := range signers {
+		z, err := sess[i].Respond()
+		if err != nil {
+			t.Fatalf("Respond(%d): %v", i, err)
+		}
+		for _, j := range signers {
+			if !sess[j].HandleResponse(i, z) {
+				t.Fatalf("response of %d rejected at %d", i, j)
+			}
+		}
+	}
+	sc, err := sess[1].Combine()
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if !sc.Verify(res[0].Y) {
+		t.Fatal("combined signature does not verify")
+	}
+	want, _ := chain.Reveal(1)
+	if sc.ChainKey != want {
+		t.Fatal("reconstructed chain key wrong")
+	}
+	// The sensor-side check is untouched core machinery.
+	v := crypt.NewChainVerifier(chain.Commitment(), 4)
+	if _, ok := v.Accept(sc.ChainKey); !ok {
+		t.Fatal("sensor verifier rejected the threshold-released chain key")
+	}
+	if _, ok := v.Accept(sc.ChainKey); ok {
+		t.Fatal("replayed chain key accepted")
+	}
+	rv := sc.Revoke()
+	if rv.Index != 1 || len(rv.CIDs) != 1 || rv.CIDs[0] != 42 {
+		t.Fatalf("Revoke rendering wrong: %+v", rv)
+	}
+}
+
+func TestSessionRejectsBadResponse(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	cmd := &wire.AuthorityCommand{Kind: wire.CmdRefresh, Session: 2, Index: 2}
+	signers := []int{1, 2}
+	s1, _ := NewSession(res[0], nil, cmd, signers)
+	s2, _ := NewSession(res[1], nil, cmd, signers)
+	r1, _, _ := s1.Partial()
+	r2, _, _ := s2.Partial()
+	for _, s := range []*Session{s1, s2} {
+		s.HandlePartial(1, r1, nil)
+		s.HandlePartial(2, r2, nil)
+	}
+	z2, _ := s2.Respond()
+	if s1.HandleResponse(2, addQ(z2, big.NewInt(1))) {
+		t.Fatal("tampered response share accepted")
+	}
+	if s1.Complete() {
+		t.Fatal("session complete without valid responses")
+	}
+	if !s1.HandleResponse(2, z2) {
+		t.Fatal("honest response rejected")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	cmd := &wire.AuthorityCommand{Kind: wire.CmdEvict, Session: 3, Index: 1, CIDs: []uint32{1}}
+	if _, err := NewSession(res[0], nil, cmd, []int{1}); err == nil {
+		t.Fatal("undersized signer set accepted")
+	}
+	if _, err := NewSession(res[0], nil, cmd, []int{1, 1}); err == nil {
+		t.Fatal("duplicate signer accepted")
+	}
+	if _, err := NewSession(res[0], nil, cmd, []int{1, 9}); err == nil {
+		t.Fatal("signer outside QUAL accepted")
+	}
+}
+
+// TestCollusionFailsClosed is the t−1 collusion bound: everything one
+// captured replica holds (its share, its chain shares) is not enough to
+// forge an eviction a sensor would accept, nor a signature an auditor
+// would accept.
+func TestCollusionFailsClosed(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	chain := crypt.NewChain(testSeed(60), 8)
+	css := SplitChain(chain, 2, 3, testSeed(61))
+	v := crypt.NewChainVerifier(chain.Commitment(), 4)
+
+	// The colluder's best guess at K_1 from one share: the share itself,
+	// or a single-point "interpolation".
+	share, _ := css[1].Share(1)
+	guess, _ := combineKey([]int{2}, [][]byte{share})
+	for _, k := range []crypt.Key{crypt.KeyFromBytes(share), guess} {
+		if _, ok := v.Accept(k); ok {
+			t.Fatal("sensor accepted a chain key forged from t−1 shares")
+		}
+	}
+	// A forged Schnorr signature from one share: sign as if x were the
+	// colluder's share scaled by its Lagrange weight.
+	cmd := &wire.AuthorityCommand{Kind: wire.CmdEvict, Session: 9, Index: 1, CIDs: []uint32{7}}
+	msg := cmd.Marshal()
+	k := big.NewInt(777)
+	r := exp(groupG, k)
+	c := hashToScalar(r, res[1].Y, msg)
+	forged := &Signature{R: r, Z: addQ(k, mulQ(c, res[1].X))}
+	if forged.Verify(res[1].Y, msg) {
+		t.Fatal("single-share forgery verified against the authority key")
+	}
+}
+
+// --- resharing ---
+
+func TestReshareKeepsKeyAndChain(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	chain := crypt.NewChain(testSeed(70), 8)
+	css := SplitChain(chain, 2, 3, testSeed(71))
+
+	// Old committee {1,2,3}; dealers {1,3}; new committee of 3 where old
+	// members 1 and 3 continue (new indices 1 and 2) and a fresh machine
+	// joins as new index 3.
+	dealers := []int{1, 3}
+	newSelf := map[int]int{1: 1, 3: 2} // old index -> new index
+	mk := func(oldIdx, newIdx int) *Reshare {
+		var old *Result
+		var oc *ChainShares
+		if oldIdx > 0 {
+			old, oc = res[oldIdx-1], css[oldIdx-1]
+		}
+		r, err := NewReshare(ReshareConfig{
+			Session: 1, NewT: 2, NewN: 3,
+			Dealers: dealers, OldT: 2, Y: res[0].Y, Pub: res[0].Pub,
+			Old: old, OldChain: oc, NewSelf: newIdx, Seed: testSeed(byte(80 + newIdx)),
+		})
+		if err != nil {
+			t.Fatalf("NewReshare: %v", err)
+		}
+		return r
+	}
+	members := []*Reshare{mk(1, 1), mk(3, 2), mk(0, 3)}
+
+	acks := 0
+	for _, oldIdx := range dealers {
+		dealer := members[newSelf[oldIdx]-1]
+		row, deals, err := dealer.Deal()
+		if err != nil {
+			t.Fatalf("Deal(%d): %v", oldIdx, err)
+		}
+		for j, m := range members {
+			if m.HandleDeal(oldIdx, row, deals[j]) {
+				acks++
+			}
+		}
+	}
+	if acks != 3 {
+		t.Fatalf("%d members acked, want 3", acks)
+	}
+
+	newRes := make([]*Result, 3)
+	newCSS := make([]*ChainShares, 3)
+	for j, m := range members {
+		r, cs, err := m.Commit()
+		if err != nil {
+			t.Fatalf("Commit(%d): %v", j+1, err)
+		}
+		newRes[j], newCSS[j] = r, cs
+	}
+	checkConsistent(t, newRes)
+	if newRes[0].Y.Cmp(res[0].Y) != 0 {
+		t.Fatal("resharing changed the authority key")
+	}
+
+	// The new committee signs with the joiner; sensors still accept.
+	cmd := &wire.AuthorityCommand{Kind: wire.CmdEvict, Session: 5, Index: 3, CIDs: []uint32{11}}
+	signers := []int{2, 3}
+	sess := map[int]*Session{}
+	for _, i := range signers {
+		s, err := NewSession(newRes[i-1], newCSS[i-1], cmd, signers)
+		if err != nil {
+			t.Fatalf("post-reshare NewSession(%d): %v", i, err)
+		}
+		sess[i] = s
+	}
+	for _, i := range signers {
+		ri, share, err := sess[i].Partial()
+		if err != nil {
+			t.Fatalf("post-reshare Partial(%d): %v", i, err)
+		}
+		for _, j := range signers {
+			sess[j].HandlePartial(i, ri, share)
+		}
+	}
+	for _, i := range signers {
+		z, _ := sess[i].Respond()
+		for _, j := range signers {
+			if !sess[j].HandleResponse(i, z) {
+				t.Fatalf("post-reshare response of %d rejected at %d", i, j)
+			}
+		}
+	}
+	sc, err := sess[2].Combine()
+	if err != nil {
+		t.Fatalf("post-reshare Combine: %v", err)
+	}
+	if !sc.Verify(res[0].Y) {
+		t.Fatal("post-reshare signature fails under the ORIGINAL key")
+	}
+	want, _ := chain.Reveal(3)
+	if sc.ChainKey != want {
+		t.Fatal("post-reshare chain reconstruction wrong")
+	}
+}
+
+func TestReshareRejectsWrongTransfer(t *testing.T) {
+	res := runHonestDKG(t, 2, 3)
+	dealers := []int{1, 2}
+	m, err := NewReshare(ReshareConfig{
+		Session: 2, NewT: 2, NewN: 2,
+		Dealers: dealers, OldT: 2, Y: res[0].Y, Pub: res[0].Pub,
+		Old: res[2], OldChain: nil, NewSelf: 1, Seed: testSeed(90),
+	})
+	if err != nil {
+		t.Fatalf("NewReshare: %v", err)
+	}
+	d, err := NewReshare(ReshareConfig{
+		Session: 2, NewT: 2, NewN: 2,
+		Dealers: dealers, OldT: 2, Y: res[0].Y, Pub: res[0].Pub,
+		Old: res[0], OldChain: nil, NewSelf: 2, Seed: testSeed(91),
+	})
+	if err != nil {
+		t.Fatalf("NewReshare dealer: %v", err)
+	}
+	row, deals, err := d.Deal()
+	if err != nil {
+		t.Fatalf("Deal: %v", err)
+	}
+	// Tampered sub-share: Feldman row check must reject it.
+	bad := deals[0]
+	bad.SubShare = addQ(bad.SubShare, big.NewInt(1))
+	if m.HandleDeal(1, row, bad) {
+		t.Fatal("tampered reshare deal acked")
+	}
+	if len(m.subS) != 0 {
+		t.Fatal("tampered deal stored")
+	}
+	// A dealer re-sharing a DIFFERENT secret than its registered share:
+	// B_0 binding against Pub must reject the row.
+	forgedRow := append([]*big.Int(nil), row...)
+	forgedRow[0] = mulP(forgedRow[0], groupG)
+	if m.HandleDeal(1, forgedRow, deals[0]) {
+		t.Fatal("reshare row unbound from the old verification key acked")
+	}
+	if m.AllAcked() {
+		t.Fatal("AllAcked with no acks")
+	}
+	if _, _, err := m.Commit(); err == nil {
+		t.Fatal("commit without all deals succeeded")
+	}
+}

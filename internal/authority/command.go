@@ -1,0 +1,262 @@
+package authority
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypt"
+	"repro/internal/wire"
+)
+
+// Threshold authorization of one maintenance command (eviction or
+// network-wide refresh, paper Section IV-D).
+//
+// Two artifacts come out of a successful session, serving two different
+// audiences:
+//
+//   - The revocation-chain value K_l, reconstructed from the GF(256)
+//     shares dealt at manufacture (gf256.go). This is what SENSORS
+//     verify — the unchanged hash-chain commitment path in
+//     internal/core. t−1 colluding replicas hold t−1 shares and learn
+//     nothing about K_l, so a forged eviction command fails closed at
+//     every sensor.
+//   - A threshold Schnorr signature under the DKG key y over the exact
+//     command bytes. This is what REPLICAS (and any off-network auditor)
+//     verify: which command was authorized, bound to the chain index it
+//     spent, with no single signer able to produce it.
+//
+// The signing protocol is a two-round FROST-style Schnorr: the signer
+// set S (|S| = t) is fixed by the proposal; each signer i broadcasts its
+// nonce point R_i = g^{k_i} plus its chain share; once all t points are
+// in, c = H(ΠR_i ‖ y ‖ cmd) and each signer answers z_i = k_i + c·λ_i·x_i.
+// Nonces are derived deterministically from (message, signer set,
+// session), which is reuse-safe precisely because the derivation binds
+// everything that feeds the challenge.
+
+// Session is one replica's view of a signing session. Replicas outside
+// the signer set still track it (they verify and adopt the combined
+// command); signers additionally contribute.
+type Session struct {
+	res     *Result
+	cmd     *wire.AuthorityCommand
+	msg     []byte
+	signers []int // sorted, |signers| == res.T
+
+	chain *ChainShares // nil on non-signers or chainless observers
+
+	k      *big.Int         // own nonce scalar (signers only)
+	points map[int]*big.Int // R_i by signer index
+	zs     map[int]*big.Int // response shares by signer index
+	shares map[int][]byte   // chain-key shares by signer index
+	c      *big.Int         // challenge, fixed once all points arrived
+	rAgg   *big.Int         // ΠR_i, fixed with c
+}
+
+// NewSession opens a signing session for cmd among the given signer set
+// (1-based committee indices, deduplicated and sorted here). chain may
+// be nil for a replica that only observes. The signer set must have
+// exactly t members drawn from QUAL.
+func NewSession(res *Result, chain *ChainShares, cmd *wire.AuthorityCommand, signers []int) (*Session, error) {
+	set := append([]int(nil), signers...)
+	sortInts(set)
+	for i := 1; i < len(set); i++ {
+		if set[i] == set[i-1] {
+			return nil, fmt.Errorf("authority: duplicate signer %d", set[i])
+		}
+	}
+	if len(set) != res.T {
+		return nil, fmt.Errorf("authority: %d signers for threshold %d", len(set), res.T)
+	}
+	for _, s := range set {
+		if !containsInt(res.QUAL, s) {
+			return nil, fmt.Errorf("authority: signer %d not in QUAL", s)
+		}
+	}
+	return &Session{
+		res:     res,
+		cmd:     cmd,
+		msg:     cmd.Marshal(),
+		signers: set,
+		chain:   chain,
+		points:  make(map[int]*big.Int),
+		zs:      make(map[int]*big.Int),
+		shares:  make(map[int][]byte),
+	}, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSigner reports whether this replica contributes to the session.
+func (s *Session) IsSigner() bool { return containsInt(s.signers, s.res.Self) }
+
+// signerSetBytes encodes the signer set into the nonce derivation.
+func (s *Session) signerSetBytes() []byte {
+	b := make([]byte, 0, 4*len(s.signers))
+	for _, idx := range s.signers {
+		b = append(b, u32bytes(uint32(idx))...)
+	}
+	return b
+}
+
+// Partial produces this signer's first-round contribution: the nonce
+// point R_i and its GF(256) share of the chain value the command spends.
+// The nonce is a PRF of (session, message, signer set) under a secret
+// per-replica seed — deterministic for reproducibility, never reused
+// across anything that changes the challenge.
+func (s *Session) Partial() (ri *big.Int, chainShare []byte, err error) {
+	if !s.IsSigner() {
+		return nil, nil, fmt.Errorf("authority: replica %d is not in the signer set", s.res.Self)
+	}
+	s.k = scalarFromPRF(s.res.NonceSeed, []byte("cmd-nonce"), u32bytes(s.cmd.Session), s.msg, s.signerSetBytes())
+	ri = exp(groupG, s.k)
+	if s.chain != nil {
+		chainShare, err = s.chain.Share(int(s.cmd.Index))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return ri, chainShare, nil
+}
+
+// HandlePartial records signer `from`'s nonce point and chain share.
+func (s *Session) HandlePartial(from int, ri *big.Int, chainShare []byte) {
+	if !containsInt(s.signers, from) || s.points[from] != nil {
+		return
+	}
+	if !validElement(ri) {
+		return
+	}
+	s.points[from] = ri
+	if len(chainShare) == crypt.KeySize {
+		s.shares[from] = append([]byte(nil), chainShare...)
+	}
+}
+
+// HavePoints reports whether every signer's nonce point has arrived.
+func (s *Session) HavePoints() bool { return len(s.points) == len(s.signers) }
+
+// challenge fixes R = ΠR_i and c = H(R ‖ y ‖ msg) once.
+func (s *Session) challenge() *big.Int {
+	if s.c != nil {
+		return s.c
+	}
+	s.rAgg = big.NewInt(1)
+	for _, idx := range s.signers {
+		s.rAgg = mulP(s.rAgg, s.points[idx])
+	}
+	s.c = hashToScalar(s.rAgg, s.res.Y, s.msg)
+	return s.c
+}
+
+// lambdaFor returns signer idx's Lagrange coefficient within the set.
+func (s *Session) lambdaFor(idx int) *big.Int {
+	for i, v := range s.signers {
+		if v == idx {
+			return lagrangeAtZero(s.signers, i)
+		}
+	}
+	panic("authority: lambda for non-signer")
+}
+
+// Respond produces this signer's second-round response share
+// z_i = k_i + c·λ_i·x_i. Valid only after HavePoints.
+func (s *Session) Respond() (*big.Int, error) {
+	if !s.IsSigner() || s.k == nil {
+		return nil, fmt.Errorf("authority: respond before partial")
+	}
+	if !s.HavePoints() {
+		return nil, fmt.Errorf("authority: respond with %d of %d nonce points", len(s.points), len(s.signers))
+	}
+	c := s.challenge()
+	z := addQ(s.k, mulQ(c, mulQ(s.lambdaFor(s.res.Self), s.res.X)))
+	return z, nil
+}
+
+// HandleResponse records signer `from`'s response share after verifying
+// it against the signer's public verification key:
+// g^{z_i} == R_i · (g^{x_i})^{c·λ_i}. A share failing the check is
+// dropped — the session then never completes, attributably.
+func (s *Session) HandleResponse(from int, z *big.Int) bool {
+	if !containsInt(s.signers, from) || s.zs[from] != nil || !validScalar(z) {
+		return false
+	}
+	if !s.HavePoints() {
+		return false
+	}
+	c := s.challenge()
+	want := mulP(s.points[from], exp(s.res.Pub[from-1], mulQ(c, s.lambdaFor(from))))
+	if exp(groupG, z).Cmp(want) != 0 {
+		return false
+	}
+	s.zs[from] = z
+	return true
+}
+
+// Complete reports whether every signer's response has been verified.
+func (s *Session) Complete() bool { return len(s.zs) == len(s.signers) }
+
+// SignedCommand is the combined output of a threshold signing session.
+type SignedCommand struct {
+	Cmd *wire.AuthorityCommand
+	Sig *Signature
+	// ChainKey is the reconstructed revocation-chain value K_Index — the
+	// credential sensors verify.
+	ChainKey crypt.Key
+}
+
+// Combine closes a complete session: sums the response shares into one
+// Schnorr signature, verifies it against y, and reconstructs the chain
+// value from the collected GF(256) shares.
+func (s *Session) Combine() (*SignedCommand, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("authority: combine with %d of %d responses", len(s.zs), len(s.signers))
+	}
+	z := new(big.Int)
+	for _, idx := range s.signers {
+		z = addQ(z, s.zs[idx])
+	}
+	sig := &Signature{R: s.rAgg, Z: z}
+	if !sig.Verify(s.res.Y, s.msg) {
+		return nil, fmt.Errorf("authority: combined signature invalid")
+	}
+	if len(s.shares) < len(s.signers) {
+		return nil, fmt.Errorf("authority: %d of %d chain shares collected", len(s.shares), len(s.signers))
+	}
+	xs := make([]int, 0, len(s.signers))
+	shares := make([][]byte, 0, len(s.signers))
+	for _, idx := range s.signers {
+		xs = append(xs, idx)
+		shares = append(shares, s.shares[idx])
+	}
+	key, err := combineKey(xs, shares)
+	if err != nil {
+		return nil, err
+	}
+	return &SignedCommand{Cmd: s.cmd, Sig: sig, ChainKey: key}, nil
+}
+
+// Verify checks a SignedCommand against the authority public key. It
+// does NOT check the chain key (only sensors hold chain commitments);
+// replicas adopting a combined command call this before acting on it.
+func (sc *SignedCommand) Verify(y *big.Int) bool {
+	return sc != nil && sc.Cmd != nil && sc.Sig.Verify(y, sc.Cmd.Marshal())
+}
+
+// Revoke renders the command as the sensor-facing flood body: a plain
+// wire.Revoke carrying the released chain value. An empty CID list (a
+// CmdRefresh) instructs sensors to hash-forward every cluster key —
+// see core.Sensor's onRevoke.
+func (sc *SignedCommand) Revoke() *wire.Revoke {
+	return &wire.Revoke{
+		Index:    sc.Cmd.Index,
+		ChainKey: sc.ChainKey,
+		CIDs:     append([]uint32(nil), sc.Cmd.CIDs...),
+	}
+}

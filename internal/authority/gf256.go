@@ -1,0 +1,187 @@
+package authority
+
+import (
+	"fmt"
+
+	"repro/internal/crypt"
+)
+
+// GF(256) Shamir secret sharing of the revocation-chain values.
+//
+// The paper's eviction command is authenticated to sensors purely by
+// releasing the next value K_l of a one-way hash chain whose commitment
+// K_0 every node carries from manufacture (Section IV-D). A threshold
+// authority therefore does not need sensors to verify anything new: it
+// needs K_l itself to be reconstructible only by a quorum. The
+// pre-deployment Authority — which the paper already trusts with every
+// key in the network — deals each chain value bytewise into t-of-n
+// Shamir shares over GF(256) before the replicas ever run. No runtime
+// replica, and no t−1 colluding replicas, ever hold a chain value;
+// combining t shares is exactly the act of authorizing one command.
+//
+// Arithmetic uses the AES field (x⁸+x⁴+x³+x+1) with log/exp tables built
+// from generator 3, the classic Shamir-over-bytes construction.
+
+var gfLog, gfExp [256]byte
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 3 = x+1: x*3 = x*2 ^ x.
+		x = xtime(x) ^ x
+	}
+	gfExp[255] = gfExp[0]
+}
+
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[a])+int(gfLog[b]))%255]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("authority: gf256 division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[a])-int(gfLog[b])+255)%255]
+}
+
+// gfEval evaluates the polynomial with coefficients coeffs (constant
+// term first) at x by Horner's rule.
+func gfEval(coeffs []byte, x byte) byte {
+	acc := byte(0)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = gfMul(acc, x) ^ coeffs[i]
+	}
+	return acc
+}
+
+// splitKey deals k into n shares with threshold t. Share i (1-based x
+// coordinate i) is 16 bytes; every byte position is an independent
+// degree-(t−1) polynomial whose coefficients come from the PRF stream
+// keyed by dealSeed — deterministic for the simulation, unpredictable
+// without the seed.
+func splitKey(k crypt.Key, t, n int, dealSeed crypt.Key, context []byte) [][]byte {
+	if t < 1 || n < t || n > 255 {
+		panic(fmt.Sprintf("authority: bad sharing parameters t=%d n=%d", t, n))
+	}
+	shares := make([][]byte, n)
+	for i := range shares {
+		shares[i] = make([]byte, crypt.KeySize)
+	}
+	coeffs := make([]byte, t)
+	for pos := 0; pos < crypt.KeySize; pos++ {
+		coeffs[0] = k[pos]
+		for c := 1; c < t; c++ {
+			r := crypt.PRF(dealSeed, context, u32bytes(uint32(pos)), u32bytes(uint32(c)))
+			coeffs[c] = r[0]
+		}
+		for i := 0; i < n; i++ {
+			shares[i][pos] = gfEval(coeffs, byte(i+1))
+		}
+	}
+	return shares
+}
+
+// combineKey reconstructs a key from shares at the given 1-based x
+// coordinates (len(xs) == len(shares) >= the dealing threshold; extra
+// shares are fine, the interpolation is exact). Duplicated or zero x
+// coordinates are a caller bug and panic via gfDiv.
+func combineKey(xs []int, shares [][]byte) (crypt.Key, error) {
+	var out crypt.Key
+	if len(xs) != len(shares) || len(xs) == 0 {
+		return out, fmt.Errorf("authority: combine with %d coordinates for %d shares", len(xs), len(shares))
+	}
+	for i, s := range shares {
+		if len(s) != crypt.KeySize {
+			return out, fmt.Errorf("authority: share %d has %d bytes", xs[i], len(s))
+		}
+	}
+	for pos := 0; pos < crypt.KeySize; pos++ {
+		acc := byte(0)
+		for i := range xs {
+			// Lagrange basis at 0: Π_{j≠i} x_j / (x_j ⊕ x_i) — in GF(2^8)
+			// subtraction is XOR.
+			num, den := byte(1), byte(1)
+			for j := range xs {
+				if j == i {
+					continue
+				}
+				num = gfMul(num, byte(xs[j]))
+				den = gfMul(den, byte(xs[j])^byte(xs[i]))
+			}
+			if den == 0 {
+				return out, fmt.Errorf("authority: duplicate share coordinate %d", xs[i])
+			}
+			acc ^= gfMul(shares[i][pos], gfDiv(num, den))
+		}
+		out[pos] = acc
+	}
+	return out, nil
+}
+
+// CombineChainValue pools chain-value shares at the given 1-based
+// committee coordinates — the reconstruction an adversary attempts after
+// capturing replicas (and the test harness's reference combiner). Below
+// the dealing threshold the interpolation yields an unrelated key, which
+// the sensors' chain verifier rejects; at or above it the true value
+// comes back exactly.
+func CombineChainValue(xs []int, shares [][]byte) (crypt.Key, error) {
+	return combineKey(xs, shares)
+}
+
+// ChainShares is one replica's t-of-n sharing of the whole revocation
+// chain: Vals[l] is this replica's share of K_l for 1 ≤ l ≤ len(Vals)−1
+// (index 0 is unused — K_0 is the public commitment). X is the share's
+// evaluation point, the replica's 1-based committee index.
+type ChainShares struct {
+	X    int
+	Vals [][]byte
+}
+
+// Len returns the number of chain values shared (the chain's reveal
+// capacity).
+func (cs *ChainShares) Len() int { return len(cs.Vals) - 1 }
+
+// Share returns this replica's share of K_l.
+func (cs *ChainShares) Share(l int) ([]byte, error) {
+	if l < 1 || l >= len(cs.Vals) {
+		return nil, fmt.Errorf("authority: chain share index %d out of range [1,%d]", l, cs.Len())
+	}
+	return cs.Vals[l], nil
+}
+
+// SplitChain deals every value of the revocation chain into t-of-n
+// shares. This runs in the pre-deployment (manufacture) phase — the same
+// trusted moment that loads K_0 into every sensor — after which the full
+// chain can be destroyed: no runtime machine holds it.
+func SplitChain(chain *crypt.Chain, t, n int, dealSeed crypt.Key) []*ChainShares {
+	out := make([]*ChainShares, n)
+	for i := range out {
+		out[i] = &ChainShares{X: i + 1, Vals: make([][]byte, chain.Len()+1)}
+	}
+	for l := 1; l <= chain.Len(); l++ {
+		k, err := chain.Reveal(l)
+		if err != nil {
+			panic("authority: chain reveal during split: " + err.Error())
+		}
+		shares := splitKey(k, t, n, dealSeed, u32bytes(uint32(l)))
+		for i := range out {
+			out[i].Vals[l] = shares[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,1002 @@
+package authority
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"time"
+
+	"repro/internal/crypt"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Replica hosts one authority member as a node.Behavior, so committees
+// run on the transport Lab (or any other runtime) with the same
+// deterministic virtual-time guarantees as the sensor protocol. The
+// replica owns all timing: the pure state machines in dkg.go /
+// command.go / reshare.go are driven against fixed round deadlines
+// (multiples of RoundGap from boot), which makes every run a pure
+// function of the seeds.
+//
+// Wire format: every packet is a wire.Frame of type TAuthority whose
+// payload is a plaintext AuthorityMsg envelope. Confidential material
+// (dealt shares) is sealed pairwise inside the envelope body under DH
+// keys established in the hello round; everything else is public by
+// protocol design — complaints, justifications and Feldman rows only
+// work as broadcasts.
+
+// Timer tag: one round-advance clock per replica.
+const tagRound node.Tag = 1
+
+// Replica phases.
+const (
+	phaseHello    = iota // waiting for peers' DH identities
+	phaseDeal            // deals out, waiting for peers' deals
+	phaseComplain        // complaints out, waiting for justifications
+	phaseExtract         // Feldman rows out, waiting for extraction complaints
+	phaseReady           // DKG complete; command/reshare sessions may run
+)
+
+// ReplicaConfig configures one committee member.
+type ReplicaConfig struct {
+	// T of N replicas must cooperate to authorize a command.
+	T, N int
+	// Index is this replica's 1-based committee index; it must equal its
+	// Lab node index + 1 for the initial committee.
+	Index int
+	// Seed is the replica's private secret (all scalars derive from it).
+	Seed crypt.Key
+	// Chain is this replica's manufacture-time sharing of the revocation
+	// chain (SplitChain output), nil for observers.
+	Chain *ChainShares
+	// Session tags the DKG instance (0 is fine).
+	Session uint32
+	// RoundGap is the spacing between round deadlines (default 50ms) —
+	// generous against the Lab's 1ms-latency complete graph.
+	RoundGap time.Duration
+	// Registry receives the authority_* metrics (nil = no-op).
+	Registry *obs.Registry
+
+	// Adversary knobs (zero value = honest). They model the misbehaving
+	// dealers the complaint machinery exists for, so tests and the
+	// resilience experiment can exercise those paths deterministically.
+	//
+	// CorruptShareTo, when nonzero, makes this replica deal a garbage
+	// share to that committee index. SkipJustify leaves the resulting
+	// complaint unanswered (the dealer is disqualified); otherwise the
+	// dealer justifies with the correct share and stays qualified.
+	// LieExtract makes the replica broadcast a wrong Feldman row in
+	// phase 3 (forcing the reconstruct-in-the-open path).
+	CorruptShareTo int
+	SkipJustify    bool
+	LieExtract     bool
+
+	// Joiner marks a fresh machine that is not part of the initial
+	// committee: it skips the DKG and waits for a resharing session to
+	// provision it. Index is then its new-committee index, and T/N/Chain
+	// are ignored until commit.
+	Joiner bool
+}
+
+type pendingMsg struct {
+	from int
+	kind byte
+	body []byte
+}
+
+// Replica is the behavior. Not safe for concurrent use — the hosting
+// runtime serializes callbacks, like every other node.Behavior.
+type Replica struct {
+	cfg ReplicaConfig
+	met metrics
+
+	phase  int
+	bootAt time.Duration
+	round  int
+
+	// Pairwise sealing: static DH secret and per-peer derived keys.
+	dhSecret *big.Int
+	dhPub    map[int]*big.Int
+	pairKeys map[int]crypt.Key
+
+	dkg *DKG
+	res *Result
+
+	// nextChain is the replica's approval policy state: it only releases
+	// chain share l = nextChain+1, and advances when a signed command is
+	// adopted — mirroring the base station's reveal discipline.
+	nextChain int
+
+	sessions map[uint32]*Session
+	done     map[uint32]*SignedCommand
+	pending  map[uint32][]pendingMsg // rounds that arrived before their proposal
+
+	reshare     *Reshare
+	reshareAt   time.Duration
+	rsCoord     bool
+	rsDone      bool
+	rsSession   uint32
+	rsMembers   []int // wire identity of each new-committee index
+	rsNextChain int   // approval counter handed to joiners at commit
+
+	// Commands holds every adopted (combined, signature-verified)
+	// command in adoption order; OnCommand observes each as it lands.
+	Commands  []*SignedCommand
+	OnCommand func(*SignedCommand)
+
+	txBuf  []byte
+	msgBuf []byte
+}
+
+// NewReplica builds a committee member.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.RoundGap <= 0 {
+		cfg.RoundGap = 50 * time.Millisecond
+	}
+	return &Replica{
+		cfg:      cfg,
+		met:      newMetrics(cfg.Registry),
+		dhPub:    make(map[int]*big.Int),
+		pairKeys: make(map[int]crypt.Key),
+		sessions: make(map[uint32]*Session),
+		done:     make(map[uint32]*SignedCommand),
+		pending:  make(map[uint32][]pendingMsg),
+	}
+}
+
+// Ready reports whether the DKG completed on this replica.
+func (r *Replica) Ready() bool { return r.phase == phaseReady && r.res != nil }
+
+// Result exposes the DKG output (nil until Ready).
+func (r *Replica) Result() *Result { return r.res }
+
+// ChainShares exposes the replica's current chain sharing — what a
+// physical capture of this machine yields (plus Result().X).
+func (r *Replica) ChainShares() *ChainShares { return r.cfg.Chain }
+
+// NextChain returns the next chain index this replica would approve.
+func (r *Replica) NextChain() int { return r.nextChain }
+
+// --- node.Behavior ---
+
+// Start announces the replica's DH identity and arms the round clock.
+// Joiners only announce — they sit out the DKG and wait for a reshare.
+func (r *Replica) Start(ctx node.Context) {
+	r.bootAt = ctx.Now()
+	r.dhSecret = scalarFromPRF(r.cfg.Seed, []byte("dh"), u32bytes(r.cfg.Session))
+	pub := exp(groupG, r.dhSecret)
+	r.dhPub[r.cfg.Index] = pub
+	r.send(ctx, wire.AKHello, r.cfg.Session, appendElement(nil, pub))
+	if r.cfg.Joiner {
+		return
+	}
+	r.dkg = NewDKG(DKGConfig{T: r.cfg.T, N: r.cfg.N, Self: r.cfg.Index, Seed: r.cfg.Seed, Session: r.cfg.Session})
+	ctx.SetTimer(r.cfg.RoundGap, tagRound)
+}
+
+// Timer advances the round clock through the DKG phases.
+func (r *Replica) Timer(ctx node.Context, tag node.Tag) {
+	if tag != tagRound {
+		return
+	}
+	if r.reshare != nil && r.rsCoord && !r.rsDone && ctx.Now() >= r.reshareAt {
+		r.finishReshareRound(ctx)
+		return
+	}
+	r.round++
+	r.met.dkgRounds.Inc()
+	switch r.phase {
+	case phaseHello:
+		r.phase = phaseDeal
+		r.broadcastDeal(ctx)
+		ctx.SetTimer(r.cfg.RoundGap, tagRound)
+	case phaseDeal:
+		r.phase = phaseComplain
+		for _, missing := range r.dkg.MissingDeals() {
+			r.met.complaints.Inc()
+			r.dkg.HandleComplaint(missing, r.cfg.Index)
+			r.send(ctx, wire.AKComplaint, r.cfg.Session, u32bytes(uint32(missing)))
+		}
+		ctx.SetTimer(r.cfg.RoundGap, tagRound)
+	case phaseComplain:
+		r.phase = phaseExtract
+		qual := r.dkg.FinishSharing()
+		if containsInt(qual, r.cfg.Index) {
+			row := r.dkg.Extract()
+			if r.cfg.LieExtract {
+				// A lying dealer shifts its constant exponent, trying to
+				// bias y; phase 4 reconstructs the honest row instead.
+				row[0] = mulP(row[0], groupG)
+			}
+			// A broadcast never loops back; adopt the own row directly so
+			// FinishDKG sees it like everyone else's.
+			r.dkg.HandleExtract(r.cfg.Index, row)
+			r.send(ctx, wire.AKExtract, r.cfg.Session, appendRow(nil, row))
+		}
+		ctx.SetTimer(r.cfg.RoundGap, tagRound)
+	case phaseExtract:
+		if err := r.dkg.FinishDKG(); err != nil {
+			// Unrecoverable this session (too many corrupt replicas for
+			// reconstruction); stay out of phaseReady so no command can
+			// ever combine through this replica — fail closed.
+			return
+		}
+		r.res = r.dkg.Result()
+		r.phase = phaseReady
+	}
+}
+
+// Receive dispatches an authority envelope.
+func (r *Replica) Receive(ctx node.Context, from node.ID, pkt []byte) {
+	var f wire.Frame
+	if err := wire.ParseFrameInto(&f, pkt); err != nil || f.Type != wire.TAuthority {
+		return
+	}
+	m, err := wire.UnmarshalAuthorityMsg(f.Payload)
+	if err != nil {
+		return
+	}
+	sender := int(m.From)
+	if sender < 1 || sender == r.cfg.Index {
+		return
+	}
+	if r.dkg == nil && m.Kind >= wire.AKDeal && m.Kind <= wire.AKExtractComplaint {
+		return // joiner: no DKG instance to feed
+	}
+	switch m.Kind {
+	case wire.AKHello:
+		r.onHello(sender, m.Body)
+	case wire.AKDeal:
+		r.onDeal(ctx, m.Session, sender, m.Body)
+	case wire.AKComplaint:
+		r.onComplaint(ctx, sender, m.Body)
+	case wire.AKJustify:
+		r.onJustify(sender, m.Body)
+	case wire.AKExtract:
+		r.onExtract(ctx, sender, m.Body)
+	case wire.AKExtractComplaint:
+		r.onExtractComplaint(sender, m.Body)
+	case wire.AKPropose:
+		r.onPropose(ctx, m.Session, sender, m.Body)
+	case wire.AKPartial:
+		r.onPartial(ctx, m.Session, sender, m.Body)
+	case wire.AKSigShare:
+		r.onSigShare(ctx, m.Session, sender, m.Body)
+	case wire.AKCommand:
+		r.onCommand(m.Session, m.Body)
+	case wire.AKReshareInit:
+		r.onReshareInit(ctx, m.Session, sender, m.Body)
+	case wire.AKReshareDeal:
+		r.onReshareDeal(ctx, m.Session, sender, m.Body)
+	case wire.AKReshareAck:
+		r.onReshareAck(sender, m.Body)
+	case wire.AKReshareCommit:
+		r.onReshareCommit(m.Session)
+	case wire.AKReshareAbort:
+		r.reshare = nil
+	}
+}
+
+// --- plumbing ---
+
+// send marshals and broadcasts one envelope.
+func (r *Replica) send(ctx node.Context, kind byte, session uint32, body []byte) {
+	m := wire.AuthorityMsg{Kind: kind, Session: session, From: uint32(r.cfg.Index), Body: body}
+	r.msgBuf = m.AppendMarshal(r.msgBuf[:0])
+	pkt, err := (&wire.Frame{Type: wire.TAuthority, Payload: r.msgBuf}).AppendMarshal(r.txBuf[:0])
+	if err != nil {
+		return // oversized body; drop (bounded by construction)
+	}
+	r.txBuf = pkt
+	ctx.Broadcast(pkt)
+}
+
+// pairKey derives the symmetric sealing key shared with peer j from the
+// DH exchange: K = H(g^{d_i·d_j} ‖ min,max index).
+func (r *Replica) pairKey(j int) (crypt.Key, bool) {
+	if k, ok := r.pairKeys[j]; ok {
+		return k, true
+	}
+	pub, ok := r.dhPub[j]
+	if !ok {
+		return crypt.Key{}, false
+	}
+	shared := exp(pub, r.dhSecret)
+	lo, hi := r.cfg.Index, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := sha256.New()
+	h.Write([]byte("repro/authority: pair key"))
+	h.Write(appendElement(nil, shared))
+	h.Write(u32bytes(uint32(lo)))
+	h.Write(u32bytes(uint32(hi)))
+	var k crypt.Key
+	copy(k[:], h.Sum(nil))
+	r.pairKeys[j] = k
+	return k, true
+}
+
+// sealNonce builds a unique nonce for one pairwise seal: the (kind,
+// session, sender) triple never repeats for a given pair key.
+func sealNonce(kind byte, session uint32, sender int) uint64 {
+	return uint64(kind)<<56 | uint64(session)<<16 | uint64(uint16(sender))
+}
+
+func (r *Replica) onHello(from int, body []byte) {
+	if _, ok := r.dhPub[from]; ok {
+		return
+	}
+	v, _, ok := parseElement(body)
+	if !ok || !validElement(v) {
+		return
+	}
+	r.dhPub[from] = v
+}
+
+// appendRow encodes a commitment row as count ‖ elements.
+func appendRow(dst []byte, row []*big.Int) []byte {
+	dst = append(dst, byte(len(row)))
+	for _, v := range row {
+		dst = appendElement(dst, v)
+	}
+	return dst
+}
+
+func parseRow(b []byte) (row []*big.Int, rest []byte, ok bool) {
+	if len(b) < 1 {
+		return nil, nil, false
+	}
+	n := int(b[0])
+	b = b[1:]
+	row = make([]*big.Int, n)
+	for i := range row {
+		row[i], b, ok = parseElement(b)
+		if !ok {
+			return nil, nil, false
+		}
+	}
+	return row, b, true
+}
+
+// broadcastDeal emits this replica's VSS deal: the Pedersen row and one
+// sealed share pair per member, in committee order.
+func (r *Replica) broadcastDeal(ctx node.Context) {
+	row, shares := r.dkg.Deal()
+	body := appendRow(nil, row)
+	for j := 1; j <= r.cfg.N; j++ {
+		s, sp := shares[j-1][0], shares[j-1][1]
+		if r.cfg.CorruptShareTo == j {
+			s = addQ(s, big.NewInt(1))
+		}
+		var sealed []byte
+		if j == r.cfg.Index {
+			// Own share: handled locally, no blob needed.
+			r.dkg.HandleDeal(r.cfg.Index, row, shares[j-1][0], shares[j-1][1])
+		} else if k, ok := r.pairKey(j); ok {
+			pt := appendElement(appendElement(nil, s), sp)
+			sealed = crypt.Seal(k, sealNonce(wire.AKDeal, r.cfg.Session, r.cfg.Index),
+				[]byte{wire.AKDeal}, pt)
+		}
+		if len(sealed) > int(^uint16(0)) {
+			sealed = nil
+		}
+		body = append(body, byte(len(sealed)>>8), byte(len(sealed)))
+		body = append(body, sealed...)
+	}
+	r.send(ctx, wire.AKDeal, r.cfg.Session, body)
+}
+
+func (r *Replica) onDeal(ctx node.Context, session uint32, from int, body []byte) {
+	if session != r.cfg.Session || from > r.cfg.N {
+		return
+	}
+	row, rest, ok := parseRow(body)
+	if !ok {
+		return
+	}
+	// Walk the per-member blobs to ours.
+	var mine []byte
+	for j := 1; j <= r.cfg.N; j++ {
+		if len(rest) < 2 {
+			return
+		}
+		n := int(rest[0])<<8 | int(rest[1])
+		rest = rest[2:]
+		if len(rest) < n {
+			return
+		}
+		if j == r.cfg.Index {
+			mine = rest[:n]
+		}
+		rest = rest[n:]
+	}
+	var s, sp *big.Int
+	if k, ok := r.pairKey(from); ok && len(mine) > 0 {
+		if pt, ok := crypt.Open(k, sealNonce(wire.AKDeal, session, from), []byte{wire.AKDeal}, mine); ok && len(pt) == 2*elementSize {
+			s, _, _ = parseElement(pt)
+			sp, _, _ = parseElement(pt[elementSize:])
+		}
+	}
+	if r.dkg.HandleDeal(from, row, s, sp) {
+		r.met.complaints.Inc()
+		r.dkg.HandleComplaint(from, r.cfg.Index)
+		r.send(ctx, wire.AKComplaint, r.cfg.Session, u32bytes(uint32(from)))
+	}
+}
+
+func (r *Replica) onComplaint(ctx node.Context, from int, body []byte) {
+	if len(body) != 4 {
+		return
+	}
+	accused := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+	r.met.complaints.Inc()
+	if r.dkg.HandleComplaint(accused, from) && !r.cfg.SkipJustify {
+		s, sp := r.dkg.JustifyFor(from)
+		// Apply locally too — a broadcast never loops back, and the dealer
+		// must track its own complaint as resolved like everyone else.
+		r.dkg.HandleJustify(r.cfg.Index, from, s, sp)
+		payload := u32bytes(uint32(from))
+		payload = appendElement(payload, s)
+		payload = appendElement(payload, sp)
+		r.send(ctx, wire.AKJustify, r.cfg.Session, payload)
+	}
+}
+
+func (r *Replica) onJustify(from int, body []byte) {
+	if len(body) != 4+2*elementSize {
+		return
+	}
+	complainer := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+	s, rest, _ := parseElement(body[4:])
+	sp, _, _ := parseElement(rest)
+	r.dkg.HandleJustify(from, complainer, s, sp)
+}
+
+func (r *Replica) onExtract(ctx node.Context, from int, body []byte) {
+	row, _, ok := parseRow(body)
+	if !ok {
+		return
+	}
+	if r.dkg.HandleExtract(from, row) {
+		r.met.complaints.Inc()
+		s, sp := r.dkg.RevealFor(from)
+		if s == nil {
+			return
+		}
+		r.dkg.HandleReveal(from, r.cfg.Index, s, sp)
+		payload := u32bytes(uint32(from))
+		payload = appendElement(payload, s)
+		payload = appendElement(payload, sp)
+		r.send(ctx, wire.AKExtractComplaint, r.cfg.Session, payload)
+	}
+}
+
+func (r *Replica) onExtractComplaint(from int, body []byte) {
+	if len(body) != 4+2*elementSize {
+		return
+	}
+	accused := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+	s, rest, _ := parseElement(body[4:])
+	sp, _, _ := parseElement(rest)
+	r.dkg.HandleReveal(accused, from, s, sp)
+}
+
+// --- command sessions ---
+
+// Propose opens a signing session for a command among the given signer
+// set and broadcasts the proposal. Call via the runtime's Do hook on any
+// ready replica; the command's Session field is overwritten with a fresh
+// id derived from the chain index (so concurrent proposals for different
+// indices never collide, and re-proposals of the same index reuse the
+// session — harmless, the transcripts are identical).
+func (r *Replica) Propose(ctx node.Context, kind byte, index int, cids []uint32, signers []int) bool {
+	if !r.Ready() {
+		return false
+	}
+	cmd := &wire.AuthorityCommand{Kind: kind, Session: uint32(index), Index: uint32(index), CIDs: cids}
+	body := append([]byte{byte(len(signers))}, nil...)
+	for _, s := range signers {
+		body = append(body, u32bytes(uint32(s))...)
+	}
+	body = cmd.AppendMarshal(body)
+	r.send(ctx, wire.AKPropose, cmd.Session, body)
+	r.openSession(ctx, cmd, signers)
+	return true
+}
+
+// openSession validates and registers a session, contributing the first
+// round if this replica signs. Approval policy: only the next chain
+// index is ever released.
+func (r *Replica) openSession(ctx node.Context, cmd *wire.AuthorityCommand, signers []int) {
+	if !r.Ready() || r.sessions[cmd.Session] != nil || r.done[cmd.Session] != nil {
+		return
+	}
+	if int(cmd.Index) != r.nextChain+1 {
+		return // out-of-order release request: refuse to arm
+	}
+	sess, err := NewSession(r.res, r.cfg.Chain, cmd, signers)
+	if err != nil {
+		return
+	}
+	r.sessions[cmd.Session] = sess
+	if sess.IsSigner() {
+		ri, share, err := sess.Partial()
+		if err == nil {
+			payload := appendElement(nil, ri)
+			payload = append(payload, byte(len(share)))
+			payload = append(payload, share...)
+			sess.HandlePartial(r.cfg.Index, ri, share)
+			r.send(ctx, wire.AKPartial, cmd.Session, payload)
+		}
+	}
+	// Replay any rounds that beat the proposal here.
+	for _, p := range r.pending[cmd.Session] {
+		switch p.kind {
+		case wire.AKPartial:
+			r.onPartial(ctx, cmd.Session, p.from, p.body)
+		case wire.AKSigShare:
+			r.onSigShare(ctx, cmd.Session, p.from, p.body)
+		}
+	}
+	delete(r.pending, cmd.Session)
+}
+
+func (r *Replica) onPropose(ctx node.Context, session uint32, _ int, body []byte) {
+	if len(body) < 1 {
+		return
+	}
+	n := int(body[0])
+	body = body[1:]
+	if len(body) < 4*n {
+		return
+	}
+	signers := make([]int, n)
+	for i := range signers {
+		signers[i] = int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+		body = body[4:]
+	}
+	cmd, err := wire.UnmarshalAuthorityCommand(body)
+	if err != nil || cmd.Session != session {
+		return
+	}
+	r.openSession(ctx, cmd, signers)
+}
+
+// bufferRound stashes a round that arrived before its proposal.
+func (r *Replica) bufferRound(session uint32, from int, kind byte, body []byte) {
+	r.pending[session] = append(r.pending[session],
+		pendingMsg{from: from, kind: kind, body: append([]byte(nil), body...)})
+}
+
+func (r *Replica) onPartial(ctx node.Context, session uint32, from int, body []byte) {
+	sess := r.sessions[session]
+	if sess == nil {
+		if r.done[session] == nil {
+			r.bufferRound(session, from, wire.AKPartial, body)
+		}
+		return
+	}
+	ri, rest, ok := parseElement(body)
+	if !ok || len(rest) < 1 {
+		return
+	}
+	n := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < n {
+		return
+	}
+	sess.HandlePartial(from, ri, rest[:n])
+	r.maybeRespond(ctx, session, sess)
+}
+
+// maybeRespond emits this signer's response share once all nonce points
+// are in, then tries to combine.
+func (r *Replica) maybeRespond(ctx node.Context, session uint32, sess *Session) {
+	if !sess.HavePoints() {
+		return
+	}
+	// Sig shares that beat the last nonce point (jitter can reorder two
+	// broadcasts from one sender) can verify now.
+	for _, p := range r.pending[session] {
+		if p.kind == wire.AKSigShare {
+			if z, _, ok := parseElement(p.body); ok {
+				sess.HandleResponse(p.from, z)
+			}
+		}
+	}
+	delete(r.pending, session)
+	if sess.IsSigner() && sess.zs[r.cfg.Index] == nil {
+		if z, err := sess.Respond(); err == nil {
+			if sess.HandleResponse(r.cfg.Index, z) {
+				r.send(ctx, wire.AKSigShare, session, appendElement(nil, z))
+			}
+		}
+	}
+	r.maybeCombine(ctx, session, sess)
+}
+
+func (r *Replica) onSigShare(ctx node.Context, session uint32, from int, body []byte) {
+	sess := r.sessions[session]
+	if sess == nil {
+		if r.done[session] == nil {
+			r.bufferRound(session, from, wire.AKSigShare, body)
+		}
+		return
+	}
+	z, _, ok := parseElement(body)
+	if !ok {
+		return
+	}
+	if !sess.HavePoints() {
+		r.bufferRound(session, from, wire.AKSigShare, body)
+		return
+	}
+	sess.HandleResponse(from, z)
+	r.maybeCombine(ctx, session, sess)
+}
+
+// maybeCombine closes a complete session: verify, adopt, advance the
+// approval counter, and (on the proposer and everyone else alike —
+// they all hold the broadcast transcript) publish the combined command
+// once for late or non-tracking replicas.
+func (r *Replica) maybeCombine(ctx node.Context, session uint32, sess *Session) {
+	if !sess.Complete() {
+		return
+	}
+	sc, err := sess.Combine()
+	if err != nil {
+		r.met.cmdFailed.Inc()
+		return
+	}
+	r.adopt(session, sc)
+	// One AKCommand broadcast closes the session for observers; sending
+	// it from every replica would be chatty, so only the lowest-index
+	// signer publishes.
+	if sess.signers[0] == r.cfg.Index {
+		body := sc.Cmd.AppendMarshal(nil)
+		body = appendSig(body, sc.Sig)
+		body = append(body, sc.ChainKey[:]...)
+		r.send(ctx, wire.AKCommand, session, body)
+	}
+}
+
+// onCommand adopts a combined command broadcast by a signer quorum.
+func (r *Replica) onCommand(session uint32, body []byte) {
+	if !r.Ready() || r.done[session] != nil {
+		return
+	}
+	// Split: command bytes are everything before the trailing sig+key.
+	tail := 2*elementSize + crypt.KeySize
+	if len(body) <= tail {
+		return
+	}
+	cmd, err := wire.UnmarshalAuthorityCommand(body[:len(body)-tail])
+	if err != nil || cmd.Session != session {
+		return
+	}
+	sig, rest, ok := parseSig(body[len(body)-tail:])
+	if !ok {
+		return
+	}
+	sc := &SignedCommand{Cmd: cmd, Sig: sig, ChainKey: crypt.KeyFromBytes(rest)}
+	if !sc.Verify(r.res.Y) {
+		return
+	}
+	r.adopt(session, sc)
+}
+
+// adopt records a verified command exactly once and advances the
+// approval counter.
+func (r *Replica) adopt(session uint32, sc *SignedCommand) {
+	if r.done[session] != nil {
+		return
+	}
+	r.done[session] = sc
+	delete(r.sessions, session)
+	if int(sc.Cmd.Index) > r.nextChain {
+		r.nextChain = int(sc.Cmd.Index)
+	}
+	r.met.commands.Inc()
+	r.Commands = append(r.Commands, sc)
+	if r.OnCommand != nil {
+		r.OnCommand(sc)
+	}
+}
+
+// --- resharing ---
+
+// StartReshare opens a resharing session from this (ready) replica as
+// coordinator. members lists the wire identity of each new-committee
+// index 1..newN — continuing members keep their current index as their
+// identity; fresh joiners appear under their own (unused) index. dealers
+// is the old-committee subset (|dealers| = t) transferring the key. The
+// commit/abort decision fires two round gaps later.
+func (r *Replica) StartReshare(ctx node.Context, session uint32, newT, newN int, dealers, members []int) bool {
+	if !r.Ready() || r.reshare != nil || len(members) != newN {
+		return false
+	}
+	body := []byte{byte(newT), byte(newN), byte(len(dealers))}
+	for _, d := range dealers {
+		body = append(body, u32bytes(uint32(d))...)
+	}
+	for _, m := range members {
+		body = append(body, u32bytes(uint32(m))...)
+	}
+	body = append(body, u32bytes(uint32(r.nextChain))...)
+	body = appendElement(body, r.res.Y)
+	body = append(body, byte(len(r.res.Pub)))
+	for _, p := range r.res.Pub {
+		body = appendElement(body, p)
+	}
+	r.send(ctx, wire.AKReshareInit, session, body)
+	if !r.setupReshare(ctx, session, newT, newN, dealers, members, r.nextChain, r.res.Y, r.res.Pub) {
+		return false
+	}
+	r.rsCoord = true
+	r.reshareAt = ctx.Now() + 2*r.cfg.RoundGap
+	ctx.SetTimer(2*r.cfg.RoundGap, tagRound)
+	return true
+}
+
+func (r *Replica) onReshareInit(ctx node.Context, session uint32, _ int, body []byte) {
+	if len(body) < 3 {
+		return
+	}
+	newT, newN, nd := int(body[0]), int(body[1]), int(body[2])
+	body = body[3:]
+	if len(body) < 4*(nd+newN) {
+		return
+	}
+	readInts := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+			body = body[4:]
+		}
+		return out
+	}
+	dealers := readInts(nd)
+	members := readInts(newN)
+	if len(body) < 4 {
+		return
+	}
+	nextChain := readInts(1)[0]
+	y, rest, ok := parseElement(body)
+	if !ok || len(rest) < 1 {
+		return
+	}
+	np := int(rest[0])
+	rest = rest[1:]
+	pub := make([]*big.Int, np)
+	for i := range pub {
+		pub[i], rest, ok = parseElement(rest)
+		if !ok || !validElement(pub[i]) {
+			return
+		}
+	}
+	// Continuing members trust their own record of (Y, Pub) over the
+	// coordinator's claim; only provision-less joiners take it from init.
+	if r.res != nil {
+		y, pub = r.res.Y, r.res.Pub
+	} else if !validElement(y) {
+		return
+	}
+	r.setupReshare(ctx, session, newT, newN, dealers, members, nextChain, y, pub)
+}
+
+// setupReshare builds the state machine, deals if this replica is a
+// dealer, and arms nothing — the coordinator owns the deadline.
+func (r *Replica) setupReshare(ctx node.Context, session uint32, newT, newN int, dealers, members []int, nextChain int, y *big.Int, pub []*big.Int) bool {
+	if r.reshare != nil {
+		return false
+	}
+	newSelf := 0
+	for j, id := range members {
+		if id == r.cfg.Index {
+			newSelf = j + 1
+		}
+	}
+	oldT := len(dealers)
+	var old *Result
+	var oldChain *ChainShares
+	if r.res != nil {
+		old, oldChain = r.res, r.cfg.Chain
+	}
+	rs, err := NewReshare(ReshareConfig{
+		Session: session, NewT: newT, NewN: newN,
+		Dealers: dealers, OldT: oldT, Y: y, Pub: pub,
+		Old: old, OldChain: oldChain, NewSelf: newSelf, Seed: r.cfg.Seed,
+	})
+	if err != nil {
+		return false
+	}
+	r.reshare = rs
+	r.rsSession = session
+	r.rsMembers = append([]int(nil), members...)
+	r.rsDone = false
+	r.rsNextChain = nextChain
+	if rs.IsDealer() {
+		row, deals, err := rs.Deal()
+		if err != nil {
+			return true
+		}
+		body := appendRow(nil, row)
+		for j := 1; j <= newN; j++ {
+			var sealed []byte
+			if members[j-1] == r.cfg.Index {
+				if rs.HandleDeal(r.cfg.Index, row, deals[j-1]) {
+					r.sendReshareAck(ctx, newSelf)
+				}
+			} else if k, ok := r.pairKey(members[j-1]); ok {
+				sealed = crypt.Seal(k, sealNonce(wire.AKReshareDeal, session, r.cfg.Index),
+					[]byte{wire.AKReshareDeal}, marshalReshareDeal(deals[j-1]))
+			}
+			body = append(body, byte(len(sealed)>>8), byte(len(sealed)))
+			body = append(body, sealed...)
+		}
+		r.send(ctx, wire.AKReshareDeal, session, body)
+	}
+	// Replay deals that beat the init here.
+	for _, p := range r.pending[session] {
+		if p.kind == wire.AKReshareDeal {
+			r.onReshareDeal(ctx, session, p.from, p.body)
+		}
+	}
+	delete(r.pending, session)
+	return true
+}
+
+// marshalReshareDeal encodes one member's confidential deal: scalar ‖
+// u16 chain-value count ‖ count × KeySize sub-share bytes.
+func marshalReshareDeal(d ReshareDeal) []byte {
+	out := appendElement(nil, d.SubShare)
+	n := 0
+	if len(d.ChainSub) > 0 {
+		n = len(d.ChainSub) - 1 // index 0 unused
+	}
+	out = append(out, byte(n>>8), byte(n))
+	for l := 1; l <= n; l++ {
+		out = append(out, d.ChainSub[l]...)
+	}
+	return out
+}
+
+func unmarshalReshareDeal(b []byte) (ReshareDeal, bool) {
+	var d ReshareDeal
+	s, rest, ok := parseElement(b)
+	if !ok || len(rest) < 2 {
+		return d, false
+	}
+	d.SubShare = s
+	n := int(rest[0])<<8 | int(rest[1])
+	rest = rest[2:]
+	if len(rest) != n*crypt.KeySize {
+		return d, false
+	}
+	if n > 0 {
+		d.ChainSub = make([][]byte, n+1)
+		for l := 1; l <= n; l++ {
+			d.ChainSub[l] = append([]byte(nil), rest[:crypt.KeySize]...)
+			rest = rest[crypt.KeySize:]
+		}
+	}
+	return d, true
+}
+
+func (r *Replica) onReshareDeal(ctx node.Context, session uint32, from int, body []byte) {
+	rs := r.reshare
+	if rs == nil || session != r.rsSession {
+		if rs == nil && !r.rsDone {
+			// Deal raced ahead of the init broadcast; hold it until the
+			// session opens.
+			r.bufferRound(session, from, wire.AKReshareDeal, body)
+		}
+		return
+	}
+	row, rest, ok := parseRow(body)
+	if !ok {
+		return
+	}
+	newSelf := 0
+	for j, id := range r.rsMembers {
+		if id == r.cfg.Index {
+			newSelf = j + 1
+		}
+	}
+	if newSelf == 0 {
+		return // leaving member: nothing addressed to us
+	}
+	var mine []byte
+	for j := 1; j <= len(r.rsMembers); j++ {
+		if len(rest) < 2 {
+			return
+		}
+		n := int(rest[0])<<8 | int(rest[1])
+		rest = rest[2:]
+		if len(rest) < n {
+			return
+		}
+		if j == newSelf {
+			mine = rest[:n]
+		}
+		rest = rest[n:]
+	}
+	k, ok := r.pairKey(from)
+	if !ok || len(mine) == 0 {
+		return
+	}
+	pt, ok := crypt.Open(k, sealNonce(wire.AKReshareDeal, session, from), []byte{wire.AKReshareDeal}, mine)
+	if !ok {
+		return
+	}
+	deal, ok := unmarshalReshareDeal(pt)
+	if !ok {
+		return
+	}
+	if rs.HandleDeal(from, row, deal) {
+		r.sendReshareAck(ctx, newSelf)
+	}
+}
+
+// sendReshareAck broadcasts this member's acknowledgement (new index in
+// the body; From stays the wire identity).
+func (r *Replica) sendReshareAck(ctx node.Context, newSelf int) {
+	if r.reshare != nil {
+		r.reshare.HandleAck(newSelf)
+	}
+	r.send(ctx, wire.AKReshareAck, r.rsSession, u32bytes(uint32(newSelf)))
+}
+
+func (r *Replica) onReshareAck(_ int, body []byte) {
+	if r.reshare == nil || len(body) != 4 {
+		return
+	}
+	idx := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+	r.reshare.HandleAck(idx)
+}
+
+// finishReshareRound is the coordinator's deadline: commit when every
+// new member acknowledged, abort otherwise (old shares stay live).
+func (r *Replica) finishReshareRound(ctx node.Context) {
+	r.rsDone = true
+	r.rsCoord = false
+	if r.reshare != nil && r.reshare.AllAcked() {
+		r.send(ctx, wire.AKReshareCommit, r.rsSession, nil)
+		r.onReshareCommit(r.rsSession)
+	} else {
+		r.send(ctx, wire.AKReshareAbort, r.rsSession, nil)
+		r.reshare = nil
+	}
+}
+
+// onReshareCommit installs the new share set. Leaving members erase
+// their holdings; joiners come online (Ready flips true).
+func (r *Replica) onReshareCommit(session uint32) {
+	rs := r.reshare
+	if rs == nil || session != r.rsSession {
+		return
+	}
+	res, chain, err := rs.Commit()
+	r.reshare = nil
+	if err != nil {
+		return
+	}
+	r.met.reshares.Inc()
+	if res == nil {
+		// Not in the new committee: destroy the old authority material.
+		r.res = nil
+		r.cfg.Chain = nil
+		r.phase = phaseHello
+		return
+	}
+	r.res = res
+	r.cfg.Chain = chain
+	r.cfg.T, r.cfg.N = res.T, res.N
+	r.cfg.Index = res.Self
+	if r.nextChain < r.rsNextChain {
+		r.nextChain = r.rsNextChain // joiners inherit the spend counter
+	}
+	r.phase = phaseReady
+}

@@ -1,0 +1,297 @@
+package authority
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypt"
+)
+
+// Resharing: handing the authority to a new committee (replaced
+// machines, changed threshold) without changing anything the network
+// verifies. The state machine follows the reshare → ack → commit shape:
+//
+//	init   — the coordinator fixes the session: new (t′, n′) and the
+//	         dealer set S (t current holders) that will transfer the key.
+//	deal   — every dealer i∈S re-shares its weighted share w_i = λ_i·x_i
+//	         with a fresh degree-(t′−1) polynomial g_i: Feldman row
+//	         B_ik = g^{g_ik} broadcast, evaluation g_i(j) sealed to each
+//	         new member j. Because Σ_{i∈S} w_i = x, the new shares
+//	         interpolate to the same secret — y never changes, and the
+//	         sensors' chain commitment never changes either: the GF(256)
+//	         chain shares ride along, reshared bytewise the same way.
+//	ack    — a new member that verified all t deals (each B_i0 must equal
+//	         Pub_i^{λ_i}, binding the transfer to the old verification
+//	         keys; each g_i(j) must match the Feldman row) acknowledges.
+//	commit — all n′ acks in before the deadline: the coordinator commits
+//	         and everyone installs x′_j = Σ_i g_i(j). Any missing ack at
+//	         the deadline: abort, old shares stay live.
+//
+// A replica can be in the old committee, the new one, or both; fresh
+// joiners only need the public transcript (y, Pub) to verify their
+// deals.
+
+// ReshareConfig parameterizes one replica's view of a resharing session.
+type ReshareConfig struct {
+	Session uint32
+	// NewT/NewN are the target committee shape.
+	NewT, NewN int
+	// Dealers is the fixed set of old-committee indices (|Dealers| = old
+	// threshold) transferring the key, sorted.
+	Dealers []int
+	// OldT is the old threshold; Y and Pub are the old (and permanent)
+	// public key and per-old-replica verification keys — public data a
+	// fresh joiner is provisioned with.
+	OldT int
+	Y    *big.Int
+	Pub  []*big.Int
+	// Old and OldChain are this replica's current holdings; nil on a
+	// fresh joiner.
+	Old      *Result
+	OldChain *ChainShares
+	// NewSelf is this replica's 1-based index in the new committee, 0 if
+	// it is leaving.
+	NewSelf int
+	// Seed keys the dealing randomness and the new nonce seed.
+	Seed crypt.Key
+}
+
+// Reshare is the per-replica state machine.
+type Reshare struct {
+	cfg ReshareConfig
+
+	rows     map[int][]*big.Int // Feldman rows by dealer
+	subS     map[int]*big.Int   // verified scalar sub-shares by dealer
+	subChain map[int][][]byte   // chain sub-shares by dealer
+	acked    map[int]bool       // acks by new-committee index
+	sentAck  bool
+}
+
+// NewReshare validates the session parameters and builds the machine.
+func NewReshare(cfg ReshareConfig) (*Reshare, error) {
+	if cfg.NewT < 1 || cfg.NewN < cfg.NewT {
+		return nil, fmt.Errorf("authority: bad reshare target t=%d n=%d", cfg.NewT, cfg.NewN)
+	}
+	if len(cfg.Dealers) != cfg.OldT {
+		return nil, fmt.Errorf("authority: %d dealers for old threshold %d", len(cfg.Dealers), cfg.OldT)
+	}
+	if cfg.NewSelf < 0 || cfg.NewSelf > cfg.NewN {
+		return nil, fmt.Errorf("authority: new index %d out of range", cfg.NewSelf)
+	}
+	return &Reshare{
+		cfg:      cfg,
+		rows:     make(map[int][]*big.Int),
+		subS:     make(map[int]*big.Int),
+		subChain: make(map[int][][]byte),
+		acked:    make(map[int]bool),
+	}, nil
+}
+
+// IsDealer reports whether this replica transfers a share.
+func (r *Reshare) IsDealer() bool {
+	return r.cfg.Old != nil && containsInt(r.cfg.Dealers, r.cfg.Old.Self)
+}
+
+// dealerLambda is dealer idx's Lagrange coefficient within the fixed
+// dealer set (mod q).
+func (r *Reshare) dealerLambda(idx int) *big.Int {
+	for i, v := range r.cfg.Dealers {
+		if v == idx {
+			return lagrangeAtZero(r.cfg.Dealers, i)
+		}
+	}
+	panic("authority: lambda for non-dealer")
+}
+
+// gfDealerLambda is the GF(256) Lagrange coefficient for the chain-share
+// transfer over the same dealer set.
+func gfDealerLambda(dealers []int, idx int) byte {
+	num, den := byte(1), byte(1)
+	for _, d := range dealers {
+		if d == idx {
+			continue
+		}
+		num = gfMul(num, byte(d))
+		den = gfMul(den, byte(d)^byte(idx))
+	}
+	return gfDiv(num, den)
+}
+
+// subCoeffs derives this dealer's fresh polynomial g: degree NewT−1,
+// g(0) = λ·x.
+func (r *Reshare) subCoeffs() []*big.Int {
+	coeffs := make([]*big.Int, r.cfg.NewT)
+	coeffs[0] = mulQ(r.dealerLambda(r.cfg.Old.Self), r.cfg.Old.X)
+	for k := 1; k < r.cfg.NewT; k++ {
+		coeffs[k] = scalarFromPRF(r.cfg.Seed, []byte("reshare-g"), u32bytes(r.cfg.Session), u32bytes(uint32(k)))
+	}
+	return coeffs
+}
+
+// ReshareDeal is a dealer's payload for one new committee member.
+type ReshareDeal struct {
+	// SubShare is g_i(j) — the member's slice of the transferred scalar.
+	SubShare *big.Int
+	// ChainSub[l] is the member's slice of the dealer's share of K_l
+	// (index 0 unused), each crypt.KeySize bytes.
+	ChainSub [][]byte
+}
+
+// Deal produces the Feldman row (broadcast) and the per-new-member deals
+// (pairwise-sealed by the replica layer). Only dealers call this.
+func (r *Reshare) Deal() (row []*big.Int, deals []ReshareDeal, err error) {
+	if !r.IsDealer() {
+		return nil, nil, fmt.Errorf("authority: non-dealer cannot deal")
+	}
+	coeffs := r.subCoeffs()
+	row = make([]*big.Int, r.cfg.NewT)
+	for k, c := range coeffs {
+		row[k] = exp(groupG, c)
+	}
+	deals = make([]ReshareDeal, r.cfg.NewN)
+	// Chain transfer: per chain value and byte position, a fresh GF(256)
+	// polynomial with constant term gfλ_i·share-byte.
+	gfl := gfDealerLambda(r.cfg.Dealers, r.cfg.Old.Self)
+	chainLen := 0
+	if r.cfg.OldChain != nil {
+		chainLen = r.cfg.OldChain.Len()
+	}
+	for j := 1; j <= r.cfg.NewN; j++ {
+		deals[j-1].SubShare = evalPoly(coeffs, j)
+		if chainLen > 0 {
+			deals[j-1].ChainSub = make([][]byte, chainLen+1)
+		}
+	}
+	gfCoeffs := make([]byte, r.cfg.NewT)
+	for l := 1; l <= chainLen; l++ {
+		old := r.cfg.OldChain.Vals[l]
+		for j := 1; j <= r.cfg.NewN; j++ {
+			deals[j-1].ChainSub[l] = make([]byte, crypt.KeySize)
+		}
+		for pos := 0; pos < crypt.KeySize; pos++ {
+			gfCoeffs[0] = gfMul(gfl, old[pos])
+			for k := 1; k < r.cfg.NewT; k++ {
+				pr := crypt.PRF(r.cfg.Seed, []byte("reshare-gf"), u32bytes(r.cfg.Session),
+					u32bytes(uint32(l)), u32bytes(uint32(pos)), u32bytes(uint32(k)))
+				gfCoeffs[k] = pr[0]
+			}
+			for j := 1; j <= r.cfg.NewN; j++ {
+				deals[j-1].ChainSub[l][pos] = gfEval(gfCoeffs, byte(j))
+			}
+		}
+	}
+	return row, deals, nil
+}
+
+// HandleDeal processes dealer `from`'s row and this member's deal. It
+// returns ack=true the moment every dealer's transfer has verified —
+// the replica then broadcasts its acknowledgement (once).
+func (r *Reshare) HandleDeal(from int, row []*big.Int, deal ReshareDeal) (ack bool) {
+	if r.cfg.NewSelf == 0 || !containsInt(r.cfg.Dealers, from) || r.rows[from] != nil {
+		return false
+	}
+	if len(row) != r.cfg.NewT || !validScalar(deal.SubShare) {
+		return false
+	}
+	for _, v := range row {
+		if !validElement(v) {
+			return false
+		}
+	}
+	// The transfer must re-share the OLD share: B_0 = (g^{x_from})^{λ}.
+	if from-1 >= len(r.cfg.Pub) || r.cfg.Pub[from-1] == nil {
+		return false
+	}
+	if row[0].Cmp(exp(r.cfg.Pub[from-1], r.dealerLambda(from))) != 0 {
+		return false
+	}
+	// And the sub-share must lie on the committed polynomial.
+	if commitEval(row, r.cfg.NewSelf).Cmp(exp(groupG, deal.SubShare)) != 0 {
+		return false
+	}
+	r.rows[from] = row
+	r.subS[from] = deal.SubShare
+	r.subChain[from] = deal.ChainSub
+	if len(r.subS) == len(r.cfg.Dealers) && !r.sentAck {
+		r.sentAck = true
+		return true
+	}
+	return false
+}
+
+// HandleAck records new member `from`'s acknowledgement.
+func (r *Reshare) HandleAck(from int) {
+	if from >= 1 && from <= r.cfg.NewN {
+		r.acked[from] = true
+	}
+}
+
+// AllAcked reports whether every new committee member has acknowledged —
+// the coordinator's commit condition.
+func (r *Reshare) AllAcked() bool { return len(r.acked) == r.cfg.NewN }
+
+// Commit installs the new share and chain shares. Only meaningful on a
+// new-committee member that acked; the caller must have seen the
+// coordinator's commit broadcast. The authority public key is unchanged
+// by construction; the new verification keys are recomputed from the
+// Feldman rows.
+func (r *Reshare) Commit() (*Result, *ChainShares, error) {
+	if r.cfg.NewSelf == 0 {
+		return nil, nil, nil // leaving member: nothing to install
+	}
+	if len(r.subS) != len(r.cfg.Dealers) {
+		return nil, nil, fmt.Errorf("authority: commit with %d of %d deals", len(r.subS), len(r.cfg.Dealers))
+	}
+	x := new(big.Int)
+	for _, dlr := range r.cfg.Dealers {
+		x = addQ(x, r.subS[dlr])
+	}
+	pub := make([]*big.Int, r.cfg.NewN)
+	for j := 1; j <= r.cfg.NewN; j++ {
+		acc := big.NewInt(1)
+		for _, dlr := range r.cfg.Dealers {
+			acc = mulP(acc, commitEval(r.rows[dlr], j))
+		}
+		pub[j-1] = acc
+	}
+	qual := make([]int, r.cfg.NewN)
+	for j := range qual {
+		qual[j] = j + 1
+	}
+	res := &Result{
+		T:         r.cfg.NewT,
+		N:         r.cfg.NewN,
+		Self:      r.cfg.NewSelf,
+		QUAL:      qual,
+		X:         x,
+		Y:         r.cfg.Y,
+		Pub:       pub,
+		NonceSeed: crypt.DeriveKey(r.cfg.Seed, crypt.LabelNode, []byte("authority-nonce-reshare"), u32bytes(r.cfg.Session)),
+	}
+	var chain *ChainShares
+	for _, dlr := range r.cfg.Dealers {
+		cs := r.subChain[dlr]
+		if cs == nil {
+			chain = nil
+			break
+		}
+		if chain == nil {
+			chain = &ChainShares{X: r.cfg.NewSelf, Vals: make([][]byte, len(cs))}
+			for l := 1; l < len(cs); l++ {
+				chain.Vals[l] = make([]byte, crypt.KeySize)
+			}
+		}
+		if len(cs) != len(chain.Vals) {
+			return nil, nil, fmt.Errorf("authority: dealer %d reshared %d chain values, want %d", dlr, len(cs)-1, len(chain.Vals)-1)
+		}
+		for l := 1; l < len(cs); l++ {
+			if len(cs[l]) != crypt.KeySize {
+				return nil, nil, fmt.Errorf("authority: dealer %d chain sub-share %d malformed", dlr, l)
+			}
+			for pos := 0; pos < crypt.KeySize; pos++ {
+				chain.Vals[l][pos] ^= cs[l][pos]
+			}
+		}
+	}
+	return res, chain, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Edge cases of the eviction hash chain (Section IV-D): commands that
+// skip ahead within the verifier's tolerance, commands beyond it, chain
+// values delivered out of order, and the threshold authority's empty-CID
+// refresh command. The invariant under test everywhere: a rejected
+// command mutates nothing — not the chain verifier, not the key store.
+
+// injectRevoke floods a raw TRevoke frame into the network from node 1.
+func injectRevoke(t *testing.T, d *Deployment, rv *wire.Revoke) {
+	t.Helper()
+	body := rv.Marshal()
+	pkt, err := (&wire.Frame{Type: wire.TRevoke, Payload: body}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Eng.Schedule(d.Eng.Now()+time.Millisecond, func() {
+		d.Eng.InjectAt(1, node.ID(999), pkt)
+	})
+	if _, err := d.Eng.RunUntilIdle(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nonBSClusters returns up to k distinct non-BS cluster IDs.
+func nonBSClusters(t *testing.T, d *Deployment, k int) []uint32 {
+	t.Helper()
+	bsCID, _ := d.BS().Cluster()
+	var out []uint32
+	for c := range d.Clusters().Sizes {
+		if c != bsCID {
+			out = append(out, c)
+		}
+		if len(out) == k {
+			break
+		}
+	}
+	if len(out) < k {
+		t.Skipf("need %d non-BS clusters, have %d", k, len(out))
+	}
+	return out
+}
+
+// TestRevocationOutOfOrderChainDelivery delivers K_3 before K_1: the
+// skip-ahead command (within MaxChainSkip) must be accepted, after which
+// the stale lower-index value is a replay that deletes nothing.
+func TestRevocationOutOfOrderChainDelivery(t *testing.T) {
+	d := deploy(t, 60, 10, 211)
+	victims := nonBSClusters(t, d, 2)
+
+	k3, err := d.Auth.Chain().Reveal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectRevoke(t, d, &wire.Revoke{Index: 3, ChainKey: k3, CIDs: []uint32{victims[0]}})
+	for i, s := range d.Sensors {
+		if _, known := s.KeyStore().KeyFor(victims[0]); known {
+			t.Fatalf("node %d ignored the skip-ahead revocation", i)
+		}
+	}
+
+	// Now the out-of-order K_1 arrives, naming a different cluster: the
+	// commitment has moved past it, so it must change nothing.
+	k1, err := d.Auth.Chain().Reveal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectRevoke(t, d, &wire.Revoke{Index: 1, ChainKey: k1, CIDs: []uint32{victims[1]}})
+	held := 0
+	for _, s := range d.Sensors {
+		if _, known := s.KeyStore().KeyFor(victims[1]); known {
+			held++
+		}
+	}
+	if held == 0 {
+		t.Fatal("stale chain value evicted a cluster")
+	}
+}
+
+// TestRevocationBeyondSkipWindowRejected injects a genuine chain value
+// from beyond the verifier's MaxChainSkip horizon: sensors must reject
+// it without consuming any verifier state, so a later in-window command
+// still lands.
+func TestRevocationBeyondSkipWindowRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxChainSkip = 2
+	d, err := Deploy(DeployOptions{N: 60, Density: 10, Seed: 223, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		t.Fatal(err)
+	}
+	victims := nonBSClusters(t, d, 2)
+
+	far, err := d.Auth.Chain().Reveal(5) // skip window ends at index 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectRevoke(t, d, &wire.Revoke{Index: 5, ChainKey: far, CIDs: []uint32{victims[0]}})
+	for i, s := range d.Sensors {
+		if cid, ok := s.Cluster(); ok && cid == victims[0] {
+			if _, known := s.KeyStore().KeyFor(victims[0]); !known {
+				t.Fatalf("node %d accepted a chain value beyond the skip window", i)
+			}
+		}
+	}
+
+	// The rejected command must not have perturbed the verifier: an
+	// in-window command is still accepted by everyone.
+	k1, err := d.Auth.Chain().Reveal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectRevoke(t, d, &wire.Revoke{Index: 1, ChainKey: k1, CIDs: []uint32{victims[1]}})
+	for i, s := range d.Sensors {
+		if _, known := s.KeyStore().KeyFor(victims[1]); known {
+			t.Fatalf("node %d rejected a valid command after a beyond-window attempt", i)
+		}
+	}
+}
+
+// TestRevocationReplayExactBytesHarmless replays the exact wire bytes of
+// an accepted revocation: the monotone chain commitment makes the copy a
+// no-op, and epochs/keys of every other cluster stay untouched.
+func TestRevocationReplayExactBytesHarmless(t *testing.T) {
+	d := deploy(t, 60, 10, 227)
+	victims := nonBSClusters(t, d, 2)
+
+	k1, err := d.Auth.Chain().Reveal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := &wire.Revoke{Index: 1, ChainKey: k1, CIDs: []uint32{victims[0]}}
+	injectRevoke(t, d, rv)
+
+	// Snapshot the survivors' view, replay verbatim, compare.
+	type view struct {
+		keys  int
+		epoch uint32
+	}
+	before := make(map[int]view)
+	for i, s := range d.Sensors {
+		before[i] = view{keys: s.ClusterKeyCount(), epoch: s.Epoch(victims[1])}
+	}
+	injectRevoke(t, d, rv)
+	for i, s := range d.Sensors {
+		if got := (view{keys: s.ClusterKeyCount(), epoch: s.Epoch(victims[1])}); got != before[i] {
+			t.Fatalf("node %d key state changed on replay: %+v -> %+v", i, before[i], got)
+		}
+	}
+}
+
+// TestRefreshCommandRotatesKeys is the threshold authority's CmdRefresh
+// rendering: a chain-authenticated Revoke with no CIDs orders a
+// network-wide hash refresh instead of an eviction. Every operational
+// node rotates; a replay of the same command is spent and rotates
+// nothing a second time.
+func TestRefreshCommandRotatesKeys(t *testing.T) {
+	d := deploy(t, 60, 10, 229)
+	epochsBefore := make([]uint32, len(d.Sensors))
+	for i, s := range d.Sensors {
+		if cid, ok := s.Cluster(); ok {
+			epochsBefore[i] = s.Epoch(cid)
+		}
+	}
+	k1, err := d.Auth.Chain().Reveal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := &wire.Revoke{Index: 1, ChainKey: k1}
+	injectRevoke(t, d, rv)
+	rotated := 0
+	for i, s := range d.Sensors {
+		if cid, ok := s.Cluster(); ok {
+			if s.Epoch(cid) == epochsBefore[i]+1 {
+				rotated++
+			} else if s.Epoch(cid) != epochsBefore[i] {
+				t.Fatalf("node %d rotated %d times", i, s.Epoch(cid)-epochsBefore[i])
+			}
+		}
+	}
+	if rotated < len(d.Sensors)*8/10 {
+		t.Fatalf("only %d/%d nodes applied the refresh command", rotated, len(d.Sensors))
+	}
+	// Readings still flow on the rotated keys.
+	if got := sendAndCount(t, d, 5, []byte("post-refresh")); got != 1 {
+		t.Fatalf("delivery after refresh command: %d", got)
+	}
+	// Replay: the chain value is spent, nobody rotates again.
+	mid := make([]uint32, len(d.Sensors))
+	for i, s := range d.Sensors {
+		if cid, ok := s.Cluster(); ok {
+			mid[i] = s.Epoch(cid)
+		}
+	}
+	injectRevoke(t, d, rv)
+	for i, s := range d.Sensors {
+		if cid, ok := s.Cluster(); ok && s.Epoch(cid) != mid[i] {
+			t.Fatalf("node %d rotated on a replayed refresh command", i)
+		}
+	}
+}

@@ -334,7 +334,7 @@ func (s *Sensor) openWithEpochFallback(ctx node.Context, f *wire.Frame) ([]byte,
 			return body, true
 		}
 	}
-	if prev, ok := s.prevKeys[f.CID]; ok {
+	if prev, ok := s.prevKeyOf(f.CID); ok {
 		if body, ok := s.openFrame(ctx, f, prev); ok {
 			return body, true
 		}

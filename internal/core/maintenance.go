@@ -28,16 +28,16 @@ func (s *Sensor) HashRefresh(ctx node.Context) {
 	}
 	// Keep the previous keys for one changeover window.
 	if s.ks.InCluster {
-		s.prevKeys[s.ks.CID] = s.ks.ClusterKey
+		s.setPrevKey(s.ks.CID, s.ks.ClusterKey)
 	}
 	for _, cid := range s.ks.NeighborCIDs() {
 		if k, ok := s.ks.KeyFor(cid); ok {
-			s.prevKeys[cid] = k
+			s.setPrevKey(cid, k)
 		}
 	}
 	s.ks.HashForwardAll()
-	for cid := range s.epochs {
-		s.epochs[cid]++
+	for i := range s.meta {
+		s.meta[i].epoch++
 	}
 	_ = ctx // symmetry with the messaging variant; no radio traffic
 }
@@ -62,7 +62,7 @@ func (s *Sensor) StartClusterRefresh(ctx node.Context) bool {
 	}
 	oldKey := s.ks.ClusterKey
 	newKey := crypt.DeriveKey(oldKey, crypt.LabelRefresh, nonce[:])
-	epoch := s.epochs[s.ks.CID] + 1
+	epoch := s.epochOf(s.ks.CID) + 1
 
 	s.bodyBuf = (&wire.Refresh{CID: s.ks.CID, Epoch: epoch, NewKey: newKey}).AppendMarshal(s.bodyBuf[:0])
 	pkt := s.sealFrame(ctx, wire.TRefresh, s.ks.CID, oldKey, s.bodyBuf)
@@ -92,7 +92,7 @@ func (s *Sensor) onRefresh(ctx node.Context, f *wire.Frame, pkt []byte) {
 	if err != nil || r.CID != f.CID {
 		return
 	}
-	if r.Epoch != s.epochs[f.CID]+1 {
+	if r.Epoch != s.epochOf(f.CID)+1 {
 		return // stale or replayed refresh
 	}
 	isOwn := s.ks.InCluster && f.CID == s.ks.CID
@@ -110,10 +110,10 @@ func (s *Sensor) onRefresh(ctx node.Context, f *wire.Frame, pkt []byte) {
 // the changeover window.
 func (s *Sensor) applyRefresh(cid, epoch uint32, newKey crypt.Key) {
 	if old, ok := s.ks.KeyFor(cid); ok {
-		s.prevKeys[cid] = old
+		s.setPrevKey(cid, old)
 	}
 	s.ks.ReplaceKey(cid, newKey)
-	s.epochs[cid] = epoch
+	s.setEpoch(cid, epoch)
 }
 
 // --- eviction (Section IV-D) ---
@@ -143,7 +143,7 @@ func (s *Sensor) RevokeClusters(ctx node.Context, cids []uint32) bool {
 	// traffic relayed under revoked clusters' keys.
 	for _, cid := range cids {
 		s.ks.DropCluster(cid)
-		delete(s.prevKeys, cid)
+		s.clearPrevKey(cid)
 	}
 	ctx.Broadcast(pkt)
 	return true
@@ -162,10 +162,18 @@ func (s *Sensor) onRevoke(ctx node.Context, f *wire.Frame, pkt []byte) {
 	if _, ok := s.ks.Chain.Accept(rv.ChainKey); !ok {
 		return
 	}
+	if len(rv.CIDs) == 0 {
+		// An authenticated command that revokes nothing is the authority's
+		// network-wide refresh order (the threshold committee's CmdRefresh):
+		// the chain key proves its provenance, the rotation itself is the
+		// public hash-forward every node applies locally.
+		s.HashRefresh(ctx)
+		ctx.Broadcast(pkt)
+		return
+	}
 	for _, cid := range rv.CIDs {
 		s.ks.DropCluster(cid)
-		delete(s.prevKeys, cid)
-		delete(s.epochs, cid)
+		s.dropMeta(cid)
 	}
 	// Re-flood so the command crosses the network even though revoked
 	// clusters' nodes may refuse to cooperate. Broadcast copies per
@@ -233,7 +241,7 @@ func (s *Sensor) sendJoinResp(ctx node.Context) {
 	if s.phase != PhaseOperational || !s.ks.InCluster {
 		return
 	}
-	epoch := s.epochs[s.ks.CID]
+	epoch := s.epochOf(s.ks.CID)
 	tag := joinRespTag(s.ks.ClusterKey, s.ks.CID, epoch)
 	ctx.ChargeMAC(8)
 	s.bodyBuf = (&wire.JoinResp{CID: s.ks.CID, Epoch: epoch, Tag: tag}).AppendMarshal(s.bodyBuf[:0])
@@ -265,12 +273,12 @@ func (s *Sensor) catchUpEpochs(now time.Duration) {
 	}
 	expected := uint32(elapsed / s.cfg.RefreshPeriod)
 	catchUp := func(cid uint32) {
-		for s.epochs[cid] < expected {
+		for s.epochOf(cid) < expected {
 			if k, ok := s.ks.KeyFor(cid); ok {
-				s.prevKeys[cid] = k
+				s.setPrevKey(cid, k)
 				s.ks.ReplaceKey(cid, crypt.HashForward(k))
 			}
-			s.epochs[cid]++
+			s.setEpoch(cid, s.epochOf(cid)+1)
 		}
 	}
 	if s.ks.InCluster {
@@ -323,7 +331,7 @@ func (s *Sensor) onJoinResp(ctx node.Context, f *wire.Frame) {
 	} else {
 		s.ks.AddNeighbor(resp.CID, key)
 	}
-	s.epochs[resp.CID] = resp.Epoch
+	s.setEpoch(resp.CID, resp.Epoch)
 }
 
 // finishJoinWindow closes a join attempt: on success the node erases KMC

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/crypt"
 	"repro/internal/node"
 )
 
@@ -72,10 +71,10 @@ func (s *Sensor) ExportState() *SensorState {
 		ReadingCtr: s.readingCtr,
 		Keys:       s.ks.Export(),
 	}
-	if len(s.epochs) > 0 {
-		st.Epochs = make(map[uint32]uint32, len(s.epochs))
-		for cid, e := range s.epochs {
-			st.Epochs[cid] = e
+	if len(s.meta) > 0 {
+		st.Epochs = make(map[uint32]uint32, len(s.meta))
+		for _, m := range s.meta {
+			st.Epochs[m.cid] = m.epoch
 		}
 	}
 	if s.bs != nil {
@@ -110,12 +109,10 @@ func restoreCommon(cfg Config, st *SensorState) *Sensor {
 		readingSeq: st.ReadingSeq,
 		readingCtr: st.ReadingCtr,
 		dedup:      make(map[dedupKey]struct{}),
-		epochs:     make(map[uint32]uint32, len(st.Epochs)),
-		prevKeys:   make(map[uint32]crypt.Key),
 		om:         newCoreMetrics(cfg.Obs.Registry()),
 	}
 	for cid, e := range st.Epochs {
-		s.epochs[cid] = e
+		s.setEpoch(cid, e)
 	}
 	return s
 }

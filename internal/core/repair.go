@@ -44,7 +44,7 @@ func (s *Sensor) keepAliveTick(ctx node.Context) {
 		s.bodyBuf = (&wire.KeepAlive{
 			CID:    s.ks.CID,
 			HeadID: uint32(s.id),
-			Epoch:  s.epochs[s.ks.CID],
+			Epoch:  s.epochOf(s.ks.CID),
 		}).AppendMarshal(s.bodyBuf[:0])
 		ctx.Broadcast(s.sealFrame(ctx, wire.TKeepAlive, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 	} else if !s.repairing {
@@ -83,7 +83,7 @@ func (s *Sensor) claimHeadship(ctx node.Context) {
 	s.bodyBuf = (&wire.Repair{
 		CID:     s.ks.CID,
 		NewHead: uint32(s.id),
-		Epoch:   s.epochs[s.ks.CID],
+		Epoch:   s.epochOf(s.ks.CID),
 	}).AppendMarshal(s.bodyBuf[:0])
 	ctx.Broadcast(s.sealFrame(ctx, wire.TRepair, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
 	s.om.repairs.Inc()

@@ -135,11 +135,13 @@ type Sensor struct {
 	readingSeq uint32
 	readingCtr uint64 // Step-1 counter shared with the base station
 
-	// Per-cluster refresh epochs and one-epoch-old keys (so refresh
-	// messages sealed under the previous key still authenticate during
-	// the changeover).
-	epochs   map[uint32]uint32
-	prevKeys map[uint32]crypt.Key
+	// Per-cluster refresh bookkeeping — the refresh epoch and the
+	// one-epoch-old key (so refresh messages sealed under the previous
+	// key still authenticate during the changeover) — kept as one slice
+	// sorted by CID. A node knows only a handful of clusters, so binary
+	// search beats two per-node maps, and the flat layout drops the
+	// maps' bucket overhead at the 10^6-node scale.
+	meta []clusterMeta
 
 	pendingJoinResp bool
 	joinAttempts    int
@@ -266,10 +268,8 @@ func NewSensor(cfg Config, m Material) *Sensor {
 		// reserves ~20 KB of empty buckets per node, which at 10^6 nodes
 		// is ~20 GB of memory for caches that stay empty until data
 		// traffic flows. The FIFO in remember still bounds growth.
-		dedup:    make(map[dedupKey]struct{}),
-		epochs:   make(map[uint32]uint32),
-		prevKeys: make(map[uint32]crypt.Key),
-		om:       newCoreMetrics(cfg.Obs.Registry()),
+		dedup: make(map[dedupKey]struct{}),
+		om:    newCoreMetrics(cfg.Obs.Registry()),
 	}
 }
 
@@ -328,7 +328,86 @@ func (s *Sensor) Repaired() bool { return s.repaired }
 func (s *Sensor) Degraded() bool { return s.degraded }
 
 // Epoch returns the refresh epoch the node tracks for cluster cid.
-func (s *Sensor) Epoch(cid uint32) uint32 { return s.epochs[cid] }
+func (s *Sensor) Epoch(cid uint32) uint32 { return s.epochOf(cid) }
+
+// clusterMeta is one known cluster's refresh bookkeeping; Sensor.meta
+// keeps these sorted by CID.
+type clusterMeta struct {
+	cid     uint32
+	epoch   uint32
+	hasPrev bool
+	prev    crypt.Key
+}
+
+// metaIdx binary-searches s.meta for cid, returning the insertion point
+// and whether the entry exists.
+func (s *Sensor) metaIdx(cid uint32) (int, bool) {
+	lo, hi := 0, len(s.meta)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.meta[mid].cid < cid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.meta) && s.meta[lo].cid == cid
+}
+
+// metaEnsure returns the entry for cid, inserting a zero one in sorted
+// position when the cluster is new. The pointer is valid only until the
+// next insertion.
+func (s *Sensor) metaEnsure(cid uint32) *clusterMeta {
+	i, ok := s.metaIdx(cid)
+	if !ok {
+		s.meta = append(s.meta, clusterMeta{})
+		copy(s.meta[i+1:], s.meta[i:])
+		s.meta[i] = clusterMeta{cid: cid}
+	}
+	return &s.meta[i]
+}
+
+// epochOf returns cid's refresh epoch (0 when unknown).
+func (s *Sensor) epochOf(cid uint32) uint32 {
+	if i, ok := s.metaIdx(cid); ok {
+		return s.meta[i].epoch
+	}
+	return 0
+}
+
+// setEpoch records cid's refresh epoch. It creates the entry: an
+// entry's existence is what enrolls the cluster in epoch-advancing
+// sweeps (HashRefresh) and in state export.
+func (s *Sensor) setEpoch(cid, epoch uint32) { s.metaEnsure(cid).epoch = epoch }
+
+// prevKeyOf returns the one-epoch-old key kept for the changeover
+// window.
+func (s *Sensor) prevKeyOf(cid uint32) (crypt.Key, bool) {
+	if i, ok := s.metaIdx(cid); ok && s.meta[i].hasPrev {
+		return s.meta[i].prev, true
+	}
+	return crypt.Key{}, false
+}
+
+// setPrevKey retains cid's outgoing key for one changeover window.
+func (s *Sensor) setPrevKey(cid uint32, k crypt.Key) {
+	m := s.metaEnsure(cid)
+	m.prev, m.hasPrev = k, true
+}
+
+// clearPrevKey forgets the retained key without touching the epoch.
+func (s *Sensor) clearPrevKey(cid uint32) {
+	if i, ok := s.metaIdx(cid); ok {
+		s.meta[i].prev, s.meta[i].hasPrev = crypt.Key{}, false
+	}
+}
+
+// dropMeta erases all bookkeeping for cid (eviction).
+func (s *Sensor) dropMeta(cid uint32) {
+	if i, ok := s.metaIdx(cid); ok {
+		s.meta = append(s.meta[:i], s.meta[i+1:]...)
+	}
+}
 
 // KeyStore exposes the node's key material to the adversary model (node
 // capture reads memory) and to tests. Honest protocol code never reaches
@@ -519,7 +598,7 @@ func (s *Sensor) becomeHead(ctx node.Context) {
 	}
 	s.isHead = true
 	s.ks.JoinCluster(uint32(s.id), s.ks.CandidateClusterKey)
-	s.epochs[uint32(s.id)] = 0
+	s.setEpoch(uint32(s.id), 0)
 	s.headID = s.id
 	s.phase = PhaseDecided
 	s.bodyBuf = (&wire.Hello{HeadID: uint32(s.id), ClusterKey: s.ks.ClusterKey}).AppendMarshal(s.bodyBuf[:0])
@@ -546,7 +625,7 @@ func (s *Sensor) onHello(ctx node.Context, f *wire.Frame) {
 	}
 	ctx.CancelTimer(s.helloTimer)
 	s.ks.JoinCluster(hello.HeadID, hello.ClusterKey)
-	s.epochs[hello.HeadID] = 0
+	s.setEpoch(hello.HeadID, 0)
 	s.headID = node.ID(hello.HeadID)
 	s.phase = PhaseDecided
 	// "No transmission is required for that node."
@@ -583,7 +662,7 @@ func (s *Sensor) onLinkAdvert(ctx node.Context, f *wire.Frame) {
 	}
 	if !s.ks.HasNeighbor(adv.CID) {
 		s.ks.AddNeighbor(adv.CID, adv.ClusterKey)
-		s.epochs[adv.CID] = 0
+		s.setEpoch(adv.CID, 0)
 	}
 }
 

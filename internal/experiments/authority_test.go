@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuthorityResilienceFailsClosed pins the family's headline shape at
+// a fixed seed, for a 2-of-3 committee: with zero or one replica
+// captured the survivors' eviction covers the target cluster, a single
+// captured replica's pooled share forges nothing, and the same single
+// capture against the classic base station forges everything. With two
+// captures (t reached) the committee cannot evict — fewer than t honest
+// signers remain — and the pooled shares now reconstruct the chain.
+func TestAuthorityResilienceFailsClosed(t *testing.T) {
+	o := Options{Seed: 5, Trials: 2, N: 200, Workers: 4}
+	res, err := AuthorityResilience(o, 2, 3, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evict := res.Evict.Sorted()
+	forgeQ := res.ForgeQuorum.Sorted()
+	forgeS := res.ForgeSingle.Sorted()
+	if len(evict) != 3 {
+		t.Fatalf("want 3 points, got %d", len(evict))
+	}
+	for i, a := range []float64{0, 1, 2} {
+		if evict[i].X != a {
+			t.Fatalf("point %d at x=%v, want %v", i, evict[i].X, a)
+		}
+	}
+	// a=0 and a=1: eviction succeeds, forgery fails closed.
+	for _, i := range []int{0, 1} {
+		if evict[i].Y < 0.9 {
+			t.Errorf("captured=%d: eviction coverage %.2f, want >= 0.9", i, evict[i].Y)
+		}
+		if forgeQ[i].Y != 0 {
+			t.Errorf("captured=%d: threshold forgery coverage %.2f, want 0", i, forgeQ[i].Y)
+		}
+	}
+	// A single captured classic base station forges the same eviction.
+	if forgeS[0].Y != 0 {
+		t.Errorf("captured=0: single-BS forgery coverage %.2f, want 0", forgeS[0].Y)
+	}
+	if forgeS[1].Y < 0.9 {
+		t.Errorf("captured=1: single-BS forgery coverage %.2f, want >= 0.9", forgeS[1].Y)
+	}
+	// a=2=t: no honest quorum, and the pooled shares reconstruct.
+	if evict[2].Y != 0 {
+		t.Errorf("captured=2: eviction coverage %.2f, want 0 (no quorum)", evict[2].Y)
+	}
+	if forgeQ[2].Y < 0.9 {
+		t.Errorf("captured=2: threshold forgery coverage %.2f, want >= 0.9", forgeQ[2].Y)
+	}
+
+	table := res.Table()
+	for _, want := range []string{"2-of-3", "evict-coverage", "forge-threshold", "forge-single-bs"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestAuthorityResilienceValidates rejects nonsense committee shapes.
+func TestAuthorityResilienceValidates(t *testing.T) {
+	o := Options{Seed: 1, Trials: 1, N: 50}
+	for _, bad := range [][2]int{{0, 3}, {4, 3}, {2, 17}} {
+		if _, err := AuthorityResilience(o, bad[0], bad[1], nil); err == nil {
+			t.Errorf("t=%d m=%d accepted", bad[0], bad[1])
+		}
+	}
+}

@@ -80,6 +80,9 @@ func equivFamilies() []family {
 		{"ScaleSweep", func(o Options) (any, error) {
 			return ScaleSweep(o, []int{150, 300}, 10)
 		}},
+		{"AuthorityResilience", func(o Options) (any, error) {
+			return AuthorityResilience(o, 2, 3, []int{0, 1})
+		}},
 	}
 }
 

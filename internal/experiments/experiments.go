@@ -138,6 +138,9 @@ var familyCaps = map[string]Caps{
 	"setupcost": {MaxN: 1000},
 	"chaos":     {MaxN: 500, MaxTrials: 3},
 	"arq":       {MaxN: 300, MaxTrials: 3},
+	// The authority sweep re-deploys the sensor network for every
+	// eviction/forgery arm, plus a DKG per trial.
+	"authority": {MaxN: 300, MaxTrials: 3},
 	// The scale sweep deploys 1e5+-node networks per trial; two trials
 	// are enough for the streamed means at that size.
 	"scale": {MaxTrials: 2},

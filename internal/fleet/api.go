@@ -21,7 +21,8 @@ import (
 //	GET    /v1/deployments/{id}           one deployment
 //	DELETE /v1/deployments/{id}           drain + stop (Idempotency-Key honored)
 //	POST   /v1/deployments/{id}/faults    inject a fault plan (text body)
-//	GET    /v1/deployments/{id}/readings  base-station deliveries
+//	GET    /v1/deployments/{id}/readings  base-station deliveries; ?limit=&?after= paginate
+//	                                      with restart-stable absolute-index cursors
 //	POST   /v1/deployments/{id}/send      push a reading from ?node=i (body = payload)
 //
 // plus the obs exposition surface (/metrics, /events, /debug/*) when
@@ -200,7 +201,7 @@ func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleReadings(w http.ResponseWriter, r *http.Request) {
-	data, err := a.c.Readings(r.PathValue("id"))
+	data, err := a.c.Readings(r.PathValue("id"), r.URL.RawQuery)
 	switch {
 	case errors.Is(err, errNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)

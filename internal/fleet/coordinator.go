@@ -644,8 +644,10 @@ type notFoundError struct{}
 
 func (notFoundError) Error() string { return "fleet: no such deployment" }
 
-// Readings proxies the base station's delivered-readings list.
-func (c *Coordinator) Readings(id string) ([]byte, error) {
+// Readings proxies the base station's delivered-readings list. A
+// non-empty query string (e.g. "limit=10&after=40") is forwarded to the
+// node's pagination handler verbatim.
+func (c *Coordinator) Readings(id, query string) ([]byte, error) {
 	c.mu.Lock()
 	d, ok := c.deps[id]
 	var addr string
@@ -656,7 +658,11 @@ func (c *Coordinator) Readings(id string) ([]byte, error) {
 	if !ok {
 		return nil, errNotFound
 	}
-	resp, err := ctrlClient.Get("http://" + addr + "/readings")
+	url := "http://" + addr + "/readings"
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := ctrlClient.Get(url)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -242,7 +243,7 @@ func TestCrashRecovery(t *testing.T) {
 
 func countDeliveries(t *testing.T, c *Coordinator, id string) (int, bool) {
 	t.Helper()
-	data, err := c.Readings(id)
+	data, err := c.Readings(id, "")
 	if err != nil {
 		return 0, false
 	}
@@ -257,6 +258,159 @@ func countDeliveries(t *testing.T, c *Coordinator, id string) (int, bool) {
 		allEnc = allEnc && r.Encrypted
 	}
 	return len(readings), allEnc
+}
+
+// TestReadingsPaginationStableAcrossRestart drives a 2-node deployment
+// through a few deliveries, pages through them with ?limit=/?after=,
+// kills the coordinator (taking the node processes with it, standing in
+// for Pdeathsig), and checks the absolute-index cursor survives: the
+// replacement coordinator serves the same cursor space, nothing is
+// replayed under an old cursor, and fresh deliveries land past it.
+func TestReadingsPaginationStableAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	dir := t.TempDir()
+	base := freeBasePort(t, 2)
+	c, err := New(Config{Dir: dir, Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := c.Create(Spec{N: 2, Seed: 13, BasePort: base}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := spec.ID
+	waitState(t, c, id, "running", 45*time.Second)
+
+	type pageReading struct {
+		Origin uint32 `json:"origin"`
+		Seq    uint32 `json:"seq"`
+	}
+	type page struct {
+		Readings []pageReading `json:"readings"`
+		Next     uint64        `json:"next"`
+		Total    uint64        `json:"total"`
+	}
+	getPage := func(c *Coordinator, query string) page {
+		t.Helper()
+		data, err := c.Readings(id, query)
+		if err != nil {
+			t.Fatalf("readings %q: %v", query, err)
+		}
+		var p page
+		if err := json.Unmarshal(data, &p); err != nil {
+			t.Fatalf("paged readings reply not an object: %v (%s)", err, data)
+		}
+		return p
+	}
+
+	// Deliver at least 3 readings.
+	deadline := time.Now().Add(30 * time.Second)
+	for getPage(c, "after=0").Total < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("never delivered 3 readings")
+		}
+		_, _ = c.SendReading(id, 1, []byte("pg"))
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Page through with limit=2: cursors chain, nothing repeats.
+	seen := map[pageReading]bool{}
+	var cursor uint64
+	for {
+		p := getPage(c, fmt.Sprintf("limit=2&after=%d", cursor))
+		if len(p.Readings) == 0 {
+			if p.Next != cursor {
+				t.Fatalf("empty page moved the cursor: next=%d cursor=%d", p.Next, cursor)
+			}
+			break
+		}
+		if len(p.Readings) > 2 {
+			t.Fatalf("limit=2 returned %d readings", len(p.Readings))
+		}
+		for _, r := range p.Readings {
+			if seen[r] {
+				t.Fatalf("reading %+v returned twice while paging", r)
+			}
+			seen[r] = true
+		}
+		if p.Next != cursor+uint64(len(p.Readings)) {
+			t.Fatalf("next=%d after cursor=%d with %d readings", p.Next, cursor, len(p.Readings))
+		}
+		cursor = p.Next
+	}
+	if int(cursor) != len(seen) {
+		t.Fatalf("cursor %d after %d distinct readings", cursor, len(seen))
+	}
+	// The bare-array shape (no query) still serves old clients.
+	if n, _ := countDeliveries(t, c, id); n < len(seen) {
+		t.Fatalf("bare array has %d readings, paged %d", n, len(seen))
+	}
+
+	// Let the durable cursor sidecar catch up, then kill -9 everything.
+	sidecar := filepath.Join(dir, id, "node0.state.cursor")
+	deadline = time.Now().Add(10 * time.Second)
+	for readDeliveredBase(sidecar) < cursor {
+		if time.Now().After(deadline) {
+			t.Fatalf("cursor sidecar stuck at %d, want %d", readDeliveredBase(sidecar), cursor)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	c.abandon()
+
+	c2, err := New(Config{Dir: dir, Exec: testExec(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Shutdown()
+	waitState(t, c2, id, "running", 45*time.Second)
+
+	// The recovered coordinator replays "running" from the WAL before
+	// the restarted base station's ctrl socket answers; wait it out.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if _, err := c2.Readings(id, ""); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted base station never served readings")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// The pre-restart cursor still addresses the same space: the total
+	// never regressed below it and nothing known is replayed under it.
+	p := getPage(c2, fmt.Sprintf("after=%d", cursor))
+	if p.Total < cursor {
+		t.Fatalf("total regressed: %d < pre-restart cursor %d", p.Total, cursor)
+	}
+	for _, r := range p.Readings {
+		if seen[r] {
+			t.Fatalf("pre-restart reading %+v replayed past its cursor", r)
+		}
+	}
+
+	// Fresh deliveries land strictly after the old cursor.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no post-restart delivery past cursor %d", cursor)
+		}
+		_, _ = c2.SendReading(id, 1, []byte("pg2"))
+		if p := getPage(c2, fmt.Sprintf("after=%d", cursor)); len(p.Readings) >= 1 {
+			for _, r := range p.Readings {
+				if seen[r] {
+					t.Fatalf("replayed reading %+v after restart", r)
+				}
+			}
+			if p.Next <= cursor || p.Next != p.Total {
+				t.Fatalf("post-restart page: next=%d total=%d cursor=%d", p.Next, p.Total, cursor)
+			}
+			break
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
 }
 
 // TestAPIEndToEnd exercises the HTTP surface against a singleton

@@ -92,6 +92,18 @@ type nodeReading struct {
 	Encrypted bool   `json:"encrypted"`
 }
 
+// readingsPage is the GET /readings reply when ?limit= or ?after= is
+// present. Cursors are absolute delivery indices: Next feeds the next
+// request's ?after=, and stays valid across process restarts because
+// the pre-restart delivery count is persisted alongside the state file
+// (restarted incarnations compact those entries away rather than
+// renumbering).
+type readingsPage struct {
+	Readings []nodeReading `json:"readings"`
+	Next     uint64        `json:"next"`
+	Total    uint64        `json:"total"`
+}
+
 // nodeRunner is the per-process node host.
 type nodeRunner struct {
 	cfg     NodeConfig
@@ -101,6 +113,12 @@ type nodeRunner struct {
 
 	partMu sync.Mutex
 	parted map[int]bool // peers currently partitioned away
+
+	// deliveredBase counts deliveries accepted by previous incarnations
+	// of this node (restored from the cursor sidecar on warm boot). The
+	// in-memory Deliveries list restarts empty, so absolute reading
+	// index i lives at Deliveries()[i-deliveredBase].
+	deliveredBase uint64
 
 	persistMu sync.Mutex // serializes persist (ticker vs /send handler)
 
@@ -187,6 +205,9 @@ func RunNode(cfg NodeConfig) error {
 		carrier: carrier,
 		parted:  map[int]bool{},
 		quit:    make(chan struct{}),
+	}
+	if cfg.Resume && cfg.StateFile != "" && cfg.ID == 0 {
+		r.deliveredBase = readDeliveredBase(cursorPath(cfg.StateFile))
 	}
 	r.net = live.Start(live.Config{
 		Graph:     graph,
@@ -286,7 +307,59 @@ func (r *nodeRunner) persist() error {
 	if err != nil {
 		return err
 	}
-	return writeNodeState(r.cfg.StateFile, st)
+	if err := writeNodeState(r.cfg.StateFile, st); err != nil {
+		return err
+	}
+	if r.cfg.ID == 0 {
+		// Keep the absolute-index readings cursor durable: the next
+		// incarnation's pagination base is everything delivered so far.
+		if ds, err := r.deliveries(); err == nil {
+			return writeDeliveredBase(cursorPath(r.cfg.StateFile), r.deliveredBase+uint64(len(ds)))
+		}
+	}
+	return nil
+}
+
+// cursorPath is the sidecar holding the durable delivered-readings
+// count (the pagination base after a restart).
+func cursorPath(stateFile string) string { return stateFile + ".cursor" }
+
+// readDeliveredBase loads the persisted delivery count; a missing or
+// corrupt sidecar means no pre-boot deliveries survive as cursor space.
+func readDeliveredBase(path string) uint64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// writeDeliveredBase installs the delivery count atomically (tmp +
+// rename), same torn-image discipline as the state file.
+func writeDeliveredBase(path string, n uint64) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
+	if err != nil {
+		return fmt.Errorf("fleet: write readings cursor: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := fmt.Fprintf(f, "%d\n", n); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: write readings cursor: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: close readings cursor: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: install readings cursor: %w", err)
+	}
+	return nil
 }
 
 func writeNodeState(path string, st *core.SensorState) error {
@@ -375,18 +448,71 @@ func (r *nodeRunner) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (r *nodeRunner) handleReadings(w http.ResponseWriter, _ *http.Request) {
+func (r *nodeRunner) handleReadings(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	paged := q.Has("limit") || q.Has("after")
+	after := uint64(0)
+	limit := -1
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "fleet: bad ?after= cursor", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "fleet: bad ?limit=", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	ds, err := r.deliveries()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	out := make([]nodeReading, len(ds))
+	for i, d := range ds {
+		out[i] = nodeReading{Origin: uint32(d.Origin), Seq: d.Seq, Bytes: len(d.Data), Encrypted: d.Encrypted}
+	}
+	if !paged {
+		// The historical reply shape: the whole list as a bare array.
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	base := r.deliveredBase
+	total := base + uint64(len(out))
+	// Clamp the cursor into the live window: readings before base were
+	// compacted by a restart, anything past total doesn't exist yet.
+	if after < base {
+		after = base
+	}
+	if after > total {
+		after = total
+	}
+	page := out[after-base:]
+	if limit >= 0 && len(page) > limit {
+		page = page[:limit]
+	}
+	if page == nil {
+		page = []nodeReading{}
+	}
+	writeJSON(w, http.StatusOK, readingsPage{Readings: page, Next: after + uint64(len(page)), Total: total})
+}
+
+// deliveries snapshots the base station's delivered list on the node's
+// own goroutine.
+func (r *nodeRunner) deliveries() ([]core.Delivery, error) {
 	ch := make(chan []core.Delivery, 1)
 	r.net.Do(r.cfg.ID, func(node.Context) { ch <- r.sensor.Deliveries() })
 	select {
 	case ds := <-ch:
-		out := make([]nodeReading, len(ds))
-		for i, d := range ds {
-			out[i] = nodeReading{Origin: uint32(d.Origin), Seq: d.Seq, Bytes: len(d.Data), Encrypted: d.Encrypted}
-		}
-		writeJSON(w, http.StatusOK, out)
+		return ds, nil
 	case <-time.After(2 * time.Second):
-		http.Error(w, "node goroutine unresponsive", http.StatusServiceUnavailable)
+		return nil, fmt.Errorf("node goroutine unresponsive")
 	}
 }
 

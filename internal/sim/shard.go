@@ -452,7 +452,7 @@ func (s *shard) crash(h *host) {
 		return
 	}
 	h.alive = false
-	clear(h.timers)
+	h.timers = h.timers[:0]
 	h.rxCurrent = nil
 	e.m.crashes.Inc()
 	e.cfg.Obs.Emit(s.now, obs.KindCrash, h.idx, 0, "")

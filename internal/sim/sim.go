@@ -347,10 +347,13 @@ type host struct {
 	alive    bool
 	started  bool
 
-	// timers maps each armed timer to its tag; presence in the map is
-	// the armed/cancelled state, so arming a timer allocates no
-	// per-timer record.
-	timers  map[node.TimerID]node.Tag
+	// timers holds each armed timer with its tag; presence in the slice
+	// is the armed/cancelled state. Timer IDs are handed out in
+	// increasing order, so appending keeps the slice sorted and lookups
+	// binary-search it — a node arms only a handful of timers at once,
+	// and the flat layout beats a per-host map's bucket overhead at the
+	// 10^6-host scale.
+	timers  []timerRec
 	nextTID node.TimerID
 
 	// Collision-model state: the reception currently occupying the
@@ -425,7 +428,6 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 			behavior: b,
 			rng:      root.Split(1 + uint64(i)),
 			alive:    b != nil,
-			timers:   make(map[node.TimerID]node.Tag),
 		}
 	}
 	if cfg.Shards > 0 {
@@ -650,7 +652,7 @@ func (e *Engine) Crash(i int) {
 		return
 	}
 	h.alive = false
-	clear(h.timers)
+	h.timers = h.timers[:0]
 	h.rxCurrent = nil
 	e.m.crashes.Inc()
 	e.cfg.Obs.Emit(e.now, obs.KindCrash, i, 0, "")
@@ -907,17 +909,51 @@ func (e *Engine) runRxEnd(rcv *host, from node.ID, pkt []byte, rx *reception) {
 }
 
 // runTimer fires behavior timer tid on h unless it was cancelled (absent
-// from the map) or the host died.
+// from the armed set) or the host died.
 func (e *Engine) runTimer(h *host, tid node.TimerID) {
-	tag, ok := h.timers[tid]
+	tag, ok := h.takeTimer(tid)
 	if !ok {
 		return
 	}
-	delete(h.timers, tid)
 	if !h.alive {
 		return
 	}
 	h.behavior.Timer(h, tag)
+}
+
+// timerRec is one armed timer; host.timers keeps them sorted by tid.
+type timerRec struct {
+	tid node.TimerID
+	tag node.Tag
+}
+
+// timerIdx binary-searches the armed set for tid, returning -1 if it
+// was never armed or has been cancelled/fired.
+func (h *host) timerIdx(tid node.TimerID) int {
+	lo, hi := 0, len(h.timers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.timers[mid].tid < tid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.timers) && h.timers[lo].tid == tid {
+		return lo
+	}
+	return -1
+}
+
+// takeTimer removes tid from the armed set, returning its tag.
+func (h *host) takeTimer(tid node.TimerID) (node.Tag, bool) {
+	i := h.timerIdx(tid)
+	if i < 0 {
+		return 0, false
+	}
+	tag := h.timers[i].tag
+	h.timers = append(h.timers[:i], h.timers[i+1:]...)
+	return tag, true
 }
 
 // --- node.Context implementation ---
@@ -946,7 +982,7 @@ func (h *host) Broadcast(pkt []byte) {
 func (h *host) SetTimer(d time.Duration, tag node.Tag) node.TimerID {
 	h.nextTID++
 	tid := h.nextTID
-	h.timers[tid] = tag
+	h.timers = append(h.timers, timerRec{tid, tag}) // tids increase: stays sorted
 	if h.sh != nil {
 		ev := h.sh.pushHostEvent(h.sh.now+d, h, evTimer)
 		ev.tid = tid
@@ -963,7 +999,9 @@ func (h *host) SetTimer(d time.Duration, tag node.Tag) node.TimerID {
 
 // CancelTimer implements node.Context.
 func (h *host) CancelTimer(id node.TimerID) {
-	delete(h.timers, id)
+	if i := h.timerIdx(id); i >= 0 {
+		h.timers = append(h.timers[:i], h.timers[i+1:]...)
+	}
 }
 
 // Rand implements node.Context.

@@ -1,0 +1,119 @@
+package wire
+
+// This file defines the wire bodies the threshold base-station authority
+// (internal/authority) exchanges between its replicas. A TAuthority frame
+// carries one AuthorityMsg envelope; the envelope's Body is a round-kind-
+// specific payload the authority package encodes itself (group elements
+// and field scalars as fixed-width byte strings), so the wire layer stays
+// free of big-integer arithmetic. Only the envelope and the command being
+// signed are wire contracts.
+
+// Authority message kinds (values are stable wire constants). They name
+// the rounds of the three authority protocols: the Pedersen/Gennaro DKG,
+// the t-of-n command signing, and the reshare → ack → commit state
+// machine.
+const (
+	AKHello            byte = 1  // static DH identity announcement
+	AKDeal             byte = 2  // VSS commitments + pairwise-sealed shares
+	AKComplaint        byte = 3  // complaint against a dealer
+	AKJustify          byte = 4  // accused dealer reveals the disputed share
+	AKExtract          byte = 5  // Feldman exponents of the dealt polynomial
+	AKExtractComplaint byte = 6  // revealed share of a dealer whose exponents lie
+	AKPropose          byte = 7  // command proposal opening a signing session
+	AKPartial          byte = 8  // signer's nonce point + chain-key share
+	AKSigShare         byte = 9  // signer's Schnorr response share
+	AKCommand          byte = 10 // combined, threshold-signed command
+	AKReshareInit      byte = 11 // resharing proposal (new threshold/committee)
+	AKReshareDeal      byte = 12 // old holder's sub-share deal
+	AKReshareAck       byte = 13 // new holder acknowledges a verified deal
+	AKReshareCommit    byte = 14 // coordinator fixes the dealer set; install
+	AKReshareAbort     byte = 15 // resharing failed; keep old shares
+)
+
+// AuthorityMsg is the envelope every TAuthority frame carries. From is
+// the sender's committee index (1-based, the evaluation point of its
+// share); Session distinguishes concurrent protocol instances so late
+// or replayed rounds from a previous session are discarded.
+type AuthorityMsg struct {
+	Kind    byte
+	Session uint32
+	From    uint32
+	Body    []byte
+}
+
+// Marshal encodes the body.
+func (m *AuthorityMsg) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *AuthorityMsg) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
+	w.u8(m.Kind)
+	w.u32(m.Session)
+	w.u32(m.From)
+	w.bytes(m.Body)
+	return w.buf
+}
+
+// UnmarshalAuthorityMsg decodes an AuthorityMsg body.
+func UnmarshalAuthorityMsg(b []byte) (*AuthorityMsg, error) {
+	r := reader{buf: b}
+	m := &AuthorityMsg{Kind: r.u8(), Session: r.u32(), From: r.u32()}
+	m.Body = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Authority command kinds.
+const (
+	CmdEvict   byte = 1 // release K_Index and revoke CIDs (Section IV-D)
+	CmdRefresh byte = 2 // release K_Index; sensors hash-forward all keys
+)
+
+// AuthorityCommand is the maintenance command a t-of-n quorum of
+// authority replicas authorizes. It is both the message the threshold
+// Schnorr signature covers (byte-for-byte, via Marshal) and the payload
+// of AKPropose/AKCommand rounds. Index names the revocation-chain value
+// whose release authenticates the command to sensors; CIDs lists the
+// clusters to evict (empty for CmdRefresh).
+type AuthorityCommand struct {
+	Kind    byte
+	Session uint32
+	Index   uint32
+	CIDs    []uint32
+}
+
+// Marshal encodes the body.
+func (m *AuthorityCommand) Marshal() []byte { return m.AppendMarshal(nil) }
+
+// AppendMarshal appends the encoded body to dst and returns the
+// extended slice; reusable scratch with spare capacity makes the call
+// allocation-free.
+func (m *AuthorityCommand) AppendMarshal(dst []byte) []byte {
+	w := writer{buf: dst}
+	w.u8(m.Kind)
+	w.u32(m.Session)
+	w.u32(m.Index)
+	w.u16(uint16(len(m.CIDs)))
+	for _, c := range m.CIDs {
+		w.u32(c)
+	}
+	return w.buf
+}
+
+// UnmarshalAuthorityCommand decodes an AuthorityCommand body.
+func UnmarshalAuthorityCommand(b []byte) (*AuthorityCommand, error) {
+	r := reader{buf: b}
+	m := &AuthorityCommand{Kind: r.u8(), Session: r.u32(), Index: r.u32()}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		m.CIDs = append(m.CIDs, r.u32())
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

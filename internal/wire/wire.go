@@ -40,6 +40,7 @@ const (
 	TRefresh    Type = 8  // within-cluster key refresh, sealed under the old cluster key
 	TKeepAlive  Type = 9  // clusterhead liveness heartbeat, sealed under the cluster key
 	TRepair     Type = 10 // headship claim after a head crash, sealed under the cluster key
+	TAuthority  Type = 11 // threshold-authority round message (internal/authority)
 )
 
 // String returns the message type mnemonic.
@@ -65,6 +66,8 @@ func (t Type) String() string {
 		return "KEEPALIVE"
 	case TRepair:
 		return "REPAIR"
+	case TAuthority:
+		return "AUTHORITY"
 	default:
 		return fmt.Sprintf("TYPE(%d)", byte(t))
 	}
@@ -139,7 +142,7 @@ func ParseFrameInto(f *Frame, pkt []byte) error {
 	f.CID = binary.BigEndian.Uint32(pkt[1:5])
 	f.Nonce = binary.BigEndian.Uint64(pkt[5:13])
 	f.Payload = nil
-	if f.Type < THello || f.Type > TRepair {
+	if f.Type < THello || f.Type > TAuthority {
 		return ErrBadType
 	}
 	n := int(binary.BigEndian.Uint16(pkt[13:15]))
