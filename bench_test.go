@@ -14,6 +14,7 @@ package repro_test
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/crypt"
 	"repro/internal/experiments"
@@ -436,6 +437,51 @@ func BenchmarkScaleSweepShard1(b *testing.B) { benchScaleSweepShards(b, 1) }
 // package's shard-equivalence tests prove it); the per-core rate shows
 // the synchronization overhead the epoch barrier costs at this scale.
 func BenchmarkScaleSweepSharded(b *testing.B) { benchScaleSweepShards(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSoakThroughput wall-clocks the sustained data-plane rate:
+// how many encrypted readings per second of real time the base station
+// absorbs under the soak family's CBR workload. Preparation (topology,
+// key setup, schedule) runs off the clock; only the injection window
+// plus drain — the region batching accelerates — is timed. The
+// readings/s metric is the gated number (benchdiff): Batch8 is expected
+// to hold at least twice the BatchOff rate, since batched sealing
+// collapses per-reading seals, relays, and echo acks into one outer
+// frame per batch (docs/THROUGHPUT.md).
+func BenchmarkSoakThroughput(b *testing.B) {
+	// The bench load is denser than the family default: at 5ms per
+	// sender the converging flows actually fill batches, and the longer
+	// flush delay trades per-reading latency for full batches — the
+	// throughput-oriented operating point THROUGHPUT.md describes.
+	load := experiments.SoakLoad{
+		Period:     5 * time.Millisecond,
+		Window:     2 * time.Second,
+		FlushDelay: 250 * time.Millisecond,
+	}
+	soak := func(batch int) func(b *testing.B) {
+		return func(b *testing.B) {
+			var delivered, secs float64
+			for i := 0; i < b.N; i++ {
+				o := experiments.Options{Seed: uint64(i) + 1, Trials: 1, N: 300}
+				b.StopTimer()
+				run, err := experiments.PrepareSoakLoad(o, "cbr", batch, 0, i, load)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				st := run.Run()
+				secs += time.Since(start).Seconds()
+				if st.Delivered == 0 {
+					b.Fatal("soak delivered nothing; the workload is dead")
+				}
+				delivered += float64(st.Delivered)
+			}
+			b.ReportMetric(delivered/secs, "readings/s")
+		}
+	}
+	b.Run("BatchOff", soak(0))
+	b.Run("Batch8", soak(8))
+}
 
 // BenchmarkTransportRoundTrip measures the reliable transport's hot
 // path end to end: seal a reading-sized payload, frame and send it

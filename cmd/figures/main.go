@@ -8,7 +8,7 @@
 //	        [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
-//	               setupcost,chaos,arq,authority]
+//	               setupcost,chaos,arq,authority,soak]
 //
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
@@ -64,7 +64,7 @@ const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards
         [-obs :9090]
         [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
                setup,storage,election,routing,freshness,mac,lifetime,
-               setupcost,chaos,arq,authority]`
+               setupcost,chaos,arq,authority,soak]`
 
 // options holds every figures flag; registerFlags binds them to a
 // FlagSet so tests can exercise flag registration and usage output
@@ -298,6 +298,9 @@ func main() {
 		}},
 		{"authority", func() (interface{ Table() string }, error) {
 			return experiments.AuthorityResilience(capped("authority"), 2, 3, nil)
+		}},
+		{"soak", func() (interface{ Table() string }, error) {
+			return experiments.Soak(capped("soak"), experiments.SoakModels, 8)
 		}},
 	}
 

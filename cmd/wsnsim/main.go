@@ -6,7 +6,7 @@
 // Usage:
 //
 //	wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
-//	       [-shards 0] [-readings 100] [-fusion] [-refresh none]
+//	       [-shards 0] [-readings 100] [-batch 0] [-fusion] [-refresh none]
 //	       [-refresh-period 0] [-evict 0] [-authority t/n] [-add 0]
 //	       [-battery 0] [-faults plan.txt] [-heal] [-trace] [-map] [-v]
 //	       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
@@ -64,7 +64,7 @@ import (
 // registered flag appears here and that the doc comment carries these
 // exact lines.
 const usageText = `wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
-       [-shards 0] [-readings 100] [-fusion] [-refresh none]
+       [-shards 0] [-readings 100] [-batch 0] [-fusion] [-refresh none]
        [-refresh-period 0] [-evict 0] [-authority t/n] [-add 0]
        [-battery 0] [-faults plan.txt] [-heal] [-trace] [-map] [-v]
        [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
@@ -80,6 +80,7 @@ type options struct {
 	loss      *float64
 	shards    *int
 	readings  *int
+	batch     *int
 	fusion    *bool
 	refresh   *string
 	evict     *int
@@ -109,6 +110,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		loss:      fs.Float64("loss", 0, "per-link packet loss probability"),
 		shards:    fs.Int("shards", 0, "intra-trial simulation shards (0 = legacy serial engine, >=1 = sharded; see docs/SCALING.md)"),
 		readings:  fs.Int("readings", 100, "readings to originate from random nodes"),
+		batch:     fs.Int("batch", 0, "seal up to this many readings per data frame (0/1 = one frame per reading; see docs/THROUGHPUT.md)"),
 		fusion:    fs.Bool("fusion", false, "data-fusion mode: disable Step-1 encryption"),
 		refresh:   fs.String("refresh", "none", "key refresh after setup: hash, rekey, or none"),
 		evict:     fs.Int("evict", 0, "revoke this many random clusters after setup"),
@@ -222,6 +224,7 @@ func main() {
 		Loss:        *o.loss,
 		Shards:      *o.shards,
 		ReserveLate: *o.add,
+		Batch:       *o.batch,
 		Battery:     *o.battery,
 		OnDeath:     func(int, time.Duration) { deaths++ },
 		Trace:       traceHook,

@@ -160,6 +160,20 @@ type Config struct {
 	// simultaneous senders don't retry in lockstep. Defaults to 30ms.
 	SetupRetryBase time.Duration
 
+	// BatchSize, if > 1, enables batched sealing on the data plane
+	// (docs/THROUGHPUT.md): a node queues originated and relayed
+	// readings and flushes up to BatchSize of them as one TDataBatch
+	// under a single cluster-key seal, amortizing the outer MAC and
+	// frame header. Each reading's Step-1 inner envelope stays
+	// independently sealed under its origin's node key, so per-origin
+	// authenticity and base-station dedup are unchanged. 0 or 1 keep
+	// the classic one-reading-per-TData path byte-identical.
+	BatchSize int
+	// BatchFlushDelay bounds how long a queued reading may wait for the
+	// batch to fill before a deadline flush. Defaults to 20ms when
+	// BatchSize > 1.
+	BatchFlushDelay time.Duration
+
 	// DataRetries, if nonzero, enables ack-gated forwarding: a sender
 	// keeps a transmitted reading pending until it overhears a
 	// lower-hop relay of the same (origin, seq) — or the base station's
@@ -260,6 +274,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DataRetries > 0 && c.DataRetryBase <= 0 {
 		c.DataRetryBase = 40 * time.Millisecond
+	}
+	if c.BatchSize > 1 && c.BatchFlushDelay <= 0 {
+		c.BatchFlushDelay = 20 * time.Millisecond
 	}
 	return c
 }

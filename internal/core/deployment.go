@@ -69,6 +69,11 @@ type DeployOptions struct {
 	// PoisonRecycled overwrites recycled packet buffers with 0xDB (see
 	// sim.Config.PoisonRecycled) to surface illegal packet retention.
 	PoisonRecycled bool
+	// Batch, when > 1, enables batched sealing on every node's data
+	// plane (Config.BatchSize; docs/THROUGHPUT.md): up to Batch readings
+	// share one cluster-key seal, flushed on size or deadline. 0 keeps
+	// the classic one-reading-per-frame path byte-identical.
+	Batch int
 	// Shards, when >= 1, runs the trial on the simulator's intra-trial
 	// sharded engine: nodes are assigned to spatial stripes via
 	// topology.Graph.ShardStripes and each stripe's event heap advances
@@ -98,6 +103,9 @@ type Deployment struct {
 func Deploy(opt DeployOptions) (*Deployment, error) {
 	if opt.N < 2 {
 		return nil, fmt.Errorf("core: deployment needs at least 2 nodes, got %d", opt.N)
+	}
+	if opt.Batch > 0 {
+		opt.Config.BatchSize = opt.Batch
 	}
 	cfg := opt.Config.withDefaults()
 	if opt.Obs != nil {

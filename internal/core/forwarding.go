@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/crypt"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -88,7 +89,11 @@ func (s *Sensor) SendReading(ctx node.Context, data []byte) (uint32, bool) {
 	s.remember(s.id, s.readingSeq)
 	s.innerBuf = inner.AppendMarshal(s.innerBuf[:0])
 	innerBytes := s.innerBuf
-	s.sendData(ctx, innerBytes, s.id, s.readingSeq)
+	if s.batchEnabled() {
+		s.enqueueReading(ctx, innerBytes, s.id, s.readingSeq)
+	} else {
+		s.sendData(ctx, innerBytes, s.id, s.readingSeq)
+	}
 	s.trackPending(ctx, innerBytes, s.id, s.readingSeq)
 	return s.readingSeq, true
 }
@@ -126,8 +131,13 @@ func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
 	if !ok {
 		return // not a neighboring cluster, or forged: drop
 	}
-	d, err := wire.UnmarshalData(body)
-	if err != nil {
+	// Decoded in place: d.Inner aliases the open scratch, which stays
+	// untouched for the rest of this handler (everything that outlives
+	// the callback — pending-retry copies, arena-backed deliveries, the
+	// per-receiver radio copy — copies out of it).
+	var dv wire.Data
+	d := &dv
+	if err := wire.UnmarshalDataInto(d, body); err != nil {
 		return
 	}
 	// The CID inside the encryption must match the selector outside it.
@@ -160,7 +170,7 @@ func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
 	s.remember(d.Origin, d.Seq)
 
 	if s.bs != nil {
-		s.deliverAtBS(ctx, d)
+		s.deliver(ctx, d.Origin, d.Seq, d.Inner)
 		return
 	}
 	if s.Malice.DropData {
@@ -174,23 +184,45 @@ func (s *Sensor) onData(ctx node.Context, f *wire.Frame, _ []byte) {
 	// Data-fusion peek: with Step 1 disabled the reading is visible to
 	// every forwarder holding the cluster key; the application may
 	// discard redundant reports here.
-	if s.Peek != nil {
-		if in, err := wire.UnmarshalInner(d.Inner); err == nil && !in.Encrypted {
-			if !s.Peek(d.Origin, d.Seq, in.Sealed) {
-				return
-			}
-		}
+	if !s.peekAllows(d.Origin, d.Seq, d.Inner) {
+		return
 	}
-	s.sendData(ctx, d.Inner, d.Origin, d.Seq)
-	s.trackPending(ctx, d.Inner, d.Origin, d.Seq)
+	s.relayReading(ctx, d.Inner, d.Origin, d.Seq)
 }
 
-// deliverAtBS terminates a reading at the base station: verify the Step-1
+// peekAllows consults the data-fusion Peek hook for a plaintext
+// (Step-1-disabled) reading; readings without a hook, or encrypted ones,
+// always pass. The Sealed bytes handed to the hook are transient.
+func (s *Sensor) peekAllows(origin node.ID, seq uint32, innerBytes []byte) bool {
+	if s.Peek == nil {
+		return true
+	}
+	var in wire.Inner
+	if err := wire.UnmarshalInnerInto(&in, innerBytes); err == nil && !in.Encrypted {
+		return s.Peek(origin, seq, in.Sealed)
+	}
+	return true
+}
+
+// relayReading re-wraps one verified reading for the next hop — directly
+// as a TData, or through the batch queue when batching is on — and
+// registers it for ack-gated retry.
+func (s *Sensor) relayReading(ctx node.Context, innerBytes []byte, origin node.ID, seq uint32) {
+	if s.batchEnabled() {
+		s.enqueueReading(ctx, innerBytes, origin, seq)
+	} else {
+		s.sendData(ctx, innerBytes, origin, seq)
+	}
+	s.trackPending(ctx, innerBytes, origin, seq)
+}
+
+// deliver terminates a reading at the base station: verify the Step-1
 // envelope (counter window, MAC) against the authority's key registry and
-// record the delivery.
-func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
-	in, err := wire.UnmarshalInner(d.Inner)
-	if err != nil {
+// record the delivery. innerBytes may alias scratch; everything retained
+// is copied into the delivery arena.
+func (s *Sensor) deliver(ctx node.Context, origin node.ID, seq uint32, innerBytes []byte) {
+	var in wire.Inner
+	if err := wire.UnmarshalInnerInto(&in, innerBytes); err != nil {
 		return
 	}
 	var data []byte
@@ -199,31 +231,42 @@ func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
 		if in.Counter <= last || in.Counter > last+s.cfg.CounterWindow {
 			return // replayed or too-far-future counter
 		}
-		ki := s.bs.auth.NodeKey(in.Src)
+		ki, cached := s.bs.nodeKeys[in.Src]
+		if !cached {
+			if s.bs.nodeKeys == nil {
+				s.bs.nodeKeys = make(map[node.ID]crypt.Key, 64)
+			} else if len(s.bs.nodeKeys) >= maxCachedSealers {
+				clear(s.bs.nodeKeys)
+			}
+			ki = s.bs.auth.NodeKey(in.Src)
+			s.bs.nodeKeys[in.Src] = ki
+		}
 		aad := s.innerAAD(in.Src)
 		ctx.ChargeMAC(len(in.Sealed) + len(aad))
-		// The plaintext is retained forever in Deliveries, so it must be a
-		// fresh allocation, never sensor scratch: AppendOpen(nil, ...).
-		pt, ok := s.sealerFor(ki).AppendOpen(nil, in.Counter, aad, in.Sealed)
+		pt, ok := s.sealerFor(ki).AppendOpen(s.innerOpenBuf[:0], in.Counter, aad, in.Sealed)
 		if !ok {
 			return
 		}
+		s.innerOpenBuf = pt
 		ctx.ChargeCipher(len(pt))
 		// Origin must match the key that authenticated the envelope.
-		if in.Src != d.Origin {
+		if in.Src != origin {
 			return
 		}
 		s.bs.counters[in.Src] = in.Counter
-		data = pt
+		// The plaintext is retained forever in Deliveries, so it moves
+		// from the open scratch into the append-only arena — a stable
+		// copy without a per-packet allocation.
+		data = s.bs.arenaCopy(pt)
 	} else {
-		if in.Src != d.Origin {
+		if in.Src != origin {
 			return
 		}
-		data = in.Sealed
+		data = s.bs.arenaCopy(in.Sealed)
 	}
 	del := Delivery{
-		Origin:    d.Origin,
-		Seq:       d.Seq,
+		Origin:    origin,
+		Seq:       seq,
 		Data:      data,
 		At:        ctx.Now(),
 		Encrypted: in.Encrypted,
@@ -238,7 +281,158 @@ func (s *Sensor) deliverAtBS(ctx node.Context, d *wire.Data) {
 		// overhear a downstream relay (there is none), so without this
 		// they would retry deliveries that already landed; the gradient
 		// rule (Hop 0 <= anyone's hop) keeps the echo from propagating.
-		s.sendData(ctx, d.Inner, d.Origin, d.Seq)
+		s.sendData(ctx, innerBytes, origin, seq)
+	}
+}
+
+// --- batched sealing (Config.BatchSize > 1; docs/THROUGHPUT.md) ---
+
+// batchEnabled reports whether the data plane batches readings. At 0 or
+// 1 the classic one-reading-per-TData path runs byte-identically.
+func (s *Sensor) batchEnabled() bool { return s.cfg.BatchSize > 1 }
+
+// batchEntry is one queued reading: its (origin, seq) identity plus the
+// position of its inner envelope in the shared batchBuf slab.
+type batchEntry struct {
+	origin node.ID
+	seq    uint32
+	off    int
+	n      int
+}
+
+// maxBatchBytes and maxBatchCount cap the queued inner bytes and tuple
+// count per batch so the sealed payload (inners + 10 bytes of per-tuple
+// framing + header + seal overhead) can never approach wire.MaxPayload,
+// whatever BatchSize says.
+const (
+	maxBatchBytes = 32 << 10
+	maxBatchCount = 2048
+)
+
+// enqueueReading queues one inner envelope for the next batch flush,
+// flushing immediately when the batch fills (by count or bytes). The
+// first queued entry arms the deadline flush.
+func (s *Sensor) enqueueReading(ctx node.Context, inner []byte, origin node.ID, seq uint32) {
+	if len(s.batchBuf)+len(inner) > maxBatchBytes {
+		s.flushBatch(ctx)
+	}
+	off := len(s.batchBuf)
+	s.batchBuf = append(s.batchBuf, inner...)
+	s.batchQ = append(s.batchQ, batchEntry{origin: origin, seq: seq, off: off, n: len(inner)})
+	if len(s.batchQ) >= s.cfg.BatchSize || len(s.batchQ) >= maxBatchCount {
+		s.flushBatch(ctx)
+		return
+	}
+	if !s.batchArmed {
+		s.batchArmed = true
+		ctx.SetTimer(s.cfg.BatchFlushDelay, tagBatchFlush)
+	}
+}
+
+// batchFlushTick is the deadline flush: whatever is queued goes out now.
+// The timer is not re-armed here — the next enqueue arms a fresh one —
+// so an idle node carries no recurring timer.
+func (s *Sensor) batchFlushTick(ctx node.Context) {
+	s.batchArmed = false
+	if s.phase != PhaseOperational || !s.ks.InCluster {
+		// Evicted or rebooted with readings still queued: they must not
+		// go out under whatever key the node holds next.
+		s.batchQ = s.batchQ[:0]
+		s.batchBuf = s.batchBuf[:0]
+		return
+	}
+	s.flushBatch(ctx)
+}
+
+// flushBatch seals every queued reading as one TDataBatch under the
+// current cluster key and broadcasts it.
+func (s *Sensor) flushBatch(ctx node.Context) {
+	if len(s.batchQ) == 0 {
+		return
+	}
+	s.batchReadings = s.batchReadings[:0]
+	for _, e := range s.batchQ {
+		s.batchReadings = append(s.batchReadings, wire.BatchReading{
+			Origin: e.origin,
+			Seq:    e.seq,
+			Inner:  s.batchBuf[e.off : e.off+e.n],
+		})
+	}
+	b := &wire.DataBatch{
+		Tau:      int64(ctx.Now()),
+		SrcCID:   s.ks.CID,
+		Hop:      s.hop,
+		Readings: s.batchReadings,
+	}
+	s.bodyBuf = b.AppendMarshal(s.bodyBuf[:0])
+	ctx.Broadcast(s.sealFrame(ctx, wire.TDataBatch, s.ks.CID, s.ks.ClusterKey, s.bodyBuf))
+	s.batchQ = s.batchQ[:0]
+	s.batchBuf = s.batchBuf[:0]
+}
+
+// dropBatchQueue discards queued-but-unflushed readings (eviction from
+// the own cluster: the key they would be sealed under is gone).
+func (s *Sensor) dropBatchQueue() {
+	s.batchQ = s.batchQ[:0]
+	s.batchBuf = s.batchBuf[:0]
+}
+
+// onDataBatch verifies a batched envelope once (one open, one freshness
+// check) and then runs the per-reading pipeline — implicit acks, dedup,
+// base-station delivery or forwarding — tuple by tuple, exactly as if
+// each had arrived in its own TData.
+func (s *Sensor) onDataBatch(ctx node.Context, f *wire.Frame) {
+	if s.phase != PhaseOperational || !s.ks.InCluster {
+		return
+	}
+	body, ok := s.openWithEpochFallback(ctx, f)
+	if !ok {
+		return
+	}
+	b := &s.rxBatch
+	if err := wire.UnmarshalDataBatchInto(b, body); err != nil {
+		return
+	}
+	// The CID inside the encryption must match the selector outside it.
+	if b.SrcCID != f.CID {
+		return
+	}
+	// Freshness applies to the whole batch: the flusher stamped τ once.
+	age := int64(ctx.Now()) - b.Tau
+	if age < -int64(s.cfg.SkewTolerance) || age > int64(s.cfg.FreshWindow) {
+		return
+	}
+	// Implicit acknowledgement per tuple, before duplicate suppression
+	// (mirrors onData): a lower-hop batch relaying our pending readings
+	// acks every one it carries.
+	if len(s.pendingAcks) > 0 && b.Hop < s.hop {
+		for i := range b.Readings {
+			k := dedupKey{b.Readings[i].Origin, b.Readings[i].Seq}
+			if _, ok := s.pendingAcks[k]; ok {
+				delete(s.pendingAcks, k)
+				s.degraded = false
+			}
+		}
+	}
+	forward := s.bs == nil && !s.Malice.DropData &&
+		(s.cfg.FloodForwarding || (s.hop != HopUnknown && b.Hop > s.hop))
+	for i := range b.Readings {
+		rd := &b.Readings[i]
+		if s.seen(rd.Origin, rd.Seq) {
+			continue
+		}
+		s.remember(rd.Origin, rd.Seq)
+		if s.bs != nil {
+			s.deliver(ctx, rd.Origin, rd.Seq, rd.Inner)
+			continue
+		}
+		if !forward {
+			continue
+		}
+		if !s.peekAllows(rd.Origin, rd.Seq, rd.Inner) {
+			continue
+		}
+		s.relayReading(ctx, rd.Inner, rd.Origin, rd.Seq)
 	}
 }
 
@@ -266,11 +460,23 @@ func (s *Sensor) trackPending(ctx node.Context, inner []byte, origin node.ID, se
 		s.pendingAcks = make(map[dedupKey]*pendingSend)
 	}
 	d := s.dataBackoff(ctx, 0)
+	at := ctx.Now() + d
+	if len(s.pendingAcks) == 0 || at < s.retryMinAt {
+		s.retryMinAt = at
+	}
 	s.pendingAcks[k] = &pendingSend{
 		inner:  append([]byte(nil), inner...),
-		nextAt: ctx.Now() + d,
+		nextAt: at,
 	}
-	ctx.SetTimer(d, tagDataRetry)
+	// One armed timer covers the whole queue: arm only when this entry
+	// comes due before the earliest outstanding fire (or none is armed).
+	// Under sustained traffic most entries are implicitly acked before
+	// their deadline, so per-entry timers would mostly fire spuriously —
+	// and the event-heap churn of arming them dominates the hot path.
+	if s.retryTimerAt == 0 || at < s.retryTimerAt {
+		ctx.SetTimer(d, tagDataRetry)
+		s.retryTimerAt = at
+	}
 }
 
 // dataBackoff is DataRetryBase << attempt plus a uniform jitter of up to
@@ -285,25 +491,46 @@ func (s *Sensor) dataBackoff(ctx node.Context, attempt int) time.Duration {
 // are scanned in sorted key order so map iteration order never leaks into
 // random draws or broadcast order.
 func (s *Sensor) dataRetryTick(ctx node.Context) {
+	now := ctx.Now()
+	if s.retryTimerAt != 0 && now >= s.retryTimerAt {
+		// The tracked earliest fire just happened (or passed); anything
+		// still outstanding is a forgotten later timer we'll treat as
+		// spurious when it arrives.
+		s.retryTimerAt = 0
+	}
 	if s.phase != PhaseOperational || !s.ks.InCluster || len(s.pendingAcks) == 0 {
 		return
 	}
-	now := ctx.Now()
-	keys := make([]dedupKey, 0, len(s.pendingAcks))
-	for k := range s.pendingAcks {
-		keys = append(keys, k)
+	// Fast path for spurious fires (the earliest-due entry was acked
+	// after its timer was armed): nothing due means no draws, no sends,
+	// no scan — but the queue still needs a future wake-up.
+	if now < s.retryMinAt {
+		s.ensureRetryTimer(ctx, now)
+		return
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].origin != keys[j].origin {
-			return keys[i].origin < keys[j].origin
+	// Single pass: pick out the due subset (usually a handful even when
+	// thousands of sends are in flight) and track the earliest deadline
+	// among the rest, so neither the sort nor a second sweep touches the
+	// whole queue. Only the due keys are sorted — processing them in key
+	// order keeps random draws and broadcast order independent of map
+	// iteration, exactly as a full sorted scan would.
+	due := s.retryDue[:0]
+	min := time.Duration(1<<63 - 1)
+	for k, p := range s.pendingAcks {
+		if p.nextAt <= now {
+			due = append(due, k)
+		} else if p.nextAt < min {
+			min = p.nextAt
 		}
-		return keys[i].seq < keys[j].seq
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].origin != due[j].origin {
+			return due[i].origin < due[j].origin
+		}
+		return due[i].seq < due[j].seq
 	})
-	for _, k := range keys {
+	for _, k := range due {
 		p := s.pendingAcks[k]
-		if p.nextAt > now {
-			continue
-		}
 		if p.attempts >= s.cfg.DataRetries {
 			// Budget exhausted with no ack: give up on this reading and
 			// flag degraded operation (cleared by the next ack heard).
@@ -317,10 +544,31 @@ func (s *Sensor) dataRetryTick(ctx node.Context) {
 		s.om.dataRetx.Inc()
 		s.cfg.Obs.Emit(now, obs.KindRetransmit, int(s.id), s.ks.CID, "data")
 		s.sendData(ctx, p.inner, k.origin, k.seq)
-		d := s.dataBackoff(ctx, p.attempts)
-		p.nextAt = now + d
-		ctx.SetTimer(d, tagDataRetry)
+		p.nextAt = now + s.dataBackoff(ctx, p.attempts)
+		if p.nextAt < min {
+			min = p.nextAt
+		}
 	}
+	s.retryDue = due[:0]
+	if len(s.pendingAcks) > 0 {
+		s.retryMinAt = min
+		s.ensureRetryTimer(ctx, now)
+	}
+}
+
+// ensureRetryTimer arms a tagDataRetry fire at retryMinAt unless the
+// tracked outstanding timer already fires at or before it. Called only
+// while pendingAcks is non-empty, so retryMinAt is meaningful.
+func (s *Sensor) ensureRetryTimer(ctx node.Context, now time.Duration) {
+	if s.retryTimerAt != 0 && s.retryTimerAt <= s.retryMinAt {
+		return
+	}
+	d := s.retryMinAt - now
+	if d < 0 {
+		d = 0
+	}
+	ctx.SetTimer(d, tagDataRetry)
+	s.retryTimerAt = s.retryMinAt
 }
 
 // openWithEpochFallback opens a cluster-keyed frame with the current key

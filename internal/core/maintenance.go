@@ -175,6 +175,21 @@ func (s *Sensor) onRevoke(ctx node.Context, f *wire.Frame, pkt []byte) {
 		s.ks.DropCluster(cid)
 		s.dropMeta(cid)
 	}
+	if !s.ks.InCluster {
+		// Evicted from the own cluster: retire the ack-gated retry state
+		// and any queued-but-unflushed batch now. A stale tagDataRetry or
+		// tagBatchFlush timer may still fire, but it must find nothing —
+		// retransmitting a pending reading would re-seal it under whatever
+		// key state the revoked node has left, exactly what the eviction
+		// was meant to stop (the tick-side phase guards are the second
+		// line of defense; see TestRevokedSensorAbandonsPendingRetries).
+		clear(s.pendingAcks)
+		// Forget the tracked retry fire too: the next trackPending after a
+		// (hypothetical) re-admission must arm a fresh timer rather than
+		// lean on one that may have already passed.
+		s.retryTimerAt = 0
+		s.dropBatchQueue()
+	}
 	// Re-flood so the command crosses the network even though revoked
 	// clusters' nodes may refuse to cooperate. Broadcast copies per
 	// receiver before returning, so no defensive copy is needed.

@@ -63,6 +63,7 @@ const (
 	tagHelloRetry
 	tagLinkRetry
 	tagDataRetry
+	tagBatchFlush
 )
 
 // HopUnknown marks a node that has not yet acquired a routing gradient.
@@ -99,6 +100,36 @@ type bsState struct {
 	// OnDeliver, if set, observes each delivery as it happens.
 	OnDeliver func(Delivery)
 	round     uint32
+	// arena backs Delivery.Data for decrypted readings: plaintexts are
+	// opened into sensor scratch and then copied into append-only chunks
+	// here, so the steady-state open path allocates nothing. Chunks are
+	// never re-sliced or recycled once handed out, so retained Delivery
+	// slices can never alias scratch or each other's tails.
+	arena []byte
+	// nodeKeys caches the per-origin Ki the authority derives, so the
+	// steady-state open path never reruns the PRF derivation (which
+	// allocates) per packet. Bounded like the sealer cache.
+	nodeKeys map[node.ID]crypt.Key
+}
+
+// arenaChunk is the allocation granule of the base station's delivery
+// arena. Readings are tiny, so one chunk amortizes thousands of copies.
+const arenaChunk = 64 << 10
+
+// arenaCopy copies b into the arena and returns the stable copy.
+func (bs *bsState) arenaCopy(b []byte) []byte {
+	if len(b) > cap(bs.arena)-len(bs.arena) {
+		size := arenaChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		// The old chunk's tail is abandoned, never reused: outstanding
+		// Delivery.Data slices must stay immutable.
+		bs.arena = make([]byte, 0, size)
+	}
+	start := len(bs.arena)
+	bs.arena = append(bs.arena, b...)
+	return bs.arena[start : start+len(b) : start+len(b)]
 }
 
 type dedupKey struct {
@@ -161,8 +192,34 @@ type Sensor struct {
 	linkRetries  int
 
 	// Ack-gated forwarding (active when cfg.DataRetries > 0).
+	// retryMinAt caches the earliest nextAt across pendingAcks so the
+	// retry tick can skip the sorted scan when nothing is due yet — the
+	// common case, since implicit acks delete entries but their armed
+	// timers still fire. Only meaningful while pendingAcks is non-empty,
+	// and allowed to go stale-low when the earliest entry is acked (the
+	// next tick then does one wasted scan and re-tightens it).
 	pendingAcks map[dedupKey]*pendingSend
-	degraded    bool
+	retryMinAt  time.Duration
+	// retryTimerAt is the deadline of the earliest outstanding
+	// tagDataRetry fire, or 0 when none is tracked (backoffs are always
+	// positive, so 0 is never a real deadline). Later forgotten fires
+	// may still be outstanding; they arrive as spurious ticks.
+	retryTimerAt time.Duration
+	// retryDue is scratch for the due-subset sort in dataRetryTick.
+	retryDue []dedupKey
+	degraded bool
+
+	// Data-plane batching (active when cfg.BatchSize > 1). Queued
+	// readings live as (origin, seq, offset) entries over one slab so
+	// steady-state batching allocates nothing; batchReadings is the
+	// flush-time view handed to the DataBatch marshaler.
+	batchQ        []batchEntry
+	batchBuf      []byte
+	batchReadings []wire.BatchReading
+	batchArmed    bool
+	// rxBatch is decode scratch for incoming DataBatch frames; its
+	// Inner slices alias openBuf, so it is only valid inside onDataBatch.
+	rxBatch wire.DataBatch
 
 	// OnRepaired, if set, observes this node winning a repair election
 	// (taking over headship of cid at the given time).
@@ -200,6 +257,7 @@ type Sensor struct {
 	innerBuf     []byte  // marshaled Step-1 Inner envelope
 	innerSealBuf []byte  // Step-1 sealed reading
 	openBuf      []byte  // opened (decrypted) frame body
+	innerOpenBuf []byte  // BS-side opened Step-1 plaintext (copied to the arena)
 
 	bs *bsState
 }
@@ -485,6 +543,8 @@ func (s *Sensor) Timer(ctx node.Context, tag node.Tag) {
 		s.linkRetry(ctx)
 	case tagDataRetry:
 		s.dataRetryTick(ctx)
+	case tagBatchFlush:
+		s.batchFlushTick(ctx)
 	}
 }
 
@@ -505,6 +565,8 @@ func (s *Sensor) Receive(ctx node.Context, from node.ID, pkt []byte) {
 		s.onLinkAdvert(ctx, f)
 	case wire.TData:
 		s.onData(ctx, f, pkt)
+	case wire.TDataBatch:
+		s.onDataBatch(ctx, f)
 	case wire.TBeacon:
 		s.onBeacon(ctx, f)
 	case wire.TRevoke:

@@ -83,6 +83,9 @@ func equivFamilies() []family {
 		{"AuthorityResilience", func(o Options) (any, error) {
 			return AuthorityResilience(o, 2, 3, []int{0, 1})
 		}},
+		{"Soak", func(o Options) (any, error) {
+			return Soak(o, []string{"cbr", "event"}, 8)
+		}},
 	}
 }
 

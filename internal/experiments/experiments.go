@@ -144,6 +144,9 @@ var familyCaps = map[string]Caps{
 	// The scale sweep deploys 1e5+-node networks per trial; two trials
 	// are enough for the streamed means at that size.
 	"scale": {MaxTrials: 2},
+	// The soak family injects thousands of readings per trial and runs
+	// every model twice (batch on/off at identical seeds).
+	"soak": {MaxN: 300, MaxTrials: 3},
 }
 
 // CapsFor returns the scale caps for the named experiment family (the

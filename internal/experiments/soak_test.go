@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+// TestSoakBatchingMatchesDeliveryAndSavesFrames pins the soak family's
+// acceptance shape on the CBR model: at identical seeds and identical
+// send schedules, the batched arm must deliver (virtually) what the
+// classic arm delivers while spending strictly fewer transmissions per
+// delivered reading — that wire saving is the whole point of batching.
+func TestSoakBatchingMatchesDeliveryAndSavesFrames(t *testing.T) {
+	res, err := Soak(Options{Seed: 23, Trials: 2, N: 150, Workers: 0}, []string{"cbr"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delB, ok := res.DeliveryBatch.At(0)
+	if !ok {
+		t.Fatal("missing cbr point in batch delivery series")
+	}
+	delO, _ := res.DeliveryOff.At(0)
+	if delB < 0.95 || delO < 0.95 {
+		t.Fatalf("cbr delivery too low to compare arms: batch %.3f off %.3f", delB, delO)
+	}
+	txB, _ := res.TxPerReadingBatch.At(0)
+	txO, _ := res.TxPerReadingOff.At(0)
+	if txB <= 0 || txO <= 0 {
+		t.Fatalf("degenerate tx/reading: batch %.3f off %.3f", txB, txO)
+	}
+	if txB >= txO {
+		t.Fatalf("batched sealing spent %.3f tx/reading, not below classic %.3f", txB, txO)
+	}
+}
+
+// TestSoakEventModelIsSeedStable pins the event model's arrival process
+// to its salted stream: same options, same schedule, byte-stable
+// deliveries (the equivalence harness covers worker counts; this covers
+// plain repeatability at a non-equivalence scale).
+func TestSoakEventModelIsSeedStable(t *testing.T) {
+	o := Options{Seed: 31, Trials: 1, N: 120, Workers: 1}
+	a, err := SoakTrial(o, "event", 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SoakTrial(o, "event", 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical event-model trials diverged: %+v vs %+v", a, b)
+	}
+	if a.Offered == 0 || a.Delivered == 0 {
+		t.Fatalf("event model injected/delivered nothing: %+v", a)
+	}
+}
+
+// TestSoakRejectsUnknownModel pins the validation path.
+func TestSoakRejectsUnknownModel(t *testing.T) {
+	if _, err := Soak(Options{Trials: 1, N: 60}, []string{"tsunami"}, 4); err == nil {
+		t.Fatal("unknown traffic model accepted")
+	}
+}

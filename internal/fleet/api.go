@@ -201,6 +201,23 @@ func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleReadings(w http.ResponseWriter, r *http.Request) {
+	// Validate pagination params here so a malformed query is the
+	// caller's 400, not a proxied node error surfacing as a 502. The
+	// node handler re-checks (it is reachable directly), but the API is
+	// the contract surface. Empty values ("?limit=") are malformed.
+	q := r.URL.Query()
+	if q.Has("limit") {
+		if n, err := strconv.Atoi(q.Get("limit")); err != nil || n < 0 {
+			http.Error(w, "fleet: ?limit= must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+	}
+	if q.Has("after") {
+		if _, err := strconv.ParseUint(q.Get("after"), 10, 64); err != nil {
+			http.Error(w, "fleet: ?after= must be an unsigned integer cursor", http.StatusBadRequest)
+			return
+		}
+	}
 	data, err := a.c.Readings(r.PathValue("id"), r.URL.RawQuery)
 	switch {
 	case errors.Is(err, errNotFound):

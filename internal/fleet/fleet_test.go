@@ -315,6 +315,12 @@ func TestReadingsPaginationStableAcrossRestart(t *testing.T) {
 		time.Sleep(200 * time.Millisecond)
 	}
 
+	// limit=0 is a valid probe: an empty page whose cursor doesn't move
+	// but whose total still reports the stream length.
+	if p := getPage(c, "limit=0&after=0"); len(p.Readings) != 0 || p.Next != 0 || p.Total < 3 {
+		t.Fatalf("limit=0 page = %+v, want empty page, next=0, total>=3", p)
+	}
+
 	// Page through with limit=2: cursors chain, nothing repeats.
 	seen := map[pageReading]bool{}
 	var cursor uint64

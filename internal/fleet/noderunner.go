@@ -453,16 +453,19 @@ func (r *nodeRunner) handleReadings(w http.ResponseWriter, req *http.Request) {
 	paged := q.Has("limit") || q.Has("after")
 	after := uint64(0)
 	limit := -1
-	if v := q.Get("after"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
+	// A present-but-empty value ("?after=") is malformed, not "default":
+	// gate on Has rather than Get returning "" so it reaches the parser
+	// and fails there.
+	if q.Has("after") {
+		n, err := strconv.ParseUint(q.Get("after"), 10, 64)
 		if err != nil {
 			http.Error(w, "fleet: bad ?after= cursor", http.StatusBadRequest)
 			return
 		}
 		after = n
 	}
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
+	if q.Has("limit") {
+		n, err := strconv.Atoi(q.Get("limit"))
 		if err != nil || n < 0 {
 			http.Error(w, "fleet: bad ?limit=", http.StatusBadRequest)
 			return

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestNodeReadingsHandlerRejectsMalformedPagination hits the node's
+// /readings handler with every malformed-pagination shape and requires
+// a 400 before the handler ever consults the node goroutine (a
+// zero-value runner would hang on any later path, so a reply at all
+// proves the rejection happens up front).
+func TestNodeReadingsHandlerRejectsMalformedPagination(t *testing.T) {
+	r := &nodeRunner{}
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"empty limit value", "limit="},
+		{"non-numeric limit", "limit=abc"},
+		{"negative limit", "limit=-1"},
+		{"empty after value", "after="},
+		{"non-numeric after", "after=xyz"},
+		{"negative after", "after=-5"},
+		{"float limit", "limit=1.5"},
+		{"overflow limit", "limit=99999999999999999999"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("GET", "/readings?"+tc.query, nil)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				r.handleReadings(rec, req)
+			}()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("?%s reached the node goroutine instead of failing validation", tc.query)
+			}
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("?%s -> %d, want 400 (body %q)", tc.query, rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestAPIReadingsRejectsMalformedPagination checks the coordinator API
+// validates ?limit=/?after= itself: a malformed query is the caller's
+// 400, never a proxied node error surfacing as a 502 — and never a 404,
+// since validation precedes the deployment lookup. Well-formed queries
+// against a missing deployment still 404.
+func TestAPIReadingsRejectsMalformedPagination(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir(), Exec: testExec(), DrainTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	api, err := ServeAPI(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	url := "http://" + api.Addr() + "/v1/deployments/nope/readings"
+
+	get := func(query string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	for _, query := range []string{
+		"?limit=", "?limit=abc", "?limit=-1", "?limit=2&after=",
+		"?after=oops", "?after=-3", "?limit=1.0",
+	} {
+		if code, body := get(query); code != http.StatusBadRequest {
+			t.Errorf("GET %s -> %d (%q), want 400", query, code, body)
+		}
+	}
+	// Well-formed pagination on a nonexistent deployment is a 404: the
+	// query passed validation and failed on lookup, not on shape.
+	for _, query := range []string{"", "?limit=0", "?limit=5&after=12"} {
+		if code, body := get(query); code != http.StatusNotFound {
+			t.Errorf("GET %s -> %d (%q), want 404", query, code, body)
+		}
+	}
+}

@@ -30,7 +30,16 @@ const (
 	KindProbe Kind = 3
 	// KindProbeAck answers a probe.
 	KindProbeAck Kind = 4
+	// KindAckBatch acknowledges many data frames at once: the payload is
+	// a sequence of (start seq u32, count u16) ranges, all under the
+	// epoch in the header. Seq in the header is unused (zero). Emitted
+	// only when Config.AckDelay enables coalescing; ranges may span the
+	// uint32 sequence wraparound (start+i is computed mod 2^32).
+	KindAckBatch Kind = 5
 )
+
+// AckRangeSize is the encoded length of one coalesced-ack range.
+const AckRangeSize = 4 + 2
 
 // String returns the kind mnemonic.
 func (k Kind) String() string {
@@ -43,6 +52,8 @@ func (k Kind) String() string {
 		return "PROBE"
 	case KindProbeAck:
 		return "PROBE-ACK"
+	case KindAckBatch:
+		return "ACK-BATCH"
 	default:
 		return fmt.Sprintf("KIND(%d)", byte(k))
 	}
@@ -111,7 +122,7 @@ func ParseFrame(raw []byte) (Frame, error) {
 		return f, ErrVersion
 	}
 	f.Kind = Kind(raw[1])
-	if f.Kind < KindData || f.Kind > KindProbeAck {
+	if f.Kind < KindData || f.Kind > KindAckBatch {
 		return f, ErrBadKind
 	}
 	f.From = binary.BigEndian.Uint32(raw[2:6])

@@ -13,6 +13,8 @@ func FuzzTransportFrame(f *testing.F) {
 	f.Add(Frame{Kind: KindAck, From: 0, Epoch: 1, Seq: 1}.Marshal())
 	f.Add(Frame{Kind: KindProbe, From: 9}.Marshal())
 	f.Add(Frame{Kind: KindProbeAck, From: 2}.Marshal())
+	f.Add(Frame{Kind: KindAckBatch, From: 4, Epoch: 7,
+		Payload: []byte{0xff, 0xff, 0xff, 0xfe, 0x00, 0x04}}.Marshal())
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize))
 	f.Fuzz(func(t *testing.T, raw []byte) {

@@ -152,6 +152,31 @@ func TestLabBreakerOpensOnCrashAndRecovers(t *testing.T) {
 	}
 }
 
+// TestLabCoalescedAcksDeliverUnderLoss runs the blackout-recovery
+// scenario with ACK coalescing enabled and requires the same 5/5
+// delivery as the classic per-frame ack path: batched acks must clear
+// inflight state just as reliably under loss and retransmission.
+func TestLabCoalescedAcksDeliverUnderLoss(t *testing.T) {
+	blackout := func(now time.Duration, from, to int) bool { return now < 50*time.Millisecond }
+	lab, sink, m := labPair(t, Config{ARQ: true, AckDelay: 4 * time.Millisecond}, blackout)
+	for k := 0; k < 5; k++ {
+		msg := fmt.Sprintf("m%d", k)
+		lab.Do(time.Duration(k+1)*5*time.Millisecond, 1, func(ctx node.Context) {
+			ctx.Broadcast([]byte(msg))
+		})
+	}
+	lab.Run(2 * time.Second)
+	if len(sink.got) != 5 {
+		t.Fatalf("coalesced-ack ARQ delivered %d/5 through the blackout: %q", len(sink.got), sink.got)
+	}
+	if m.Retransmits.Value() == 0 {
+		t.Fatal("blackout recovery happened without retransmissions?")
+	}
+	if got := lab.Endpoint(1).InFlight(); got != 0 {
+		t.Fatalf("%d frames still inflight after batched acks", got)
+	}
+}
+
 // TestLabDeterminism runs an identical lossy ARQ scenario twice and
 // requires identical delivery sequences and identical counters.
 func TestLabDeterminism(t *testing.T) {

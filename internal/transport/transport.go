@@ -20,6 +20,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"sort"
 	"time"
 
@@ -67,6 +68,18 @@ type Config struct {
 	// Quarantine is how long a flapping link is exiled: no tracked
 	// sends, no probes, best-effort only. Default 30s.
 	Quarantine time.Duration
+
+	// AckDelay enables ACK coalescing (requires ARQ): instead of acking
+	// every data frame immediately, acks accumulate per link for up to
+	// AckDelay and go out as one range-coded KindAckBatch frame. Pending
+	// acks also flush when AckMax of them are queued, when reverse data
+	// traffic toward the peer proves the radio is about to be used
+	// anyway, and when the link's breaker changes state. 0 keeps the
+	// classic ack-per-frame path byte-identical.
+	AckDelay time.Duration
+	// AckMax flushes a link's pending acks early once this many are
+	// queued. Default 16 when AckDelay > 0.
+	AckMax int
 }
 
 // Enabled reports whether the transport does anything beyond passing
@@ -106,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Quarantine == 0 {
 		c.Quarantine = 30 * time.Second
+	}
+	if c.AckDelay > 0 && c.AckMax <= 0 {
+		c.AckMax = 16
 	}
 	return c
 }
@@ -245,6 +261,13 @@ type link struct {
 	flapStart   time.Duration
 	flapOpens   int
 	quarantined bool // this open is a quarantine (flapping link)
+
+	// Coalesced-ack accumulator (Config.AckDelay > 0): sequence numbers
+	// awaiting acknowledgement toward this peer, the epoch they all
+	// belong to, and the deadline set by the oldest of them.
+	ackPend  []uint32
+	ackEpoch uint32
+	ackDue   time.Duration
 }
 
 // Endpoint is one node's reliability state machine. It is NOT
@@ -268,6 +291,7 @@ type Endpoint struct {
 
 	links   map[int]*link
 	scratch []byte // marshal buffer for acks and untracked sends
+	ackBuf  []byte // range-payload scratch for coalesced acks
 	peerBuf []int  // sorted-key scratch for Tick
 	seqBuf  []uint32
 }
@@ -349,6 +373,10 @@ func (e *Endpoint) InFlight() int {
 // only stops the transport from burning retries on a dead peer).
 func (e *Endpoint) Send(to int, payload []byte, now time.Duration) {
 	l := e.link(to)
+	// Reverse traffic flushes coalesced acks first: the radio is about
+	// to carry a frame to this peer anyway, so pending acks ride the
+	// same burst instead of waiting out their delay.
+	e.flushAcks(l, now)
 	l.nextSeq++
 	f := Frame{Kind: KindData, From: uint32(e.local), Epoch: e.epoch, Seq: l.nextSeq, Payload: payload}
 	e.m.TxData.Inc()
@@ -404,10 +432,14 @@ func (e *Endpoint) HandleRaw(raw []byte, now time.Duration) {
 		l := e.link(from)
 		fresh := l.accept(f.Epoch, f.Seq)
 		if e.cfg.ARQ {
-			ack := Frame{Kind: KindAck, From: uint32(e.local), Epoch: f.Epoch, Seq: f.Seq}
-			e.scratch = ack.AppendMarshal(e.scratch[:0])
-			e.m.TxAcks.Inc()
-			e.send(from, e.scratch)
+			if e.cfg.AckDelay > 0 {
+				e.queueAck(l, f.Epoch, f.Seq, now)
+			} else {
+				ack := Frame{Kind: KindAck, From: uint32(e.local), Epoch: f.Epoch, Seq: f.Seq}
+				e.scratch = ack.AppendMarshal(e.scratch[:0])
+				e.m.TxAcks.Inc()
+				e.send(from, e.scratch)
+			}
 		}
 		if !fresh {
 			e.m.DupDrops.Inc()
@@ -420,20 +452,113 @@ func (e *Endpoint) HandleRaw(raw []byte, now time.Duration) {
 		if f.Epoch != e.epoch {
 			return // addressed to a previous incarnation
 		}
+		e.ackOne(e.link(from), f.Seq, now)
+	case KindAckBatch:
+		e.m.RxAcks.Inc()
+		if f.Epoch != e.epoch {
+			return // addressed to a previous incarnation
+		}
+		if len(f.Payload)%AckRangeSize != 0 {
+			e.m.ParseErrs.Inc()
+			return
+		}
 		l := e.link(from)
-		delete(l.inflight, f.Seq)
-		l.fails = 0
-		if l.state != BreakerClosed {
-			// Any ack proves the link is alive again — including acks
-			// for best-effort frames sent while the breaker was open.
-			l.state = BreakerClosed
-			l.probe = 0
-			e.m.Closes.Inc()
-			e.m.OpenLinks.Dec()
+		// Bound the expansion work per frame: a forged 65535-count range
+		// must not turn one datagram into a 65535-iteration loop. Real
+		// batches are AckMax seqs at most, far under the cap.
+		budget := maxAckBatchSeqs
+		for p := f.Payload; len(p) >= AckRangeSize; p = p[AckRangeSize:] {
+			start := binary.BigEndian.Uint32(p)
+			count := int(binary.BigEndian.Uint16(p[4:6]))
+			for i := 0; i < count && budget > 0; i++ {
+				budget--
+				// start+i wraps mod 2^32, matching the encoder: a range
+				// may span the sequence wraparound.
+				e.ackOne(l, start+uint32(i), now)
+			}
 		}
 	default:
 		// Probes are a carrier concern; an endpoint ignores them.
 	}
+}
+
+// maxAckBatchSeqs caps how many sequence numbers one KindAckBatch frame
+// may acknowledge.
+const maxAckBatchSeqs = 4096
+
+// ackOne applies one acknowledged sequence number to l: the frame leaves
+// the retransmit set and the link is proven alive, closing its breaker
+// if it was open or probing. Idempotent, so replayed or overlapping acks
+// are harmless.
+func (e *Endpoint) ackOne(l *link, seq uint32, now time.Duration) {
+	delete(l.inflight, seq)
+	l.fails = 0
+	if l.state != BreakerClosed {
+		// Any ack proves the link is alive again — including acks
+		// for best-effort frames sent while the breaker was open.
+		l.state = BreakerClosed
+		l.probe = 0
+		e.m.Closes.Inc()
+		e.m.OpenLinks.Dec()
+		// Breaker state change: whatever acks we owe this peer go out
+		// now, while the link is demonstrably usable.
+		e.flushAcks(l, now)
+	}
+}
+
+// queueAck records one coalesced acknowledgement toward l's peer,
+// flushing on epoch change (acks echo the data epoch, so one batch
+// cannot mix incarnations) and on the AckMax high-water mark. The first
+// queued ack starts the AckDelay deadline clock; Tick and NextWake
+// honor it.
+func (e *Endpoint) queueAck(l *link, epoch, seq uint32, now time.Duration) {
+	if len(l.ackPend) > 0 && l.ackEpoch != epoch {
+		e.flushAcks(l, now)
+	}
+	if len(l.ackPend) == 0 {
+		l.ackEpoch = epoch
+		l.ackDue = now + e.cfg.AckDelay
+	}
+	l.ackPend = append(l.ackPend, seq)
+	if len(l.ackPend) >= e.cfg.AckMax {
+		e.flushAcks(l, now)
+	}
+}
+
+// flushAcks drains l's pending coalesced acks as one KindAckBatch frame:
+// sequence numbers are sorted in serial-number order (so runs that cross
+// the uint32 wraparound still coalesce) and folded into (start, count)
+// ranges. No-op when nothing is pending.
+func (e *Endpoint) flushAcks(l *link, now time.Duration) {
+	if len(l.ackPend) == 0 {
+		return
+	}
+	sort.Slice(l.ackPend, func(i, j int) bool {
+		return int32(l.ackPend[i]-l.ackPend[j]) < 0
+	})
+	e.ackBuf = e.ackBuf[:0]
+	start, count := l.ackPend[0], uint32(1)
+	emit := func() {
+		e.ackBuf = binary.BigEndian.AppendUint32(e.ackBuf, start)
+		e.ackBuf = binary.BigEndian.AppendUint16(e.ackBuf, uint16(count))
+	}
+	for _, s := range l.ackPend[1:] {
+		if s == start+count-1 {
+			continue // duplicate (retransmission acked twice)
+		}
+		if s == start+count && count < MaxPayload {
+			count++
+			continue
+		}
+		emit()
+		start, count = s, 1
+	}
+	emit()
+	f := Frame{Kind: KindAckBatch, From: uint32(e.local), Epoch: l.ackEpoch, Payload: e.ackBuf}
+	e.scratch = f.AppendMarshal(e.scratch[:0])
+	e.m.TxAcks.Inc()
+	l.ackPend = l.ackPend[:0]
+	e.send(l.peer, e.scratch)
 }
 
 // accept runs the duplicate-suppression window, returning true when
@@ -477,22 +602,26 @@ func (l *link) accept(epoch, seq uint32) bool {
 	return true
 }
 
-// Tick retransmits due frames and ages out exhausted ones. Iteration is
-// sorted by peer then seq so jitter draws happen in a deterministic
-// order regardless of map layout.
+// Tick retransmits due frames, ages out exhausted ones, and flushes
+// coalesced acks whose delay has expired. Iteration is sorted by peer
+// then seq so jitter draws happen in a deterministic order regardless of
+// map layout.
 func (e *Endpoint) Tick(now time.Duration) {
 	if !e.cfg.ARQ {
 		return
 	}
 	e.peerBuf = e.peerBuf[:0]
 	for peer, l := range e.links {
-		if len(l.inflight) > 0 {
+		if len(l.inflight) > 0 || (len(l.ackPend) > 0 && l.ackDue <= now) {
 			e.peerBuf = append(e.peerBuf, peer)
 		}
 	}
 	sort.Ints(e.peerBuf)
 	for _, peer := range e.peerBuf {
 		l := e.links[peer]
+		if len(l.ackPend) > 0 && l.ackDue <= now {
+			e.flushAcks(l, now)
+		}
 		e.seqBuf = e.seqBuf[:0]
 		for seq := range l.inflight {
 			e.seqBuf = append(e.seqBuf, seq)
@@ -533,6 +662,10 @@ func (e *Endpoint) fail(l *link, seq uint32, now time.Duration) {
 // open transitions l to BreakerOpen, counting flaps and quarantining a
 // link that keeps bouncing open within the flap window.
 func (e *Endpoint) open(l *link, now time.Duration) {
+	// Breaker state change: flush whatever acks we owe the peer before
+	// the link is written off, so our outbound silence does not also
+	// starve the peer's retransmit state of acknowledgements.
+	e.flushAcks(l, now)
 	if l.state == BreakerClosed {
 		e.m.OpenLinks.Inc()
 	}
@@ -556,8 +689,8 @@ func (e *Endpoint) open(l *link, now time.Duration) {
 	l.reopenAt = now + e.cfg.BreakerCooldown
 }
 
-// NextWake returns the earliest retransmit deadline across all links,
-// or false when nothing is in flight.
+// NextWake returns the earliest deadline across all links — retransmit
+// timers and coalesced-ack flushes — or false when neither is pending.
 func (e *Endpoint) NextWake() (time.Duration, bool) {
 	var min time.Duration
 	found := false
@@ -567,6 +700,10 @@ func (e *Endpoint) NextWake() (time.Duration, bool) {
 				min = p.nextAt
 				found = true
 			}
+		}
+		if len(l.ackPend) > 0 && (!found || l.ackDue < min) {
+			min = l.ackDue
+			found = true
 		}
 	}
 	return min, found

@@ -14,7 +14,7 @@ import (
 // seedFrames returns one valid marshaled frame per frame type.
 func seedFrames() [][]byte {
 	var out [][]byte
-	for typ := THello; typ <= TAuthority; typ++ {
+	for typ := THello; typ <= TDataBatch; typ++ {
 		f := &Frame{Type: typ, CID: 7, Nonce: 99, Payload: []byte{1, 2, 3, 4}}
 		pkt, err := f.Marshal()
 		if err != nil {
@@ -64,8 +64,9 @@ func FuzzUnmarshalBodies(f *testing.F) {
 	f.Add(byte(9), (&KeepAlive{CID: 1, HeadID: 1, Epoch: 0}).Marshal())
 	f.Add(byte(10), (&Repair{CID: 1, NewHead: 2, Epoch: 0}).Marshal())
 	f.Add(byte(11), (&AuthorityMsg{Kind: AKDeal, Session: 1, From: 2, Body: []byte{7}}).Marshal())
+	f.Add(byte(12), (&DataBatch{Tau: 1, SrcCID: 2, Readings: []BatchReading{{Origin: 3, Seq: 4, Inner: []byte{6}}}}).Marshal())
 	f.Fuzz(func(t *testing.T, sel byte, b []byte) {
-		switch sel % 12 {
+		switch sel % 13 {
 		case 0:
 			_, _ = UnmarshalHello(b)
 		case 1:
@@ -90,6 +91,32 @@ func FuzzUnmarshalBodies(f *testing.F) {
 			_, _ = UnmarshalRepair(b)
 		case 11:
 			_, _ = UnmarshalAuthorityMsg(b)
+		case 12:
+			_, _ = UnmarshalDataBatch(b)
+		}
+	})
+}
+
+// FuzzDataBatch drives the batched-data codec. Batches are the data
+// plane's throughput envelope (docs/THROUGHPUT.md): beyond no-panic, the
+// decoder must be a bijection on accepted inputs — whatever parses
+// re-marshals to the identical bytes, because forwarders re-seal the
+// exact encoding hop by hop and the outer MAC covers it.
+func FuzzDataBatch(f *testing.F) {
+	f.Add((&DataBatch{Tau: 7, SrcCID: 3, Hop: 2, Readings: []BatchReading{
+		{Origin: 9, Seq: 1, Inner: []byte{1, 2, 3}},
+		{Origin: 10, Seq: 2, Inner: nil},
+	}}).Marshal())
+	f.Add((&DataBatch{}).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := UnmarshalDataBatch(b)
+		if err != nil {
+			return
+		}
+		re := m.Marshal()
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encode not stable:\nin:  %x\nout: %x", b, re)
 		}
 	})
 }

@@ -41,6 +41,7 @@ const (
 	TKeepAlive  Type = 9  // clusterhead liveness heartbeat, sealed under the cluster key
 	TRepair     Type = 10 // headship claim after a head crash, sealed under the cluster key
 	TAuthority  Type = 11 // threshold-authority round message (internal/authority)
+	TDataBatch  Type = 12 // batched data readings, sealed under a cluster key (docs/THROUGHPUT.md)
 )
 
 // String returns the message type mnemonic.
@@ -68,6 +69,8 @@ func (t Type) String() string {
 		return "REPAIR"
 	case TAuthority:
 		return "AUTHORITY"
+	case TDataBatch:
+		return "DATA-BATCH"
 	default:
 		return fmt.Sprintf("TYPE(%d)", byte(t))
 	}
@@ -142,7 +145,7 @@ func ParseFrameInto(f *Frame, pkt []byte) error {
 	f.CID = binary.BigEndian.Uint32(pkt[1:5])
 	f.Nonce = binary.BigEndian.Uint64(pkt[5:13])
 	f.Payload = nil
-	if f.Type < THello || f.Type > TAuthority {
+	if f.Type < THello || f.Type > TDataBatch {
 		return ErrBadType
 	}
 	n := int(binary.BigEndian.Uint16(pkt[13:15]))

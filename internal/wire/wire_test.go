@@ -71,7 +71,7 @@ func TestTypeString(t *testing.T) {
 	names := map[Type]string{
 		THello: "HELLO", TLinkAdvert: "LINK-ADVERT", TData: "DATA",
 		TBeacon: "BEACON", TRevoke: "REVOKE", TJoinReq: "JOIN-REQ",
-		TJoinResp: "JOIN-RESP", TRefresh: "REFRESH",
+		TJoinResp: "JOIN-RESP", TRefresh: "REFRESH", TDataBatch: "DATA-BATCH",
 	}
 	for ty, want := range names {
 		if got := ty.String(); got != want {
@@ -230,6 +230,47 @@ func TestRefreshRoundtrip(t *testing.T) {
 	}
 }
 
+func TestDataBatchRoundtrip(t *testing.T) {
+	cases := []*DataBatch{
+		{Tau: 1, SrcCID: 2, Hop: 3, Readings: nil},
+		{Tau: -9, SrcCID: 7, Hop: 0, Readings: []BatchReading{{Origin: 1, Seq: 2, Inner: []byte("a")}}},
+		{Tau: 5, SrcCID: 6, Hop: 9, Readings: []BatchReading{
+			{Origin: 10, Seq: 100, Inner: []byte("reading-10")},
+			{Origin: 11, Seq: 4294967295, Inner: nil},
+			{Origin: 12, Seq: 0, Inner: []byte("reading-12")},
+		}},
+	}
+	for _, in := range cases {
+		out, err := UnmarshalDataBatch(in.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Tau != in.Tau || out.SrcCID != in.SrcCID || out.Hop != in.Hop {
+			t.Fatalf("roundtrip header: %+v != %+v", out, in)
+		}
+		if len(out.Readings) != len(in.Readings) {
+			t.Fatalf("readings length %d != %d", len(out.Readings), len(in.Readings))
+		}
+		for i := range in.Readings {
+			if out.Readings[i].Origin != in.Readings[i].Origin ||
+				out.Readings[i].Seq != in.Readings[i].Seq ||
+				!bytes.Equal(out.Readings[i].Inner, in.Readings[i].Inner) {
+				t.Fatalf("reading %d: %+v != %+v", i, out.Readings[i], in.Readings[i])
+			}
+		}
+	}
+}
+
+func TestDataBatchRejectsLyingCount(t *testing.T) {
+	buf := (&DataBatch{Tau: 1, SrcCID: 2, Readings: []BatchReading{{Origin: 3, Seq: 4}}}).Marshal()
+	// Inflate the declared tuple count (bytes 14..15, after Tau, SrcCID,
+	// and Hop) past the actual payload.
+	buf[14], buf[15] = 0xff, 0xff
+	if _, err := UnmarshalDataBatch(buf); err == nil {
+		t.Fatal("inflated tuple count accepted")
+	}
+}
+
 // Every Unmarshal must reject truncation at any byte boundary and reject
 // trailing garbage. Drive all codecs through one table.
 func TestUnmarshalRejectsTruncationAndTrailing(t *testing.T) {
@@ -243,6 +284,10 @@ func TestUnmarshalRejectsTruncationAndTrailing(t *testing.T) {
 		"joinreq":    (&JoinReq{NodeID: 6}).Marshal(),
 		"joinresp":   (&JoinResp{CID: 7}).Marshal(),
 		"refresh":    (&Refresh{CID: 8, Epoch: 9, NewKey: key16(4)}).Marshal(),
+		"databatch": (&DataBatch{Tau: 5, SrcCID: 6, Hop: 7, Readings: []BatchReading{
+			{Origin: 8, Seq: 9, Inner: []byte("ijkl")},
+			{Origin: 10, Seq: 11, Inner: []byte("mn")},
+		}}).Marshal(),
 	}
 	decode := map[string]func([]byte) error{
 		"hello":      func(b []byte) error { _, err := UnmarshalHello(b); return err },
@@ -254,6 +299,7 @@ func TestUnmarshalRejectsTruncationAndTrailing(t *testing.T) {
 		"joinreq":    func(b []byte) error { _, err := UnmarshalJoinReq(b); return err },
 		"joinresp":   func(b []byte) error { _, err := UnmarshalJoinResp(b); return err },
 		"refresh":    func(b []byte) error { _, err := UnmarshalRefresh(b); return err },
+		"databatch":  func(b []byte) error { _, err := UnmarshalDataBatch(b); return err },
 	}
 	for name, buf := range full {
 		dec := decode[name]
