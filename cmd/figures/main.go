@@ -8,7 +8,7 @@
 //	        [-obs :9090]
 //	        [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
 //	               setup,storage,election,routing,freshness,mac,lifetime,
-//	               setupcost,chaos,arq,authority,soak]
+//	               setupcost,chaos,arq,authority,soak,mobility]
 //
 // With no -only flag every experiment runs. Paper-scale settings (the
 // default) take a few minutes; -n 500 -trials 2 gives a quick pass with
@@ -64,7 +64,7 @@ const usageText = `figures [-n 2500] [-trials 5] [-seed 1] [-workers 0] [-shards
         [-obs :9090]
         [-only fig1,sweep,scale,resilience,broadcast,flood,selective,
                setup,storage,election,routing,freshness,mac,lifetime,
-               setupcost,chaos,arq,authority,soak]`
+               setupcost,chaos,arq,authority,soak,mobility]`
 
 // options holds every figures flag; registerFlags binds them to a
 // FlagSet so tests can exercise flag registration and usage output
@@ -109,6 +109,15 @@ type chaosTables struct {
 }
 
 func (c chaosTables) Table() string { return c.crash.Table() + "\n" + c.burst.Table() }
+
+// mobilityTables joins the two mobility-family sweeps into one printable
+// step.
+type mobilityTables struct {
+	speed *experiments.MobilityResult
+	churn *experiments.MobilityResult
+}
+
+func (m mobilityTables) Table() string { return m.speed.Table() + "\n" + m.churn.Table() }
 
 // scaleTables joins the scale step's two views: the cross-size curve
 // comparison (ScaleInvariance) and the large-deployment streamed sweep
@@ -301,6 +310,18 @@ func main() {
 		}},
 		{"soak", func() (interface{ Table() string }, error) {
 			return experiments.Soak(capped("soak"), experiments.SoakModels, 8)
+		}},
+		{"mobility", func() (interface{ Table() string }, error) {
+			o := capped("mobility")
+			speed, err := experiments.MobilitySpeedSweep(o, nil)
+			if err != nil {
+				return nil, err
+			}
+			churn, err := experiments.MobilityChurnSweep(o, nil)
+			if err != nil {
+				return nil, err
+			}
+			return mobilityTables{speed, churn}, nil
 		}},
 	}
 

@@ -9,6 +9,7 @@
 //	       [-shards 0] [-readings 100] [-batch 0] [-fusion] [-refresh none]
 //	       [-refresh-period 0] [-evict 0] [-authority t/n] [-add 0]
 //	       [-battery 0] [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+//	       [-mobility 0] [-mobility-speed 1] [-mobility-model waypoint]
 //	       [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
 //	       [-listen addr] [-node 0] [-peers id=addr,...] [-hold 2s]
 //
@@ -21,6 +22,14 @@
 // repair elections, bounded data retransmissions), which default to
 // off; a run that ends with unrepaired orphan nodes under -heal exits
 // non-zero with a one-line diagnostic.
+//
+// -mobility moves that many seeded random nodes through the region
+// after key setup (random-waypoint or random-walk, -mobility-speed in
+// units of the connectivity radius per second) and enables the cluster
+// handoff machinery so movers re-join clusters as they go; see
+// docs/MOBILITY.md. The flag is strictly additive: -mobility 0 (the
+// default) leaves the run byte-identical to a build without the
+// feature.
 //
 // -listen switches to multi-process live mode: this process hosts the
 // single protocol node given by -node over a real UDP socket, reaches
@@ -49,10 +58,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/mobility"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/viz"
 	"repro/internal/wire"
@@ -67,6 +78,7 @@ const usageText = `wsnsim [-n 2000] [-density 12.5] [-seed 1] [-loss 0]
        [-shards 0] [-readings 100] [-batch 0] [-fusion] [-refresh none]
        [-refresh-period 0] [-evict 0] [-authority t/n] [-add 0]
        [-battery 0] [-faults plan.txt] [-heal] [-trace] [-map] [-v]
+       [-mobility 0] [-mobility-speed 1] [-mobility-model waypoint]
        [-obs :9090] [-obs-hold 0] [-obs-events out.jsonl]
        [-listen addr] [-node 0] [-peers id=addr,...] [-hold 2s]`
 
@@ -93,6 +105,9 @@ type options struct {
 	showMap   *bool
 	faultsF   *string
 	heal      *bool
+	mobility  *int
+	mobSpeed  *float64
+	mobModel  *string
 	obsAddr   *string
 	obsHold   *time.Duration
 	obsEvents *string
@@ -123,6 +138,9 @@ func registerFlags(fs *flag.FlagSet) *options {
 		showMap:   fs.Bool("map", false, "print an ASCII map of the cluster structure after setup"),
 		faultsF:   fs.String("faults", "", "fault-plan file (see docs/FAULTS.md); empty = no faults"),
 		heal:      fs.Bool("heal", false, "enable self-healing: keep-alive repair elections and data retransmissions"),
+		mobility:  fs.Int("mobility", 0, "move this many seeded random nodes after setup, with cluster handoff enabled (see docs/MOBILITY.md); 0 = static"),
+		mobSpeed:  fs.Float64("mobility-speed", 1, "mobile node speed in connectivity radii per second"),
+		mobModel:  fs.String("mobility-model", "waypoint", "mobility model: waypoint or walk"),
 		obsAddr:   fs.String("obs", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :9090); empty = off"),
 		obsHold:   fs.Duration("obs-hold", 0, "keep the -obs endpoints up this long after the report"),
 		obsEvents: fs.String("obs-events", "", "append protocol milestone events to this JSONL file"),
@@ -157,6 +175,20 @@ func main() {
 		cfg.KeepAlivePeriod = 100 * time.Millisecond
 		cfg.SetupRetries = 2
 		cfg.DataRetries = 2
+	}
+	if *o.mobility > 0 {
+		// Handoff needs keep-alives to notice a departed head and
+		// periodic beacons to keep routes fresh under motion.
+		if cfg.KeepAlivePeriod <= 0 {
+			cfg.KeepAlivePeriod = 100 * time.Millisecond
+		}
+		if cfg.BeaconPeriod <= 0 {
+			cfg.BeaconPeriod = time.Second
+		}
+		if cfg.DataRetries == 0 {
+			cfg.DataRetries = 2
+		}
+		cfg.HandoffEnabled = true
 	}
 
 	var plan *faults.Plan
@@ -216,6 +248,15 @@ func main() {
 		traceHook = rec.Hook()
 	}
 
+	var mobCfg mobility.Config
+	if *o.mobility > 0 {
+		var err error
+		mobCfg, err = buildMobility(o)
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	d, err := core.Deploy(core.DeployOptions{
 		N:           *o.n,
 		Density:     *o.density,
@@ -231,6 +272,7 @@ func main() {
 		Faults:      plan,
 		OnCrash:     func(int, time.Duration) { crashes++ },
 		Obs:         reg.Scope("wsnsim", 0),
+		Mobility:    mobCfg,
 	})
 	if err != nil {
 		fail(err)
@@ -406,10 +448,16 @@ func main() {
 		d.SendReading(src, base+time.Duration(k+1)*5*time.Millisecond, []byte(fmt.Sprintf("r%04d", k)))
 		sent++
 	}
-	if *o.heal {
+	if *o.heal || *o.mobility > 0 {
 		// Keep-alive timers re-arm forever, so the engine never idles;
 		// run a fixed horizon past the workload instead.
-		d.Eng.Run(base + time.Duration(*o.readings+1)*5*time.Millisecond + 5*time.Second)
+		end := base + time.Duration(*o.readings+1)*5*time.Millisecond + 5*time.Second
+		if m := mobilityUntil + 3*time.Second; *o.mobility > 0 && end < m {
+			// Let the last handoffs triggered near the end of motion
+			// finish their join windows before the report.
+			end = m
+		}
+		d.Eng.Run(end)
 	} else if _, err := d.Eng.RunUntilIdle(0); err != nil {
 		fail(err)
 	}
@@ -429,6 +477,14 @@ func main() {
 	if plan != nil || *o.heal {
 		fmt.Printf("\n-- faults --\n")
 		fmt.Printf("plan-scheduled crashes: %d, local repair elections: %d\n", crashes, repairs)
+	}
+
+	if *o.mobility > 0 {
+		fmt.Printf("\n-- mobility --\n")
+		fmt.Printf("mobile nodes: %d, model %s, speed %.1f radii/s, motion %v-%v\n",
+			*o.mobility, *o.mobModel, *o.mobSpeed, mobilityFrom, mobilityUntil)
+		fmt.Printf("completed cluster handoffs: %d, stranded nodes: %d\n",
+			d.Handoffs(), countOrphans(d))
 	}
 
 	if rec != nil {
@@ -468,7 +524,7 @@ func main() {
 	// Under -heal an orphan left at the end of the run means the repair
 	// machinery failed to do its one job; make that a hard failure so
 	// scripts and CI catch it.
-	if *o.heal {
+	if *o.heal && *o.mobility == 0 {
 		if orphans := countOrphans(d); orphans > 0 {
 			fmt.Fprintf(os.Stderr, "wsnsim: %d node(s) ended the run orphaned despite -heal (clusterless or clusterhead dead)\n", orphans)
 			os.Exit(1)
@@ -497,6 +553,51 @@ func countOrphans(d *core.Deployment) int {
 		}
 	}
 	return orphans
+}
+
+// Motion window for -mobility: after key setup settles, through a fixed
+// horizon so the report reflects a network that kept moving for a while
+// and then came to rest (the same timeline the mobility experiment
+// family uses).
+const (
+	mobilityFrom  = 2 * time.Second
+	mobilityUntil = 6 * time.Second
+)
+
+// buildMobility translates the -mobility flags into a mobility.Config:
+// a seeded random subset of non-BS nodes, speed scaled from connectivity
+// radii to region units. Selection draws from its own stream so adding
+// motion never perturbs the deployment's randomness.
+func buildMobility(o *options) (mobility.Config, error) {
+	kind, err := mobility.ParseKind(*o.mobModel)
+	if err != nil {
+		return mobility.Config{}, err
+	}
+	if *o.mobility >= *o.n {
+		return mobility.Config{}, fmt.Errorf("-mobility %d: at most n-1 = %d nodes can move (the base station stays put)", *o.mobility, *o.n-1)
+	}
+	if *o.mobSpeed <= 0 {
+		return mobility.Config{}, fmt.Errorf("-mobility-speed %v must be positive", *o.mobSpeed)
+	}
+	mrng := xrand.New(*o.seed ^ 0x6d6f6269) // "mobi"
+	candidates := make([]int, 0, *o.n-1)
+	for i := 1; i < *o.n; i++ {
+		candidates = append(candidates, i)
+	}
+	for i := len(candidates) - 1; i > 0; i-- {
+		j := int(mrng.Uint64n(uint64(i + 1)))
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	v := *o.mobSpeed * topology.RadiusForDensity(*o.n, 1, *o.density)
+	return mobility.Config{
+		Kind:     kind,
+		Nodes:    candidates[:*o.mobility],
+		SpeedMin: v,
+		SpeedMax: v,
+		From:     mobilityFrom,
+		Until:    mobilityUntil,
+		Seed:     mrng.Uint64(),
+	}, nil
 }
 
 func fail(err error) {

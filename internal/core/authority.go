@@ -89,6 +89,20 @@ func (a *Authority) LateMaterialFor(id node.ID) Material {
 	}
 }
 
+// MobileMaterialFor provisions a mobile node: it carries both Km (it
+// participates in the initial key setup like any original node) and KMC
+// (so it can re-derive cluster keys and re-join via Section IV-E after
+// drifting out of its cluster's range — see docs/MOBILITY.md). The
+// retained KMC is a deliberate widening of the capture surface: seizing
+// a mobile node post-setup reveals the cluster-key derivation root,
+// which seizing a settled original node does not. Deployments accept it
+// only for the node subset that actually moves.
+func (a *Authority) MobileMaterialFor(id node.ID) Material {
+	m := a.MaterialFor(id)
+	m.AddMaster = a.kmc
+	return m
+}
+
 // NodeKey returns Ki — the base station uses this registry to verify and
 // decrypt Step-1 envelopes.
 func (a *Authority) NodeKey(id node.ID) crypt.Key {

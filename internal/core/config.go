@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -174,6 +175,27 @@ type Config struct {
 	// BatchSize > 1.
 	BatchFlushDelay time.Duration
 
+	// HandoffEnabled lets a mobile node — one provisioned with both Km
+	// and KMC via Authority.MobileMaterialFor — that lost its
+	// clusterhead's keep-alives leave its cluster, erasing the old
+	// cluster key and every neighbor key its old position justified, and
+	// re-join whatever clusters surround its new position through the
+	// Section IV-E addition path using the retained KMC. Keep-alive
+	// silence is the departure trigger, so KeepAlivePeriod must be set;
+	// Validate enforces that. Static nodes and deployments that leave
+	// this off run the exact baseline protocol. See docs/MOBILITY.md.
+	HandoffEnabled bool
+
+	// RekeyOnRepair makes a repair-election winner immediately re-key
+	// its cluster (StartClusterRefresh) after claiming headship, so key
+	// copies carried off by departed members — a handoff that raced the
+	// election, or a captured straggler — stop authenticating. The
+	// abandoned cluster's exposure is thereby bounded by the repair
+	// machinery the cluster already runs. Inherits the RefreshRekey
+	// caveat: a re-keyed cluster stops accepting Section IV-E late
+	// joins, because its key is no longer derivable from KMC.
+	RekeyOnRepair bool
+
 	// DataRetries, if nonzero, enables ack-gated forwarding: a sender
 	// keeps a transmitted reading pending until it overhears a
 	// lower-hop relay of the same (origin, seq) — or the base station's
@@ -223,6 +245,59 @@ func DefaultConfig() Config {
 		BeaconPeriod:     0,
 		ChainLength:      128,
 	}
+}
+
+// Validate rejects configurations a deployment file typo can produce
+// but that cannot mean anything at runtime. It must run on the raw
+// config, before withDefaults: several duration knobs treat <= 0 as
+// "unset" and would silently replace a negative value with the default,
+// turning a typo into a surprising-but-running deployment. Deploy (and
+// the fleet daemon's deployment path) call it first.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"HelloMeanDelay", c.HelloMeanDelay},
+		{"ClusterPhaseEnd", c.ClusterPhaseEnd},
+		{"LinkSpread", c.LinkSpread},
+		{"OperationalAt", c.OperationalAt},
+		{"FreshWindow", c.FreshWindow},
+		{"SkewTolerance", c.SkewTolerance},
+		{"JoinRespDelayMax", c.JoinRespDelayMax},
+		{"JoinWindow", c.JoinWindow},
+		{"BeaconPeriod", c.BeaconPeriod},
+		{"RefreshPeriod", c.RefreshPeriod},
+		{"KeepAlivePeriod", c.KeepAlivePeriod},
+		{"RepairMeanDelay", c.RepairMeanDelay},
+		{"SetupRetryBase", c.SetupRetryBase},
+		{"BatchFlushDelay", c.BatchFlushDelay},
+		{"DataRetryBase", c.DataRetryBase},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("core: %s must not be negative, got %v", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"DedupCapacity", c.DedupCapacity},
+		{"MaxChainSkip", c.MaxChainSkip},
+		{"ChainLength", c.ChainLength},
+		{"KeepAliveMisses", c.KeepAliveMisses},
+		{"SetupRetries", c.SetupRetries},
+		{"BatchSize", c.BatchSize},
+		{"DataRetries", c.DataRetries},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("core: %s must not be negative, got %d", f.name, f.v)
+		}
+	}
+	if c.HandoffEnabled && c.KeepAlivePeriod <= 0 {
+		return fmt.Errorf("core: HandoffEnabled requires KeepAlivePeriod > 0 (keep-alive silence is the departure trigger)")
+	}
+	return nil
 }
 
 // withDefaults fills derived and missing fields.

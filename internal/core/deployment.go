@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/geom"
+	"repro/internal/mobility"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -81,6 +82,17 @@ type DeployOptions struct {
 	// >= 1 but differs from the legacy Shards=0 engine (see
 	// sim.Config.Shards and docs/SCALING.md).
 	Shards int
+	// Mobility, if it enables any motion (mobility.Config.Enabled),
+	// attaches a seeded mobility controller driving the listed nodes
+	// from the engine's coordinator lane (docs/MOBILITY.md). The listed
+	// nodes are provisioned via Authority.MobileMaterialFor when
+	// Config.HandoffEnabled is set, so they can re-join clusters as they
+	// move; the base station must stay put. Shard stripes are frozen
+	// from the initial positions. The zero value keeps the run
+	// byte-identical to a mobility-free one.
+	Mobility mobility.Config
+	// OnMove, if set, observes every applied position update.
+	OnMove func(i int, at time.Duration, p geom.Point)
 }
 
 // Deployment is a fully wired simulated network running the protocol.
@@ -91,6 +103,8 @@ type Deployment struct {
 	Cfg     Config
 	Sensors []*Sensor // indexed by graph node; nil at unbooted reserves
 	BSIndex int
+	// Mob is the mobility controller, nil when the deployment is static.
+	Mob *mobility.Controller
 
 	reserved int
 	lateUsed int
@@ -106,6 +120,11 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 	}
 	if opt.Batch > 0 {
 		opt.Config.BatchSize = opt.Batch
+	}
+	// Validate the raw config: withDefaults would silently replace
+	// negative durations with defaults, hiding deployment-file typos.
+	if err := opt.Config.Validate(); err != nil {
+		return nil, err
 	}
 	cfg := opt.Config.withDefaults()
 	if opt.Obs != nil {
@@ -126,11 +145,27 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 	if opt.BSIndex < 0 || opt.BSIndex >= opt.N {
 		return nil, fmt.Errorf("core: BSIndex %d out of range [0,%d)", opt.BSIndex, opt.N)
 	}
+	var mobileSet map[int]bool
+	if opt.Mobility.Enabled() {
+		if err := opt.Mobility.Validate(total); err != nil {
+			return nil, err
+		}
+		mobileSet = make(map[int]bool, len(opt.Mobility.Nodes))
+		for _, i := range opt.Mobility.Nodes {
+			if i == opt.BSIndex {
+				return nil, fmt.Errorf("core: base station (index %d) cannot be mobile", i)
+			}
+			mobileSet[i] = true
+		}
+	}
 	auth := AuthorityFromSeed(opt.Seed, cfg.ChainLength)
 	sensors := make([]*Sensor, total)
 	behaviors := make([]node.Behavior, total)
 	for i := 0; i < opt.N; i++ {
 		m := auth.MaterialFor(node.ID(i))
+		if mobileSet[i] && cfg.HandoffEnabled {
+			m = auth.MobileMaterialFor(node.ID(i))
+		}
 		if i == opt.BSIndex {
 			sensors[i] = NewBaseStation(cfg, m, auth)
 		} else {
@@ -168,6 +203,20 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		// the meters but never kills it.
 		eng.SetImmortal(opt.BSIndex)
 	}
+	var mob *mobility.Controller
+	if opt.Mobility.Enabled() {
+		// Built after the engine so shard stripes are already frozen
+		// from the initial positions; the controller's ticks run on the
+		// engine's coordinator lane, which on the sharded engine means
+		// between epochs with every shard parked — the one place the
+		// graph may mutate.
+		mob, err = mobility.New(opt.Mobility, graph)
+		if err != nil {
+			return nil, err
+		}
+		mob.OnMove = opt.OnMove
+		mob.Start(eng)
+	}
 	eng.Boot(0)
 	return &Deployment{
 		Eng:      eng,
@@ -176,6 +225,7 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 		Cfg:      cfg,
 		Sensors:  sensors,
 		BSIndex:  opt.BSIndex,
+		Mob:      mob,
 		reserved: opt.ReserveLate,
 	}, nil
 }
@@ -227,6 +277,17 @@ func (d *Deployment) SendReading(i int, at time.Duration, data []byte) {
 
 // Deliveries returns the readings accepted by the base station so far.
 func (d *Deployment) Deliveries() []Delivery { return d.BS().Deliveries() }
+
+// Handoffs sums the completed cluster handoffs across all booted nodes.
+func (d *Deployment) Handoffs() int {
+	total := 0
+	for _, s := range d.Sensors {
+		if s != nil {
+			total += s.Handoffs()
+		}
+	}
+	return total
+}
 
 // AddLateNode boots the next reserved radio position as a late-deployed
 // node at virtual time at, provisioned with KMC per Section IV-E. It

@@ -209,3 +209,105 @@ func TestRefreshCommandRotatesKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestRevokeDuringRepairElectionDoesNotResurrectKey races the two
+// recovery paths for the same cluster: the head crashes, its members
+// start a repair election, and while candidacy delays are still pending
+// the authority's chain-authenticated REVOKE for that cluster arrives.
+// The eviction must win — no member may complete the election and
+// re-announce headship under the revoked key, and nobody in the network
+// may still hold it (claimHeadship's InCluster guard is what this
+// pins). The keep-alive config keeps the engine from idling, so the
+// test drives bounded horizons instead of injectRevoke's RunUntilIdle.
+func TestRevokeDuringRepairElectionDoesNotResurrectKey(t *testing.T) {
+	d, err := Deploy(DeployOptions{N: 60, Density: 10, Seed: 31, Config: repairConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunSetup(); err != nil {
+		t.Fatal(err)
+	}
+	head, members := pickVictimCluster(t, d, 2)
+	cid := uint32(head)
+
+	claims := 0
+	for _, i := range members {
+		d.Sensors[i].OnRepaired = func(uint32, node.ID, time.Duration) { claims++ }
+	}
+
+	cfg := repairConfig()
+	miss := time.Duration(cfg.KeepAliveMisses) * cfg.KeepAlivePeriod
+	crashAt := d.Eng.Now() + 50*time.Millisecond
+	d.Eng.Schedule(crashAt, func() { d.Eng.Crash(head) })
+
+	// The members notice the silence one keep-alive tick after the miss
+	// budget and enter their exponential candidacy delays; land the
+	// REVOKE right in that window.
+	k1, err := d.Auth.Chain().Reveal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := &wire.Revoke{Index: 1, ChainKey: k1, CIDs: []uint32{cid}}
+	pkt, err := (&wire.Frame{Type: wire.TRevoke, Payload: rv.Marshal()}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	revokeAt := crashAt + miss + cfg.KeepAlivePeriod + 20*time.Millisecond
+	d.Eng.Schedule(revokeAt, func() {
+		d.Eng.InjectAt(1, node.ID(999), pkt)
+	})
+	d.Eng.Run(revokeAt + 2*time.Second)
+
+	// The revoked key must be gone from every live node — including
+	// members whose candidacy timer fired after the eviction landed.
+	// (The crashed head's frozen in-memory state is out of scope: a dead
+	// radio processes nothing.)
+	for i, s := range d.Sensors {
+		if s == nil || !d.Eng.Alive(i) {
+			continue
+		}
+		if _, known := s.KeyStore().KeyFor(cid); known {
+			t.Errorf("node %d still holds revoked cluster %d's key", i, cid)
+		}
+	}
+	// No member may have won the race: a claim after eviction would
+	// re-announce headship under a key the authority just killed.
+	for _, i := range members {
+		s := d.Sensors[i]
+		if got, in := s.Cluster(); in && got == cid {
+			t.Errorf("member %d still believes in revoked cluster %d", i, cid)
+		}
+		if s.Head() == s.ID() && !s.Evicted() {
+			t.Errorf("member %d claimed headship despite the revocation", i)
+		}
+	}
+	t.Logf("repair claims that beat the revoke: %d (benign either way)", claims)
+
+	// The chain verifier must have consumed exactly one commitment step:
+	// a follow-up in-window command for a different cluster still lands.
+	rest := nonBSClusters(t, d, 2)
+	other := rest[0]
+	if other == cid {
+		other = rest[1]
+	}
+	k2, err := d.Auth.Chain().Reveal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv2 := &wire.Revoke{Index: 2, ChainKey: k2, CIDs: []uint32{other}}
+	pkt2, err := (&wire.Frame{Type: wire.TRevoke, Payload: rv2.Marshal()}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2 := d.Eng.Now() + time.Millisecond
+	d.Eng.Schedule(at2, func() { d.Eng.InjectAt(1, node.ID(999), pkt2) })
+	d.Eng.Run(at2 + 2*time.Second)
+	for i, s := range d.Sensors {
+		if s == nil {
+			continue
+		}
+		if _, known := s.KeyStore().KeyFor(other); known {
+			t.Errorf("node %d ignored the follow-up revocation after the race", i)
+		}
+	}
+}

@@ -351,12 +351,16 @@ func (s *Sensor) onJoinResp(ctx node.Context, f *wire.Frame) {
 
 // finishJoinWindow closes a join attempt: on success the node erases KMC
 // and becomes operational; otherwise it retries up to maxJoinAttempts.
+// Mobile nodes retain KMC on success — repeated handoffs need it — the
+// capture-surface tradeoff Authority.MobileMaterialFor documents.
 func (s *Sensor) finishJoinWindow(ctx node.Context) {
 	if s.phase != PhaseJoining {
 		return
 	}
 	if s.ks.InCluster {
-		s.ks.EraseAddMaster()
+		if !s.mobile {
+			s.ks.EraseAddMaster()
+		}
 		s.phase = PhaseOperational
 		// Join the network-wide refresh schedule: catch up any epoch
 		// boundary that passed while JOIN-RESPs were in flight, then arm
@@ -365,10 +369,17 @@ func (s *Sensor) finishJoinWindow(ctx node.Context) {
 		s.armRefreshTimer(ctx)
 		s.lastKeepAlive = ctx.Now()
 		s.armKeepAlive(ctx)
+		if s.inHandoff {
+			s.finishHandoff(ctx)
+		}
 		return
 	}
 	if s.joinAttempts >= maxJoinAttempts {
+		// A mobile node that exhausted its budget between clusters stays
+		// failed: the bound keeps runs quiescent, and the delivery
+		// metrics charge the loss to the scheme honestly.
 		s.phase = PhaseFailed
+		s.inHandoff = false
 		return
 	}
 	s.startJoin(ctx)

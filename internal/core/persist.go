@@ -28,17 +28,24 @@ import (
 
 // SensorState is the serializable protocol state of one Sensor.
 type SensorState struct {
-	ID         node.ID            `json:"id"`
-	Phase      Phase              `json:"phase"`
-	IsHead     bool               `json:"is_head"`
-	Hop        uint16             `json:"hop"`
-	Round      uint32             `json:"round"`
-	HeadID     node.ID            `json:"head_id"`
-	TxNonce    uint32             `json:"tx_nonce"`
-	ReadingSeq uint32             `json:"reading_seq"`
-	ReadingCtr uint64             `json:"reading_ctr"`
-	Epochs     map[uint32]uint32  `json:"epochs,omitempty"`
-	Keys       node.KeyStoreState `json:"keys"`
+	ID         node.ID `json:"id"`
+	Phase      Phase   `json:"phase"`
+	IsHead     bool    `json:"is_head"`
+	Hop        uint16  `json:"hop"`
+	Round      uint32  `json:"round"`
+	HeadID     node.ID `json:"head_id"`
+	TxNonce    uint32  `json:"tx_nonce"`
+	ReadingSeq uint32  `json:"reading_seq"`
+	ReadingCtr uint64  `json:"reading_ctr"`
+	// Mobile records mobile provisioning (Authority.MobileMaterialFor).
+	// The flag cannot be re-derived from the restored KeyStore — after
+	// setup a mobile node looks like a late joiner mid-join (KMC held,
+	// Km erased) — and it gates KMC retention across handoffs, so it is
+	// durable state, not a statistic. Handoff counters and the
+	// in-progress-handoff marker stay volatile, like all repair state.
+	Mobile bool               `json:"mobile,omitempty"`
+	Epochs map[uint32]uint32  `json:"epochs,omitempty"`
+	Keys   node.KeyStoreState `json:"keys"`
 
 	// BS is present only for the base station.
 	BS *BaseStationState `json:"bs,omitempty"`
@@ -69,6 +76,7 @@ func (s *Sensor) ExportState() *SensorState {
 		TxNonce:    s.txNonce,
 		ReadingSeq: s.readingSeq,
 		ReadingCtr: s.readingCtr,
+		Mobile:     s.mobile,
 		Keys:       s.ks.Export(),
 	}
 	if len(s.meta) > 0 {
@@ -108,6 +116,7 @@ func restoreCommon(cfg Config, st *SensorState) *Sensor {
 		txNonce:    st.TxNonce,
 		readingSeq: st.ReadingSeq,
 		readingCtr: st.ReadingCtr,
+		mobile:     st.Mobile,
 		dedup:      make(map[dedupKey]struct{}),
 		om:         newCoreMetrics(cfg.Obs.Registry()),
 	}

@@ -50,7 +50,15 @@ func (s *Sensor) keepAliveTick(ctx node.Context) {
 	} else if !s.repairing {
 		silent := ctx.Now() - s.lastKeepAlive
 		if silent > time.Duration(s.cfg.KeepAliveMisses)*s.cfg.KeepAlivePeriod {
-			s.startRepair(ctx)
+			if s.cfg.HandoffEnabled && s.mobile && !s.ks.AddMaster.IsZero() {
+				// A mobile member cannot tell "my head crashed" from "I
+				// moved away"; handing off is safe either way, while
+				// claiming headship of a cluster it may no longer reach
+				// would strand the old cluster key on a departed node.
+				s.startHandoff(ctx)
+			} else {
+				s.startRepair(ctx)
+			}
 		}
 	}
 	s.armKeepAlive(ctx)
@@ -91,6 +99,13 @@ func (s *Sensor) claimHeadship(ctx node.Context) {
 	s.cfg.Obs.Emit(ctx.Now(), obs.KindRepair, int(s.id), s.ks.CID, "")
 	if s.OnRepaired != nil {
 		s.OnRepaired(s.ks.CID, s.id, ctx.Now())
+	}
+	if s.cfg.RekeyOnRepair {
+		// Rotate the cluster key the moment the takeover is announced,
+		// so key copies carried off by departed members — a handoff that
+		// raced this election, or a captured straggler — stop
+		// authenticating against the repaired cluster's traffic.
+		s.StartClusterRefresh(ctx)
 	}
 }
 

@@ -221,9 +221,24 @@ type Sensor struct {
 	// Inner slices alias openBuf, so it is only valid inside onDataBatch.
 	rxBatch wire.DataBatch
 
+	// Mobility handoff state (active when cfg.HandoffEnabled; see
+	// docs/MOBILITY.md). mobile marks a node provisioned with both Km
+	// and KMC via Authority.MobileMaterialFor; it retains KMC after
+	// every join so it can hand off repeatedly.
+	mobile       bool
+	inHandoff    bool
+	handoffCID   uint32 // cluster being left, reported on completion
+	handoffStart time.Duration
+	handoffs     int
+
 	// OnRepaired, if set, observes this node winning a repair election
 	// (taking over headship of cid at the given time).
 	OnRepaired func(cid uint32, newHead node.ID, at time.Duration)
+
+	// OnHandoff, if set, observes each completed cluster handoff: the
+	// cluster left, the cluster joined (equal if the node rejoined its
+	// old cluster after transient silence), and the leave/join times.
+	OnHandoff func(oldCID, newCID uint32, started, completed time.Duration)
 
 	// Peek, if set and a plaintext (Step-1-disabled) reading passes
 	// through, is consulted before forwarding; returning false discards
@@ -289,28 +304,32 @@ func (s *Sensor) sealerFor(key crypt.Key) *crypt.Sealer {
 // against the same registry. With observability off each field is nil
 // and every hook is a single nil check.
 type coreMetrics struct {
-	elections  *obs.Counter
-	setupTx    *obs.Counter
-	setupRetx  *obs.Counter
-	kmErasures *obs.Counter
-	repairs    *obs.Counter
-	repairTime *obs.Histogram
-	dataRetx   *obs.Counter
-	degraded   *obs.Counter
-	deliveries *obs.Counter
+	elections   *obs.Counter
+	setupTx     *obs.Counter
+	setupRetx   *obs.Counter
+	kmErasures  *obs.Counter
+	repairs     *obs.Counter
+	repairTime  *obs.Histogram
+	dataRetx    *obs.Counter
+	degraded    *obs.Counter
+	deliveries  *obs.Counter
+	handoffs    *obs.Counter
+	handoffTime *obs.Histogram
 }
 
 func newCoreMetrics(r *obs.Registry) coreMetrics {
 	return coreMetrics{
-		elections:  r.Counter("core_elections_total", "clusterhead self-elections during setup"),
-		setupTx:    r.Counter("core_setup_tx_total", "setup-phase broadcasts (HELLO and LINK-ADVERT, retries included)"),
-		setupRetx:  r.Counter("core_setup_retx_total", "setup-phase retransmissions (HELLO and LINK-ADVERT retries)"),
-		kmErasures: r.Counter("core_km_erasures_total", "nodes that erased the master key Km"),
-		repairs:    r.Counter("core_repairs_total", "repair elections won (headship takeovers after a head crash)"),
-		repairTime: r.Histogram("core_repair_takeover_seconds", "virtual time from repair-election start to headship claim", nil),
-		dataRetx:   r.Counter("core_data_retx_total", "ack-gated data retransmissions"),
-		degraded:   r.Counter("core_degraded_total", "readings that exhausted their retries unacknowledged"),
-		deliveries: r.Counter("core_bs_deliveries_total", "readings accepted by the base station"),
+		elections:   r.Counter("core_elections_total", "clusterhead self-elections during setup"),
+		setupTx:     r.Counter("core_setup_tx_total", "setup-phase broadcasts (HELLO and LINK-ADVERT, retries included)"),
+		setupRetx:   r.Counter("core_setup_retx_total", "setup-phase retransmissions (HELLO and LINK-ADVERT retries)"),
+		kmErasures:  r.Counter("core_km_erasures_total", "nodes that erased the master key Km"),
+		repairs:     r.Counter("core_repairs_total", "repair elections won (headship takeovers after a head crash)"),
+		repairTime:  r.Histogram("core_repair_takeover_seconds", "virtual time from repair-election start to headship claim", nil),
+		dataRetx:    r.Counter("core_data_retx_total", "ack-gated data retransmissions"),
+		degraded:    r.Counter("core_degraded_total", "readings that exhausted their retries unacknowledged"),
+		deliveries:  r.Counter("core_bs_deliveries_total", "readings accepted by the base station"),
+		handoffs:    r.Counter("core_handoffs_total", "cluster handoffs completed by mobile nodes"),
+		handoffTime: r.Histogram("core_handoff_seconds", "virtual time from cluster departure to join completion", nil),
 	}
 }
 
@@ -322,6 +341,9 @@ func NewSensor(cfg Config, m Material) *Sensor {
 		ks:  keyStoreFor(m, cfg.MaxChainSkip),
 		id:  m.ID,
 		hop: HopUnknown,
+		// Mobile provisioning carries both masters (MobileMaterialFor);
+		// original nodes hold only Km, late additions only KMC.
+		mobile: !m.Master.IsZero() && !m.AddMaster.IsZero(),
 		// Sized lazily, NOT pre-sized to DedupCapacity: a hint of 1024
 		// reserves ~20 KB of empty buckets per node, which at 10^6 nodes
 		// is ~20 GB of memory for caches that stay empty until data
@@ -379,6 +401,17 @@ func (s *Sensor) Head() node.ID { return s.headID }
 // Repaired reports whether this node won a repair election and took over
 // headship of its cluster after the original head went silent.
 func (s *Sensor) Repaired() bool { return s.repaired }
+
+// Mobile reports whether the node was provisioned with mobile material
+// (both Km and KMC; see Authority.MobileMaterialFor).
+func (s *Sensor) Mobile() bool { return s.mobile }
+
+// Handoffs returns how many cluster handoffs this node has completed.
+func (s *Sensor) Handoffs() int { return s.handoffs }
+
+// InHandoff reports whether the node is currently between clusters: it
+// left a cluster after keep-alive loss and its re-join has not finished.
+func (s *Sensor) InHandoff() bool { return s.inHandoff }
 
 // Degraded reports whether the node exhausted its data retries without
 // overhearing an acknowledgement since the last acked transmission. Only
@@ -494,9 +527,10 @@ func (s *Sensor) SetOnDeliver(fn func(Delivery)) {
 // --- node.Behavior ---
 
 // Start implements node.Behavior: it arms the setup-phase timers
-// (original nodes) or begins the join procedure (late-deployed nodes).
+// (original and mobile nodes, which hold Km) or begins the join
+// procedure (late-deployed nodes, which hold only KMC).
 func (s *Sensor) Start(ctx node.Context) {
-	if !s.ks.AddMaster.IsZero() {
+	if s.ks.Master.IsZero() && !s.ks.AddMaster.IsZero() {
 		s.startJoin(ctx)
 		return
 	}

@@ -86,6 +86,12 @@ func equivFamilies() []family {
 		{"Soak", func(o Options) (any, error) {
 			return Soak(o, []string{"cbr", "event"}, 8)
 		}},
+		{"MobilitySpeedSweep", func(o Options) (any, error) {
+			return MobilitySpeedSweep(o, []float64{0, 2})
+		}},
+		{"MobilityChurnSweep", func(o Options) (any, error) {
+			return MobilityChurnSweep(o, []float64{0, 0.5})
+		}},
 	}
 }
 

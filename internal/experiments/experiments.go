@@ -147,6 +147,9 @@ var familyCaps = map[string]Caps{
 	// The soak family injects thousands of readings per trial and runs
 	// every model twice (batch on/off at identical seeds).
 	"soak": {MaxN: 300, MaxTrials: 3},
+	// The mobility family runs keep-alives, periodic beacons, and
+	// handoff re-joins for the whole motion window on every trial.
+	"mobility": {MaxN: 400, MaxTrials: 3},
 }
 
 // CapsFor returns the scale caps for the named experiment family (the

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// meanAt fetches the mean at x or fails the test.
+func meanAt(t *testing.T, s *stats.Series, x float64) float64 {
+	t.Helper()
+	v, ok := s.At(x)
+	if !ok {
+		t.Fatalf("series %v has no point at %v", s, x)
+	}
+	return v
+}
+
+// TestMobilitySpeedSweepDegradesLessThanLEAP is the family's headline
+// claim at test scale: as node speed grows, our delivery must stay at or
+// above the paired analytic LEAP arm, and must beat it strictly at the
+// fastest point, where LEAP's bootstrap-fixed pairwise keys have lost
+// the most links.
+func TestMobilitySpeedSweepDegradesLessThanLEAP(t *testing.T) {
+	speeds := []float64{0, 1}
+	res, err := MobilitySpeedSweep(Options{Seed: 5, Trials: 3, N: 200}, speeds)
+	if err != nil {
+		t.Fatalf("MobilitySpeedSweep: %v", err)
+	}
+	for _, v := range speeds {
+		ours := meanAt(t, res.Delivery, v)
+		leap := meanAt(t, res.DeliveryLEAP, v)
+		t.Logf("speed %.1f radii/s: ours %.3f leap %.3f", v, ours, leap)
+		if ours < leap {
+			t.Errorf("speed %v: delivery %.3f below LEAP arm %.3f", v, ours, leap)
+		}
+	}
+	fast := speeds[len(speeds)-1]
+	if meanAt(t, res.Delivery, fast) <= meanAt(t, res.DeliveryLEAP, fast) {
+		t.Errorf("at speed %v our delivery %.3f does not strictly beat LEAP %.3f",
+			fast, meanAt(t, res.Delivery, fast), meanAt(t, res.DeliveryLEAP, fast))
+	}
+	if meanAt(t, res.HandoffsPerMobile, fast) <= 0 {
+		t.Errorf("no handoffs recorded at speed %v", fast)
+	}
+}
+
+// TestMobilityChurnSweepRuns exercises the churn axis end-to-end and the
+// key-hygiene claim: handoffs must not accrete stale cluster keys, so
+// the per-node key count stays bounded regardless of churn.
+func TestMobilityChurnSweepRuns(t *testing.T) {
+	fracs := []float64{0, 1}
+	res, err := MobilityChurnSweep(Options{Seed: 9, Trials: 2, N: 200}, fracs)
+	if err != nil {
+		t.Fatalf("MobilityChurnSweep: %v", err)
+	}
+	for _, f := range fracs {
+		keys := meanAt(t, res.KeysPerNode, f)
+		t.Logf("frac %.2f: delivery %.3f keys/node %.2f", f, meanAt(t, res.Delivery, f), keys)
+		// Members hold their own cluster key plus up to a handful of
+		// neighbor-cluster keys; a leak would grow with every handoff.
+		if keys > 10 {
+			t.Errorf("frac %v: %.2f cluster keys per node, looks like a handoff leak", f, keys)
+		}
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}

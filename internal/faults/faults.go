@@ -15,16 +15,18 @@
 //
 // The plan text format (see docs/FAULTS.md) is one event per line:
 //
-//	crash     t=500ms node=17
-//	reboot    t=2s    node=17
-//	burst     t=1s until=3s nodes=0-49 pgb=0.05 pbg=0.25 lossb=0.9 lossg=0.01
-//	ramp      t=1s until=3s nodes=* from=0 to=0.6
-//	partition t=1s until=2s nodes=0-24
-//	jitter    t=1s until=2s factor=4
+//	crash      t=500ms node=17
+//	reboot     t=2s    node=17
+//	burst      t=1s until=3s nodes=0-49 pgb=0.05 pbg=0.25 lossb=0.9 lossg=0.01
+//	ramp       t=1s until=3s nodes=* from=0 to=0.6
+//	partition  t=1s until=2s nodes=0-24
+//	jitter     t=1s until=2s factor=4
+//	mpartition t=1s until=3s x0=0 width=20 vel=5
 package faults
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +64,17 @@ const (
 	// KindJitterScale multiplies the medium's delivery jitter by Factor
 	// during [At, Until), modeling congestion-induced MAC delays.
 	KindJitterScale
+	// KindMovingPartition sweeps a vertical barrier band across the
+	// deployment region during [At, Until): at time now the band covers
+	// x in [X0 + Vel*(now-At), ... + Width), wrapped on the region side,
+	// and every packet whose endpoints straddle a band edge is dropped —
+	// the geometric analogue of KindPartition, modeling a wall of
+	// interference (or a moving jammer) crossing the field. It is scoped
+	// by node positions, not a node list, so it needs an engine that
+	// installs a position locator (Injector.SetLocator); the live
+	// runtime has no geometry and rejects it. It draws no randomness, so
+	// its presence never perturbs another event's chains.
+	KindMovingPartition
 )
 
 // String returns the kind's plan-file keyword.
@@ -79,6 +92,8 @@ func (k Kind) String() string {
 		return "partition"
 	case KindJitterScale:
 		return "jitter"
+	case KindMovingPartition:
+		return "mpartition"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -105,12 +120,16 @@ type Event struct {
 	From, To float64
 	// Factor is the jitter multiplier.
 	Factor float64
+	// X0, Vel, Width parameterize the moving partition: the band's left
+	// edge at At (region units), its sweep velocity (units per second,
+	// negative sweeps left), and its width (must be positive).
+	X0, Vel, Width float64
 }
 
 // windowed reports whether the event occupies a time window.
 func (e *Event) windowed() bool {
 	switch e.Kind {
-	case KindBurst, KindRamp, KindPartition, KindJitterScale:
+	case KindBurst, KindRamp, KindPartition, KindJitterScale, KindMovingPartition:
 		return true
 	}
 	return false
@@ -181,6 +200,10 @@ func (p *Plan) Validate(n int) error {
 			if len(e.Nodes) == 0 {
 				return fmt.Errorf("faults: partition at %v needs a node group", e.At)
 			}
+		case KindMovingPartition:
+			if e.Width <= 0 {
+				return fmt.Errorf("faults: moving partition width %v must be positive", e.Width)
+			}
 		default:
 			return fmt.Errorf("faults: unknown event kind %d", int(e.Kind))
 		}
@@ -211,6 +234,10 @@ type Injector struct {
 	// counters) is "observability off"; Drop's draw sequence never
 	// depends on it.
 	m Metrics
+	// locate and side give geometry-scoped events access to node
+	// positions; see SetLocator.
+	locate func(i int) (x, y float64)
+	side   float64
 }
 
 // Metrics are the injector's drop counters by fault kind. Constructed
@@ -219,6 +246,7 @@ type Metrics struct {
 	BurstDrops     *obs.Counter
 	RampDrops      *obs.Counter
 	PartitionDrops *obs.Counter
+	MovingDrops    *obs.Counter
 }
 
 // NewMetrics registers the injector counters on r (all-nil when r is
@@ -228,11 +256,24 @@ func NewMetrics(r *obs.Registry) Metrics {
 		BurstDrops:     r.Counter("faults_burst_drops_total", "packets dropped by Gilbert-Elliott burst events"),
 		RampDrops:      r.Counter("faults_ramp_drops_total", "packets dropped by loss-ramp events"),
 		PartitionDrops: r.Counter("faults_partition_drops_total", "packets dropped crossing a partition boundary"),
+		MovingDrops:    r.Counter("faults_mpartition_drops_total", "packets dropped crossing a moving partition band edge"),
 	}
 }
 
 // SetMetrics attaches drop counters to the injector.
 func (in *Injector) SetMetrics(m Metrics) { in.m = m }
+
+// SetLocator gives the injector read access to node positions — loc
+// returns node i's coordinates and side is the region's wrap length for
+// toroidal geometry (pass 0 for planar regions). Geometry-scoped events
+// (KindMovingPartition) are inert until a locator is installed: the
+// simulator wires its topology in, the live runtime has no geometry and
+// leaves it unset. Positions are read at drop time, so a mobile topology
+// is reflected move-by-move.
+func (in *Injector) SetLocator(side float64, loc func(i int) (x, y float64)) {
+	in.side = side
+	in.locate = loc
+}
 
 // NewInjector binds plan to a random stream. The stream must be split off
 // the engine's root seed so (seed, plan) fully determines every draw.
@@ -306,6 +347,19 @@ func (in *Injector) Drop(now time.Duration, from, to int) bool {
 				drop = true
 				in.m.PartitionDrops.Inc()
 			}
+		case KindMovingPartition:
+			// Band-edge-crossing traffic dies in both directions. No
+			// randomness is drawn, so skipping when no locator is
+			// installed cannot perturb other events' chains.
+			if in.locate == nil {
+				continue
+			}
+			fx, _ := in.locate(from)
+			tx, _ := in.locate(to)
+			if in.inBand(e, now, fx) != in.inBand(e, now, tx) {
+				drop = true
+				in.m.MovingDrops.Inc()
+			}
 		case KindBurst:
 			if !in.covers(k, to) {
 				continue
@@ -350,6 +404,22 @@ func (in *Injector) Drop(now time.Duration, from, to int) bool {
 		// event would change another's draw sequence.
 	}
 	return drop
+}
+
+// inBand reports whether coordinate x lies inside e's barrier band at
+// virtual time now. On a toroidal region (side > 0) both the band's
+// travel and the membership test wrap; on a planar region (side = 0) the
+// band simply sweeps off the edge.
+func (in *Injector) inBand(e *Event, now time.Duration, x float64) bool {
+	left := e.X0 + e.Vel*(now-e.At).Seconds()
+	if in.side <= 0 {
+		return x >= left && x < left+e.Width
+	}
+	rel := math.Mod(x-left, in.side)
+	if rel < 0 {
+		rel += in.side
+	}
+	return rel < e.Width
 }
 
 // JitterScale returns the factor by which the medium's delivery jitter is
@@ -410,6 +480,8 @@ func parseEvent(kind string, kvs []string) (Event, error) {
 	case "jitter":
 		e.Kind = KindJitterScale
 		e.Factor = 1
+	case "mpartition":
+		e.Kind = KindMovingPartition
 	default:
 		return e, fmt.Errorf("unknown event kind %q", kind)
 	}
@@ -443,6 +515,12 @@ func parseEvent(kind string, kvs []string) (Event, error) {
 			e.To, err = parseProb(val)
 		case "factor":
 			e.Factor, err = strconv.ParseFloat(val, 64)
+		case "x0":
+			e.X0, err = strconv.ParseFloat(val, 64)
+		case "vel":
+			e.Vel, err = strconv.ParseFloat(val, 64)
+		case "width":
+			e.Width, err = strconv.ParseFloat(val, 64)
 		default:
 			return e, fmt.Errorf("unknown field %q for %s", key, kind)
 		}

@@ -260,9 +260,139 @@ func TestCrashRebootEventsSorted(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for _, k := range []Kind{KindCrash, KindReboot, KindBurst, KindRamp, KindPartition, KindJitterScale} {
+	for _, k := range []Kind{KindCrash, KindReboot, KindBurst, KindRamp, KindPartition, KindJitterScale, KindMovingPartition} {
 		if strings.HasPrefix(k.String(), "kind(") {
 			t.Fatalf("kind %d has no keyword", int(k))
+		}
+	}
+}
+
+func TestParsePlanMovingPartition(t *testing.T) {
+	p, err := ParsePlan("mpartition t=1s until=3s x0=10 width=20 vel=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Events[0]
+	if e.Kind != KindMovingPartition || e.At != time.Second || e.Until != 3*time.Second {
+		t.Fatalf("mpartition event: %+v", e)
+	}
+	if e.X0 != 10 || e.Width != 20 || e.Vel != 5 {
+		t.Fatalf("mpartition geometry: %+v", e)
+	}
+	// Width is mandatory: a zero-width band partitions nothing and is
+	// always an operator mistake.
+	if _, err := ParsePlan("mpartition t=1s until=3s x0=10 vel=5"); err == nil {
+		t.Fatal("accepted a moving partition without width")
+	}
+	if _, err := ParsePlan("mpartition t=1s until=3s width=-4"); err == nil {
+		t.Fatal("accepted a negative band width")
+	}
+}
+
+// locatorOf adapts a fixed coordinate table to the injector's locator.
+func locatorOf(xs []float64) func(int) (float64, float64) {
+	return func(i int) (float64, float64) { return xs[i], 0 }
+}
+
+func TestMovingPartitionSweeps(t *testing.T) {
+	// A 10-unit band starting at x=0, sweeping right at 10 units/s over
+	// a 100-unit torus. Nodes at x = 5, 50, 8.
+	p := &Plan{Events: []Event{{
+		Kind: KindMovingPartition, At: 0, Until: 10 * time.Second,
+		X0: 0, Width: 10, Vel: 10,
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	in.SetLocator(100, locatorOf([]float64{5, 50, 8}))
+
+	// t=0: band [0,10) holds nodes 0 and 2; node 1 is outside.
+	if !in.Drop(0, 0, 1) || !in.Drop(0, 1, 0) {
+		t.Fatal("band-edge crossing survived at t=0")
+	}
+	if in.Drop(0, 0, 2) {
+		t.Fatal("intra-band traffic dropped at t=0")
+	}
+	// t=2s: band [20,30) holds nobody; everything flows.
+	if in.Drop(2*time.Second, 0, 1) || in.Drop(2*time.Second, 0, 2) {
+		t.Fatal("drop with every node on the same side")
+	}
+	// t=4.5s: band [45,55) holds node 1 only.
+	if !in.Drop(4500*time.Millisecond, 0, 1) {
+		t.Fatal("band-edge crossing survived at t=4.5s")
+	}
+	// The window closes at 10s.
+	if in.Drop(10*time.Second, 0, 1) {
+		t.Fatal("moving partition outlived its window")
+	}
+}
+
+func TestMovingPartitionWrapsOnTorus(t *testing.T) {
+	p := &Plan{Events: []Event{{
+		Kind: KindMovingPartition, At: 0, Until: time.Second,
+		X0: 95, Width: 10,
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	// Band [95,105) wraps to [95,100) + [0,5).
+	in.SetLocator(100, locatorOf([]float64{97, 3, 50, 5}))
+	if in.Drop(0, 0, 1) {
+		t.Fatal("band interior split across the wrap seam")
+	}
+	if !in.Drop(0, 1, 2) {
+		t.Fatal("crossing out of the wrapped band survived")
+	}
+	// x=5 sits exactly at the half-open right edge: outside.
+	if in.Drop(0, 2, 3) {
+		t.Fatal("right band edge treated as inside")
+	}
+}
+
+func TestMovingPartitionPlanarSweepsOffEdge(t *testing.T) {
+	p := &Plan{Events: []Event{{
+		Kind: KindMovingPartition, At: 0, Until: 10 * time.Second,
+		X0: 90, Width: 10, Vel: 10,
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	in.SetLocator(0, locatorOf([]float64{95, 50})) // planar: no wrap
+	if !in.Drop(0, 0, 1) {
+		t.Fatal("band-edge crossing survived at t=0")
+	}
+	// t=2s: band [110,120) is off the region; nothing is inside.
+	if in.Drop(2*time.Second, 0, 1) {
+		t.Fatal("planar band wrapped back onto the region")
+	}
+}
+
+func TestMovingPartitionInertWithoutLocator(t *testing.T) {
+	p := &Plan{Events: []Event{{
+		Kind: KindMovingPartition, At: 0, Until: time.Second,
+		X0: 0, Width: 1000,
+	}}}
+	in := NewInjector(p, xrand.New(1).Split(1))
+	if in.Drop(0, 0, 1) {
+		t.Fatal("moving partition dropped without a position locator")
+	}
+}
+
+// TestMovingPartitionDrawsNoRandomness pins the chain-independence
+// contract: adding a moving partition to a plan must not perturb another
+// event's draw sequence, because the band test consumes no variates.
+func TestMovingPartitionDrawsNoRandomness(t *testing.T) {
+	burst := Event{
+		Kind: KindBurst, At: 0, Until: time.Minute,
+		PGB: 0.3, PBG: 0.3, LossGood: 0.2, LossBad: 0.8,
+	}
+	band := Event{
+		Kind: KindMovingPartition, At: 0, Until: time.Minute,
+		X0: 0, Width: 1000, Vel: 0,
+	}
+	a := NewInjector(&Plan{Events: []Event{burst}}, xrand.New(9).Split(1))
+	b := NewInjector(&Plan{Events: []Event{burst, band}}, xrand.New(9).Split(1))
+	// Both nodes sit inside the band, so its own decision is never
+	// "drop" and any divergence is the burst chain shifting.
+	b.SetLocator(1000, locatorOf([]float64{1, 2}))
+	for i := 0; i < 500; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		if a.Drop(now, 0, 1) != b.Drop(now, 0, 1) {
+			t.Fatalf("burst chain diverged at arrival %d with a moving partition present", i)
 		}
 	}
 }

@@ -519,6 +519,9 @@ type Info struct {
 	Reason string `json:"reason,omitempty"`
 	Boots  []int  `json:"boots"`
 	Pids   []int  `json:"pids"`
+	// Nodes is the per-node supervision view: phase, restart streak,
+	// remaining budget, and the backoff currently being slept.
+	Nodes []NodeStatus `json:"nodes"`
 }
 
 func (c *Coordinator) infoLocked(d *deployment) Info {
@@ -528,10 +531,18 @@ func (c *Coordinator) infoLocked(d *deployment) Info {
 		Reason: d.reason,
 		Boots:  append([]int(nil), d.boots...),
 		Pids:   make([]int, d.spec.N),
+		Nodes:  make([]NodeStatus, d.spec.N),
+	}
+	for i := range info.Nodes {
+		// A deployment recovered into a terminal state has no live
+		// supervisors; report the durable boot count and a stopped phase.
+		info.Nodes[i] = NodeStatus{Phase: "stopped", Boot: info.Boots[i],
+			BudgetLeft: d.spec.RestartBudget}
 	}
 	for i, sup := range d.sups {
 		if sup != nil {
 			info.Pids[i] = sup.pid()
+			info.Nodes[i] = sup.status()
 		}
 	}
 	return info
@@ -709,6 +720,18 @@ func (c *Coordinator) InjectFaults(id string, planText string) error {
 	if err != nil {
 		return err
 	}
+	// Reject simulator-only kinds up front, before any deployment state
+	// is consulted: a bad plan is a bad plan whether or not the target
+	// exists or is running.
+	for _, e := range plan.Events {
+		switch e.Kind {
+		case faults.KindCrash, faults.KindReboot, faults.KindPartition:
+		case faults.KindMovingPartition:
+			return fmt.Errorf("fleet: fault kind %v needs the simulator's geometry; fleet deployments support crash and partition", e.Kind)
+		default:
+			return fmt.Errorf("fleet: fault kind %v needs the simulator's virtual radio; fleet deployments support crash and partition", e.Kind)
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.deps[id]
@@ -733,8 +756,6 @@ func (c *Coordinator) InjectFaults(id string, planText string) error {
 			start := time.AfterFunc(e.At, func() { c.applyPartition(d, e.Nodes) })
 			heal := time.AfterFunc(e.Until, func() { c.healPartition(d) })
 			d.timers = append(d.timers, start, heal)
-		default:
-			return fmt.Errorf("fleet: fault kind %v needs the simulator's virtual radio; fleet deployments support crash and partition", e.Kind)
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -121,6 +122,11 @@ func TestSingletonDeploymentLifecycle(t *testing.T) {
 		t.Errorf("assigned id = %s, want d1", spec.ID)
 	}
 	waitState(t, c, spec.ID, "running", 30*time.Second)
+	running, _ := c.Get(spec.ID)
+	if len(running.Nodes) != 1 || running.Nodes[0].Phase != "running" ||
+		running.Nodes[0].Pid != running.Pids[0] || running.Nodes[0].BudgetLeft <= 0 {
+		t.Errorf("running node status = %+v (pids %v)", running.Nodes, running.Pids)
+	}
 
 	if err := c.Stop(spec.ID, ""); err != nil {
 		t.Fatal(err)
@@ -128,6 +134,9 @@ func TestSingletonDeploymentLifecycle(t *testing.T) {
 	info, _ := c.Get(spec.ID)
 	if info.State != "stopped" {
 		t.Errorf("state after stop = %s", info.State)
+	}
+	if len(info.Nodes) != 1 || info.Nodes[0].Phase != "stopped" {
+		t.Errorf("node status after stop = %+v", info.Nodes)
 	}
 	// Stop is terminal and idempotent.
 	if err := c.Stop(spec.ID, ""); err != nil {
@@ -573,4 +582,36 @@ func TestFaultCrashTriggersSupervisedRestart(t *testing.T) {
 	}
 	// The restarted base station must converge back to ready.
 	waitState(t, c, spec.ID, "running", 30*time.Second)
+}
+
+// TestInjectFaultsRejectsSimulatorOnlyKinds pins the plan screening: the
+// medium-model kinds and the geometry-scoped moving partition only exist
+// inside the simulator's virtual radio, and a fleet deployment must say
+// so instead of silently ignoring them. The check runs before any
+// deployment lookup, so no processes are needed.
+func TestInjectFaultsRejectsSimulatorOnlyKinds(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir(), Exec: testExec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	for _, tc := range []struct{ name, plan string }{
+		{"burst", "burst t=0s until=1s"},
+		{"ramp", "ramp t=0s until=1s from=0 to=0.5"},
+		{"jitter", "jitter t=0s until=1s factor=2"},
+		{"mpartition", "mpartition t=0s until=1s width=5"},
+	} {
+		err := c.InjectFaults("no-such-deployment", tc.plan)
+		if err == nil {
+			t.Errorf("%s: simulator-only kind accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "simulator") {
+			t.Errorf("%s: error %q does not explain the kind is simulator-only", tc.name, err)
+		}
+	}
+	// Supported kinds still reach the deployment lookup.
+	if err := c.InjectFaults("no-such-deployment", "crash t=1ms node=0"); err == nil || strings.Contains(err.Error(), "simulator") {
+		t.Errorf("crash plan screened out: %v", err)
+	}
 }

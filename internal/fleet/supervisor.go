@@ -52,9 +52,60 @@ type supervisor struct {
 	mu      sync.Mutex
 	proc    process
 	boot    int
+	streak  int           // consecutive unhealthy restarts, resets on a healthy run
+	waiting time.Duration // backoff currently being slept, 0 otherwise
+	gaveUp  bool
 	stopped bool
 	stopCh  chan struct{}
 	done    chan struct{}
+}
+
+// NodeStatus is one node's supervision view inside Info: what the node
+// is doing right now and how much of its restart budget remains. Phase
+// is one of "running", "backoff" (sleeping before a relaunch),
+// "gaveup" (budget exhausted or launch failed), "stopped" (drained),
+// or "starting" (between launch and the first process handle).
+type NodeStatus struct {
+	Phase string `json:"phase"`
+	// Pid identifies the running incarnation (0 unless Phase is
+	// "running").
+	Pid int `json:"pid,omitempty"`
+	// Boot is the incarnation number of the running (or next) process.
+	Boot int `json:"boot"`
+	// Streak counts consecutive unhealthy restarts; a run that survives
+	// past the healthy-uptime threshold clears it.
+	Streak int `json:"streak,omitempty"`
+	// BudgetLeft is how many more unhealthy restarts the supervisor
+	// tolerates before giving up.
+	BudgetLeft int `json:"budget_left"`
+	// BackoffMS is the relaunch delay currently being slept (only when
+	// Phase is "backoff").
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+}
+
+// status snapshots the supervision loop for the API.
+func (s *supervisor) status() NodeStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := NodeStatus{Boot: s.boot, Streak: s.streak, BudgetLeft: s.budget - s.streak}
+	if st.BudgetLeft < 0 {
+		st.BudgetLeft = 0
+	}
+	switch {
+	case s.gaveUp:
+		st.Phase = "gaveup"
+	case s.proc != nil:
+		st.Phase = "running"
+		st.Pid = s.proc.Pid()
+	case s.stopped:
+		st.Phase = "stopped"
+	case s.waiting > 0:
+		st.Phase = "backoff"
+		st.BackoffMS = s.waiting.Milliseconds()
+	default:
+		st.Phase = "starting"
+	}
+	return st
 }
 
 // newSupervisor wires a supervisor for one node; call run to launch.
@@ -89,6 +140,7 @@ func (s *supervisor) run() {
 		boot := s.boot
 		proc, err := s.start(boot)
 		if err != nil {
+			s.gaveUp = true
 			s.mu.Unlock()
 			s.met.giveups.Inc()
 			if s.onGiveUp != nil {
@@ -117,17 +169,29 @@ func (s *supervisor) run() {
 			attempts = 0
 		}
 		attempts++
+		s.mu.Lock()
+		s.streak = attempts
 		if attempts > s.budget {
+			s.gaveUp = true
+			s.mu.Unlock()
 			s.met.giveups.Inc()
 			if s.onGiveUp != nil {
 				s.onGiveUp(s.node, errRestartBudget)
 			}
 			return
 		}
+		s.mu.Unlock()
 
 		delay := backoff(s.backoffBase, s.backoffCap, attempts-1)
 		s.met.backoffMS.Set(delay.Milliseconds())
-		if !s.sleep(delay) {
+		s.mu.Lock()
+		s.waiting = delay
+		s.mu.Unlock()
+		slept := s.sleep(delay)
+		s.mu.Lock()
+		s.waiting = 0
+		s.mu.Unlock()
+		if !slept {
 			return
 		}
 		s.met.restarts.Inc()

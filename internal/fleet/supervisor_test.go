@@ -186,3 +186,57 @@ func TestSupervisorStartErrorGivesUp(t *testing.T) {
 		t.Fatal("launch failure did not give up")
 	}
 }
+
+// TestSupervisorStatusTracksLifecycle pins the status() snapshot the
+// coordinator serves as Info.Nodes: running, backoff (with the pending
+// delay and failure streak), and gaveup with a spent budget.
+func TestSupervisorStatusTracksLifecycle(t *testing.T) {
+	procCh := make(chan *fakeProc, 16)
+	start := func(boot int) (process, error) {
+		p := newFakeProc()
+		procCh <- p
+		return p, nil
+	}
+	spec := Spec{N: 1, BasePort: 9000, RestartBudget: 2,
+		BackoffBase: 150 * time.Millisecond, BackoffCap: 300 * time.Millisecond}.withDefaults()
+	sup := newSupervisor(0, 0, spec, start, metrics{})
+	go sup.run()
+	defer sup.stop()
+
+	await := func(phase string) NodeStatus {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := sup.status()
+			if st.Phase == phase {
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("status never reached %q, last %+v", phase, st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	p := <-procCh
+	st := await("running")
+	if st.Boot != 0 || st.Streak != 0 || st.BudgetLeft != spec.RestartBudget {
+		t.Errorf("running status = %+v", st)
+	}
+	p.die()
+	st = await("backoff")
+	if st.Streak != 1 || st.BudgetLeft != spec.RestartBudget-1 || st.BackoffMS <= 0 || st.Boot != 1 {
+		t.Errorf("backoff status = %+v", st)
+	}
+	// Burn the rest of the budget: every later incarnation dies on
+	// arrival, so the streak climbs past the budget.
+	go func() {
+		for p := range procCh {
+			p.die()
+		}
+	}()
+	st = await("gaveup")
+	if st.BudgetLeft != 0 {
+		t.Errorf("gaveup status = %+v", st)
+	}
+}

@@ -214,6 +214,31 @@ func (g *Grid) Within(dst []int32, p Point, radius float64, exclude int32) []int
 	return dst
 }
 
+// Move updates indexed point i to position p incrementally: the stored
+// coordinate changes and the index migrates between buckets only when
+// the cell actually changes. Bucket-internal order is preserved on
+// removal, so a grid mutated by any sequence of Moves answers Within
+// identically to a grid freshly built from the final positions — the
+// property the mobility model depends on and geom's move property test
+// pins. The grid indexes the caller's point slice, so the caller
+// observes the new coordinate too.
+func (g *Grid) Move(i int, p Point) {
+	old := g.bucketOf(g.pts[i])
+	g.pts[i] = p
+	nw := g.bucketOf(p)
+	if old == nw {
+		return
+	}
+	b := g.buckets[old]
+	for k, idx := range b {
+		if idx == int32(i) {
+			g.buckets[old] = append(b[:k], b[k+1:]...)
+			break
+		}
+	}
+	g.buckets[nw] = append(g.buckets[nw], int32(i))
+}
+
 // colOf returns the grid column of p, as bucketOf computes it.
 func (g *Grid) colOf(p Point) int { return g.cellIndex(p.X) }
 

@@ -1,0 +1,131 @@
+package geom
+
+// Property tests for Grid.Move, the incremental position update the
+// mobility model drives. The invariant: after any sequence of moves, a
+// mutated grid answers Within exactly like a grid freshly built from
+// the current positions — for every point, at every step, including
+// moves that cross the torus wrap seam and land on exact cell edges.
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// checkMovedGridMatchesFresh compares the mutated grid's Within answers
+// against a freshly built grid and the brute-force reference at every
+// indexed point.
+func checkMovedGridMatchesFresh(t *testing.T, g *Grid, pts []Point, side, radius float64, metric Metric, step int) {
+	t.Helper()
+	fresh := NewGrid(append([]Point(nil), pts...), side, radius, metric)
+	for i := range pts {
+		got := sorted(g.Within(nil, pts[i], radius, int32(i)))
+		want := sorted(fresh.Within(nil, pts[i], radius, int32(i)))
+		if !equalIDs(got, want) {
+			t.Fatalf("step %d metric=%v query %d: moved grid %v != fresh grid %v",
+				step, metric, i, got, want)
+		}
+		brute := sorted(bruteWithin(pts, pts[i], radius, side, metric, int32(i)))
+		if !equalIDs(got, brute) {
+			t.Fatalf("step %d metric=%v query %d: moved grid %v != brute force %v",
+				step, metric, i, got, brute)
+		}
+	}
+}
+
+// TestGridMoveMatchesFreshBuild walks random points through random
+// displacement sequences and pins the moved grid to the fresh-build
+// reference at every step, under both metrics.
+func TestGridMoveMatchesFreshBuild(t *testing.T) {
+	const (
+		side   = 10.0
+		radius = 1.3
+		n      = 80
+		steps  = 60
+	)
+	for _, metric := range []Metric{Planar, Torus} {
+		rng := xrand.New(31)
+		pts := UniformPoints(rng, n, side)
+		g := NewGrid(pts, side, radius, metric)
+		for step := 0; step < steps; step++ {
+			i := int(rng.Uint64n(n))
+			// Jumps of up to two cells in each axis so moves regularly
+			// cross cell and column boundaries.
+			p := Point{
+				X: pts[i].X + (rng.Float64()-0.5)*4*radius,
+				Y: pts[i].Y + (rng.Float64()-0.5)*4*radius,
+			}
+			// Wrap into [0, side) the way a torus mobility model does;
+			// on the plane this doubles as a clamp-free reflection.
+			p.X = wrapCoord(p.X, side)
+			p.Y = wrapCoord(p.Y, side)
+			g.Move(i, p)
+			if pts[i] != p {
+				t.Fatalf("step %d: Move did not update the shared point slice", step)
+			}
+			checkMovedGridMatchesFresh(t, g, pts, side, radius, metric, step)
+		}
+	}
+}
+
+// TestGridMoveTorusColumnCrossing drives one point across the wrap seam
+// in small steps — last column to column 0 and back — plus exact-edge
+// landings, the coordinates where bucket migration is easiest to get
+// wrong.
+func TestGridMoveTorusColumnCrossing(t *testing.T) {
+	const (
+		side   = 8.0
+		radius = 1.0
+	)
+	rng := xrand.New(32)
+	pts := UniformPoints(rng, 60, side)
+	pts[0] = Point{X: side - 0.05, Y: 3.0}
+	g := NewGrid(pts, side, radius, Torus)
+	path := []Point{
+		{X: side - 0.01, Y: 3.0},
+		{X: 0.0, Y: 3.0},         // exactly on the seam
+		{X: 0.02, Y: 3.0},        // wrapped into column 0
+		{X: radius, Y: 3.0},      // exactly on a cell edge
+		{X: side - 0.02, Y: 3.0}, // back across the seam
+		{X: side / 2, Y: side},   // Y == side: wraps to row 0
+		{X: 0.5, Y: 0.5},
+	}
+	for step, p := range path {
+		g.Move(0, p)
+		checkMovedGridMatchesFresh(t, g, pts, side, radius, Torus, step)
+	}
+}
+
+// TestGridMoveSameCellNoop: a move within one cell must not disturb
+// bucket order — the grid still matches a fresh build, and repeated
+// in-cell moves never duplicate the index.
+func TestGridMoveSameCellNoop(t *testing.T) {
+	const (
+		side   = 6.0
+		radius = 2.0
+	)
+	pts := []Point{{X: 1.0, Y: 1.0}, {X: 1.2, Y: 1.1}, {X: 5.0, Y: 5.0}}
+	g := NewGrid(pts, side, radius, Planar)
+	for step := 0; step < 5; step++ {
+		g.Move(0, Point{X: 1.0 + float64(step)*0.1, Y: 1.0})
+		checkMovedGridMatchesFresh(t, g, pts, side, radius, Planar, step)
+	}
+	total := 0
+	for _, b := range g.buckets {
+		total += len(b)
+	}
+	if total != len(pts) {
+		t.Fatalf("bucket entries %d != %d points after in-cell moves", total, len(pts))
+	}
+}
+
+// wrapCoord maps x into [0, side).
+func wrapCoord(x, side float64) float64 {
+	for x < 0 {
+		x += side
+	}
+	for x >= side {
+		x -= side
+	}
+	return x
+}

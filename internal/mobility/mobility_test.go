@@ -1,0 +1,273 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// fakeSched runs scheduled callbacks in time order, emulating the
+// engine's coordinator lane.
+type fakeSched struct {
+	now  time.Duration
+	q    []schedEntry
+	runs int
+}
+
+type schedEntry struct {
+	at time.Duration
+	fn func()
+}
+
+func (s *fakeSched) Schedule(t time.Duration, fn func()) {
+	s.q = append(s.q, schedEntry{t, fn})
+}
+
+func (s *fakeSched) drain() {
+	for len(s.q) > 0 {
+		// Ticks self-reschedule one at a time, so FIFO is time order.
+		e := s.q[0]
+		s.q = s.q[1:]
+		s.now = e.at
+		e.fn()
+		s.runs++
+	}
+}
+
+func testGraph(t *testing.T, seed uint64, n int) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(xrand.New(seed), topology.Config{N: n, Density: 8, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestControllerDeterministic: two controllers with identical configs
+// over identically seeded graphs produce identical trajectories.
+func TestControllerDeterministic(t *testing.T) {
+	for _, kind := range []Kind{Waypoint, Walk} {
+		run := func() []geom.Point {
+			g := testGraph(t, 51, 40)
+			c, err := New(Config{
+				Kind: kind, Step: 50 * time.Millisecond,
+				SpeedMin: 0.5, SpeedMax: 2, Pause: 100 * time.Millisecond,
+				Nodes: allNodes(40), Until: 2 * time.Second, Seed: 7,
+			}, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := &fakeSched{}
+			c.Start(s)
+			s.drain()
+			out := make([]geom.Point, g.N())
+			for i := range out {
+				out[i] = g.Pos(i)
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: node %d diverged: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestControllerMovesAndBounds: every mobile node actually moves, every
+// position stays in [0, side)², and the immobile nodes never move.
+func TestControllerMovesAndBounds(t *testing.T) {
+	for _, kind := range []Kind{Waypoint, Walk} {
+		g := testGraph(t, 52, 30)
+		mobile := []int{1, 3, 5, 7}
+		before := make([]geom.Point, g.N())
+		for i := range before {
+			before[i] = g.Pos(i)
+		}
+		c, err := New(Config{
+			Kind: kind, Step: 50 * time.Millisecond,
+			SpeedMin: 1, SpeedMax: 3,
+			Nodes: mobile, Until: 3 * time.Second, Seed: 9,
+		}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &fakeSched{}
+		c.Start(s)
+		s.drain()
+		side := g.Side()
+		isMobile := map[int]bool{}
+		for _, i := range mobile {
+			isMobile[i] = true
+		}
+		for i := 0; i < g.N(); i++ {
+			p := g.Pos(i)
+			if p.X < 0 || p.X >= side || p.Y < 0 || p.Y >= side {
+				t.Fatalf("%v: node %d escaped the region: %v", kind, i, p)
+			}
+			if isMobile[i] && p == before[i] {
+				t.Errorf("%v: mobile node %d never moved", kind, i)
+			}
+			if !isMobile[i] && p != before[i] {
+				t.Fatalf("%v: immobile node %d moved to %v", kind, i, p)
+			}
+		}
+		if c.Moves() == 0 {
+			t.Fatalf("%v: controller reports zero moves", kind)
+		}
+	}
+}
+
+// TestControllerHorizon: no tick is scheduled at or past Until, so a
+// drain terminates, and a disabled config schedules nothing.
+func TestControllerHorizon(t *testing.T) {
+	g := testGraph(t, 53, 20)
+	c, err := New(Config{
+		Kind: Walk, Step: 100 * time.Millisecond, SpeedMax: 1,
+		Nodes: []int{0, 1}, Until: time.Second, Seed: 1,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	c.OnMove = func(_ int, at time.Duration, _ geom.Point) {
+		if at > last {
+			last = at
+		}
+	}
+	s := &fakeSched{}
+	c.Start(s)
+	s.drain()
+	if last >= time.Second {
+		t.Fatalf("tick ran at %v, at or past the %v horizon", last, time.Second)
+	}
+	if s.runs != 9 { // ticks at 100ms..900ms
+		t.Fatalf("ran %d ticks, want 9", s.runs)
+	}
+
+	off, err := New(Config{Kind: Waypoint, Nodes: nil, Until: time.Second}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &fakeSched{}
+	off.Start(s2)
+	if len(s2.q) != 0 {
+		t.Fatal("disabled controller scheduled a tick")
+	}
+	if off.Enabled() {
+		t.Fatal("empty node set reports enabled")
+	}
+}
+
+// TestWaypointPause: with speed high enough to reach any destination in
+// one step and a long pause, a node sits still between retargets.
+func TestWaypointPause(t *testing.T) {
+	g := testGraph(t, 54, 10)
+	c, err := New(Config{
+		Kind: Waypoint, Step: 100 * time.Millisecond,
+		SpeedMin: 1000, SpeedMax: 1000, Pause: 300 * time.Millisecond,
+		Nodes: []int{0}, Until: time.Second, Seed: 3,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trail []geom.Point
+	c.OnMove = func(_ int, _ time.Duration, p geom.Point) { trail = append(trail, p) }
+	s := &fakeSched{}
+	c.Start(s)
+	s.drain()
+	// Arrival then three pause ticks: at least one adjacent repeat.
+	repeats := 0
+	for k := 1; k < len(trail); k++ {
+		if trail[k] == trail[k-1] {
+			repeats++
+		}
+	}
+	if repeats < 2 {
+		t.Fatalf("expected pause dwell repeats, trail %v", trail)
+	}
+}
+
+// TestGraphStaysConsistentUnderMotion: after a long mixed run the moved
+// graph matches a fresh build — the controller never bypasses MoveNode.
+func TestGraphStaysConsistentUnderMotion(t *testing.T) {
+	g := testGraph(t, 55, 60)
+	c, err := New(Config{
+		Kind: Waypoint, Step: 50 * time.Millisecond,
+		SpeedMin: 0.2, SpeedMax: 4,
+		Nodes: allNodes(60), Until: 2 * time.Second, Seed: 5,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fakeSched{}
+	c.Start(s)
+	s.drain()
+	pos := make([]geom.Point, g.N())
+	for i := range pos {
+		pos[i] = g.Pos(i)
+	}
+	fresh := topology.FromPositions(pos, g.Side(), g.Radius(), g.Metric())
+	if g.Edges() != fresh.Edges() {
+		t.Fatalf("moved graph %d edges, fresh build %d", g.Edges(), fresh.Edges())
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.Degree(i) != fresh.Degree(i) {
+			t.Fatalf("node %d degree %d vs fresh %d", i, g.Degree(i), fresh.Degree(i))
+		}
+	}
+}
+
+// TestConfigValidate pins the rejection table.
+func TestConfigValidate(t *testing.T) {
+	base := Config{Kind: Waypoint, Step: time.Millisecond, SpeedMax: 1, Nodes: []int{0}, Until: time.Second}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"bad kind", func(c *Config) { c.Kind = Kind(9) }},
+		{"negative pause", func(c *Config) { c.Pause = -time.Second }},
+		{"negative until", func(c *Config) { c.Until = -1 }},
+		{"speed max below min", func(c *Config) { c.SpeedMin = 2; c.SpeedMax = 1 }},
+		{"negative speed", func(c *Config) { c.SpeedMin = -1 }},
+		{"negative turn", func(c *Config) { c.MaxTurn = -math.Pi }},
+		{"node out of range", func(c *Config) { c.Nodes = []int{99} }},
+		{"negative node", func(c *Config) { c.Nodes = []int{-1} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if err := cfg.Validate(10); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := base.Validate(10); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestParseKind covers the CLI mapping.
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{"waypoint": Waypoint, "walk": Walk} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("teleport"); err == nil {
+		t.Fatal("ParseKind accepted an unknown model")
+	}
+}

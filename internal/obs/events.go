@@ -33,6 +33,9 @@ const (
 	KindDegraded    = "degraded"     // a reading exhausted its retries without an acknowledgment
 	KindCrash       = "crash"        // fault plan or scenario crashed a node
 	KindReboot      = "reboot"       // a crashed node rebooted
+
+	KindHandoffStart = "handoff-start" // a mobile node left its cluster after keep-alive loss
+	KindHandoff      = "handoff"       // a mobile node completed a cluster handoff (Cluster: new CID)
 )
 
 // EventStream is a bounded ring of Events with an optional JSONL sink.

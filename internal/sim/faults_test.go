@@ -326,3 +326,34 @@ func TestCollisionAfterLossStillCorrupts(t *testing.T) {
 			len(rcv.received), eng.Collisions(0))
 	}
 }
+
+// TestMovingPartitionSweepsThroughLine drives the geometry-scoped fault
+// end to end: a 4-node line at x = 0..3, with a 1-unit band sweeping
+// right at 1 unit/s. The band reaches the 1-2 link gap at different
+// times, so the same link is open, then cut, then open again.
+func TestMovingPartitionSweepsThroughLine(t *testing.T) {
+	g := lineGraph(4)
+	bs := []*echo{{}, {}, {}, {}}
+	behaviors := make([]node.Behavior, 4)
+	for i, b := range bs {
+		behaviors[i] = b
+	}
+	// Band starts at [0.5, 1.5): nodes at x=1 inside, x=0 and x=2 out.
+	// At t=1s it covers [1.5, 2.5): only x=2 inside.
+	plan := &faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindMovingPartition, At: 0, Until: 10 * time.Second,
+		X0: 0.5, Width: 1, Vel: 1,
+	}}}
+	eng := newEngine(t, g, behaviors, Config{Faults: plan})
+	eng.Boot(0)
+	// t=1ms: band holds node 1 only; its links to 0 and 2 are cut.
+	eng.Schedule(time.Millisecond, func() { eng.hosts[1].Broadcast([]byte("early")) })
+	// t=3s: band [3.5, 4.5) is past every node; the line is whole again.
+	eng.Schedule(3*time.Second, func() { eng.hosts[1].Broadcast([]byte("late")) })
+	eng.Run(5 * time.Second)
+	for _, i := range []int{0, 2} {
+		if len(bs[i].received) != 1 || string(bs[i].packets[0]) != "late" {
+			t.Fatalf("node %d received %d packets (want only the post-sweep one)", i, len(bs[i].received))
+		}
+	}
+}

@@ -176,6 +176,7 @@ func (e *Engine) setupShards(root *xrand.RNG) error {
 			// share one set of counters.
 			sh.inj = faults.NewInjector(e.cfg.Faults, root.Split(faultStream))
 			sh.inj.SetMetrics(faults.NewMetrics(e.cfg.Obs.Registry()))
+			sh.inj.SetLocator(locatorFor(e.cfg.Graph))
 		}
 		e.shards[k] = sh
 	}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/faults"
+	"repro/internal/geom"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/topology"
@@ -418,6 +419,7 @@ func New(cfg Config, behaviors []node.Behavior) (*Engine, error) {
 		}
 		eng.inj = faults.NewInjector(cfg.Faults, root.Split(faultStream))
 		eng.inj.SetMetrics(faults.NewMetrics(cfg.Obs.Registry()))
+		eng.inj.SetLocator(locatorFor(cfg.Graph))
 	}
 	eng.hosts = make([]*host, len(behaviors))
 	for i, b := range behaviors {
@@ -692,6 +694,21 @@ func (e *Engine) Collisions(i int) int { return e.hosts[i].collisions }
 
 // Graph returns the underlying topology.
 func (e *Engine) Graph() *topology.Graph { return e.cfg.Graph }
+
+// locatorFor adapts the topology to the fault injector's position
+// locator: geometry-scoped events (moving partitions) wrap on toroidal
+// regions and sweep off the edge on planar ones. Positions are read at
+// drop time, so mobile topologies are reflected move-by-move.
+func locatorFor(g *topology.Graph) (float64, func(i int) (x, y float64)) {
+	side := 0.0
+	if g.Metric() == geom.Torus {
+		side = g.Side()
+	}
+	return side, func(i int) (x, y float64) {
+		p := g.Pos(i)
+		return p.X, p.Y
+	}
+}
 
 // Do schedules fn to run at virtual time t with node i's Context, on the
 // engine's event loop — the hook through which experiment scripts trigger

@@ -1,0 +1,135 @@
+package topology
+
+// Tests for the incremental adjacency maintenance behind MoveNode: the
+// moved graph's edge set (and edge count) must match a graph freshly
+// built from the current positions after every step, and reverse
+// neighbor lists must stay consistent with forward ones.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func sortedAdj(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func adjEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkGraphMatchesFresh pins the moved graph's edge set and edge count
+// to a fresh FromPositions build over the same coordinates.
+func checkGraphMatchesFresh(t *testing.T, g *Graph, step int) {
+	t.Helper()
+	pos := make([]geom.Point, g.N())
+	for i := range pos {
+		pos[i] = g.Pos(i)
+	}
+	fresh := FromPositions(pos, g.Side(), g.Radius(), g.Metric())
+	if g.Edges() != fresh.Edges() {
+		t.Fatalf("step %d: moved graph has %d edges, fresh build %d", step, g.Edges(), fresh.Edges())
+	}
+	for i := 0; i < g.N(); i++ {
+		got := sortedAdj(g.Neighbors(i))
+		want := sortedAdj(fresh.Neighbors(i))
+		if !adjEqual(got, want) {
+			t.Fatalf("step %d node %d: moved adj %v != fresh adj %v", step, i, got, want)
+		}
+		// Reverse consistency: every forward edge has its mirror.
+		for _, j := range got {
+			if !g.Adjacent(int(j), i) {
+				t.Fatalf("step %d: edge %d->%d has no reverse entry", step, i, j)
+			}
+		}
+	}
+}
+
+// TestMoveNodeMatchesFreshBuild runs a random walk over several nodes on
+// the torus and checks full adjacency equivalence after each move.
+func TestMoveNodeMatchesFreshBuild(t *testing.T) {
+	rng := xrand.New(41)
+	g, err := Generate(rng, Config{N: 70, Density: 8, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.EnableMobility()
+	side := g.Side()
+	for step := 0; step < 50; step++ {
+		i := int(rng.Uint64n(uint64(g.N())))
+		p := g.Pos(i)
+		p.X += (rng.Float64() - 0.5) * 4 * g.Radius()
+		p.Y += (rng.Float64() - 0.5) * 4 * g.Radius()
+		for p.X < 0 {
+			p.X += side
+		}
+		for p.X >= side {
+			p.X -= side
+		}
+		for p.Y < 0 {
+			p.Y += side
+		}
+		for p.Y >= side {
+			p.Y -= side
+		}
+		g.MoveNode(i, p)
+		if g.Pos(i) != p {
+			t.Fatalf("step %d: MoveNode did not update the position", step)
+		}
+		checkGraphMatchesFresh(t, g, step)
+	}
+}
+
+// TestMoveNodeDeterministic: the same move sequence from the same seed
+// produces identical neighbor lists, order included — the property the
+// simulator's byte-equivalence contract needs from a mutable graph.
+func TestMoveNodeDeterministic(t *testing.T) {
+	run := func() *Graph {
+		rng := xrand.New(42)
+		g, err := Generate(rng, Config{N: 50, Density: 10, Metric: geom.Torus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.EnableMobility()
+		walk := xrand.New(43)
+		for step := 0; step < 30; step++ {
+			i := int(walk.Uint64n(uint64(g.N())))
+			p := geom.Point{X: walk.Float64() * g.Side(), Y: walk.Float64() * g.Side()}
+			g.MoveNode(i, p)
+		}
+		return g
+	}
+	a, b := run(), run()
+	for i := 0; i < a.N(); i++ {
+		if !adjEqual(a.Neighbors(i), b.Neighbors(i)) {
+			t.Fatalf("node %d: neighbor order diverged: %v vs %v", i, a.Neighbors(i), b.Neighbors(i))
+		}
+	}
+}
+
+// TestMoveNodeRequiresEnableMobility pins the opt-in contract.
+func TestMoveNodeRequiresEnableMobility(t *testing.T) {
+	g, err := Generate(xrand.New(44), Config{N: 10, Density: 4, Metric: geom.Torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MoveNode without EnableMobility did not panic")
+		}
+	}()
+	g.MoveNode(0, geom.Point{X: 0.5, Y: 0.5})
+}

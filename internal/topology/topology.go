@@ -19,8 +19,12 @@ import (
 	"repro/internal/xrand"
 )
 
-// Graph is an immutable unit-disk communication graph over deployed nodes.
-// Node IDs are the indices 0..N()-1.
+// Graph is a unit-disk communication graph over deployed nodes. Node IDs
+// are the indices 0..N()-1. Graphs are immutable after construction
+// unless the caller opts into mobility with EnableMobility, after which
+// MoveNode updates positions and adjacency incrementally; the mobility
+// model serializes all moves on the simulator's coordinator, so Graph
+// itself needs no locking.
 type Graph struct {
 	pos    []geom.Point
 	side   float64
@@ -28,6 +32,10 @@ type Graph struct {
 	metric geom.Metric
 	adj    [][]int32
 	edges  int
+
+	// grid is the retained spatial index for incremental MoveNode
+	// updates; nil until EnableMobility.
+	grid *geom.Grid
 }
 
 // Config describes a deployment to generate.
@@ -141,6 +149,67 @@ func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
 // immediate neighbor. The assignment is a pure function of the graph.
 func (g *Graph) ShardStripes(shards int) []int {
 	return geom.NewGrid(g.pos, g.side, g.radius, g.metric).ShardStripes(shards)
+}
+
+// EnableMobility retains the spatial index FromPositions builds and then
+// discards, so MoveNode can update adjacency incrementally. Idempotent;
+// call once after construction and before the first MoveNode.
+func (g *Graph) EnableMobility() {
+	if g.grid == nil {
+		g.grid = geom.NewGrid(g.pos, g.side, g.radius, g.metric)
+	}
+}
+
+// Mobile reports whether EnableMobility has been called.
+func (g *Graph) Mobile() bool { return g.grid != nil }
+
+// MoveNode relocates node i to p: the position updates, node i's
+// neighbor list is recomputed from the retained grid, and every gained
+// or lost edge is patched into the reverse neighbor list and the edge
+// count. The result is a pure function of the construction inputs and
+// the move sequence — neighbor-list order after a move is canonical but
+// intentionally not identical to a fresh FromPositions build (new
+// reverse edges append). Requires EnableMobility.
+func (g *Graph) MoveNode(i int, p geom.Point) {
+	if g.grid == nil {
+		panic("topology: MoveNode without EnableMobility")
+	}
+	old := g.adj[i]
+	g.grid.Move(i, p) // g.pos[i] aliases the grid's point slice
+	nw := g.grid.Within(nil, p, g.radius, int32(i))
+	for _, j := range old {
+		if !containsInt32(nw, j) {
+			g.adj[j] = removeInt32(g.adj[j], int32(i))
+			g.edges--
+		}
+	}
+	for _, j := range nw {
+		if !containsInt32(old, j) {
+			g.adj[j] = append(g.adj[j], int32(i))
+			g.edges++
+		}
+	}
+	g.adj[i] = nw
+}
+
+// containsInt32 scans a (short, density-sized) neighbor list for v.
+func containsInt32(s []int32, v int32) bool {
+	for _, w := range s {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// removeInt32 deletes the first occurrence of v, preserving order.
+func removeInt32(s []int32, v int32) []int32 {
+	for k, w := range s {
+		if w == v {
+			return append(s[:k], s[k+1:]...)
+		}
+	}
+	return s
 }
 
 // Adjacent reports whether u and v are within communication range.

@@ -21,6 +21,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"time"
 
@@ -85,6 +86,39 @@ type Config struct {
 // Enabled reports whether the transport does anything beyond passing
 // payloads through (i.e. whether frames appear on the wire).
 func (c Config) Enabled() bool { return c.Framed || c.ARQ }
+
+// Validate rejects raw configs whose knobs withDefaults would otherwise
+// quietly replace or misread: negative durations and retry counts are
+// deployment-file typos, not requests for a default. The documented
+// "negative disables" knobs (RetryJitter, BreakerThreshold, FlapLimit)
+// stay legal. Mirrors core.Config.Validate.
+func (c Config) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"RetryBase", c.RetryBase},
+		{"RetryCap", c.RetryCap},
+		{"BreakerCooldown", c.BreakerCooldown},
+		{"FlapWindow", c.FlapWindow},
+		{"Quarantine", c.Quarantine},
+		{"AckDelay", c.AckDelay},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("transport: %s must not be negative, got %v", d.name, d.v)
+		}
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("transport: MaxRetries must not be negative, got %d", c.MaxRetries)
+	}
+	if c.AckMax < 0 {
+		return fmt.Errorf("transport: AckMax must not be negative, got %d", c.AckMax)
+	}
+	if c.AckDelay > 0 && !c.ARQ {
+		return fmt.Errorf("transport: AckDelay requires ARQ")
+	}
+	return nil
+}
 
 func (c Config) withDefaults() Config {
 	if c.ARQ {
@@ -302,6 +336,11 @@ type Endpoint struct {
 // normalized with defaults (zero value = transport off; such an
 // endpoint still works but callers should bypass it entirely).
 func NewEndpoint(cfg Config, local int, rng *xrand.RNG, send func(to int, frame []byte), deliver func(from int, payload []byte)) *Endpoint {
+	// Programmer error, same contract as live.Start's behavior check:
+	// defaults must never paper over a config that Validate rejects.
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	e := &Endpoint{
 		cfg:     cfg.withDefaults(),
 		local:   local,
